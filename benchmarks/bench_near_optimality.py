@@ -1,0 +1,99 @@
+"""Ablation — how near-optimal is "near-optimal"?
+
+Quantifies INOR's and EHTR's optimality gaps against exact references
+(brute force where feasible, parametric DP beyond), over radiator-like
+and randomly perturbed temperature fields.  This grounds the paper's
+"near-optimal" language in a measured number.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.core.ehtr import ehtr
+from repro.core.exhaustive import (
+    best_partition_brute_force,
+    best_partition_parametric_dp,
+)
+from repro.core.inor import inor
+from repro.teg.datasheet import TGM_199_1_4_0_8
+
+
+def field(n: int, seed: int, noise: float) -> tuple:
+    rng = np.random.default_rng(seed)
+    delta_t = 12.0 + 55.0 * np.exp(-2.2 * np.linspace(0.0, 1.0, n))
+    delta_t = np.clip(delta_t + rng.normal(0.0, noise, n), 1.0, None)
+    alpha = TGM_199_1_4_0_8.material.seebeck_v_per_k * TGM_199_1_4_0_8.n_couples
+    emf = alpha * delta_t
+    res = np.full(n, TGM_199_1_4_0_8.internal_resistance())
+    return emf, res
+
+
+@pytest.fixture(scope="module")
+def gap_statistics():
+    rows = []
+    # Small chains: certified against brute force.
+    for seed in range(8):
+        emf, res = field(12, seed, noise=3.0)
+        exact = best_partition_brute_force(emf, res).mpp.power_w
+        rows.append(
+            (
+                "N=12/brute",
+                seed,
+                inor(emf, res).mpp.power_w / exact,
+                ehtr(emf, res).mpp.power_w / exact,
+            )
+        )
+    # Paper-scale chains: against the parametric-DP frontier.
+    for seed in range(4):
+        emf, res = field(100, seed, noise=3.0)
+        exact = best_partition_parametric_dp(emf, res, n_sweep=48).mpp.power_w
+        rows.append(
+            (
+                "N=100/dp",
+                seed,
+                inor(emf, res).mpp.power_w / exact,
+                ehtr(emf, res).mpp.power_w / exact,
+            )
+        )
+    return rows
+
+
+def render_gaps(rows) -> str:
+    lines = [
+        "Near-optimality — heuristic MPP power as a fraction of the exact optimum",
+        f"{'case':>12s} {'seed':>5s} {'INOR':>8s} {'EHTR':>8s}",
+    ]
+    for case, seed, inor_frac, ehtr_frac in rows:
+        lines.append(f"{case:>12s} {seed:5d} {inor_frac:8.4f} {ehtr_frac:8.4f}")
+    inor_fracs = np.array([r[2] for r in rows])
+    ehtr_fracs = np.array([r[3] for r in rows])
+    lines.append("")
+    lines.append(
+        f"worst case: INOR {inor_fracs.min():.4f}, EHTR {ehtr_fracs.min():.4f}"
+    )
+    lines.append(
+        f"mean:       INOR {inor_fracs.mean():.4f}, EHTR {ehtr_fracs.mean():.4f}"
+    )
+    lines.append(
+        "Paper comparison: both heuristics sit within a few percent of the "
+        "optimum (Table I has them within 1% of each other), justifying "
+        "'near-optimal'."
+    )
+    return "\n".join(lines)
+
+
+def test_near_optimality(benchmark, gap_statistics):
+    rows = gap_statistics
+    inor_fracs = np.array([r[2] for r in rows])
+    ehtr_fracs = np.array([r[3] for r in rows])
+
+    assert inor_fracs.min() > 0.93
+    assert ehtr_fracs.min() > 0.95
+    assert inor_fracs.mean() > 0.96
+
+    emit("near_optimality.txt", render_gaps(rows))
+
+    emf, res = field(100, 0, noise=3.0)
+    result = benchmark(lambda: inor(emf, res))
+    assert result.mpp.power_w > 0.0

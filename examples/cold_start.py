@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Cold start: reconfiguration during engine warm-up.
+
+The paper's 800-second trace starts with a warm engine.  A cold start
+is the harder — and more rewarding — regime: coolant sweeps from
+ambient to ~90 degC, the radiator profile morphs continuously, and a
+static array is wrong for most of the climb.  This example builds a
+cold-start trace (thermostat initially closed), runs DNOR, INOR and
+the static baseline, and shows how the chosen group count tracks the
+warming radiator.
+
+Run with::
+
+    python examples/cold_start.py
+"""
+
+import numpy as np
+
+from repro import comparison_table
+from repro.sim.scenario import Scenario
+from repro.teg.datasheet import TGM_199_1_4_0_8
+from repro.vehicle.drive_cycle import synthetic_urban
+from repro.vehicle.engine import EngineModel
+from repro.vehicle.trace import build_trace, default_radiator
+
+
+def main() -> None:
+    duration_s = 300.0
+    radiator = default_radiator()
+    engine = EngineModel(radiator, start_temp_c=21.0)  # overnight soak
+    cycle = synthetic_urban(duration_s=duration_s, seed=77)
+    trace = build_trace(cycle, engine, sensor_seed=78, name="cold-start")
+
+    print(
+        f"Cold start: coolant {trace.coolant_inlet_c[0]:.0f} -> "
+        f"{trace.coolant_inlet_c[-1]:.0f} degC over {duration_s:.0f} s"
+    )
+
+    scenario = Scenario(
+        module=TGM_199_1_4_0_8,
+        n_modules=100,
+        radiator=radiator,
+        trace=trace,
+        sensor_seed=79,
+    )
+    simulator = scenario.make_simulator()
+
+    results = []
+    dnor_result = None
+    for name, policy in scenario.make_policies().items():
+        if name == "EHTR":
+            continue  # same story as INOR at 100x the runtime
+        result = simulator.run(policy, scenario.make_charger())
+        results.append(result)
+        if name == "DNOR":
+            dnor_result = result
+    print()
+    print(comparison_table(results))
+
+    # How the controller adapts: group count along the warm-up.
+    assert dnor_result is not None
+    groups = dnor_result.n_groups_series
+    time_s = dnor_result.time_s
+    print("\nDNOR group count while warming (sampled every 30 s):")
+    for k in range(0, time_s.size, 60):
+        inlet = trace.coolant_inlet_c[k]
+        print(
+            f"  t = {time_s[k]:5.0f} s   coolant {inlet:5.1f} degC   "
+            f"n = {groups[k]:2d} groups"
+        )
+
+    cold_half = slice(0, time_s.size // 2)
+    warm_half = slice(time_s.size // 2, None)
+    print(
+        f"\nMean group count: cold half {groups[cold_half].mean():.1f}, "
+        f"warm half {groups[warm_half].mean():.1f} "
+        "(colder array -> lower module EMF -> more groups in series to "
+        "hold the converter-friendly bus voltage)"
+    )
+
+    dnor, inor_r, base = results[0], results[1], results[2]
+    print(
+        f"\nDNOR vs static baseline on a cold start: "
+        f"{dnor.energy_output_j / base.energy_output_j - 1.0:+.1%} "
+        f"(vs about +30% warm)"
+    )
+    print(
+        f"DNOR switches: {dnor.switch_count} "
+        f"(warm-up forces more reconfiguration than cruising)"
+    )
+
+
+if __name__ == "__main__":
+    main()

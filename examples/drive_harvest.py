@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""The paper's headline experiment: an 800-second drive, four schemes.
+
+Reproduces the Table I comparison — DNOR vs INOR vs EHTR vs the static
+10 x 10 baseline on a synthetic Porter-II drive — and prints the
+switch timeline DNOR produced (the black dots of Figs. 6/7).
+
+Run with::
+
+    python examples/drive_harvest.py [duration_seconds]
+
+The default 240 s keeps the run under a minute (EHTR recomputes a full
+O(N^3)-class search every 0.5 s; the full 800 s run lives in
+``benchmarks/bench_table1_800s.py``).
+"""
+
+import sys
+import time
+
+from repro import comparison_table, default_scenario
+
+
+def main(duration_s: float = 240.0) -> None:
+    scenario = default_scenario(duration_s=duration_s, seed=2018)
+    simulator = scenario.make_simulator()
+
+    print(f"Trace: {scenario.trace.name} ({scenario.trace.duration_s:.0f} s)")
+    print(
+        f"Array: {scenario.n_modules} x {scenario.module.name}, "
+        f"control period {scenario.control_period_s} s, "
+        f"DNOR horizon t_p = {scenario.tp_seconds:.0f} s"
+    )
+    print()
+
+    results = []
+    dnor_policy = None
+    for name, policy in scenario.make_policies().items():
+        t0 = time.time()
+        result = simulator.run(policy, scenario.make_charger())
+        print(f"  {name:8s} simulated in {time.time() - t0:5.1f} s wall clock")
+        results.append(result)
+        if name == "DNOR":
+            dnor_policy = policy
+    print()
+    print(comparison_table(results))
+    print()
+
+    dnor, inor, ehtr, baseline = results
+    print("Headline ratios (paper's claims in parentheses):")
+    print(
+        f"  DNOR vs baseline energy : "
+        f"{dnor.energy_output_j / baseline.energy_output_j - 1.0:+.1%}  (+30%)"
+    )
+    if dnor.switch_overhead_j > 0.0:
+        print(
+            f"  INOR/DNOR overhead      : "
+            f"{inor.switch_overhead_j / dnor.switch_overhead_j:6.1f}x  (~100x)"
+        )
+    print(
+        f"  EHTR/INOR runtime       : "
+        f"{ehtr.average_runtime_ms / inor.average_runtime_ms:6.1f}x  (~9x)"
+    )
+
+    if dnor_policy is not None and dnor.switch_times_s:
+        stamps = ", ".join(f"{t:.1f}" for t in dnor.switch_times_s)
+        print(f"\nDNOR switched {dnor.switch_count} times, at t = {stamps} s")
+    else:
+        print("\nDNOR kept its initial configuration for the whole window.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 240.0)

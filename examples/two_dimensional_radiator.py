@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""The 2-D radiator: parallel 1-D paths, per-path reconfiguration.
+
+The paper works in 1-D and notes that a real radiator is "a parallel
+connection of multiple 1-dimensional ones".  This example builds that
+2-D structure — four coolant paths with realistic flow maldistribution,
+25 TEG modules each — reconfigures every path independently with INOR,
+and parallels the chains at the charger, quantifying what the 2-D
+view adds over four idealised copies of the 1-D result.
+
+Run with::
+
+    python examples/two_dimensional_radiator.py
+"""
+
+import numpy as np
+
+from repro import ArrayConfiguration, TEGCharger, TGM_199_1_4_0_8
+from repro.analysis import loss_breakdown
+from repro.teg.bank import bank_mpp, chain_state, reconfigure_bank
+from repro.thermal.multipath import MultiPathRadiator, PathImbalance
+from repro.vehicle.trace import default_radiator
+
+
+def main() -> None:
+    n_paths, modules_per_path = 4, 25
+    charger = TEGCharger()
+
+    # A fan blowing unevenly and slightly unequal tube resistances.
+    imbalance = PathImbalance.random(n_paths, spread=0.22, seed=42)
+    radiator = MultiPathRadiator(default_radiator(), n_paths, imbalance)
+
+    matrix = radiator.delta_t_matrix(
+        coolant_inlet_c=90.0,
+        total_coolant_flow_kg_s=0.24,
+        ambient_c=25.0,
+        total_air_flow_kg_s=0.85,
+        modules_per_path=modules_per_path,
+    )
+    print(f"2-D radiator: {n_paths} paths x {modules_per_path} modules")
+    for path, row in enumerate(matrix):
+        print(
+            f"  path {path}: dT {row.max():5.1f} -> {row.min():5.1f} K "
+            f"(mean {row.mean():5.1f})"
+        )
+
+    # Per-path INOR, then the parallel bank combination.
+    chains = reconfigure_bank(TGM_199_1_4_0_8, matrix, charger)
+    combined = bank_mpp(chains)
+    print("\nPer-path INOR configurations:")
+    for path, chain in enumerate(chains):
+        print(
+            f"  path {path}: {chain.config.group_sizes} "
+            f"(chain MPP voltage {chain.emf_v / 2:5.2f} V)"
+        )
+    print(
+        f"\nBank MPP: {combined.power_w:6.2f} W at {combined.voltage_v:5.2f} V"
+    )
+
+    # Reference 1: every path hard-wired as a 5x5 grid.
+    alpha = TGM_199_1_4_0_8.material.seebeck_v_per_k * TGM_199_1_4_0_8.n_couples
+    r_module = TGM_199_1_4_0_8.internal_resistance()
+    grid = ArrayConfiguration.uniform(modules_per_path, 5)
+    grid_chains = [
+        chain_state(alpha * row, np.full(modules_per_path, r_module), grid)
+        for row in matrix
+    ]
+    grid_combined = bank_mpp(grid_chains)
+
+    # Reference 2: the loss breakdown of one reconfigured path.
+    bd = loss_breakdown(
+        alpha * matrix[0],
+        np.full(modules_per_path, r_module),
+        chains[0].config.starts,
+        charger,
+    )
+
+    ideal = sum(
+        float(np.sum((alpha * row) ** 2 / (4.0 * r_module))) for row in matrix
+    )
+    print(f"\nIdeal (all modules at MPP):   {ideal:6.2f} W")
+    print(
+        f"Reconfigured bank:            {combined.power_w:6.2f} W "
+        f"({combined.power_w / ideal:.1%})"
+    )
+    print(
+        f"Static 5x5 grids:             {grid_combined.power_w:6.2f} W "
+        f"({grid_combined.power_w / ideal:.1%})"
+    )
+    print(
+        f"Reconfiguration gain:         "
+        f"{combined.power_w / grid_combined.power_w - 1.0:+.1%}"
+    )
+    print(
+        f"\nPath-0 loss breakdown: parallel {bd.parallel_mismatch_w:.2f} W, "
+        f"series {bd.series_mismatch_w:.2f} W, converter "
+        f"{bd.conversion_loss_w:.2f} W"
+    )
+
+
+if __name__ == "__main__":
+    main()

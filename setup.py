@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` / ``python setup.py develop`` keep working on
+offline machines whose environments lack the ``wheel`` package needed
+for PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

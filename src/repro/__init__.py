@@ -1,0 +1,145 @@
+"""tegkit — prediction-based fast TEG array reconfiguration.
+
+A faithful, self-contained reproduction of *"Prediction-Based Fast
+Thermoelectric Generator Reconfiguration for Energy Harvesting from
+Vehicle Radiators"* (DATE 2018): the INOR and DNOR reconfiguration
+algorithms, the prior-work EHTR baseline, and every substrate they run
+on — TEG device/array electrical models, the effectiveness-NTU
+radiator, a vehicle coolant-loop simulator, an MPPT charger, and
+MLR/BPNN/SVR temperature predictors.
+
+Quick start::
+
+    from repro import default_scenario, comparison_table
+
+    scenario = default_scenario(duration_s=120.0)
+    simulator = scenario.make_simulator()
+    results = [
+        simulator.run(policy, scenario.make_charger())
+        for policy in scenario.make_policies().values()
+    ]
+    print(comparison_table(results))
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro._about import PAPER_ARXIV, PAPER_TITLE, PAPER_VENUE, __version__
+from repro.core import (
+    ArrayConfiguration,
+    DNORPlanner,
+    DNORPolicy,
+    PeriodicPolicy,
+    ReconfigurationPolicy,
+    StaticPolicy,
+    SwitchingOverheadModel,
+    converter_aware_group_range,
+    ehtr,
+    grid_configuration,
+    grid_for_square_array,
+    inor,
+)
+from repro.errors import (
+    ConfigurationError,
+    ModelParameterError,
+    PredictionError,
+    SimulationError,
+    TegkitError,
+)
+from repro.power import (
+    BuckBoostConverter,
+    LeadAcidBattery,
+    PerturbObserveMPPT,
+    TEGCharger,
+)
+from repro.prediction import (
+    BPNNPredictor,
+    MLRPredictor,
+    SVRPredictor,
+    mape,
+    walk_forward_evaluation,
+)
+from repro.sim import (
+    HarvestSimulator,
+    Scenario,
+    SimulationResult,
+    comparison_table,
+    default_scenario,
+    ideal_power_series,
+)
+from repro.teg import (
+    MODULE_CATALOG,
+    SwitchFabric,
+    TEGArray,
+    TEGModule,
+    TGM_199_1_4_0_8,
+    get_module,
+)
+from repro.thermal import Radiator, RadiatorGeometry
+from repro.vehicle import (
+    DriveCycle,
+    EngineModel,
+    RadiatorTrace,
+    build_trace,
+    default_radiator,
+    porter_ii_trace,
+    synthetic_highway,
+    synthetic_mixed,
+    synthetic_urban,
+)
+
+__all__ = [
+    "ArrayConfiguration",
+    "BPNNPredictor",
+    "BuckBoostConverter",
+    "ConfigurationError",
+    "DNORPlanner",
+    "DNORPolicy",
+    "DriveCycle",
+    "EngineModel",
+    "HarvestSimulator",
+    "LeadAcidBattery",
+    "MLRPredictor",
+    "MODULE_CATALOG",
+    "ModelParameterError",
+    "PAPER_ARXIV",
+    "PAPER_TITLE",
+    "PAPER_VENUE",
+    "PerturbObserveMPPT",
+    "PeriodicPolicy",
+    "PredictionError",
+    "Radiator",
+    "RadiatorGeometry",
+    "RadiatorTrace",
+    "ReconfigurationPolicy",
+    "SVRPredictor",
+    "Scenario",
+    "SimulationError",
+    "SimulationResult",
+    "StaticPolicy",
+    "SwitchFabric",
+    "SwitchingOverheadModel",
+    "TEGArray",
+    "TEGCharger",
+    "TEGModule",
+    "TGM_199_1_4_0_8",
+    "TegkitError",
+    "__version__",
+    "build_trace",
+    "comparison_table",
+    "converter_aware_group_range",
+    "default_radiator",
+    "default_scenario",
+    "ehtr",
+    "get_module",
+    "grid_configuration",
+    "grid_for_square_array",
+    "ideal_power_series",
+    "inor",
+    "mape",
+    "porter_ii_trace",
+    "synthetic_highway",
+    "synthetic_mixed",
+    "synthetic_urban",
+    "walk_forward_evaluation",
+]

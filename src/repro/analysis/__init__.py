@@ -1,0 +1,31 @@
+"""Analysis utilities: where does the power go, and how stable are
+configurations?
+
+* :mod:`repro.analysis.mismatch` — exact decomposition of the gap
+  between ``P_ideal`` and delivered power into the physical mechanisms
+  of the paper's Fig. 3 (parallel voltage mismatch, series current
+  mismatch) plus the converter loss of Sec. III-B.
+* :mod:`repro.analysis.stability` — statistics over configuration
+  sequences: switch rates, toggle volumes, group-count histograms —
+  the quantities behind the Sec. III-C overhead discussion.
+* :mod:`repro.analysis.sweep` — declarative parameter sweeps over the
+  closed-loop scenario, used by the ablation benches.
+"""
+
+from repro.analysis.mismatch import LossBreakdown, loss_breakdown
+from repro.analysis.stability import (
+    ConfigurationStats,
+    configuration_stats,
+    group_count_series,
+)
+from repro.analysis.sweep import SweepResult, sweep_scenario
+
+__all__ = [
+    "ConfigurationStats",
+    "LossBreakdown",
+    "SweepResult",
+    "configuration_stats",
+    "group_count_series",
+    "loss_breakdown",
+    "sweep_scenario",
+]

@@ -1,0 +1,136 @@
+"""Exact loss decomposition for a configured TEG array.
+
+The gap between the ideal power (every module at its own MPP) and what
+reaches the battery bus decomposes into three nested, exactly
+quantifiable mechanisms:
+
+1. **Parallel (voltage) mismatch** — modules inside a group share one
+   voltage, so members with different EMFs cannot all sit at ``E_i/2``
+   (paper Fig. 3a).  The group's best case is its own MPP; the member
+   losses are ``sum_i E_i^2/4R_i - E_g^2/4R_g`` per group.
+2. **Series (current) mismatch** — groups share one current, so groups
+   whose individual MPP currents differ cannot all run at their group
+   MPP (paper Fig. 3b).  The residual is ``sum_g P_g* - P_array*``.
+3. **Conversion loss** — the charger's DC-DC stage takes its
+   voltage-dependent cut (paper Sec. III-B).
+
+The three terms plus the delivered power reconstruct ``P_ideal``
+exactly, which the test suite asserts; the reconfiguration algorithms
+are, in this language, minimisers of (1) + (2) subject to keeping (3)
+small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.power.charger import TEGCharger
+from repro.teg.network import array_mpp, reduce_configuration, validate_starts
+
+
+@dataclass(frozen=True)
+class LossBreakdown:
+    """Exact power accounting of one configured operating point.
+
+    All values in watts.  ``ideal_power_w`` equals the sum of the other
+    four fields (up to float rounding).
+
+    Attributes
+    ----------
+    ideal_power_w:
+        ``sum_i E_i^2 / 4 R_i`` (negative-EMF modules contribute 0 to
+        match :meth:`repro.teg.array.TEGArray.ideal_power`).
+    parallel_mismatch_w:
+        Power lost to voltage sharing inside groups.
+    series_mismatch_w:
+        Power lost to current sharing across groups.
+    conversion_loss_w:
+        Power lost in the DC-DC stage (0 when no charger is supplied).
+    delivered_power_w:
+        What reaches the bus.
+    """
+
+    ideal_power_w: float
+    parallel_mismatch_w: float
+    series_mismatch_w: float
+    conversion_loss_w: float
+    delivered_power_w: float
+
+    @property
+    def electrical_power_w(self) -> float:
+        """Array electrical MPP power (before the converter)."""
+        return self.delivered_power_w + self.conversion_loss_w
+
+    @property
+    def mismatch_fraction(self) -> float:
+        """Total mismatch loss as a fraction of the ideal power."""
+        if self.ideal_power_w <= 0.0:
+            return 0.0
+        return (
+            self.parallel_mismatch_w + self.series_mismatch_w
+        ) / self.ideal_power_w
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for tabulation."""
+        return {
+            "ideal_w": self.ideal_power_w,
+            "parallel_mismatch_w": self.parallel_mismatch_w,
+            "series_mismatch_w": self.series_mismatch_w,
+            "conversion_loss_w": self.conversion_loss_w,
+            "delivered_w": self.delivered_power_w,
+        }
+
+
+def loss_breakdown(
+    emf: np.ndarray,
+    resistance: np.ndarray,
+    starts: Sequence[int],
+    charger: Optional[TEGCharger] = None,
+) -> LossBreakdown:
+    """Decompose the ideal-to-delivered gap for one configuration.
+
+    Parameters
+    ----------
+    emf, resistance:
+        Per-module Thevenin parameters at the current temperatures.
+    starts:
+        The configuration's group start indices.
+    charger:
+        When given, the converter loss at the array MPP voltage is
+        included; otherwise the electrical MPP power is "delivered".
+    """
+    emf = np.asarray(emf, dtype=float)
+    resistance = np.asarray(resistance, dtype=float)
+    validate_starts(starts, emf.size)
+
+    per_module_ideal = np.where(
+        emf > 0.0, emf * emf / (4.0 * resistance), 0.0
+    )
+    ideal = float(per_module_ideal.sum())
+
+    e_groups, r_groups = reduce_configuration(emf, resistance, starts)
+    group_mpp = e_groups * e_groups / (4.0 * r_groups)
+
+    idx = np.asarray(starts, dtype=np.int64)
+    per_group_ideal = np.add.reduceat(per_module_ideal, idx)
+    parallel_loss = float((per_group_ideal - group_mpp).sum())
+
+    array = array_mpp(emf, resistance, starts)
+    series_loss = float(group_mpp.sum() - array.power_w)
+
+    if charger is not None:
+        delivered = charger.delivered_at_mpp(array)
+    else:
+        delivered = array.power_w
+    conversion_loss = array.power_w - delivered
+
+    return LossBreakdown(
+        ideal_power_w=ideal,
+        parallel_mismatch_w=parallel_loss,
+        series_mismatch_w=series_loss,
+        conversion_loss_w=conversion_loss,
+        delivered_power_w=delivered,
+    )

@@ -1,0 +1,100 @@
+"""Configuration-sequence statistics.
+
+Quantifies how "restless" a reconfiguration scheme is — the raw
+material of the paper's Sec. III-C overhead argument.  Works on the
+switch-time / toggle records of a :class:`repro.sim.results.SimulationResult`
+or on any plain sequence of configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import ArrayConfiguration
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ConfigurationStats:
+    """Aggregate statistics of a configuration sequence.
+
+    Attributes
+    ----------
+    n_configs:
+        Length of the analysed sequence.
+    n_changes:
+        Number of step-to-step configuration changes.
+    change_rate:
+        ``n_changes / (n_configs - 1)``.
+    total_junction_flips:
+        Summed junction flips across all changes.
+    mean_flips_per_change:
+        Average flip volume of one change (0 when never changed).
+    group_count_histogram:
+        Mapping group count -> number of steps spent there.
+    dominant_group_count:
+        The most-used group count.
+    """
+
+    n_configs: int
+    n_changes: int
+    change_rate: float
+    total_junction_flips: int
+    mean_flips_per_change: float
+    group_count_histogram: Dict[int, int]
+    dominant_group_count: int
+
+
+def configuration_stats(
+    configs: Sequence[ArrayConfiguration],
+) -> ConfigurationStats:
+    """Analyse a chronological sequence of configurations.
+
+    Raises
+    ------
+    ConfigurationError
+        If the sequence is empty or mixes chain lengths.
+    """
+    if len(configs) == 0:
+        raise ConfigurationError("configuration sequence is empty")
+    n_modules = configs[0].n_modules
+    if any(c.n_modules != n_modules for c in configs):
+        raise ConfigurationError("configuration sequence mixes chain lengths")
+
+    n_changes = 0
+    total_flips = 0
+    for previous, current in zip(configs, configs[1:]):
+        flips = previous.junction_flips_to(current)
+        if flips > 0:
+            n_changes += 1
+            total_flips += flips
+
+    counts = [c.n_groups for c in configs]
+    histogram: Dict[int, int] = {}
+    for count in counts:
+        histogram[count] = histogram.get(count, 0) + 1
+    dominant = max(histogram.items(), key=lambda item: (item[1], -item[0]))[0]
+
+    return ConfigurationStats(
+        n_configs=len(configs),
+        n_changes=n_changes,
+        change_rate=(n_changes / (len(configs) - 1)) if len(configs) > 1 else 0.0,
+        total_junction_flips=total_flips,
+        mean_flips_per_change=(total_flips / n_changes) if n_changes else 0.0,
+        group_count_histogram=histogram,
+        dominant_group_count=dominant,
+    )
+
+
+def group_count_series(
+    configs: Sequence[ArrayConfiguration],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Group count per step plus its step indices — a Fig. 6 companion
+    view showing *what* the controller changed, not just when."""
+    if len(configs) == 0:
+        raise ConfigurationError("configuration sequence is empty")
+    counts = np.asarray([c.n_groups for c in configs], dtype=np.int64)
+    return np.arange(len(configs), dtype=np.int64), counts

@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the everyday uses of the library:
+
+* ``info``        — paper identity, module catalog, default scenario.
+* ``reconfigure`` — run INOR once on a synthetic or CSV-described
+  temperature profile and print the chosen configuration.
+* ``simulate``    — run the closed-loop schemes over a drive trace and
+  print the Table-I style comparison (optionally save the trace CSV).
+* ``sweep-period``— the prior-work fixed-period trade-off table.
+
+Every command is deterministic given its ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro._about import PAPER_ARXIV, PAPER_TITLE, PAPER_VENUE, __version__
+from repro.core.inor import inor
+from repro.core.period_tradeoff import sweep_fixed_period
+from repro.power.charger import TEGCharger
+from repro.sim.results import comparison_table
+from repro.sim.scenario import default_scenario
+from repro.teg.array import TEGArray
+from repro.teg.datasheet import MODULE_CATALOG, get_module
+from repro.vehicle.trace_io import save_trace
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    print(f"tegkit {__version__} — reproduction of:")
+    print(f"  {PAPER_TITLE}")
+    print(f"  {PAPER_VENUE}, arXiv:{PAPER_ARXIV}")
+    print()
+    print("Module catalog:")
+    for name, module in sorted(MODULE_CATALOG.items()):
+        mpp = module.mpp(35.0)
+        print(
+            f"  {name:28s} {module.n_couples:4d} couples, "
+            f"R = {module.internal_resistance():5.2f} Ohm, "
+            f"P_mpp(35 K) = {mpp.power_w:5.2f} W"
+        )
+    print()
+    print("Default scenario: 100 x TGM-199-1.4-0.8, 800 s synthetic")
+    print("Porter-II trace, 0.5 s control period, 13.8 V lead-acid bus.")
+    return 0
+
+
+def _profile(args: argparse.Namespace) -> np.ndarray:
+    x = np.linspace(0.0, 1.0, args.modules)
+    return args.dt_floor + (args.dt_peak - args.dt_floor) * np.exp(
+        -args.steepness * x
+    )
+
+
+def _cmd_reconfigure(args: argparse.Namespace) -> int:
+    module = get_module(args.module)
+    array = TEGArray(module, args.modules)
+    array.set_delta_t(_profile(args))
+    charger = TEGCharger()
+    result = inor(
+        array.emf_vector(), array.resistance_vector(), charger=charger
+    )
+    print(f"module:        {module.name} x {args.modules}")
+    print(
+        f"dT profile:    {args.dt_peak:.1f} K -> {args.dt_floor:.1f} K "
+        f"(steepness {args.steepness:g})"
+    )
+    print(f"configuration: {result.config}")
+    print(f"paper form:    {result.config.paper_form()}")
+    print(f"group sizes:   {result.config.group_sizes}")
+    print(
+        f"array MPP:     {result.mpp.power_w:.2f} W at "
+        f"{result.mpp.voltage_v:.2f} V / {result.mpp.current_a:.2f} A"
+    )
+    print(f"delivered:     {result.delivered_power_w:.2f} W (after converter)")
+    print(f"P_ideal:       {array.ideal_power():.2f} W")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = default_scenario(duration_s=args.duration, seed=args.seed)
+    if args.save_trace:
+        path = save_trace(scenario.trace, args.save_trace)
+        print(f"trace saved to {path}")
+    simulator = scenario.make_simulator()
+    wanted = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    policies = scenario.make_policies()
+    unknown = [s for s in wanted if s not in policies]
+    if unknown:
+        print(
+            f"unknown schemes: {', '.join(unknown)} "
+            f"(available: {', '.join(policies)})",
+            file=sys.stderr,
+        )
+        return 2
+    results = []
+    for name in wanted:
+        print(f"running {name} ...", file=sys.stderr)
+        results.append(simulator.run(policies[name], scenario.make_charger()))
+    print(comparison_table(results))
+    return 0
+
+
+def _cmd_sweep_period(args: argparse.Namespace) -> int:
+    scenario = default_scenario(duration_s=args.duration, seed=args.seed)
+    periods = [float(p) for p in args.periods.split(",")]
+    tradeoff = sweep_fixed_period(scenario, periods)
+    print("Fixed-period INOR trade-off (prior-work approach):")
+    print(tradeoff.table())
+    simulator = scenario.make_simulator()
+    dnor = simulator.run(scenario.make_dnor_policy(), scenario.make_charger())
+    best = tradeoff.best
+    print()
+    print(
+        f"DNOR on the same trace: {dnor.energy_output_j:.1f} J "
+        f"({dnor.switch_count} switches) vs best fixed period "
+        f"{best.period_s:g} s: {best.energy_output_j:.1f} J"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Prediction-based fast TEG reconfiguration (DATE 2018 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="paper identity and module catalog").set_defaults(
+        handler=_cmd_info
+    )
+
+    recon = sub.add_parser(
+        "reconfigure", help="run INOR once on a synthetic gradient"
+    )
+    recon.add_argument("--module", default="TGM-199-1.4-0.8")
+    recon.add_argument("--modules", type=int, default=100)
+    recon.add_argument("--dt-peak", type=float, default=67.0, dest="dt_peak")
+    recon.add_argument("--dt-floor", type=float, default=12.0, dest="dt_floor")
+    recon.add_argument("--steepness", type=float, default=2.2)
+    recon.set_defaults(handler=_cmd_reconfigure)
+
+    simulate = sub.add_parser(
+        "simulate", help="closed-loop scheme comparison on a drive trace"
+    )
+    simulate.add_argument("--duration", type=float, default=120.0)
+    simulate.add_argument("--seed", type=int, default=2018)
+    simulate.add_argument(
+        "--schemes",
+        default="DNOR,INOR,Baseline",
+        help="comma list from DNOR,INOR,EHTR,Baseline (EHTR is slow)",
+    )
+    simulate.add_argument(
+        "--save-trace", default=None, help="also write the trace CSV here"
+    )
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    sweep = sub.add_parser(
+        "sweep-period", help="prior-work fixed-period trade-off vs DNOR"
+    )
+    sweep.add_argument("--duration", type=float, default=200.0)
+    sweep.add_argument("--seed", type=int, default=2018)
+    sweep.add_argument("--periods", default="0.5,1,2,4,8")
+    sweep.set_defaults(handler=_cmd_sweep_period)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return int(args.handler(args))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

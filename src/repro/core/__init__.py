@@ -1,0 +1,69 @@
+"""Core reconfiguration algorithms — the paper's contribution.
+
+* :mod:`repro.core.config` — the configuration value type.
+* :mod:`repro.core.inor` — Algorithm 1: Instantaneous Near-Optimal
+  Reconfiguration, O(N).
+* :mod:`repro.core.dnor` — Algorithm 2: Durable Near-Optimal
+  Reconfiguration (prediction-gated switching).
+* :mod:`repro.core.ehtr` — reconstruction of the prior-work Efficient
+  Heuristic TEG Reconfiguration baseline (Baek et al., ISLPED'17).
+* :mod:`repro.core.baseline` — the static 10 x 10 grid baseline.
+* :mod:`repro.core.exhaustive` — exact optima (brute force and
+  parametric DP) used as references in tests and ablations.
+* :mod:`repro.core.overhead` — the switching-overhead model
+  (Sec. III-C, after Kim et al. [5]).
+* :mod:`repro.core.controller` — policy objects the closed-loop
+  simulator drives.
+"""
+
+from repro.core.baseline import grid_configuration, grid_for_square_array
+from repro.core.config import ArrayConfiguration
+from repro.core.dnor import DNORDecision, DNORPlanner
+from repro.core.ehtr import EHTRResult, ehtr
+from repro.core.exhaustive import (
+    best_partition_brute_force,
+    best_partition_parametric_dp,
+)
+from repro.core.fault_aware import FaultAwareResult, fault_aware_inor
+from repro.core.inor import InorResult, converter_aware_group_range, inor
+from repro.core.oracle import OracleDNORPolicy, make_oracle_policy
+from repro.core.overhead import OverheadEvent, SwitchingOverheadModel
+from repro.core.period_tradeoff import (
+    PeriodSweepPoint,
+    PeriodTradeoff,
+    sweep_fixed_period,
+)
+from repro.core.controller import (
+    DNORPolicy,
+    PeriodicPolicy,
+    ReconfigurationPolicy,
+    StaticPolicy,
+)
+
+__all__ = [
+    "ArrayConfiguration",
+    "DNORDecision",
+    "DNORPlanner",
+    "DNORPolicy",
+    "EHTRResult",
+    "FaultAwareResult",
+    "InorResult",
+    "OracleDNORPolicy",
+    "OverheadEvent",
+    "PeriodSweepPoint",
+    "PeriodTradeoff",
+    "PeriodicPolicy",
+    "ReconfigurationPolicy",
+    "StaticPolicy",
+    "SwitchingOverheadModel",
+    "best_partition_brute_force",
+    "best_partition_parametric_dp",
+    "converter_aware_group_range",
+    "ehtr",
+    "fault_aware_inor",
+    "grid_configuration",
+    "grid_for_square_array",
+    "inor",
+    "make_oracle_policy",
+    "sweep_fixed_period",
+]

@@ -1,0 +1,38 @@
+"""The static grid baseline (the paper's "10 x 10 TEG module array").
+
+The baseline never reconfigures: the chain is hard-wired into equal
+parallel groups in series — for the paper's 100-module array, ten
+groups of ten.  The charger still performs MPPT on the fixed topology,
+so everything the baseline loses comes from module mismatch under the
+temperature gradient plus whatever the converter loses when the fixed
+voltage drifts from its preference.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.config import ArrayConfiguration
+from repro.errors import ConfigurationError
+
+
+def grid_configuration(n_modules: int, n_groups: int) -> ArrayConfiguration:
+    """Equal-size series-of-parallel grid, e.g. ``grid_configuration(100, 10)``."""
+    return ArrayConfiguration.uniform(n_modules, n_groups)
+
+
+def grid_for_square_array(n_modules: int) -> ArrayConfiguration:
+    """The paper's square baseline: ``sqrt(N)`` groups of ``sqrt(N)`` modules.
+
+    Raises
+    ------
+    ConfigurationError
+        If ``n_modules`` is not a perfect square, since the paper's
+        baseline is only defined for square arrays.
+    """
+    root = math.isqrt(int(n_modules))
+    if root * root != n_modules:
+        raise ConfigurationError(
+            f"square baseline needs a perfect-square module count, got {n_modules}"
+        )
+    return ArrayConfiguration.uniform(n_modules, root)

@@ -1,0 +1,163 @@
+"""EHTR — the prior-work reconfiguration baseline, reconstructed.
+
+The paper compares against the *Efficient Heuristic TEG
+Reconfiguration* algorithm of Baek et al. (ISLPED 2017) [2], for which
+no source is available.  This reconstruction matches every published
+fact about it (see DESIGN.md section 3):
+
+* near-optimal output — Table I puts it within 1% of INOR;
+* **no** converter-aware group-count restriction (that refinement is
+  this paper's contribution), so it scans every ``n`` from 1 to N and
+  ranks by raw electrical MPP power;
+* a balance-refinement phase on top of the greedy split — the extra
+  thoroughness that gives it its higher complexity: worst case the
+  sweeps run O(n) times per group count, giving the O(N^3) the paper
+  quotes; in practice they converge in a few passes, landing the
+  measured runtime around an order of magnitude above INOR at N = 100,
+  consistent with Table I's 9x gap.
+
+The refinement minimises the squared imbalance of group MPP-current
+sums by hill-climbing on boundary positions, using prefix sums for
+O(1) move evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ArrayConfiguration
+from repro.core.inor import greedy_balanced_partition
+from repro.errors import ConfigurationError
+from repro.teg.module import MPPPoint
+from repro.teg.network import array_mpp
+
+
+@dataclass(frozen=True)
+class EHTRResult:
+    """Outcome of one EHTR invocation.
+
+    Attributes
+    ----------
+    config:
+        The selected configuration.
+    mpp:
+        Its exact electrical MPP.
+    refinement_sweeps:
+        Total boundary-refinement sweeps executed across all group
+        counts (diagnostic for the complexity claims).
+    """
+
+    config: ArrayConfiguration
+    mpp: MPPPoint
+    refinement_sweeps: int
+
+
+def _refine_boundaries(
+    starts: np.ndarray,
+    prefix_currents: np.ndarray,
+    n_modules: int,
+    ideal: float,
+    max_sweeps: int,
+) -> int:
+    """Hill-climb boundary positions to minimise current imbalance.
+
+    Mutates ``starts`` in place; returns the number of sweeps run.
+    A move shifts one internal boundary by +/-1 module when that
+    reduces the summed squared deviation of the two adjacent groups'
+    MPP-current sums from ``ideal``.
+    """
+    n_groups = starts.size
+    if n_groups < 2:
+        return 0
+
+    def group_sum(j: int) -> float:
+        lo = starts[j]
+        hi = starts[j + 1] if j + 1 < n_groups else n_modules
+        return prefix_currents[hi] - prefix_currents[lo]
+
+    sweeps = 0
+    improved = True
+    while improved and sweeps < max_sweeps:
+        improved = False
+        sweeps += 1
+        for j in range(1, n_groups):
+            left = group_sum(j - 1)
+            right = group_sum(j)
+            base_cost = (left - ideal) ** 2 + (right - ideal) ** 2
+            boundary = starts[j]
+            # Shift right: move module `boundary` into the left group.
+            hi = starts[j + 1] if j + 1 < n_groups else n_modules
+            if boundary + 1 < hi:
+                moved = prefix_currents[boundary + 1] - prefix_currents[boundary]
+                cost = (left + moved - ideal) ** 2 + (right - moved - ideal) ** 2
+                if cost < base_cost:
+                    starts[j] = boundary + 1
+                    improved = True
+                    continue
+            # Shift left: move module `boundary - 1` into the right group.
+            if boundary - 1 > starts[j - 1]:
+                moved = prefix_currents[boundary] - prefix_currents[boundary - 1]
+                cost = (left - moved - ideal) ** 2 + (right + moved - ideal) ** 2
+                if cost < base_cost:
+                    starts[j] = boundary - 1
+                    improved = True
+    return sweeps
+
+
+def ehtr(
+    emf: np.ndarray,
+    resistance: np.ndarray,
+    max_sweeps_per_n: Optional[int] = None,
+) -> EHTRResult:
+    """Run the reconstructed EHTR on per-module Thevenin parameters.
+
+    Parameters
+    ----------
+    emf, resistance:
+        Module EMFs and internal resistances.
+    max_sweeps_per_n:
+        Cap on refinement sweeps per group count; ``None`` uses the
+        group count itself (the O(N^3) worst case the paper quotes).
+    """
+    emf = np.asarray(emf, dtype=float)
+    resistance = np.asarray(resistance, dtype=float)
+    if emf.shape != resistance.shape or emf.ndim != 1 or emf.size == 0:
+        raise ConfigurationError(
+            f"emf/resistance must be matching 1-D arrays, got "
+            f"{emf.shape} and {resistance.shape}"
+        )
+    n_modules = emf.size
+    mpp_currents = emf / (2.0 * resistance)
+    prefix = np.concatenate(([0.0], np.cumsum(mpp_currents)))
+    total = float(prefix[-1])
+
+    best_power = -math.inf
+    best_starts: Optional[np.ndarray] = None
+    best_mpp: Optional[MPPPoint] = None
+    total_sweeps = 0
+
+    for n_groups in range(1, n_modules + 1):
+        starts = greedy_balanced_partition(mpp_currents, n_groups)
+        cap = n_groups if max_sweeps_per_n is None else max_sweeps_per_n
+        if cap > 0:
+            total_sweeps += _refine_boundaries(
+                starts, prefix, n_modules, total / n_groups, cap
+            )
+        mpp = array_mpp(emf, resistance, starts)
+        if mpp.power_w > best_power:
+            best_power = mpp.power_w
+            best_starts = starts.copy()
+            best_mpp = mpp
+
+    assert best_starts is not None and best_mpp is not None
+    return EHTRResult(
+        config=ArrayConfiguration(
+            starts=tuple(int(s) for s in best_starts), n_modules=n_modules
+        ),
+        mpp=best_mpp,
+        refinement_sweeps=total_sweeps,
+    )

@@ -1,0 +1,223 @@
+"""Algorithm 1 — Instantaneous Near-Optimal Reconfiguration (INOR).
+
+Pseudo-code from the paper::
+
+    Function C(g1..gn) = INOR(Ti)
+      compute I_MPP_i for every module
+      Pmax = 0
+      for n from n_min to n_max:
+          g1 = 1; I_ideal = (1/n) * sum(I_MPP_i)
+          for j from 2 to n:
+              pick g_j minimising | sum_{i=g_{j-1}}^{g_j - 1} I_MPP_i - I_ideal |
+          evaluate P_MPP of C_n
+          keep the best
+      return the best configuration
+
+The inner boundary search is a single left-to-right walk (the group
+sum grows monotonically for positive MPP currents, so the error is
+V-shaped in the cut position), which makes one ``n`` cost O(N) and the
+whole call O((n_max - n_min + 1) * N) — the paper's O(N) for the fixed
+converter-friendly range of ``n``.
+
+``[n_min, n_max]`` realises the paper's Section III-B requirement: the
+range is derived from the charger's preferred input-voltage window so
+every candidate keeps the converter near peak efficiency
+(:func:`converter_aware_group_range`).  When a charger is supplied,
+candidates are ranked by *delivered* power (array MPP power times
+converter efficiency at the MPP voltage); without one, by raw
+electrical MPP power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import ArrayConfiguration
+from repro.errors import ConfigurationError
+from repro.power.charger import TEGCharger
+from repro.teg.module import MPPPoint
+from repro.teg.network import array_mpp
+
+
+@dataclass(frozen=True)
+class InorResult:
+    """Outcome of one INOR invocation.
+
+    Attributes
+    ----------
+    config:
+        The selected near-optimal configuration.
+    mpp:
+        Exact electrical MPP of the selected configuration.
+    delivered_power_w:
+        Converter-degraded power used for ranking (equals ``mpp.power_w``
+        when no charger was supplied).
+    n_range:
+        The ``(n_min, n_max)`` window that was scanned.
+    candidates_evaluated:
+        Number of group counts evaluated.
+    """
+
+    config: ArrayConfiguration
+    mpp: MPPPoint
+    delivered_power_w: float
+    n_range: Tuple[int, int]
+    candidates_evaluated: int
+
+
+def converter_aware_group_range(
+    emf: np.ndarray,
+    n_modules: int,
+    charger: Optional[TEGCharger] = None,
+    efficiency_drop: float = 0.03,
+) -> Tuple[int, int]:
+    """Group-count window keeping the array MPP voltage converter-friendly.
+
+    A balanced configuration of ``n`` groups has an MPP voltage of
+    roughly ``n * mean(E) / 2`` (each group's Thevenin EMF is close to
+    the chain's mean module EMF).  The window maps the charger's
+    preferred input-voltage band through that estimate.  Without a
+    charger the full ``[1, N]`` range is returned.
+    """
+    if charger is None:
+        return 1, int(n_modules)
+    emf = np.asarray(emf, dtype=float)
+    mean_emf = float(emf.mean())
+    if mean_emf <= 0.0:
+        # Array is effectively dead; any n works equally badly.
+        return 1, int(n_modules)
+    v_lo, v_hi = charger.preferred_voltage_window(efficiency_drop)
+    n_min = max(1, int(math.floor(2.0 * v_lo / mean_emf)))
+    n_max = min(int(n_modules), int(math.ceil(2.0 * v_hi / mean_emf)))
+    if n_max < n_min:
+        # Degenerate window (very hot or very cold array): centre on
+        # the best single estimate.
+        centre = min(
+            max(int(round(2.0 * 0.5 * (v_lo + v_hi) / mean_emf)), 1), int(n_modules)
+        )
+        return centre, centre
+    return n_min, n_max
+
+
+def greedy_balanced_partition(mpp_currents: np.ndarray, n_groups: int) -> np.ndarray:
+    """The inner loop of Algorithm 1: one O(N) balanced partition.
+
+    Walks the chain once, cutting each group where its MPP-current sum
+    is closest to ``I_ideal``, while always leaving at least one module
+    for every remaining group.
+
+    Returns
+    -------
+    numpy.ndarray
+        Group start indices (0-based), length ``n_groups``.
+    """
+    currents = np.asarray(mpp_currents, dtype=float)
+    n_modules = currents.size
+    if not 1 <= n_groups <= n_modules:
+        raise ConfigurationError(
+            f"n_groups must lie in [1, {n_modules}], got {n_groups}"
+        )
+    starts = np.zeros(n_groups, dtype=np.int64)
+    if n_groups == 1:
+        return starts
+    ideal = float(currents.sum()) / n_groups
+    pos = 0
+    for j in range(1, n_groups):
+        # Group j-1 spans [pos, cut); the cut may go no further than
+        # n_modules - (n_groups - j) so later groups stay non-empty.
+        max_cut = n_modules - (n_groups - j)
+        group_sum = currents[pos]
+        cut = pos + 1
+        best_err = abs(group_sum - ideal)
+        while cut < max_cut:
+            extended = group_sum + currents[cut]
+            err = abs(extended - ideal)
+            if err <= best_err:
+                group_sum = extended
+                cut += 1
+                best_err = err
+            else:
+                break
+        starts[j] = cut
+        pos = cut
+    return starts
+
+
+def inor(
+    emf: np.ndarray,
+    resistance: np.ndarray,
+    charger: Optional[TEGCharger] = None,
+    n_min: Optional[int] = None,
+    n_max: Optional[int] = None,
+    efficiency_drop: float = 0.03,
+) -> InorResult:
+    """Run Algorithm 1 on per-module Thevenin parameters.
+
+    Parameters
+    ----------
+    emf, resistance:
+        Module EMFs and internal resistances at the current
+        temperature distribution.
+    charger:
+        When given, bounds the group-count range via the converter's
+        voltage preference and ranks candidates by delivered power.
+    n_min, n_max:
+        Explicit range overrides (either may be None to use the
+        converter-derived value).
+    efficiency_drop:
+        Converter-efficiency tolerance used to derive the range.
+
+    Raises
+    ------
+    ConfigurationError
+        If the explicit range is inconsistent.
+    """
+    emf = np.asarray(emf, dtype=float)
+    resistance = np.asarray(resistance, dtype=float)
+    if emf.shape != resistance.shape or emf.ndim != 1 or emf.size == 0:
+        raise ConfigurationError(
+            f"emf/resistance must be matching 1-D arrays, got "
+            f"{emf.shape} and {resistance.shape}"
+        )
+    n_modules = emf.size
+
+    auto_min, auto_max = converter_aware_group_range(
+        emf, n_modules, charger, efficiency_drop
+    )
+    lo = auto_min if n_min is None else int(n_min)
+    hi = auto_max if n_max is None else int(n_max)
+    if not 1 <= lo <= hi <= n_modules:
+        raise ConfigurationError(
+            f"invalid group-count range [{lo}, {hi}] for {n_modules} modules"
+        )
+
+    mpp_currents = emf / (2.0 * resistance)
+    best_score = -math.inf
+    best_starts: Optional[np.ndarray] = None
+    best_mpp: Optional[MPPPoint] = None
+    evaluated = 0
+
+    for n_groups in range(lo, hi + 1):
+        starts = greedy_balanced_partition(mpp_currents, n_groups)
+        mpp = array_mpp(emf, resistance, starts)
+        score = charger.delivered_at_mpp(mpp) if charger is not None else mpp.power_w
+        evaluated += 1
+        if score > best_score:
+            best_score = score
+            best_starts = starts
+            best_mpp = mpp
+
+    assert best_starts is not None and best_mpp is not None
+    return InorResult(
+        config=ArrayConfiguration(
+            starts=tuple(int(s) for s in best_starts), n_modules=n_modules
+        ),
+        mpp=best_mpp,
+        delivered_power_w=float(best_score),
+        n_range=(lo, hi),
+        candidates_evaluated=evaluated,
+    )

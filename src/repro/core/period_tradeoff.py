@@ -1,0 +1,108 @@
+"""The prior-work alternative: tuning a fixed reconfiguration period.
+
+Before prediction-gated switching, the literature (Kim et al. [5],
+Ding et al. [6, 7]) attacked switching overhead by sweeping the fixed
+reconfiguration period for the best net energy — the paper's
+introduction notes "the results are not remarkable".  This module
+implements that approach faithfully so the claim can be tested: run
+INOR at a range of fixed periods, pick the best, and compare it
+against DNOR on the same trace.
+
+Expected result (and what the bench asserts): the tuned fixed period
+recovers part of the overhead but stays below DNOR, because no single
+period suits both the calm stretches and the transients — which is
+precisely the paper's motivation for prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import SimulationError
+from repro.sim.results import SimulationResult
+from repro.sim.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class PeriodSweepPoint:
+    """Net-energy outcome of one fixed reconfiguration period."""
+
+    period_s: float
+    result: SimulationResult
+
+    @property
+    def energy_output_j(self) -> float:
+        """Net output energy at this period."""
+        return self.result.energy_output_j
+
+
+@dataclass(frozen=True)
+class PeriodTradeoff:
+    """Full sweep outcome plus the tuned-period winner."""
+
+    points: List[PeriodSweepPoint]
+
+    @property
+    def best(self) -> PeriodSweepPoint:
+        """The period with the highest net energy."""
+        return max(self.points, key=lambda p: p.energy_output_j)
+
+    def table(self) -> str:
+        """Render the sweep as the trade-off table of the prior work."""
+        lines = [
+            f"{'period (s)':>11s} {'net energy (J)':>15s} "
+            f"{'overhead (J)':>13s} {'switches':>9s}"
+        ]
+        for point in self.points:
+            marker = "  <- best" if point is self.best else ""
+            lines.append(
+                f"{point.period_s:11.2f} {point.energy_output_j:15.1f} "
+                f"{point.result.switch_overhead_j:13.1f} "
+                f"{point.result.switch_count:9d}{marker}"
+            )
+        return "\n".join(lines)
+
+
+def sweep_fixed_period(
+    scenario: Scenario,
+    periods_s: Sequence[float] = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
+) -> PeriodTradeoff:
+    """Run INOR at each fixed period over the scenario's trace.
+
+    Parameters
+    ----------
+    scenario:
+        The experiment setup; its control-period field is overridden
+        per sweep point.
+    periods_s:
+        Fixed reconfiguration periods to evaluate.  Each must be a
+        multiple of the trace sampling period.
+
+    Raises
+    ------
+    SimulationError
+        If a period is not a (near-)multiple of the trace step.
+    """
+    if len(periods_s) == 0:
+        raise SimulationError("period sweep needs at least one period")
+    dt = scenario.trace.dt_s
+    points: List[PeriodSweepPoint] = []
+    for period in periods_s:
+        steps = period / dt
+        if abs(steps - round(steps)) > 1e-9:
+            raise SimulationError(
+                f"period {period} s is not a multiple of the trace step {dt} s"
+            )
+        simulator = scenario.make_simulator()
+        from repro.core.controller import PeriodicPolicy  # local: avoid cycle
+
+        policy = PeriodicPolicy(
+            module=scenario.module,
+            algorithm="inor",
+            period_s=float(period),
+            charger=scenario.make_charger(with_battery=False),
+        )
+        result = simulator.run(policy, scenario.make_charger())
+        points.append(PeriodSweepPoint(period_s=float(period), result=result))
+    return PeriodTradeoff(points=points)

@@ -1,0 +1,45 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library errors derive from :class:`TegkitError` so applications can
+catch every library-originated failure with a single ``except`` clause
+while still distinguishing configuration problems from numerical ones.
+"""
+
+
+class TegkitError(Exception):
+    """Base class for every error raised by the tegkit library."""
+
+
+class ConfigurationError(TegkitError):
+    """An array configuration is structurally invalid.
+
+    Raised when a partition does not cover the module chain, group
+    boundaries are out of order, or a configuration is applied to an
+    array of a different size.
+    """
+
+
+class ModelParameterError(TegkitError):
+    """A physical model received parameters outside its validity domain.
+
+    Examples: negative resistance, non-positive couple count, zero fluid
+    capacity rate, or a converter efficiency outside ``(0, 1]``.
+    """
+
+
+class PredictionError(TegkitError):
+    """A predictor was used incorrectly.
+
+    Raised for unfitted predictors asked to forecast, inconsistent
+    feature dimensions, or insufficient history for the requested lag
+    window.
+    """
+
+
+class SimulationError(TegkitError):
+    """The closed-loop simulation was configured inconsistently.
+
+    Raised when trace length, module count and controller wiring do not
+    line up, or when a simulation step produces physically impossible
+    values (for example negative gross power).
+    """

@@ -1,0 +1,23 @@
+"""Power-conditioning substrate: charger, converter, MPPT, battery.
+
+Implements Section III-B of the paper: after a configuration is built,
+the charger finds the array's maximum power point (perturb & observe,
+Femia et al. [10]) and converts the array voltage to the vehicle
+battery's 13.8 V charging bus through an LTM4607-class buck-boost
+stage whose efficiency falls off as the input voltage deviates from
+the output voltage.
+"""
+
+from repro.power.battery import LeadAcidBattery
+from repro.power.charger import ChargerReport, TEGCharger
+from repro.power.converter import BuckBoostConverter
+from repro.power.mppt import MPPTResult, PerturbObserveMPPT
+
+__all__ = [
+    "BuckBoostConverter",
+    "ChargerReport",
+    "LeadAcidBattery",
+    "MPPTResult",
+    "PerturbObserveMPPT",
+    "TEGCharger",
+]

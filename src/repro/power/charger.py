@@ -1,0 +1,163 @@
+"""The TEG charger: MPPT + buck-boost + battery, composed.
+
+This is the component the reconfiguration controller talks to.  Its
+two jobs mirror Section III-B of the paper:
+
+1. Given the configured array, find the operating point and report how
+   much power actually reaches the 13.8 V bus (array MPP power times
+   the voltage-dependent conversion efficiency).
+2. Expose the *delivered-power* evaluation the algorithms use when
+   ranking candidate configurations — this is how the converter's
+   voltage preference enters INOR's choice of group count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.power.battery import LeadAcidBattery
+from repro.power.converter import BuckBoostConverter
+from repro.power.mppt import PerturbObserveMPPT
+from repro.teg.array import TEGArray
+from repro.teg.module import MPPPoint
+
+
+@dataclass(frozen=True)
+class ChargerReport:
+    """One charging step's accounting.
+
+    Attributes
+    ----------
+    array_voltage_v, array_current_a, array_power_w:
+        Operating point extracted from the array.
+    conversion_efficiency:
+        Converter efficiency at the array voltage.
+    delivered_power_w:
+        Power pushed onto the battery bus (after converter losses).
+    accepted_power_w:
+        Power the battery actually accepted.
+    mppt_iterations:
+        Perturb steps used when exact tracking is disabled (0 when the
+        analytic MPP was used).
+    """
+
+    array_voltage_v: float
+    array_current_a: float
+    array_power_w: float
+    conversion_efficiency: float
+    delivered_power_w: float
+    accepted_power_w: float
+    mppt_iterations: int
+
+
+class TEGCharger:
+    """Charger between the reconfigurable array and the battery.
+
+    Parameters
+    ----------
+    converter:
+        The DC-DC efficiency model.
+    battery:
+        The sink; optional — without one, ``accepted == delivered``.
+    mppt:
+        Perturb & observe tracker used when ``exact_tracking=False``.
+    exact_tracking:
+        When True (default) the charger operates the array at its
+        analytic MPP; P&O converges there for the linear model, so this
+        is a speed optimisation, not a behaviour change (validated in
+        the test suite).
+    """
+
+    def __init__(
+        self,
+        converter: Optional[BuckBoostConverter] = None,
+        battery: Optional[LeadAcidBattery] = None,
+        mppt: Optional[PerturbObserveMPPT] = None,
+        exact_tracking: bool = True,
+    ) -> None:
+        self._converter = converter or BuckBoostConverter()
+        self._battery = battery
+        self._mppt = mppt or PerturbObserveMPPT()
+        self._exact_tracking = bool(exact_tracking)
+
+    @property
+    def converter(self) -> BuckBoostConverter:
+        """The DC-DC stage model."""
+        return self._converter
+
+    @property
+    def battery(self) -> Optional[LeadAcidBattery]:
+        """The attached battery, if any."""
+        return self._battery
+
+    @property
+    def mppt(self) -> PerturbObserveMPPT:
+        """The P&O tracker."""
+        return self._mppt
+
+    # ------------------------------------------------------------------
+    # Evaluation used by the reconfiguration algorithms
+    # ------------------------------------------------------------------
+    def delivered_at_mpp(self, mpp: MPPPoint) -> float:
+        """Bus power if the array runs at a given MPP.
+
+        This is the ``P_MPP`` that Algorithm 1 compares across group
+        counts: array MPP power degraded by the converter's efficiency
+        at the MPP voltage.
+        """
+        return self._converter.output_power(mpp.power_w, mpp.voltage_v)
+
+    def preferred_voltage_window(self, efficiency_drop: float = 0.03) -> Tuple[float, float]:
+        """Input-voltage band for the converter-aware group-count range."""
+        return self._converter.preferred_voltage_window(efficiency_drop)
+
+    # ------------------------------------------------------------------
+    # Closed-loop operation
+    # ------------------------------------------------------------------
+    def step(
+        self,
+        array: TEGArray,
+        config: object,
+        dt_s: float,
+        previous_current_a: float = 0.0,
+    ) -> ChargerReport:
+        """Operate the configured array for ``dt_s`` and charge the battery.
+
+        With exact tracking the analytic MPP is used; otherwise P&O runs
+        from ``previous_current_a`` (warm start), and the resulting
+        operating point may sit slightly off the true MPP, exactly as a
+        real tracker's limit cycle would.
+        """
+        if self._exact_tracking:
+            mpp = array.configured_mpp(config)
+            voltage, current, power = mpp.voltage_v, mpp.current_a, mpp.power_w
+            iterations = 0
+        else:
+            result = self._mppt.track(
+                lambda current_a: array.power_at_current(config, current_a),
+                initial_current_a=previous_current_a,
+            )
+            current = result.current_a
+            power = result.power_w
+            e_total, r_total = array.thevenin(config)
+            voltage = e_total - current * r_total
+            iterations = result.iterations
+
+        power = max(power, 0.0)
+        delivered = self._converter.output_power(power, voltage)
+        if self._battery is not None:
+            accepted = self._battery.accept(delivered, dt_s)
+        else:
+            accepted = delivered
+        return ChargerReport(
+            array_voltage_v=voltage,
+            array_current_a=current,
+            array_power_w=power,
+            conversion_efficiency=self._converter.efficiency(voltage)
+            if voltage > 0.0
+            else 0.0,
+            delivered_power_w=delivered,
+            accepted_power_w=accepted,
+            mppt_iterations=iterations,
+        )

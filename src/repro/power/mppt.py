@@ -1,0 +1,148 @@
+"""Perturb & observe maximum power point tracking (Femia et al. [10]).
+
+The charger modulates the array current and watches the output power:
+if the last perturbation increased power it keeps going, otherwise it
+reverses.  For the linear TEG array the P-I curve is a concave
+parabola, so P&O converges to a limit cycle around the true MPP; the
+tracker below also supports step-halving, which collapses the limit
+cycle and yields convergence to arbitrary tolerance.
+
+The closed-loop simulator uses the analytic MPP (exact for the linear
+model — see :func:`repro.teg.network.array_mpp`); this tracker exists
+to validate that choice, to model the MPPT settle time that enters the
+switching-overhead budget, and for use with non-analytic power
+functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.errors import ModelParameterError
+from repro.units import require_positive
+
+
+@dataclass(frozen=True)
+class MPPTResult:
+    """Outcome of a tracking run.
+
+    Attributes
+    ----------
+    current_a, power_w:
+        Final operating point.
+    iterations:
+        Number of perturb steps executed.
+    converged:
+        Whether the step size shrank below tolerance before the
+        iteration cap.
+    trajectory_a:
+        The visited currents (diagnostics; last entry = final current).
+    """
+
+    current_a: float
+    power_w: float
+    iterations: int
+    converged: bool
+    trajectory_a: List[float]
+
+
+class PerturbObserveMPPT:
+    """Hill-climbing MPP tracker on the array current.
+
+    Parameters
+    ----------
+    initial_step_a:
+        First perturbation size.
+    min_step_a:
+        Convergence threshold for the shrinking step.
+    shrink_factor:
+        Step multiplier applied on each direction reversal (1.0 gives
+        the classic fixed-step P&O with its limit cycle).
+    max_iterations:
+        Safety cap on perturb steps.
+    settle_time_per_step_s:
+        Physical time one perturb-observe cycle takes; used to estimate
+        the MPPT contribution to switching overhead.
+    """
+
+    def __init__(
+        self,
+        initial_step_a: float = 0.25,
+        min_step_a: float = 0.005,
+        shrink_factor: float = 0.5,
+        max_iterations: int = 200,
+        settle_time_per_step_s: float = 0.4e-3,
+    ) -> None:
+        require_positive(initial_step_a, "initial_step_a")
+        require_positive(min_step_a, "min_step_a")
+        if not 0.0 < shrink_factor <= 1.0:
+            raise ModelParameterError(
+                f"shrink_factor must lie in (0, 1], got {shrink_factor}"
+            )
+        if max_iterations < 1:
+            raise ModelParameterError("max_iterations must be >= 1")
+        require_positive(settle_time_per_step_s, "settle_time_per_step_s")
+        self._initial_step_a = initial_step_a
+        self._min_step_a = min_step_a
+        self._shrink_factor = shrink_factor
+        self._max_iterations = max_iterations
+        self._settle_time_per_step_s = settle_time_per_step_s
+
+    @property
+    def settle_time_per_step_s(self) -> float:
+        """Wall-clock duration of one perturb-observe cycle."""
+        return self._settle_time_per_step_s
+
+    def track(
+        self,
+        power_fn: Callable[[float], float],
+        initial_current_a: float = 0.0,
+    ) -> MPPTResult:
+        """Track the maximum of ``power_fn`` over the current axis.
+
+        Parameters
+        ----------
+        power_fn:
+            Array output power as a function of drawn current; need not
+            be differentiable, only unimodal for guaranteed success.
+        initial_current_a:
+            Starting current (e.g. the previous operating point, which
+            is how the charger warm-starts after a reconfiguration).
+        """
+        current = max(float(initial_current_a), 0.0)
+        power = power_fn(current)
+        step = self._initial_step_a
+        direction = 1.0
+        trajectory = [current]
+        iterations = 0
+        converged = False
+
+        while iterations < self._max_iterations:
+            iterations += 1
+            candidate = max(current + direction * step, 0.0)
+            candidate_power = power_fn(candidate)
+            if candidate_power > power:
+                current, power = candidate, candidate_power
+            else:
+                direction = -direction
+                step *= self._shrink_factor
+                if step < self._min_step_a:
+                    converged = True
+                    trajectory.append(current)
+                    break
+            trajectory.append(current)
+
+        return MPPTResult(
+            current_a=current,
+            power_w=power,
+            iterations=iterations,
+            converged=converged,
+            trajectory_a=trajectory,
+        )
+
+    def settle_time_s(self, iterations: int) -> float:
+        """Physical settle time of a run with ``iterations`` steps."""
+        if iterations < 0:
+            raise ModelParameterError("iterations must be >= 0")
+        return iterations * self._settle_time_per_step_s

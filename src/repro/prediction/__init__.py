@@ -1,0 +1,51 @@
+"""Temperature-distribution prediction (Section IV of the paper).
+
+The paper forecasts the per-module temperature distribution directly
+from its own past values and compares three predictors — multiple
+linear regression (MLR), a back-propagation neural network (BPNN) and
+support vector regression (SVR) — selecting MLR for its accuracy and
+O(N) speed.  All three are implemented here from scratch on numpy:
+
+* :mod:`repro.prediction.base` — the common lag-series predictor
+  interface.
+* :mod:`repro.prediction.features` — lag-matrix construction and
+  standardisation.
+* :mod:`repro.prediction.mlr` — pooled ordinary-least-squares MLR.
+* :mod:`repro.prediction.bpnn` — one-hidden-layer network trained with
+  momentum SGD.
+* :mod:`repro.prediction.svr` — epsilon-insensitive linear SVR trained
+  in the primal.
+* :mod:`repro.prediction.metrics` — MAPE (paper Eq. 3) and friends.
+* :mod:`repro.prediction.evaluate` — walk-forward evaluation producing
+  the Fig. 5 error series.
+"""
+
+from repro.prediction.base import LagSeriesPredictor
+from repro.prediction.baselines import DriftPredictor, PersistencePredictor
+from repro.prediction.bpnn import BPNNPredictor
+from repro.prediction.evaluate import PredictionEvaluation, walk_forward_evaluation
+from repro.prediction.features import Standardizer, lag_matrix, pooled_lag_matrix
+from repro.prediction.metrics import mae, mape, max_ape, rmse
+from repro.prediction.mlr import MLRPredictor
+from repro.prediction.selection import SelectionReport, select_predictor
+from repro.prediction.svr import SVRPredictor
+
+__all__ = [
+    "BPNNPredictor",
+    "DriftPredictor",
+    "LagSeriesPredictor",
+    "MLRPredictor",
+    "PersistencePredictor",
+    "PredictionEvaluation",
+    "SVRPredictor",
+    "SelectionReport",
+    "Standardizer",
+    "lag_matrix",
+    "mae",
+    "mape",
+    "max_ape",
+    "pooled_lag_matrix",
+    "rmse",
+    "select_predictor",
+    "walk_forward_evaluation",
+]

@@ -1,0 +1,131 @@
+"""Common interface of the temperature-distribution predictors.
+
+A :class:`LagSeriesPredictor` learns the one-step map from the last
+``lags`` samples of a series to the next sample, pooled over all
+modules, and produces multi-step forecasts by recursion.  DNOR refits
+it on the recent history at every decision epoch and asks for a
+``t_p``-second forecast of the whole distribution.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import PredictionError
+
+
+class LagSeriesPredictor(abc.ABC):
+    """Base class: pooled autoregressive forecaster over module columns.
+
+    Parameters
+    ----------
+    lags:
+        Number of past samples forming the feature window.
+    train_window:
+        Maximum number of most-recent history rows used for fitting;
+        ``None`` uses all available history.
+    """
+
+    def __init__(self, lags: int = 5, train_window: Optional[int] = None) -> None:
+        if lags < 1:
+            raise PredictionError(f"lags must be >= 1, got {lags}")
+        if train_window is not None and train_window < lags + 1:
+            raise PredictionError(
+                f"train_window must exceed lags ({lags}), got {train_window}"
+            )
+        self._lags = int(lags)
+        self._train_window = train_window
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def lags(self) -> int:
+        """Feature window length."""
+        return self._lags
+
+    @property
+    def train_window(self) -> Optional[int]:
+        """Training history cap (rows)."""
+        return self._train_window
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has completed at least once."""
+        return self._fitted
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Short display name (``"MLR"``, ``"BPNN"``, ``"SVR"``)."""
+
+    # ------------------------------------------------------------------
+    # Fitting and forecasting
+    # ------------------------------------------------------------------
+    def _training_slice(self, history: np.ndarray) -> np.ndarray:
+        """History rows used for fitting, respecting ``train_window``."""
+        arr = np.asarray(history, dtype=float)
+        if arr.ndim == 1:
+            arr = arr[:, None]
+        if arr.ndim != 2:
+            raise PredictionError(f"history must be 1-D or 2-D, got {arr.shape}")
+        if arr.shape[0] < self._lags + 1:
+            raise PredictionError(
+                f"history of {arr.shape[0]} rows too short for lags={self._lags}"
+            )
+        if not np.all(np.isfinite(arr)):
+            raise PredictionError("history must be finite")
+        if self._train_window is not None and arr.shape[0] > self._train_window:
+            arr = arr[-self._train_window:]
+        return arr
+
+    def fit(self, history: np.ndarray) -> "LagSeriesPredictor":
+        """Fit the one-step model on (the tail of) a ``(T, N)`` history."""
+        data = self._training_slice(history)
+        self._fit_impl(data)
+        self._fitted = True
+        return self
+
+    @abc.abstractmethod
+    def _fit_impl(self, history: np.ndarray) -> None:
+        """Learn the one-step map from a validated ``(T, N)`` block."""
+
+    @abc.abstractmethod
+    def _predict_one_step(self, window: np.ndarray) -> np.ndarray:
+        """Map a ``(lags, N)`` window to the next ``(N,)`` sample."""
+
+    def forecast(self, history: np.ndarray, n_steps: int) -> np.ndarray:
+        """Recursive multi-step forecast from the end of ``history``.
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(n_steps, N)``; row 0 is the first future sample.
+        """
+        if not self._fitted:
+            raise PredictionError(f"{self.name} predictor used before fit()")
+        if n_steps < 1:
+            raise PredictionError(f"n_steps must be >= 1, got {n_steps}")
+        arr = np.asarray(history, dtype=float)
+        squeeze = arr.ndim == 1
+        if squeeze:
+            arr = arr[:, None]
+        if arr.shape[0] < self._lags:
+            raise PredictionError(
+                f"history of {arr.shape[0]} rows too short for lags={self._lags}"
+            )
+        window = arr[-self._lags:].copy()
+        out = np.empty((n_steps, arr.shape[1]))
+        for step in range(n_steps):
+            nxt = self._predict_one_step(window)
+            out[step] = nxt
+            window = np.vstack([window[1:], nxt[None, :]])
+        return out[:, 0] if squeeze else out
+
+    def fit_forecast(self, history: np.ndarray, n_steps: int) -> np.ndarray:
+        """Convenience: :meth:`fit` on the history then :meth:`forecast`."""
+        return self.fit(history).forecast(history, n_steps)

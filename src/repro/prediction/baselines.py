@@ -1,0 +1,57 @@
+"""Naive forecasting baselines.
+
+Context rows for the Fig. 5 comparison: any learned predictor must
+beat *persistence* (tomorrow equals today) and *drift* (linear
+extrapolation of the last step) to justify its runtime.  Both are
+O(N) with zero training cost, and both slot into the same
+:class:`~repro.prediction.base.LagSeriesPredictor` interface as the
+learned methods, so the evaluation harness treats them uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.prediction.base import LagSeriesPredictor
+
+
+class PersistencePredictor(LagSeriesPredictor):
+    """Forecast = the last observed sample, held constant."""
+
+    def __init__(self) -> None:
+        super().__init__(lags=1, train_window=None)
+
+    @property
+    def name(self) -> str:
+        """Display name."""
+        return "Persist"
+
+    def _fit_impl(self, history: np.ndarray) -> None:
+        # Nothing to learn.
+        return None
+
+    def _predict_one_step(self, window: np.ndarray) -> np.ndarray:
+        return window[-1].copy()
+
+
+class DriftPredictor(LagSeriesPredictor):
+    """Forecast continues the last observed first difference.
+
+    ``x[t+1] = x[t] + (x[t] - x[t-1])`` — through the recursive
+    multi-step machinery this extrapolates linearly.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(lags=2, train_window=None)
+
+    @property
+    def name(self) -> str:
+        """Display name."""
+        return "Drift"
+
+    def _fit_impl(self, history: np.ndarray) -> None:
+        # Nothing to learn.
+        return None
+
+    def _predict_one_step(self, window: np.ndarray) -> np.ndarray:
+        return 2.0 * window[-1] - window[-2]

@@ -1,0 +1,139 @@
+"""Back-propagation neural network predictor.
+
+A single-hidden-layer perceptron (tanh activation, linear output)
+trained with mini-batch stochastic gradient descent plus momentum —
+the classic BPNN of Bishop [14] that the paper benchmarks against MLR.
+Inputs and targets are standardised; initialisation and batch order
+are seeded, so results are reproducible.
+
+Implemented entirely on numpy — no autograd framework.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.base import LagSeriesPredictor
+from repro.prediction.features import Standardizer, pooled_lag_matrix
+
+
+class BPNNPredictor(LagSeriesPredictor):
+    """One-hidden-layer tanh network forecaster.
+
+    Parameters
+    ----------
+    lags, train_window:
+        See :class:`repro.prediction.base.LagSeriesPredictor`.
+    hidden_units:
+        Width of the hidden layer.
+    epochs:
+        Full passes over the training window per :meth:`fit`.
+    learning_rate, momentum:
+        SGD hyper-parameters.
+    batch_size:
+        Mini-batch size.
+    seed:
+        Seed for weight init and batch shuffling.
+    """
+
+    def __init__(
+        self,
+        lags: int = 4,
+        train_window: Optional[int] = 240,
+        hidden_units: int = 8,
+        epochs: int = 60,
+        learning_rate: float = 0.05,
+        momentum: float = 0.9,
+        batch_size: int = 64,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(lags=lags, train_window=train_window)
+        if hidden_units < 1:
+            raise PredictionError(f"hidden_units must be >= 1, got {hidden_units}")
+        if epochs < 1:
+            raise PredictionError(f"epochs must be >= 1, got {epochs}")
+        if learning_rate <= 0.0:
+            raise PredictionError(f"learning_rate must be > 0, got {learning_rate}")
+        if not 0.0 <= momentum < 1.0:
+            raise PredictionError(f"momentum must lie in [0, 1), got {momentum}")
+        if batch_size < 1:
+            raise PredictionError(f"batch_size must be >= 1, got {batch_size}")
+        self._hidden_units = int(hidden_units)
+        self._epochs = int(epochs)
+        self._learning_rate = float(learning_rate)
+        self._momentum = float(momentum)
+        self._batch_size = int(batch_size)
+        self._seed = int(seed)
+        self._w1: Optional[np.ndarray] = None
+        self._b1: Optional[np.ndarray] = None
+        self._w2: Optional[np.ndarray] = None
+        self._b2 = 0.0
+        self._x_scaler = Standardizer()
+        self._y_scaler = Standardizer()
+
+    @property
+    def name(self) -> str:
+        """Display name."""
+        return "BPNN"
+
+    @property
+    def hidden_units(self) -> int:
+        """Hidden layer width."""
+        return self._hidden_units
+
+    def _fit_impl(self, history: np.ndarray) -> None:
+        x, y = pooled_lag_matrix(history, self._lags)
+        self._x_scaler.fit(x)
+        self._y_scaler.fit(y[:, None])
+        xs = self._x_scaler.transform(x)
+        ys = self._y_scaler.transform(y[:, None]).ravel()
+
+        rng = np.random.default_rng(self._seed)
+        scale = 1.0 / np.sqrt(self._lags)
+        w1 = rng.normal(0.0, scale, size=(self._lags, self._hidden_units))
+        b1 = np.zeros(self._hidden_units)
+        w2 = rng.normal(0.0, 1.0 / np.sqrt(self._hidden_units), self._hidden_units)
+        b2 = 0.0
+        v_w1 = np.zeros_like(w1)
+        v_b1 = np.zeros_like(b1)
+        v_w2 = np.zeros_like(w2)
+        v_b2 = 0.0
+
+        n = xs.shape[0]
+        for _ in range(self._epochs):
+            order = rng.permutation(n)
+            for lo in range(0, n, self._batch_size):
+                batch = order[lo : lo + self._batch_size]
+                xb, yb = xs[batch], ys[batch]
+                # Forward.
+                hidden = np.tanh(xb @ w1 + b1)
+                pred = hidden @ w2 + b2
+                err = pred - yb
+                m = xb.shape[0]
+                # Backward (mean-squared-error gradients).
+                grad_w2 = hidden.T @ err / m
+                grad_b2 = float(err.mean())
+                hidden_err = (err[:, None] * w2[None, :]) * (1.0 - hidden * hidden)
+                grad_w1 = xb.T @ hidden_err / m
+                grad_b1 = hidden_err.mean(axis=0)
+                # Momentum update.
+                v_w2 = self._momentum * v_w2 - self._learning_rate * grad_w2
+                v_b2 = self._momentum * v_b2 - self._learning_rate * grad_b2
+                v_w1 = self._momentum * v_w1 - self._learning_rate * grad_w1
+                v_b1 = self._momentum * v_b1 - self._learning_rate * grad_b1
+                w2 = w2 + v_w2
+                b2 = b2 + v_b2
+                w1 = w1 + v_w1
+                b1 = b1 + v_b1
+
+        self._w1, self._b1, self._w2, self._b2 = w1, b1, w2, float(b2)
+
+    def _predict_one_step(self, window: np.ndarray) -> np.ndarray:
+        assert self._w1 is not None and self._w2 is not None
+        x = self._x_scaler.transform(window.T)  # (N, lags)
+        hidden = np.tanh(x @ self._w1 + self._b1)
+        pred = hidden @ self._w2 + self._b2
+        return self._y_scaler.inverse(pred[:, None]).ravel()

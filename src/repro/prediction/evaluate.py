@@ -1,0 +1,128 @@
+"""Walk-forward prediction evaluation (the paper's Fig. 5 procedure).
+
+At every evaluation instant the predictor is (re)fitted on the history
+available so far, asked for an ``horizon``-step forecast of the whole
+module-temperature distribution, and scored with MAPE (Eq. 3) against
+what actually happened.  The per-instant error series is exactly what
+the paper plots in Fig. 5; the summary statistics feed Table-like
+comparisons and the DNOR design choice.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.base import LagSeriesPredictor
+from repro.prediction.metrics import mape
+
+
+@dataclass(frozen=True)
+class PredictionEvaluation:
+    """Result of a walk-forward run.
+
+    Attributes
+    ----------
+    predictor_name:
+        Display name of the evaluated predictor.
+    horizon_steps:
+        Forecast length per evaluation instant.
+    eval_times_idx:
+        History row index of each evaluation instant (forecast origin).
+    mape_series_pct:
+        MAPE of each instant's forecast block, percent.
+    mean_mape_pct, max_mape_pct:
+        Aggregates over the series.
+    mean_fit_seconds, mean_forecast_seconds:
+        Average wall-clock cost of one fit / one forecast call.
+    """
+
+    predictor_name: str
+    horizon_steps: int
+    eval_times_idx: np.ndarray
+    mape_series_pct: np.ndarray
+    mean_mape_pct: float
+    max_mape_pct: float
+    mean_fit_seconds: float
+    mean_forecast_seconds: float
+
+
+def walk_forward_evaluation(
+    predictor: LagSeriesPredictor,
+    history: np.ndarray,
+    horizon_steps: int,
+    warmup_rows: int = 80,
+    stride: int = 1,
+    refit_every: int = 1,
+) -> PredictionEvaluation:
+    """Evaluate a predictor over a ``(T, N)`` temperature history.
+
+    Parameters
+    ----------
+    predictor:
+        The forecaster under test (mutated: refitted repeatedly).
+    history:
+        Full module-temperature matrix, one row per sample instant.
+    horizon_steps:
+        Forecast length scored at each instant (2 rows = 1 second at
+        the paper's 0.5 s sampling).
+    warmup_rows:
+        Rows reserved before the first evaluation.
+    stride:
+        Evaluate every ``stride`` rows.
+    refit_every:
+        Refit cadence in evaluation instants; 1 refits every time (the
+        paper's online setting), larger values amortise slow trainers.
+
+    Raises
+    ------
+    PredictionError
+        If the history cannot accommodate warmup + horizon.
+    """
+    arr = np.asarray(history, dtype=float)
+    if arr.ndim == 1:
+        arr = arr[:, None]
+    if warmup_rows < predictor.lags + 2:
+        raise PredictionError(
+            f"warmup_rows must exceed lags + 1 = {predictor.lags + 1}"
+        )
+    if stride < 1 or refit_every < 1:
+        raise PredictionError("stride and refit_every must be >= 1")
+    last_origin = arr.shape[0] - horizon_steps
+    if last_origin <= warmup_rows:
+        raise PredictionError(
+            f"history of {arr.shape[0]} rows too short for warmup {warmup_rows} "
+            f"+ horizon {horizon_steps}"
+        )
+
+    origins: List[int] = list(range(warmup_rows, last_origin, stride))
+    errors = np.empty(len(origins))
+    fit_times: List[float] = []
+    forecast_times: List[float] = []
+
+    for k, origin in enumerate(origins):
+        past = arr[:origin]
+        if k % refit_every == 0:
+            t0 = time.perf_counter()
+            predictor.fit(past)
+            fit_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        forecast = predictor.forecast(past, horizon_steps)
+        forecast_times.append(time.perf_counter() - t0)
+        actual = arr[origin : origin + horizon_steps]
+        errors[k] = mape(actual, forecast)
+
+    return PredictionEvaluation(
+        predictor_name=predictor.name,
+        horizon_steps=horizon_steps,
+        eval_times_idx=np.asarray(origins, dtype=np.int64),
+        mape_series_pct=errors,
+        mean_mape_pct=float(errors.mean()),
+        max_mape_pct=float(errors.max()),
+        mean_fit_seconds=float(np.mean(fit_times)) if fit_times else 0.0,
+        mean_forecast_seconds=float(np.mean(forecast_times)),
+    )

@@ -1,0 +1,108 @@
+"""Lag-feature construction and standardisation.
+
+All three predictors regress the next temperature sample on the last
+``lags`` samples of the same series.  The paper pools every module into
+one regression problem (the temperature dynamics are shared physics, a
+module index only scales them), which both multiplies the training data
+by ``N`` and keeps prediction O(N) per step.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import PredictionError
+
+
+def lag_matrix(series: np.ndarray, lags: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Design matrix / target vector for one series.
+
+    Row ``k`` of ``X`` holds ``series[k : k + lags]`` (oldest first) and
+    ``y[k] = series[k + lags]``.
+
+    Raises
+    ------
+    PredictionError
+        If the series is shorter than ``lags + 1``.
+    """
+    s = np.asarray(series, dtype=float)
+    if s.ndim != 1:
+        raise PredictionError(f"series must be 1-D, got shape {s.shape}")
+    if lags < 1:
+        raise PredictionError(f"lags must be >= 1, got {lags}")
+    n_rows = s.size - lags
+    if n_rows < 1:
+        raise PredictionError(
+            f"series of length {s.size} too short for {lags} lags"
+        )
+    idx = np.arange(lags)[None, :] + np.arange(n_rows)[:, None]
+    return s[idx], s[lags:]
+
+
+def pooled_lag_matrix(history: np.ndarray, lags: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Lag matrix pooling every column (module) of a ``(T, N)`` history.
+
+    Stacks the per-module design matrices; with ``T`` samples and ``N``
+    modules the result has ``(T - lags) * N`` rows.
+    """
+    h = np.asarray(history, dtype=float)
+    if h.ndim == 1:
+        return lag_matrix(h, lags)
+    if h.ndim != 2:
+        raise PredictionError(f"history must be 1-D or 2-D, got shape {h.shape}")
+    if lags < 1:
+        raise PredictionError(f"lags must be >= 1, got {lags}")
+    n_rows = h.shape[0] - lags
+    if n_rows < 1:
+        raise PredictionError(
+            f"history of length {h.shape[0]} too short for {lags} lags"
+        )
+    idx = np.arange(lags)[None, :] + np.arange(n_rows)[:, None]
+    # (rows, lags, N) -> (rows * N, lags): module-major stacking.
+    x = h[idx]
+    x = np.transpose(x, (0, 2, 1)).reshape(n_rows * h.shape[1], lags)
+    y = h[lags:].reshape(n_rows * h.shape[1])
+    return x, y
+
+
+class Standardizer:
+    """Column-wise zero-mean / unit-variance scaling with inverse.
+
+    Columns with (near-)zero variance scale by 1 to avoid blow-ups —
+    relevant when a module's temperature is pinned for a stretch.
+    """
+
+    def __init__(self) -> None:
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    @property
+    def fitted(self) -> bool:
+        """Whether :meth:`fit` has been called."""
+        return self._mean is not None
+
+    def fit(self, data: np.ndarray) -> "Standardizer":
+        """Learn column statistics from a 2-D (or 1-D) array."""
+        arr = np.asarray(data, dtype=float)
+        if arr.size == 0:
+            raise PredictionError("cannot standardise an empty array")
+        self._mean = arr.mean(axis=0)
+        std = arr.std(axis=0)
+        self._std = np.where(std > 1.0e-12, std, 1.0)
+        return self
+
+    def _require_fitted(self) -> None:
+        if self._mean is None:
+            raise PredictionError("Standardizer used before fit()")
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Scale data with the learned statistics."""
+        self._require_fitted()
+        return (np.asarray(data, dtype=float) - self._mean) / self._std
+
+    def inverse(self, data: np.ndarray) -> np.ndarray:
+        """Undo :meth:`transform`."""
+        self._require_fitted()
+        return np.asarray(data, dtype=float) * self._std + self._mean

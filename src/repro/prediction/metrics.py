@@ -1,0 +1,68 @@
+"""Forecast error metrics.
+
+The paper evaluates predictors with the mean absolute percentage error
+(Eq. 3):
+
+.. math::
+
+    M \\equiv \\frac{100}{n} \\sum_{t=1}^{n}
+    \\left| \\frac{A_t - F_t}{A_t} \\right| \\%
+
+with ``A`` the actual and ``F`` the forecast values.  RMSE/MAE/max-APE
+are included for completeness; all metrics flatten their inputs, so a
+``(horizon, n_modules)`` forecast block is scored in one call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PredictionError
+
+
+def _validated(actual: np.ndarray, forecast: np.ndarray) -> tuple:
+    a = np.asarray(actual, dtype=float).ravel()
+    f = np.asarray(forecast, dtype=float).ravel()
+    if a.size == 0:
+        raise PredictionError("metrics need at least one sample")
+    if a.shape != f.shape:
+        raise PredictionError(
+            f"actual and forecast shapes differ: {a.shape} vs {f.shape}"
+        )
+    if not (np.all(np.isfinite(a)) and np.all(np.isfinite(f))):
+        raise PredictionError("metrics require finite inputs")
+    return a, f
+
+
+def mape(actual: np.ndarray, forecast: np.ndarray) -> float:
+    """Mean absolute percentage error, in percent (paper Eq. 3).
+
+    Raises
+    ------
+    PredictionError
+        If any actual value is zero (the metric is undefined there).
+    """
+    a, f = _validated(actual, forecast)
+    if np.any(a == 0.0):
+        raise PredictionError("MAPE undefined for zero actual values")
+    return float(100.0 * np.mean(np.abs((a - f) / a)))
+
+
+def max_ape(actual: np.ndarray, forecast: np.ndarray) -> float:
+    """Worst-case absolute percentage error, in percent."""
+    a, f = _validated(actual, forecast)
+    if np.any(a == 0.0):
+        raise PredictionError("APE undefined for zero actual values")
+    return float(100.0 * np.max(np.abs((a - f) / a)))
+
+
+def rmse(actual: np.ndarray, forecast: np.ndarray) -> float:
+    """Root-mean-square error in the data's units."""
+    a, f = _validated(actual, forecast)
+    return float(np.sqrt(np.mean((a - f) ** 2)))
+
+
+def mae(actual: np.ndarray, forecast: np.ndarray) -> float:
+    """Mean absolute error in the data's units."""
+    a, f = _validated(actual, forecast)
+    return float(np.mean(np.abs(a - f)))

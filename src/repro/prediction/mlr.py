@@ -1,0 +1,80 @@
+"""Multiple linear regression predictor (the paper's pick).
+
+Ordinary least squares on the pooled lag matrix with an intercept and
+a tiny ridge term for numerical safety.  Both fitting (a ``lags+1``
+normal-equation solve) and forecasting (one dot product per module)
+are O(N) in the module count, matching the paper's observation that
+MLR's cost is negligible next to the reconfiguration algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.base import LagSeriesPredictor
+from repro.prediction.features import pooled_lag_matrix
+
+
+class MLRPredictor(LagSeriesPredictor):
+    """Pooled autoregressive OLS forecaster.
+
+    Parameters
+    ----------
+    lags:
+        Feature window length; 4 captures the coolant loop's dominant
+        dynamics at the 0.5 s sample period.
+    train_window:
+        Most-recent history rows used per fit (default 240 = two
+        minutes at 0.5 s).
+    ridge:
+        Tikhonov term added to the normal equations; keeps the solve
+        well-posed when the temperature is nearly constant.
+    """
+
+    def __init__(
+        self,
+        lags: int = 4,
+        train_window: Optional[int] = 240,
+        ridge: float = 1.0e-8,
+    ) -> None:
+        super().__init__(lags=lags, train_window=train_window)
+        if ridge < 0.0:
+            raise PredictionError(f"ridge must be >= 0, got {ridge}")
+        self._ridge = float(ridge)
+        self._coef: Optional[np.ndarray] = None  # (lags,)
+        self._intercept = 0.0
+
+    @property
+    def name(self) -> str:
+        """Display name."""
+        return "MLR"
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Fitted lag coefficients (oldest lag first)."""
+        if self._coef is None:
+            raise PredictionError("MLR predictor used before fit()")
+        return self._coef.copy()
+
+    @property
+    def intercept(self) -> float:
+        """Fitted intercept."""
+        if self._coef is None:
+            raise PredictionError("MLR predictor used before fit()")
+        return self._intercept
+
+    def _fit_impl(self, history: np.ndarray) -> None:
+        x, y = pooled_lag_matrix(history, self._lags)
+        design = np.hstack([x, np.ones((x.shape[0], 1))])
+        gram = design.T @ design
+        gram[np.diag_indices_from(gram)] += self._ridge
+        solution = np.linalg.solve(gram, design.T @ y)
+        self._coef = solution[:-1]
+        self._intercept = float(solution[-1])
+
+    def _predict_one_step(self, window: np.ndarray) -> np.ndarray:
+        assert self._coef is not None
+        return window.T @ self._coef + self._intercept

@@ -1,0 +1,120 @@
+"""Automated predictor selection (the paper's Section IV procedure).
+
+The paper "tests three prediction methods and implements MLR with the
+highest accuracy and fastest speed".  :func:`select_predictor` encodes
+that procedure: walk-forward-evaluate a set of candidates on a
+validation slice of the temperature history and pick the winner by
+accuracy, breaking near-ties (within ``runtime_tolerance`` of the best
+MAPE) in favour of the cheaper model — exactly the judgement call the
+paper makes when MLR and a heavier model score similarly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PredictionError
+from repro.prediction.base import LagSeriesPredictor
+from repro.prediction.evaluate import PredictionEvaluation, walk_forward_evaluation
+
+
+@dataclass(frozen=True)
+class SelectionReport:
+    """Outcome of a predictor-selection run.
+
+    Attributes
+    ----------
+    winner:
+        The selected predictor (already fitted on the full history).
+    evaluations:
+        Every candidate's walk-forward evaluation, selection order.
+    reason:
+        One-line human-readable justification.
+    """
+
+    winner: LagSeriesPredictor
+    evaluations: Tuple[PredictionEvaluation, ...]
+    reason: str
+
+
+def select_predictor(
+    candidates: Sequence[LagSeriesPredictor],
+    history: np.ndarray,
+    horizon_steps: int,
+    warmup_rows: int = 80,
+    stride: int = 4,
+    refit_every: int = 10,
+    accuracy_tolerance: float = 1.25,
+) -> SelectionReport:
+    """Pick the best predictor for a temperature history.
+
+    Parameters
+    ----------
+    candidates:
+        Predictors to compare (mutated: each is refitted repeatedly).
+    history:
+        ``(T, N)`` validation history.
+    horizon_steps:
+        Forecast length to score (the DNOR horizon).
+    warmup_rows, stride, refit_every:
+        Walk-forward evaluation knobs (see
+        :func:`repro.prediction.evaluate.walk_forward_evaluation`).
+    accuracy_tolerance:
+        Candidates within this multiplicative factor of the best mean
+        MAPE count as ties; the cheapest (fit+forecast time) tie wins.
+
+    Raises
+    ------
+    PredictionError
+        If no candidates are supplied.
+    """
+    if len(candidates) == 0:
+        raise PredictionError("select_predictor needs at least one candidate")
+    if accuracy_tolerance < 1.0:
+        raise PredictionError(
+            f"accuracy_tolerance must be >= 1, got {accuracy_tolerance}"
+        )
+
+    evaluations: List[PredictionEvaluation] = []
+    for predictor in candidates:
+        evaluations.append(
+            walk_forward_evaluation(
+                predictor,
+                history,
+                horizon_steps=horizon_steps,
+                warmup_rows=warmup_rows,
+                stride=stride,
+                refit_every=refit_every,
+            )
+        )
+
+    best_mape = min(e.mean_mape_pct for e in evaluations)
+    tied = [
+        (predictor, evaluation)
+        for predictor, evaluation in zip(candidates, evaluations)
+        if evaluation.mean_mape_pct <= best_mape * accuracy_tolerance
+    ]
+    winner, winner_eval = min(
+        tied,
+        key=lambda pair: pair[1].mean_fit_seconds + pair[1].mean_forecast_seconds,
+    )
+
+    if len(tied) > 1:
+        reason = (
+            f"{winner.name} selected: within {accuracy_tolerance:g}x of the "
+            f"best MAPE ({winner_eval.mean_mape_pct:.4f}% vs {best_mape:.4f}%) "
+            f"and cheapest to run"
+        )
+    else:
+        reason = (
+            f"{winner.name} selected: best MAPE outright "
+            f"({winner_eval.mean_mape_pct:.4f}%)"
+        )
+
+    winner.fit(history)
+    return SelectionReport(
+        winner=winner, evaluations=tuple(evaluations), reason=reason
+    )

@@ -1,0 +1,29 @@
+"""Closed-loop harvesting simulation.
+
+* :mod:`repro.sim.scenario` — bundles module, array size, radiator,
+  trace, charger and overhead settings into the canonical experiment
+  setup (the paper's 100-module Porter-II platform).
+* :mod:`repro.sim.simulator` — the time-stepped simulator running one
+  reconfiguration policy against a trace.
+* :mod:`repro.sim.results` — result containers and the Table-I style
+  comparison renderer.
+* :mod:`repro.sim.ideal` — the ``P_ideal`` reference of Fig. 7.
+"""
+
+from repro.sim.export import result_series_to_csv, summary_rows_to_csv
+from repro.sim.ideal import ideal_power_series
+from repro.sim.results import SimulationResult, comparison_table, summary_row
+from repro.sim.scenario import Scenario, default_scenario
+from repro.sim.simulator import HarvestSimulator
+
+__all__ = [
+    "HarvestSimulator",
+    "Scenario",
+    "SimulationResult",
+    "comparison_table",
+    "default_scenario",
+    "ideal_power_series",
+    "result_series_to_csv",
+    "summary_row",
+    "summary_rows_to_csv",
+]

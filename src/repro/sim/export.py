@@ -1,0 +1,75 @@
+"""CSV export of simulation results.
+
+Downstream analysis (plotting, regression dashboards) wants flat
+files, not Python objects.  Two exports cover the needs:
+
+* :func:`result_series_to_csv` — the per-period time series of one
+  scheme (power, voltage, ideal, group count), one row per control
+  period.
+* :func:`summary_rows_to_csv` — Table-I style one-row-per-scheme
+  summaries for a set of results.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.sim.results import SimulationResult, summary_row
+
+#: Columns of the per-period series export.
+SERIES_COLUMNS = (
+    "time_s",
+    "gross_power_w",
+    "delivered_power_w",
+    "net_power_w",
+    "ideal_power_w",
+    "ratio_to_ideal",
+    "array_voltage_v",
+    "n_groups",
+    "runtime_s",
+)
+
+
+def result_series_to_csv(
+    result: SimulationResult, path: Union[str, Path]
+) -> Path:
+    """Write one scheme's per-period series; returns the path written."""
+    path = Path(path)
+    net = result.net_power_w()
+    ratio = result.ratio_to_ideal()
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SERIES_COLUMNS)
+        for i in range(result.time_s.size):
+            writer.writerow(
+                (
+                    f"{result.time_s[i]:.10g}",
+                    f"{result.gross_power_w[i]:.10g}",
+                    f"{result.delivered_power_w[i]:.10g}",
+                    f"{net[i]:.10g}",
+                    f"{result.ideal_power_w[i]:.10g}",
+                    f"{ratio[i]:.10g}",
+                    f"{result.array_voltage_v[i]:.10g}",
+                    f"{int(result.n_groups_series[i])}",
+                    f"{result.runtime_s[i]:.10g}",
+                )
+            )
+    return path
+
+
+def summary_rows_to_csv(
+    results: Iterable[SimulationResult], path: Union[str, Path]
+) -> Path:
+    """Write Table-I style rows for several schemes; returns the path."""
+    path = Path(path)
+    rows = [summary_row(result) for result in results]
+    if not rows:
+        raise ValueError("summary_rows_to_csv needs at least one result")
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0]))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return path

@@ -1,0 +1,38 @@
+"""``P_ideal`` — the every-module-at-its-own-MPP reference of Fig. 7.
+
+``P_ideal(t) = sum_i E_i(t)^2 / 4 R_i`` is an upper bound no physical
+configuration reaches (series groups share a current, parallel modules
+share a voltage), which is what makes it the natural normaliser for
+comparing schemes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.teg.array import TEGArray
+from repro.teg.module import TEGModule
+from repro.thermal.radiator import Radiator
+from repro.vehicle.trace import RadiatorTrace
+
+
+def ideal_power_series(
+    trace: RadiatorTrace,
+    radiator: Radiator,
+    module: TEGModule,
+    n_modules: int,
+) -> np.ndarray:
+    """``P_ideal`` at every trace sample, from the true boundary conditions."""
+    array = TEGArray(module, n_modules)
+    out = np.empty(trace.n_samples)
+    for i in range(trace.n_samples):
+        op = radiator.operating_point(
+            coolant_inlet_c=float(trace.coolant_inlet_c[i]),
+            coolant_flow_kg_s=float(trace.coolant_flow_kg_s[i]),
+            ambient_c=float(trace.ambient_c[i]),
+            air_flow_kg_s=float(trace.air_flow_kg_s[i]),
+            n_modules=n_modules,
+        )
+        array.set_delta_t(op.delta_t_k)
+        out[i] = array.ideal_power()
+    return out

@@ -1,0 +1,170 @@
+"""The canonical experiment scenario (the paper's evaluation platform).
+
+Bundles every component the experiments share — the TGM-199-1.4-0.8
+module, the 100-module chain, the calibrated radiator, the 800-second
+Porter-II trace, the LTM4607-class charger with the 13.8 V lead-acid
+bus, the switching-overhead model and the four policies — so that
+examples, tests and benchmarks all run the *same* system and differ
+only in what they measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.baseline import grid_for_square_array
+from repro.core.controller import (
+    DNORPolicy,
+    PeriodicPolicy,
+    ReconfigurationPolicy,
+    StaticPolicy,
+)
+from repro.core.dnor import DNORPlanner
+from repro.core.overhead import SwitchingOverheadModel
+from repro.power.battery import LeadAcidBattery
+from repro.power.charger import TEGCharger
+from repro.power.converter import BuckBoostConverter
+from repro.prediction.mlr import MLRPredictor
+from repro.sim.simulator import HarvestSimulator
+from repro.teg.datasheet import TGM_199_1_4_0_8
+from repro.teg.module import TEGModule
+from repro.thermal.radiator import Radiator
+from repro.vehicle.sensors import ModuleTemperatureScanner
+from repro.vehicle.trace import RadiatorTrace, default_radiator, porter_ii_trace
+
+
+@dataclass
+class Scenario:
+    """A complete, reproducible experiment setup.
+
+    Attributes
+    ----------
+    module:
+        The shared TEG module model.
+    n_modules:
+        Chain length (100 in the paper).
+    radiator:
+        The radiator thermal model.
+    trace:
+        Radiator boundary conditions over the run.
+    overhead:
+        Switching-bill model.
+    tp_seconds:
+        DNOR prediction horizon.
+    control_period_s:
+        INOR/EHTR reconfiguration period (0.5 s per the paper).
+    sensor_seed:
+        Seed for the module-temperature scanner.
+    nominal_compute_s:
+        Optional fixed compute time for deterministic overhead bills.
+    """
+
+    module: TEGModule
+    n_modules: int
+    radiator: Radiator
+    trace: RadiatorTrace
+    overhead: SwitchingOverheadModel = field(default_factory=SwitchingOverheadModel)
+    tp_seconds: float = 1.0
+    control_period_s: float = 0.5
+    sensor_seed: int = 99
+    nominal_compute_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Component factories (fresh instances per run, so schemes never
+    # share mutable state)
+    # ------------------------------------------------------------------
+    def make_charger(self, with_battery: bool = True) -> TEGCharger:
+        """A fresh charger (converter + optional battery)."""
+        battery = LeadAcidBattery() if with_battery else None
+        return TEGCharger(converter=BuckBoostConverter(), battery=battery)
+
+    def make_scanner(self) -> ModuleTemperatureScanner:
+        """A fresh, seeded module-temperature scanner."""
+        return ModuleTemperatureScanner(seed=self.sensor_seed)
+
+    def make_simulator(self) -> HarvestSimulator:
+        """The simulator bound to this scenario's physics."""
+        return HarvestSimulator(
+            trace=self.trace,
+            radiator=self.radiator,
+            module=self.module,
+            n_modules=self.n_modules,
+            overhead=self.overhead,
+            scanner=self.make_scanner(),
+            nominal_compute_s=self.nominal_compute_s,
+        )
+
+    # ------------------------------------------------------------------
+    # The four schemes of the paper's evaluation
+    # ------------------------------------------------------------------
+    def make_inor_policy(self) -> PeriodicPolicy:
+        """INOR at the fixed control period."""
+        return PeriodicPolicy(
+            module=self.module,
+            algorithm="inor",
+            period_s=self.control_period_s,
+            charger=self.make_charger(with_battery=False),
+        )
+
+    def make_ehtr_policy(self) -> PeriodicPolicy:
+        """EHTR (prior work) at the fixed control period."""
+        return PeriodicPolicy(
+            module=self.module,
+            algorithm="ehtr",
+            period_s=self.control_period_s,
+        )
+
+    def make_dnor_policy(self, predictor=None) -> DNORPolicy:
+        """DNOR with the paper's MLR predictor (or a supplied one).
+
+        Parameters
+        ----------
+        predictor:
+            Any :class:`repro.prediction.base.LagSeriesPredictor`;
+            defaults to the paper's choice, MLR.  Supplying BPNN or SVR
+            reproduces the predictor-selection ablation.
+        """
+        planner = DNORPlanner(
+            module=self.module,
+            charger=self.make_charger(with_battery=False),
+            overhead=self.overhead,
+            predictor=predictor if predictor is not None else MLRPredictor(),
+            tp_seconds=self.tp_seconds,
+            sample_dt_s=self.trace.dt_s,
+        )
+        return DNORPolicy(planner)
+
+    def make_baseline_policy(self) -> StaticPolicy:
+        """The static sqrt(N) x sqrt(N) grid baseline."""
+        return StaticPolicy(grid_for_square_array(self.n_modules))
+
+    def make_policies(self) -> Dict[str, ReconfigurationPolicy]:
+        """All four schemes, keyed by their Table I names."""
+        return {
+            "DNOR": self.make_dnor_policy(),
+            "INOR": self.make_inor_policy(),
+            "EHTR": self.make_ehtr_policy(),
+            "Baseline": self.make_baseline_policy(),
+        }
+
+
+def default_scenario(
+    duration_s: float = 800.0,
+    seed: int = 2018,
+    n_modules: int = 100,
+    tp_seconds: float = 1.0,
+    nominal_compute_s: Optional[float] = None,
+) -> Scenario:
+    """The paper's evaluation setup: 100 modules, 800 s, 0.5 s period."""
+    radiator = default_radiator()
+    trace = porter_ii_trace(duration_s=duration_s, seed=seed, radiator=radiator)
+    return Scenario(
+        module=TGM_199_1_4_0_8,
+        n_modules=n_modules,
+        radiator=radiator,
+        trace=trace,
+        tp_seconds=tp_seconds,
+        sensor_seed=seed + 77,
+        nominal_compute_s=nominal_compute_s,
+    )

@@ -1,0 +1,121 @@
+"""Bank-level electrical combination of parallel reconfigurable chains.
+
+A 2-D radiator (see :mod:`repro.thermal.multipath`) carries one
+reconfigurable chain per coolant path; the chains' outputs are
+paralleled at the charger input.  Each chain is itself a linear
+Thevenin source once configured, so the bank reduces in closed form
+just like a parallel module group — but at chain granularity.
+
+The important physical consequence, which the tests quantify: banks
+force a *common voltage*, so per-path reconfiguration should also aim
+for matched chain MPP voltages, or the maldistributed paths drag each
+other off their optima.  :func:`bank_mpp` gives the exact combined
+optimum for any set of configured chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.power.charger import TEGCharger
+from repro.teg.module import MPPPoint, TEGModule
+from repro.teg.network import array_thevenin
+
+
+@dataclass(frozen=True)
+class ChainState:
+    """One configured chain: its Thevenin source and configuration.
+
+    ``config`` is stored as supplied — typically an
+    :class:`repro.core.config.ArrayConfiguration`, but anything with a
+    ``starts`` attribute (or a raw starts sequence) works; this module
+    sits below :mod:`repro.core` in the layering and stays agnostic.
+    """
+
+    emf_v: float
+    resistance_ohm: float
+    config: object
+
+
+def chain_state(emf: np.ndarray, resistance: np.ndarray, config: object) -> ChainState:
+    """Reduce one configured chain to its Thevenin source."""
+    starts = getattr(config, "starts", config)
+    e_total, r_total = array_thevenin(emf, resistance, starts)
+    return ChainState(emf_v=e_total, resistance_ohm=r_total, config=config)
+
+
+def bank_mpp(chains: Sequence[ChainState]) -> MPPPoint:
+    """Exact MPP of parallel-connected configured chains.
+
+    The parallel combination of linear sources is again linear:
+    ``R = 1/sum(1/R_c)``, ``E = R * sum(E_c/R_c)``; its MPP is
+    ``E^2/4R`` at ``V = E/2``.
+    """
+    if len(chains) == 0:
+        raise ConfigurationError("bank needs at least one chain")
+    conductance = np.array([1.0 / c.resistance_ohm for c in chains])
+    weighted = np.array([c.emf_v / c.resistance_ohm for c in chains])
+    r_bank = 1.0 / float(conductance.sum())
+    e_bank = r_bank * float(weighted.sum())
+    return MPPPoint(
+        voltage_v=e_bank / 2.0,
+        current_a=e_bank / (2.0 * r_bank),
+        power_w=e_bank * e_bank / (4.0 * r_bank),
+    )
+
+
+def bank_power_at_voltage(chains: Sequence[ChainState], voltage_v: float) -> float:
+    """Combined output power with the bank bus held at ``voltage_v``."""
+    if len(chains) == 0:
+        raise ConfigurationError("bank needs at least one chain")
+    power = 0.0
+    for chain in chains:
+        current = (chain.emf_v - voltage_v) / chain.resistance_ohm
+        power += voltage_v * current
+    return power
+
+
+def reconfigure_bank(
+    module: TEGModule,
+    delta_t_matrix: np.ndarray,
+    charger: Optional[TEGCharger] = None,
+) -> List[ChainState]:
+    """Run INOR independently on every path of a bank.
+
+    Parameters
+    ----------
+    module:
+        Shared module model.
+    delta_t_matrix:
+        ``(n_paths, modules_per_path)`` temperature differences (from
+        :meth:`repro.thermal.multipath.MultiPathRadiator.delta_t_matrix`).
+    charger:
+        Converter-aware ranking context handed to each per-path INOR.
+
+    Returns
+    -------
+    list of ChainState
+        One configured chain per path, ready for :func:`bank_mpp`.
+    """
+    # Imported here: repro.core sits above this module in the layering
+    # (core imports teg), so the INOR dependency must stay deferred.
+    from repro.core.inor import inor
+
+    matrix = np.asarray(delta_t_matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ConfigurationError(
+            f"delta_t_matrix must be 2-D, got shape {matrix.shape}"
+        )
+    alpha = module.material.seebeck_v_per_k * module.n_couples
+    r_module = module.material.resistance_ohm * module.n_couples
+    chains = []
+    for row in matrix:
+        emf = alpha * row
+        resistance = np.full(row.size, r_module)
+        result = inor(emf, resistance, charger=charger)
+        chains.append(chain_state(emf, resistance, result.config))
+    return chains

@@ -1,0 +1,93 @@
+"""Named TEG module parameter sets.
+
+The paper's experimental platform uses the Kryotherm
+**TGM-199-1.4-0.8** generator module (199 couples, 40 x 40 mm).  Its
+Fig. 1 I-V / P-V families are reproduced by the linear Eq. (2) model
+with the per-couple properties in :mod:`repro.teg.materials`:
+
+* open-circuit voltage ~12.8 V at ``dT = 170 K``;
+* internal resistance ~2.9 Ohm at radiator operating temperatures;
+* MPP power ~0.5 W per module around ``dT = 35 K`` — the regime of a
+  vehicle radiator, giving the ~50 W 100-module array of Table I.
+
+A few sibling modules are included so examples and tests can exercise
+heterogeneous hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.errors import ModelParameterError
+from repro.teg.materials import (
+    BISMUTH_TELLURIDE,
+    BISMUTH_TELLURIDE_REALISTIC,
+    CoupleMaterial,
+)
+from repro.teg.module import TEGModule
+
+#: The module used throughout the paper's evaluation.
+TGM_199_1_4_0_8 = TEGModule(
+    name="TGM-199-1.4-0.8",
+    material=BISMUTH_TELLURIDE,
+    n_couples=199,
+)
+
+#: Same geometry with temperature-drifting material properties, for
+#: sensitivity studies beyond the paper's constant-parameter model.
+TGM_199_1_4_0_8_REALISTIC = TEGModule(
+    name="TGM-199-1.4-0.8-realistic",
+    material=BISMUTH_TELLURIDE_REALISTIC,
+    n_couples=199,
+)
+
+#: Smaller 127-couple module (typical 30 x 30 mm generator).
+TGM_127_1_0_0_8 = TEGModule(
+    name="TGM-127-1.0-0.8",
+    material=CoupleMaterial(
+        seebeck_v_per_k=3.78e-4,
+        resistance_ohm=1.26e-2,
+        thermal_conductance_w_per_k=3.6e-3,
+    ),
+    n_couples=127,
+)
+
+#: Larger 287-couple module for boiler-scale examples.
+TGM_287_1_0_1_5 = TEGModule(
+    name="TGM-287-1.0-1.5",
+    material=CoupleMaterial(
+        seebeck_v_per_k=3.78e-4,
+        resistance_ohm=2.10e-2,
+        thermal_conductance_w_per_k=4.2e-3,
+    ),
+    n_couples=287,
+)
+
+#: Catalog of every named module, keyed by datasheet name.
+MODULE_CATALOG: Dict[str, TEGModule] = {
+    module.name: module
+    for module in (
+        TGM_199_1_4_0_8,
+        TGM_199_1_4_0_8_REALISTIC,
+        TGM_127_1_0_0_8,
+        TGM_287_1_0_1_5,
+    )
+}
+
+
+def get_module(name: str) -> TEGModule:
+    """Look up a module by datasheet name.
+
+    Raises
+    ------
+    ModelParameterError
+        If the name is not in :data:`MODULE_CATALOG`; the message lists
+        the available names.
+    """
+    try:
+        return MODULE_CATALOG[name]
+    except KeyError:
+        available = ", ".join(sorted(MODULE_CATALOG))
+        raise ModelParameterError(
+            f"unknown TEG module {name!r}; available: {available}"
+        ) from None

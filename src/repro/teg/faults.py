@@ -1,0 +1,138 @@
+"""Switch-fabric fault model.
+
+Automotive switch matrices fail: a MOSFET shorts closed or an actuator
+stops responding.  In the Fig. 4 fabric each junction then becomes
+*stuck* in one of its two states:
+
+* **stuck-series** — the series switch is welded shut (or the rail
+  switches are stuck open): a group boundary is *forced* at that
+  junction.
+* **stuck-parallel** — the rail switches are welded shut: a boundary
+  at that junction is *forbidden*; its two modules always share a
+  group.
+
+A :class:`FaultMask` captures the stuck set, can validate or repair
+configurations against it, and plugs into the fault-aware variant of
+Algorithm 1 (:func:`repro.core.fault_aware.fault_aware_inor`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.teg.network import validate_starts
+
+
+@dataclass(frozen=True)
+class FaultMask:
+    """Stuck-junction sets for an ``n_modules`` chain.
+
+    Junction ``i`` sits between modules ``i`` and ``i + 1``;
+    boundary position ``i + 1`` is the corresponding group start.
+
+    Attributes
+    ----------
+    n_modules:
+        Chain length.
+    stuck_series:
+        Junction indices whose boundary is forced.
+    stuck_parallel:
+        Junction indices whose boundary is forbidden.
+    """
+
+    n_modules: int
+    stuck_series: FrozenSet[int] = field(default_factory=frozenset)
+    stuck_parallel: FrozenSet[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.n_modules < 1:
+            raise ConfigurationError(f"n_modules must be >= 1, got {self.n_modules}")
+        stuck_series = frozenset(int(j) for j in self.stuck_series)
+        stuck_parallel = frozenset(int(j) for j in self.stuck_parallel)
+        for junction in stuck_series | stuck_parallel:
+            if not 0 <= junction < self.n_modules - 1:
+                raise ConfigurationError(
+                    f"junction {junction} out of range for "
+                    f"{self.n_modules} modules"
+                )
+        if stuck_series & stuck_parallel:
+            raise ConfigurationError(
+                "a junction cannot be stuck both series and parallel: "
+                f"{sorted(stuck_series & stuck_parallel)}"
+            )
+        object.__setattr__(self, "stuck_series", stuck_series)
+        object.__setattr__(self, "stuck_parallel", stuck_parallel)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def healthy(cls, n_modules: int) -> "FaultMask":
+        """No faults."""
+        return cls(n_modules=n_modules)
+
+    @classmethod
+    def random(
+        cls,
+        n_modules: int,
+        n_stuck_series: int,
+        n_stuck_parallel: int,
+        seed: int = 0,
+    ) -> "FaultMask":
+        """Random distinct stuck junctions (reproducible)."""
+        total = n_stuck_series + n_stuck_parallel
+        if total > n_modules - 1:
+            raise ConfigurationError(
+                f"cannot stick {total} junctions on a chain with "
+                f"{n_modules - 1}"
+            )
+        rng = np.random.default_rng(seed)
+        picks = rng.choice(n_modules - 1, size=total, replace=False)
+        return cls(
+            n_modules=n_modules,
+            stuck_series=frozenset(int(j) for j in picks[:n_stuck_series]),
+            stuck_parallel=frozenset(int(j) for j in picks[n_stuck_series:]),
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_faults(self) -> int:
+        """Total stuck junctions."""
+        return len(self.stuck_series) + len(self.stuck_parallel)
+
+    def forced_boundaries(self) -> Tuple[int, ...]:
+        """Boundary positions (group starts) that must appear."""
+        return tuple(sorted(j + 1 for j in self.stuck_series))
+
+    def forbidden_boundaries(self) -> Tuple[int, ...]:
+        """Boundary positions that must not appear."""
+        return tuple(sorted(j + 1 for j in self.stuck_parallel))
+
+    def is_feasible(self, starts: Sequence[int]) -> bool:
+        """Whether a configuration respects every stuck junction."""
+        idx = validate_starts(starts, self.n_modules)
+        boundaries = set(int(s) for s in idx[1:])
+        if any(b not in boundaries for b in self.forced_boundaries()):
+            return False
+        if any(b in boundaries for b in self.forbidden_boundaries()):
+            return False
+        return True
+
+    def repair(self, starts: Sequence[int]) -> Tuple[int, ...]:
+        """Smallest edit making a configuration feasible.
+
+        Adds every forced boundary and drops every forbidden one —
+        each stuck junction admits exactly one state, so this is the
+        unique minimal repair.
+        """
+        idx = validate_starts(starts, self.n_modules)
+        boundaries = set(int(s) for s in idx[1:])
+        boundaries |= set(self.forced_boundaries())
+        boundaries -= set(self.forbidden_boundaries())
+        return (0,) + tuple(sorted(boundaries))

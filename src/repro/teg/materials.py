@@ -1,0 +1,107 @@
+"""Thermoelectric couple material model.
+
+The paper's module equation (Eq. 2) uses a constant per-couple Seebeck
+coefficient ``alpha`` and a constant module resistance.  Real
+bismuth-telluride couples drift mildly with mean junction temperature,
+so :class:`CoupleMaterial` supports optional linear temperature
+coefficients; the paper-faithful datasheet entries set them to zero and
+a "realistic" variant exercises them.
+
+Only quantities needed by the array-level electrical model are kept:
+per-couple Seebeck coefficient and per-couple electrical resistance.
+Thermal conductance is carried for completeness (it sets the heat drawn
+from the radiator) but does not enter the reconfiguration math, exactly
+as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import require_non_negative, require_positive
+
+#: Reference mean junction temperature (degC) at which nominal couple
+#: properties are quoted.
+REFERENCE_TEMPERATURE_C = 25.0
+
+
+@dataclass(frozen=True)
+class CoupleMaterial:
+    """Electrical model of a single thermoelectric couple.
+
+    Parameters
+    ----------
+    seebeck_v_per_k:
+        Per-couple Seebeck coefficient at the reference temperature, in
+        volts per kelvin.  A bismuth-telluride couple is typically around
+        ``4e-4 V/K`` (two legs of ~200 uV/K each).
+    resistance_ohm:
+        Per-couple electrical resistance at the reference temperature.
+    thermal_conductance_w_per_k:
+        Per-couple thermal conductance (hot to cold junction).  Not used
+        by the reconfiguration algorithms; retained for energy-balance
+        diagnostics.
+    seebeck_temp_coeff_per_k:
+        Relative change of the Seebeck coefficient per kelvin of mean
+        junction temperature above the reference.  Zero reproduces the
+        paper's constant-``alpha`` model.
+    resistance_temp_coeff_per_k:
+        Relative change of couple resistance per kelvin of mean junction
+        temperature above the reference.
+    """
+
+    seebeck_v_per_k: float
+    resistance_ohm: float
+    thermal_conductance_w_per_k: float = 0.0
+    seebeck_temp_coeff_per_k: float = 0.0
+    resistance_temp_coeff_per_k: float = 0.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.seebeck_v_per_k, "seebeck_v_per_k")
+        require_positive(self.resistance_ohm, "resistance_ohm")
+        require_non_negative(
+            self.thermal_conductance_w_per_k, "thermal_conductance_w_per_k"
+        )
+
+    def seebeck_at(self, mean_temp_c: float) -> float:
+        """Per-couple Seebeck coefficient at a mean junction temperature.
+
+        The linear correction is clamped so the coefficient never drops
+        below 10% of its nominal value, keeping pathological inputs from
+        flipping the sign of the EMF.
+        """
+        scale = 1.0 + self.seebeck_temp_coeff_per_k * (
+            mean_temp_c - REFERENCE_TEMPERATURE_C
+        )
+        return self.seebeck_v_per_k * max(scale, 0.1)
+
+    def resistance_at(self, mean_temp_c: float) -> float:
+        """Per-couple electrical resistance at a mean junction temperature.
+
+        Clamped to 10% of nominal for the same robustness reason as
+        :meth:`seebeck_at`.
+        """
+        scale = 1.0 + self.resistance_temp_coeff_per_k * (
+            mean_temp_c - REFERENCE_TEMPERATURE_C
+        )
+        return self.resistance_ohm * max(scale, 0.1)
+
+
+#: Nominal bismuth-telluride couple: ~378 uV/K and ~14.6 mOhm per couple.
+#: 199 of these reproduce the TGM-199-1.4-0.8 module-level figures used
+#: for the paper's Fig. 1 curves (open-circuit voltage ~12.8 V at
+#: dT = 170 K, module resistance ~2.9 Ohm at radiator temperatures).
+BISMUTH_TELLURIDE = CoupleMaterial(
+    seebeck_v_per_k=3.78e-4,
+    resistance_ohm=1.46e-2,
+    thermal_conductance_w_per_k=5.0e-3,
+)
+
+#: Variant with mild, realistic temperature drift of both parameters.
+BISMUTH_TELLURIDE_REALISTIC = CoupleMaterial(
+    seebeck_v_per_k=3.78e-4,
+    resistance_ohm=1.46e-2,
+    thermal_conductance_w_per_k=5.0e-3,
+    seebeck_temp_coeff_per_k=6.0e-4,
+    resistance_temp_coeff_per_k=3.5e-3,
+)

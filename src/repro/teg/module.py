@@ -1,0 +1,187 @@
+"""Single TEG module electrical model (paper Eq. 2).
+
+A module is ``N_cpl`` thermoelectric couples electrically in series.
+With a hot-to-cold temperature difference ``dT`` it behaves as a linear
+Thevenin source
+
+.. math::
+
+    E_{teg} = \\alpha \\cdot \\Delta T \\cdot N_{cpl}, \\qquad
+    I_{teg} = \\frac{E_{teg}}{R_{teg} + R_{load}}, \\qquad
+    P_{teg} = I_{teg}^2 R_{load}
+
+which is exactly the model the paper adopts from Goupil et al. [9].
+The maximum power point (MPP) of such a source is at half the
+open-circuit voltage: ``V_mpp = E/2``, ``I_mpp = E / (2 R)``,
+``P_mpp = E^2 / (4 R)`` — the black dots of the paper's Fig. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelParameterError
+from repro.teg.materials import CoupleMaterial
+from repro.units import require_positive
+
+
+@dataclass(frozen=True)
+class MPPPoint:
+    """Maximum power point of a module or an array.
+
+    Attributes
+    ----------
+    voltage_v, current_a, power_w:
+        Operating voltage, current and output power at the MPP.
+    """
+
+    voltage_v: float
+    current_a: float
+    power_w: float
+
+
+@dataclass(frozen=True)
+class TEGModule:
+    """Electrical model of one thermoelectric generator module.
+
+    Parameters
+    ----------
+    name:
+        Catalog name, e.g. ``"TGM-199-1.4-0.8"``.
+    material:
+        Per-couple electrical properties.
+    n_couples:
+        Number of series-connected couples inside the module.
+    """
+
+    name: str
+    material: CoupleMaterial
+    n_couples: int
+
+    def __post_init__(self) -> None:
+        if int(self.n_couples) != self.n_couples or self.n_couples <= 0:
+            raise ModelParameterError(
+                f"n_couples must be a positive integer, got {self.n_couples!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Thevenin parameters
+    # ------------------------------------------------------------------
+    def open_circuit_voltage(
+        self, delta_t_k: float, mean_temp_c: Optional[float] = None
+    ) -> float:
+        """EMF ``E = alpha * dT * N_cpl`` for a temperature difference.
+
+        Parameters
+        ----------
+        delta_t_k:
+            Hot-side minus cold-side temperature difference in kelvin.
+            Negative differences are physically meaningful (module
+            back-biased) and return a negative EMF.
+        mean_temp_c:
+            Mean junction temperature for the optional material drift
+            model; defaults to the material reference temperature.
+        """
+        alpha = (
+            self.material.seebeck_v_per_k
+            if mean_temp_c is None
+            else self.material.seebeck_at(mean_temp_c)
+        )
+        return alpha * delta_t_k * self.n_couples
+
+    def internal_resistance(self, mean_temp_c: Optional[float] = None) -> float:
+        """Module internal resistance ``R_teg`` in ohms."""
+        res = (
+            self.material.resistance_ohm
+            if mean_temp_c is None
+            else self.material.resistance_at(mean_temp_c)
+        )
+        return res * self.n_couples
+
+    # ------------------------------------------------------------------
+    # Operating-point relations
+    # ------------------------------------------------------------------
+    def current_at_voltage(self, voltage_v: float, delta_t_k: float) -> float:
+        """Terminal current for a terminal voltage (linear I-V line)."""
+        emf = self.open_circuit_voltage(delta_t_k)
+        return (emf - voltage_v) / self.internal_resistance()
+
+    def voltage_at_current(self, current_a: float, delta_t_k: float) -> float:
+        """Terminal voltage for a terminal current."""
+        emf = self.open_circuit_voltage(delta_t_k)
+        return emf - current_a * self.internal_resistance()
+
+    def power_at_current(self, current_a: float, delta_t_k: float) -> float:
+        """Output power delivered at a given terminal current."""
+        return self.voltage_at_current(current_a, delta_t_k) * current_a
+
+    def power_at_load(self, load_ohm: float, delta_t_k: float) -> float:
+        """Power into a resistive load ``R_load`` (paper Eq. 2 verbatim)."""
+        require_positive(load_ohm, "load_ohm")
+        emf = self.open_circuit_voltage(delta_t_k)
+        current = emf / (self.internal_resistance() + load_ohm)
+        return current * current * load_ohm
+
+    def short_circuit_current(self, delta_t_k: float) -> float:
+        """Current with the terminals shorted."""
+        return self.open_circuit_voltage(delta_t_k) / self.internal_resistance()
+
+    # ------------------------------------------------------------------
+    # Maximum power point
+    # ------------------------------------------------------------------
+    def mpp(self, delta_t_k: float) -> MPPPoint:
+        """Maximum power point for a temperature difference.
+
+        For a linear source the MPP sits at half the open-circuit
+        voltage (equivalently, matched load ``R_load = R_teg``).
+        """
+        emf = self.open_circuit_voltage(delta_t_k)
+        resistance = self.internal_resistance()
+        return MPPPoint(
+            voltage_v=emf / 2.0,
+            current_a=emf / (2.0 * resistance),
+            power_w=emf * emf / (4.0 * resistance),
+        )
+
+    def mpp_current(self, delta_t_k: float) -> float:
+        """MPP current ``I_MPP = E / (2 R)`` — the quantity INOR balances."""
+        return self.open_circuit_voltage(delta_t_k) / (
+            2.0 * self.internal_resistance()
+        )
+
+    def mpp_power(self, delta_t_k: float) -> float:
+        """MPP power ``P_MPP = E^2 / (4 R)``."""
+        emf = self.open_circuit_voltage(delta_t_k)
+        return emf * emf / (4.0 * self.internal_resistance())
+
+    # ------------------------------------------------------------------
+    # Characteristic curves (paper Fig. 1)
+    # ------------------------------------------------------------------
+    def iv_curve(
+        self, delta_t_k: float, n_points: int = 101
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sampled I-V characteristic from short circuit to open circuit.
+
+        Returns
+        -------
+        (voltage_v, current_a):
+            Arrays of ``n_points`` samples; voltage runs from 0 to the
+            open-circuit voltage.
+        """
+        if n_points < 2:
+            raise ModelParameterError(f"n_points must be >= 2, got {n_points}")
+        emf = self.open_circuit_voltage(delta_t_k)
+        resistance = self.internal_resistance()
+        voltage = np.linspace(0.0, emf, n_points)
+        current = (emf - voltage) / resistance
+        return voltage, current
+
+    def pv_curve(
+        self, delta_t_k: float, n_points: int = 101
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Sampled P-V characteristic over the same span as :meth:`iv_curve`."""
+        voltage, current = self.iv_curve(delta_t_k, n_points)
+        return voltage, voltage * current

@@ -1,0 +1,253 @@
+"""Exact Thevenin algebra for the reconfigurable TEG array.
+
+Topology
+--------
+The switch fabric of the paper's Fig. 4 can connect the physical chain
+of ``N`` modules into any *ordered partition into contiguous groups*:
+modules inside a group are wired in parallel, and the groups are wired
+in series.  A configuration is therefore fully described by the sorted
+0-based indices of each group's first module (``starts``), the 0-based
+counterpart of the paper's ``C(g_1, ..., g_n)`` encoding.
+
+Because each module is a linear Thevenin source (:mod:`repro.teg.module`),
+every reduction here is exact:
+
+* parallel group:  ``R_g = 1 / sum(1/R_i)``, ``E_g = R_g * sum(E_i/R_i)``
+* series chain:    ``E = sum(E_g)``, ``R = sum(R_g)``
+* array MPP:       ``I* = E / 2R``, ``P* = E^2 / 4R``
+
+All functions are vectorised over numpy arrays; :class:`SegmentThevenin`
+adds O(1) Thevenin lookups for arbitrary contiguous segments via prefix
+sums, which the DP-style algorithms (EHTR, exact optimum) rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.teg.module import MPPPoint
+
+__all__ = [
+    "SegmentThevenin",
+    "array_mpp",
+    "array_thevenin",
+    "module_operating_points",
+    "parallel_reduce",
+    "power_at_current",
+    "reduce_configuration",
+    "validate_starts",
+]
+
+
+def validate_starts(starts: Sequence[int], n_modules: int) -> np.ndarray:
+    """Validate and normalise a group-start index vector.
+
+    Parameters
+    ----------
+    starts:
+        0-based indices of each group's first module.  Must begin with
+        0, be strictly increasing, and stay below ``n_modules``.
+    n_modules:
+        Number of modules in the chain.
+
+    Returns
+    -------
+    numpy.ndarray
+        The starts as an ``int64`` array.
+
+    Raises
+    ------
+    ConfigurationError
+        If the vector does not describe a partition of ``0..n_modules-1``
+        into contiguous groups.
+    """
+    arr = np.asarray(starts, dtype=np.int64)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ConfigurationError(f"starts must be a non-empty 1-D sequence, got {starts!r}")
+    if n_modules <= 0:
+        raise ConfigurationError(f"n_modules must be positive, got {n_modules}")
+    if arr[0] != 0:
+        raise ConfigurationError(f"first group must start at module 0, got {arr[0]}")
+    if np.any(np.diff(arr) <= 0):
+        raise ConfigurationError(f"starts must be strictly increasing, got {arr.tolist()}")
+    if arr[-1] >= n_modules:
+        raise ConfigurationError(
+            f"last group start {arr[-1]} out of range for {n_modules} modules"
+        )
+    return arr
+
+
+def parallel_reduce(
+    emf: np.ndarray, resistance: np.ndarray
+) -> Tuple[float, float]:
+    """Thevenin equivalent of one parallel group of modules.
+
+    Returns ``(E_g, R_g)`` where ``R_g = 1/sum(1/R_i)`` and
+    ``E_g = R_g * sum(E_i / R_i)`` (conductance-weighted mean EMF).
+    """
+    emf = np.asarray(emf, dtype=float)
+    resistance = np.asarray(resistance, dtype=float)
+    conductance = 1.0 / resistance
+    total_conductance = float(conductance.sum())
+    r_group = 1.0 / total_conductance
+    e_group = r_group * float((emf * conductance).sum())
+    return e_group, r_group
+
+
+def reduce_configuration(
+    emf: np.ndarray, resistance: np.ndarray, starts: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-group Thevenin parameters for a configuration.
+
+    Returns
+    -------
+    (e_groups, r_groups):
+        Arrays of length ``len(starts)`` with each group's equivalent
+        EMF and resistance, in chain order.
+    """
+    emf = np.asarray(emf, dtype=float)
+    resistance = np.asarray(resistance, dtype=float)
+    idx = validate_starts(starts, emf.size)
+    conductance = 1.0 / resistance
+    group_conductance = np.add.reduceat(conductance, idx)
+    group_weighted_emf = np.add.reduceat(emf * conductance, idx)
+    r_groups = 1.0 / group_conductance
+    e_groups = group_weighted_emf * r_groups
+    return e_groups, r_groups
+
+
+def array_thevenin(
+    emf: np.ndarray, resistance: np.ndarray, starts: Sequence[int]
+) -> Tuple[float, float]:
+    """Whole-array Thevenin equivalent ``(E_total, R_total)``."""
+    e_groups, r_groups = reduce_configuration(emf, resistance, starts)
+    return float(e_groups.sum()), float(r_groups.sum())
+
+
+def array_mpp(
+    emf: np.ndarray, resistance: np.ndarray, starts: Sequence[int]
+) -> MPPPoint:
+    """Maximum power point of the configured array.
+
+    The array is itself a linear Thevenin source, so the MPP is exact:
+    ``I* = E/2R``, ``V* = E/2``, ``P* = E^2/4R``.
+    """
+    e_total, r_total = array_thevenin(emf, resistance, starts)
+    return MPPPoint(
+        voltage_v=e_total / 2.0,
+        current_a=e_total / (2.0 * r_total),
+        power_w=e_total * e_total / (4.0 * r_total),
+    )
+
+
+def power_at_current(
+    emf: np.ndarray,
+    resistance: np.ndarray,
+    starts: Sequence[int],
+    current_a: float,
+) -> float:
+    """Array output power when the charger draws ``current_a``.
+
+    Group voltages are ``V_g = E_g - I * R_g``; the array voltage is
+    their sum and may include negative terms when a group is driven
+    past its short-circuit current (no bypass diodes are modelled,
+    matching the paper's fabric).
+    """
+    e_groups, r_groups = reduce_configuration(emf, resistance, starts)
+    voltage = float((e_groups - current_a * r_groups).sum())
+    return voltage * current_a
+
+
+def module_operating_points(
+    emf: np.ndarray,
+    resistance: np.ndarray,
+    starts: Sequence[int],
+    current_a: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-module operating points at a given array current.
+
+    Returns
+    -------
+    (module_voltage, module_current, module_power):
+        Arrays of length ``N``.  Every module in a group shares the
+        group voltage; its branch current is ``(E_i - V_g)/R_i`` and may
+        be negative for a weak module back-driven by its neighbours —
+        the mismatch loss the reconfiguration algorithms fight.
+    """
+    emf = np.asarray(emf, dtype=float)
+    resistance = np.asarray(resistance, dtype=float)
+    idx = validate_starts(starts, emf.size)
+    e_groups, r_groups = reduce_configuration(emf, resistance, idx)
+    group_voltage = e_groups - current_a * r_groups
+    # Broadcast each group's voltage back onto its member modules.
+    group_of_module = np.zeros(emf.size, dtype=np.int64)
+    group_of_module[idx[1:]] = 1
+    group_of_module = np.cumsum(group_of_module)
+    module_voltage = group_voltage[group_of_module]
+    module_current = (emf - module_voltage) / resistance
+    module_power = module_voltage * module_current
+    return module_voltage, module_current, module_power
+
+
+@dataclass(frozen=True)
+class SegmentThevenin:
+    """O(1) Thevenin lookups for contiguous module segments.
+
+    Precomputes prefix sums of conductance and conductance-weighted EMF
+    so that any segment ``[lo, hi)`` reduces in constant time.  This is
+    the workhorse of the DP-based algorithms (EHTR reconstruction and
+    the exact optimum), which evaluate O(N^2) candidate segments.
+    """
+
+    prefix_conductance: np.ndarray
+    prefix_weighted_emf: np.ndarray
+
+    @classmethod
+    def from_modules(
+        cls, emf: np.ndarray, resistance: np.ndarray
+    ) -> "SegmentThevenin":
+        """Build the prefix tables for a module chain."""
+        emf = np.asarray(emf, dtype=float)
+        resistance = np.asarray(resistance, dtype=float)
+        conductance = 1.0 / resistance
+        prefix_g = np.concatenate(([0.0], np.cumsum(conductance)))
+        prefix_eg = np.concatenate(([0.0], np.cumsum(emf * conductance)))
+        return cls(prefix_conductance=prefix_g, prefix_weighted_emf=prefix_eg)
+
+    @property
+    def n_modules(self) -> int:
+        """Number of modules covered by the tables."""
+        return self.prefix_conductance.size - 1
+
+    def segment(self, lo: int, hi: int) -> Tuple[float, float]:
+        """Thevenin ``(E, R)`` of the parallel group ``[lo, hi)``.
+
+        Raises
+        ------
+        ConfigurationError
+            If the segment is empty or out of range.
+        """
+        if not 0 <= lo < hi <= self.n_modules:
+            raise ConfigurationError(
+                f"segment [{lo}, {hi}) invalid for {self.n_modules} modules"
+            )
+        conductance = self.prefix_conductance[hi] - self.prefix_conductance[lo]
+        weighted = self.prefix_weighted_emf[hi] - self.prefix_weighted_emf[lo]
+        r_group = 1.0 / conductance
+        return weighted * r_group, r_group
+
+    def segment_mpp_current_sum(self, lo: int, hi: int) -> float:
+        """Sum of member MPP currents over ``[lo, hi)``.
+
+        For the linear module model ``sum(I_MPP_i) = sum(E_i / 2 R_i)``,
+        i.e. half the conductance-weighted EMF prefix difference.
+        """
+        if not 0 <= lo < hi <= self.n_modules:
+            raise ConfigurationError(
+                f"segment [{lo}, {hi}) invalid for {self.n_modules} modules"
+            )
+        return 0.5 * (self.prefix_weighted_emf[hi] - self.prefix_weighted_emf[lo])

@@ -1,0 +1,186 @@
+"""Switch fabric of the reconfigurable array (paper Fig. 4).
+
+Between every pair of physically adjacent modules sit three switches:
+a series switch ``S_S,i`` in the middle and two parallel switches
+``S_PT,i`` / ``S_PB,i`` on the top and bottom rails.  Exactly one kind
+is closed at a time, so a junction is either in the SERIES state
+(``S_S`` closed, rails open) or the PARALLEL state (both rail switches
+closed, ``S_S`` open).
+
+Changing a junction from one state to the other therefore toggles all
+three switches (one opens/two close, or two open/one closes).  The
+fabric's toggle count feeds the per-switch component of the switching
+overhead model (:mod:`repro.core.overhead`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.teg.network import validate_starts
+
+#: Number of physical switches whose state changes when one junction
+#: flips between SERIES and PARALLEL.
+SWITCHES_PER_JUNCTION_FLIP = 3
+
+
+class JunctionState(enum.Enum):
+    """Electrical state of the junction between two adjacent modules."""
+
+    #: Series switch closed: the right module starts a new series group.
+    SERIES = "series"
+    #: Rail switches closed: both modules belong to one parallel group.
+    PARALLEL = "parallel"
+
+
+def starts_to_junction_states(
+    starts: Sequence[int], n_modules: int
+) -> List[JunctionState]:
+    """Junction states realising a configuration.
+
+    Junction ``i`` sits between module ``i`` and module ``i + 1``
+    (0-based); it is SERIES exactly when module ``i + 1`` begins a new
+    group.
+    """
+    idx = validate_starts(starts, n_modules)
+    boundary = set(int(s) for s in idx[1:])
+    return [
+        JunctionState.SERIES if (i + 1) in boundary else JunctionState.PARALLEL
+        for i in range(n_modules - 1)
+    ]
+
+
+def junction_states_to_starts(states: Sequence[JunctionState]) -> Tuple[int, ...]:
+    """Inverse of :func:`starts_to_junction_states`."""
+    starts = [0]
+    for i, state in enumerate(states):
+        if state is JunctionState.SERIES:
+            starts.append(i + 1)
+    return tuple(starts)
+
+
+def count_junction_flips(
+    old_starts: Sequence[int], new_starts: Sequence[int], n_modules: int
+) -> int:
+    """Number of junctions whose state differs between two configurations."""
+    old_idx = validate_starts(old_starts, n_modules)
+    new_idx = validate_starts(new_starts, n_modules)
+    old_boundaries = set(int(s) for s in old_idx[1:])
+    new_boundaries = set(int(s) for s in new_idx[1:])
+    return len(old_boundaries.symmetric_difference(new_boundaries))
+
+
+def count_switch_toggles(
+    old_starts: Sequence[int], new_starts: Sequence[int], n_modules: int
+) -> int:
+    """Number of individual switch state changes between two configurations.
+
+    Each flipped junction toggles :data:`SWITCHES_PER_JUNCTION_FLIP`
+    switches.
+    """
+    return SWITCHES_PER_JUNCTION_FLIP * count_junction_flips(
+        old_starts, new_starts, n_modules
+    )
+
+
+class SwitchFabric:
+    """Stateful switch matrix tracking reconfiguration activity.
+
+    The fabric holds the currently applied configuration and accumulates
+    toggle statistics as new configurations are applied — the counters
+    the energy-overhead model consumes.
+
+    Parameters
+    ----------
+    n_modules:
+        Number of modules in the chain (the fabric has ``n_modules - 1``
+        junctions).
+    initial_starts:
+        Configuration the fabric powers up in; defaults to the all-series
+        chain, the state with every ``S_S`` closed.
+    """
+
+    def __init__(
+        self, n_modules: int, initial_starts: Sequence[int] | None = None
+    ) -> None:
+        if n_modules < 1:
+            raise ConfigurationError(f"n_modules must be >= 1, got {n_modules}")
+        self._n_modules = int(n_modules)
+        if initial_starts is None:
+            initial_starts = tuple(range(n_modules))
+        idx = validate_starts(initial_starts, n_modules)
+        self._starts: Tuple[int, ...] = tuple(int(s) for s in idx)
+        self._total_toggles = 0
+        self._reconfigurations = 0
+
+    @property
+    def n_modules(self) -> int:
+        """Number of modules the fabric interconnects."""
+        return self._n_modules
+
+    @property
+    def n_junctions(self) -> int:
+        """Number of three-switch junctions."""
+        return self._n_modules - 1
+
+    @property
+    def starts(self) -> Tuple[int, ...]:
+        """Currently applied configuration (group start indices)."""
+        return self._starts
+
+    @property
+    def total_toggles(self) -> int:
+        """Cumulative individual switch toggles since construction."""
+        return self._total_toggles
+
+    @property
+    def reconfiguration_count(self) -> int:
+        """Number of :meth:`apply` calls that changed at least one junction."""
+        return self._reconfigurations
+
+    def junction_states(self) -> List[JunctionState]:
+        """Current state of every junction, chain order."""
+        return starts_to_junction_states(self._starts, self._n_modules)
+
+    def toggles_to(self, new_starts: Sequence[int]) -> int:
+        """Toggle count :meth:`apply` would incur, without applying."""
+        return count_switch_toggles(self._starts, new_starts, self._n_modules)
+
+    def apply(self, new_starts: Sequence[int]) -> int:
+        """Apply a configuration and return the toggles it required.
+
+        Applying the already-active configuration costs zero toggles and
+        does not count as a reconfiguration.
+        """
+        idx = validate_starts(new_starts, self._n_modules)
+        toggles = count_switch_toggles(self._starts, idx, self._n_modules)
+        if toggles > 0:
+            self._reconfigurations += 1
+            self._total_toggles += toggles
+            self._starts = tuple(int(s) for s in idx)
+        return toggles
+
+    def reset_counters(self) -> None:
+        """Zero the accumulated toggle and reconfiguration counters."""
+        self._total_toggles = 0
+        self._reconfigurations = 0
+
+    def as_switch_vector(self) -> np.ndarray:
+        """Boolean matrix of shape ``(n_junctions, 3)``.
+
+        Columns are ``(S_S, S_PT, S_PB)`` closed-state flags, mirroring
+        the physical fabric of the paper's Fig. 4.
+        """
+        states = self.junction_states()
+        vec = np.zeros((self.n_junctions, 3), dtype=bool)
+        for i, state in enumerate(states):
+            if state is JunctionState.SERIES:
+                vec[i, 0] = True
+            else:
+                vec[i, 1] = True
+                vec[i, 2] = True
+        return vec

@@ -1,0 +1,52 @@
+"""Radiator thermal substrate.
+
+Implements Section II of the paper:
+
+* :mod:`repro.thermal.coolant` — fluid property sets and capacity rates
+  for the engine coolant and ambient air streams.
+* :mod:`repro.thermal.heat_exchanger` — the finned-tube cross-flow
+  exchanger (coolant in tubes) evaluated with the effectiveness-NTU
+  method from Bergman, *Introduction to Heat Transfer* [8].
+* :mod:`repro.thermal.radiator` — the S-shaped 1-D radiator of Fig. 2
+  with the paper's Eq. (1) exponential surface-temperature profile and
+  the TEG module placement along it.
+"""
+
+from repro.thermal.coolant import (
+    AIR,
+    ETHYLENE_GLYCOL_50_50,
+    FluidProperties,
+    FluidStream,
+)
+from repro.thermal.heat_exchanger import (
+    CrossFlowHeatExchanger,
+    HeatExchangerSolution,
+    UAModel,
+    effectiveness_crossflow_both_unmixed,
+    effectiveness_crossflow_cmax_mixed,
+)
+from repro.thermal.multipath import MultiPathRadiator, PathImbalance
+from repro.thermal.radiator import (
+    Radiator,
+    RadiatorGeometry,
+    RadiatorOperatingPoint,
+    surface_temperature_profile,
+)
+
+__all__ = [
+    "AIR",
+    "CrossFlowHeatExchanger",
+    "ETHYLENE_GLYCOL_50_50",
+    "FluidProperties",
+    "FluidStream",
+    "HeatExchangerSolution",
+    "MultiPathRadiator",
+    "PathImbalance",
+    "Radiator",
+    "RadiatorGeometry",
+    "RadiatorOperatingPoint",
+    "UAModel",
+    "effectiveness_crossflow_both_unmixed",
+    "effectiveness_crossflow_cmax_mixed",
+    "surface_temperature_profile",
+]

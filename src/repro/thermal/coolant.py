@@ -1,0 +1,106 @@
+"""Fluid property sets and capacity rates for the radiator streams.
+
+The effectiveness-NTU formulation needs only each stream's *heat
+capacity rate* ``C = m_dot * c_p`` (W/K).  Density and viscosity are
+carried so the vehicle substrate can convert the flow meter's
+volumetric reading (litres/minute, as in the paper's Recordall
+instrument) into a mass flow, and so convection scalings have a
+physical anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.units import lpm_to_m3s, require_positive
+
+
+@dataclass(frozen=True)
+class FluidProperties:
+    """Thermophysical properties of a heat-exchanger stream.
+
+    Properties are treated as constants over the radiator's operating
+    band (~20-110 degC), which is the same simplification the paper's
+    Eq. (1) derivation makes.
+
+    Attributes
+    ----------
+    name:
+        Human-readable fluid name.
+    density_kg_m3:
+        Density, kg/m^3.
+    specific_heat_j_kg_k:
+        Specific heat capacity c_p, J/(kg K).
+    thermal_conductivity_w_m_k:
+        Thermal conductivity, W/(m K).
+    kinematic_viscosity_m2_s:
+        Kinematic viscosity, m^2/s.
+    """
+
+    name: str
+    density_kg_m3: float
+    specific_heat_j_kg_k: float
+    thermal_conductivity_w_m_k: float
+    kinematic_viscosity_m2_s: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.density_kg_m3, "density_kg_m3")
+        require_positive(self.specific_heat_j_kg_k, "specific_heat_j_kg_k")
+        require_positive(self.thermal_conductivity_w_m_k, "thermal_conductivity_w_m_k")
+        require_positive(self.kinematic_viscosity_m2_s, "kinematic_viscosity_m2_s")
+
+    def capacity_rate(self, mass_flow_kg_s: float) -> float:
+        """Heat capacity rate ``C = m_dot * c_p`` in W/K."""
+        require_positive(mass_flow_kg_s, "mass_flow_kg_s")
+        return mass_flow_kg_s * self.specific_heat_j_kg_k
+
+    def mass_flow_from_lpm(self, flow_lpm: float) -> float:
+        """Mass flow (kg/s) from a volumetric reading in litres/minute."""
+        require_positive(flow_lpm, "flow_lpm")
+        return lpm_to_m3s(flow_lpm) * self.density_kg_m3
+
+
+#: 50/50 water / ethylene-glycol engine coolant around 90 degC.
+ETHYLENE_GLYCOL_50_50 = FluidProperties(
+    name="water-glycol 50/50",
+    density_kg_m3=1030.0,
+    specific_heat_j_kg_k=3680.0,
+    thermal_conductivity_w_m_k=0.40,
+    kinematic_viscosity_m2_s=1.1e-6,
+)
+
+#: Ambient air around 35 degC (the radiator's cold stream).
+AIR = FluidProperties(
+    name="air",
+    density_kg_m3=1.12,
+    specific_heat_j_kg_k=1007.0,
+    thermal_conductivity_w_m_k=0.027,
+    kinematic_viscosity_m2_s=1.7e-5,
+)
+
+
+@dataclass(frozen=True)
+class FluidStream:
+    """A fluid together with its instantaneous flow state.
+
+    Attributes
+    ----------
+    fluid:
+        The property set.
+    mass_flow_kg_s:
+        Instantaneous mass flow.
+    inlet_temp_c:
+        Inlet temperature in Celsius.
+    """
+
+    fluid: FluidProperties
+    mass_flow_kg_s: float
+    inlet_temp_c: float
+
+    def __post_init__(self) -> None:
+        require_positive(self.mass_flow_kg_s, "mass_flow_kg_s")
+
+    @property
+    def capacity_rate_w_k(self) -> float:
+        """Heat capacity rate of the stream, W/K."""
+        return self.fluid.capacity_rate(self.mass_flow_kg_s)

@@ -1,0 +1,160 @@
+"""The 2-D radiator as a bank of parallel 1-D coolant paths.
+
+The paper reduces the radiator to one dimension with the remark that
+"the actual 2-dimensional radiator structure in a vehicle is a parallel
+connection of multiple 1-dimensional ones" (Sec. III-A).  This module
+implements exactly that structure: ``n_paths`` identical S-paths share
+the coolant supply, each carries its own TEG chain, and per-path
+*maldistribution factors* capture the real-world asymmetries (a fan
+blowing harder on one side, a partially clogged tube) that make the
+2-D case more than ``n_paths`` copies of the 1-D one.
+
+Electrically, each path's chain is reconfigured on its own and the
+chains are paralleled at the charger input (see
+:mod:`repro.teg.bank`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ModelParameterError
+from repro.thermal.radiator import Radiator, RadiatorOperatingPoint
+
+
+@dataclass(frozen=True)
+class PathImbalance:
+    """Per-path deviation factors from the even split.
+
+    Attributes
+    ----------
+    coolant_flow_factors:
+        Multipliers on each path's share of the coolant flow; they are
+        renormalised so total flow is conserved.
+    air_flow_factors:
+        Multipliers on each path's share of the air flow, renormalised
+        likewise.
+    """
+
+    coolant_flow_factors: tuple
+    air_flow_factors: tuple
+
+    @classmethod
+    def even(cls, n_paths: int) -> "PathImbalance":
+        """No maldistribution."""
+        return cls((1.0,) * n_paths, (1.0,) * n_paths)
+
+    @classmethod
+    def random(
+        cls, n_paths: int, spread: float = 0.15, seed: int = 0
+    ) -> "PathImbalance":
+        """Lognormal-ish maldistribution with the given relative spread."""
+        if not 0.0 <= spread < 1.0:
+            raise ModelParameterError(f"spread must lie in [0, 1), got {spread}")
+        rng = np.random.default_rng(seed)
+        coolant = np.clip(rng.normal(1.0, spread, n_paths), 0.3, None)
+        air = np.clip(rng.normal(1.0, spread, n_paths), 0.3, None)
+        return cls(tuple(coolant), tuple(air))
+
+    def normalised(self, n_paths: int) -> tuple:
+        """Return per-path (coolant_share, air_share) fractions."""
+        coolant = np.asarray(self.coolant_flow_factors, dtype=float)
+        air = np.asarray(self.air_flow_factors, dtype=float)
+        if coolant.size != n_paths or air.size != n_paths:
+            raise ModelParameterError(
+                f"imbalance factors must have length {n_paths}"
+            )
+        return coolant / coolant.sum(), air / air.sum()
+
+
+class MultiPathRadiator:
+    """A radiator made of ``n_paths`` parallel 1-D coolant paths.
+
+    Parameters
+    ----------
+    path_radiator:
+        The single-path model (its geometry describes one path).
+    n_paths:
+        Number of parallel paths (rows of the 2-D structure).
+    imbalance:
+        Flow maldistribution across paths; even by default.
+    """
+
+    def __init__(
+        self,
+        path_radiator: Radiator,
+        n_paths: int,
+        imbalance: PathImbalance | None = None,
+    ) -> None:
+        if n_paths < 1:
+            raise ModelParameterError(f"n_paths must be >= 1, got {n_paths}")
+        self._radiator = path_radiator
+        self._n_paths = int(n_paths)
+        self._imbalance = imbalance or PathImbalance.even(n_paths)
+        # Validate factor lengths eagerly.
+        self._imbalance.normalised(n_paths)
+
+    @property
+    def n_paths(self) -> int:
+        """Number of parallel coolant paths."""
+        return self._n_paths
+
+    @property
+    def path_radiator(self) -> Radiator:
+        """The per-path 1-D model."""
+        return self._radiator
+
+    def operating_points(
+        self,
+        coolant_inlet_c: float,
+        total_coolant_flow_kg_s: float,
+        ambient_c: float,
+        total_air_flow_kg_s: float,
+        modules_per_path: int,
+    ) -> List[RadiatorOperatingPoint]:
+        """Solve every path at the shared boundary conditions.
+
+        The coolant and air flows are split according to the imbalance
+        factors; each path then behaves exactly like the paper's 1-D
+        radiator.
+        """
+        coolant_shares, air_shares = self._imbalance.normalised(self._n_paths)
+        points = []
+        for path in range(self._n_paths):
+            points.append(
+                self._radiator.operating_point(
+                    coolant_inlet_c=coolant_inlet_c,
+                    coolant_flow_kg_s=max(
+                        total_coolant_flow_kg_s * float(coolant_shares[path]),
+                        1.0e-4,
+                    ),
+                    ambient_c=ambient_c,
+                    air_flow_kg_s=max(
+                        total_air_flow_kg_s * float(air_shares[path]), 1.0e-4
+                    ),
+                    n_modules=modules_per_path,
+                )
+            )
+        return points
+
+    def delta_t_matrix(
+        self,
+        coolant_inlet_c: float,
+        total_coolant_flow_kg_s: float,
+        ambient_c: float,
+        total_air_flow_kg_s: float,
+        modules_per_path: int,
+    ) -> np.ndarray:
+        """Per-path module temperature differences, shape
+        ``(n_paths, modules_per_path)``."""
+        points = self.operating_points(
+            coolant_inlet_c,
+            total_coolant_flow_kg_s,
+            ambient_c,
+            total_air_flow_kg_s,
+            modules_per_path,
+        )
+        return np.vstack([op.delta_t_k for op in points])

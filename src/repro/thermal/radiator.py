@@ -1,0 +1,292 @@
+"""The S-shaped 1-D radiator with TEG modules on its surface (Fig. 2).
+
+The paper reduces the 2-D radiator to a 1-D coolant path (an actual
+radiator is a parallel bank of such paths) and places ``N`` TEG modules
+along it.  The surface temperature at distance ``d`` from the coolant
+entrance follows Eq. (1):
+
+.. math::
+
+    T(d) = (T_{h,i} - T_{c,a}) e^{-\\frac{K}{C_c} d} + T_{c,a}
+
+with ``T_h,i`` the coolant inlet temperature, ``T_c,a`` the arithmetic
+mean of the air inlet/outlet temperatures, ``K`` the overall heat
+transfer coefficient per unit path length and ``C_c`` the cold-stream
+capacity rate.  ``T_c,a`` and ``K`` come from the effectiveness-NTU
+solution of :mod:`repro.thermal.heat_exchanger`.
+
+Cold-side model
+---------------
+The paper assumes the module heatsinks sit at ambient temperature.
+:class:`Radiator` implements that assumption by default and adds an
+optional *sink preheat gradient*: heatsinks further along the path
+breathe air already warmed by the upstream core, so their temperature
+rises linearly toward a fraction of the total air temperature rise.
+This is the lever the default scenario uses to reproduce the module
+temperature spread implied by the paper's baseline-vs-reconfiguration
+gap; setting ``sink_preheat_fraction=0`` recovers the paper's stated
+assumption exactly.  See DESIGN.md section 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelParameterError
+from repro.thermal.coolant import FluidProperties, FluidStream
+from repro.thermal.heat_exchanger import CrossFlowHeatExchanger, HeatExchangerSolution
+from repro.units import require_fraction, require_positive
+
+
+def surface_temperature_profile(
+    coolant_inlet_c: float,
+    cold_mean_c: float,
+    decay_per_m: float,
+    distances_m: np.ndarray,
+) -> np.ndarray:
+    """Evaluate the paper's Eq. (1) at the given path distances.
+
+    Parameters
+    ----------
+    coolant_inlet_c:
+        ``T_h,i`` — coolant temperature at the radiator entrance.
+    cold_mean_c:
+        ``T_c,a`` — arithmetic mean of air inlet/outlet temperatures.
+    decay_per_m:
+        ``K / C_c`` — spatial decay constant along the path, 1/m.
+    distances_m:
+        Distances from the entrance, metres.
+    """
+    if decay_per_m < 0.0:
+        raise ModelParameterError(f"decay_per_m must be >= 0, got {decay_per_m}")
+    d = np.asarray(distances_m, dtype=float)
+    return (coolant_inlet_c - cold_mean_c) * np.exp(-decay_per_m * d) + cold_mean_c
+
+
+@dataclass(frozen=True)
+class RadiatorGeometry:
+    """Geometry of the S-shaped radiator path and module placement.
+
+    Parameters
+    ----------
+    path_length_m:
+        Total coolant path length following the S shape.
+    n_rows:
+        Number of straight rows forming the S (documentation only; the
+        1-D model depends on path length alone).
+    """
+
+    path_length_m: float
+    n_rows: int = 10
+
+    def __post_init__(self) -> None:
+        require_positive(self.path_length_m, "path_length_m")
+        if self.n_rows < 1:
+            raise ModelParameterError(f"n_rows must be >= 1, got {self.n_rows}")
+
+    def module_positions(self, n_modules: int) -> np.ndarray:
+        """Centre positions of ``n_modules`` equally pitched modules.
+
+        Module ``i`` (0-based) sits at ``(i + 0.5) * L / N`` from the
+        coolant entrance, following the S-path.
+        """
+        if n_modules < 1:
+            raise ModelParameterError(f"n_modules must be >= 1, got {n_modules}")
+        pitch = self.path_length_m / n_modules
+        return (np.arange(n_modules) + 0.5) * pitch
+
+
+@dataclass(frozen=True)
+class RadiatorOperatingPoint:
+    """Solved thermal state of the radiator at one time instant.
+
+    Attributes
+    ----------
+    solution:
+        The effectiveness-NTU solution of the core.
+    decay_per_m:
+        Eq. (1) decay constant ``K / C_c``.
+    surface_temps_c:
+        Hot-side surface temperature at each module position.
+    sink_temps_c:
+        Cold-side (heatsink) temperature at each module position.
+    delta_t_k:
+        Per-module temperature differences driving the TEGs.
+    ambient_c:
+        Ambient temperature used for the sink model.
+    """
+
+    solution: HeatExchangerSolution
+    decay_per_m: float
+    surface_temps_c: np.ndarray
+    sink_temps_c: np.ndarray
+    delta_t_k: np.ndarray
+    ambient_c: float
+
+    @property
+    def coolant_outlet_c(self) -> float:
+        """Coolant temperature leaving the radiator."""
+        return self.solution.hot_outlet_c
+
+
+class Radiator:
+    """Finned-tube radiator with a TEG array along its coolant path.
+
+    Parameters
+    ----------
+    geometry:
+        Path geometry and module placement.
+    exchanger:
+        The cross-flow core model.
+    coolant, air:
+        Property sets of the two streams.
+    sink_preheat_fraction:
+        Fraction of the total air temperature rise that the *last*
+        module's heatsink sees; intermediate modules interpolate
+        linearly.  ``0.0`` reproduces the paper's heatsink-at-ambient
+        assumption.
+    """
+
+    def __init__(
+        self,
+        geometry: RadiatorGeometry,
+        exchanger: CrossFlowHeatExchanger,
+        coolant: FluidProperties,
+        air: FluidProperties,
+        sink_preheat_fraction: float = 0.0,
+    ) -> None:
+        self._geometry = geometry
+        self._exchanger = exchanger
+        self._coolant = coolant
+        self._air = air
+        self._sink_preheat_fraction = require_fraction(
+            sink_preheat_fraction, "sink_preheat_fraction"
+        )
+
+    @property
+    def geometry(self) -> RadiatorGeometry:
+        """Radiator geometry."""
+        return self._geometry
+
+    @property
+    def exchanger(self) -> CrossFlowHeatExchanger:
+        """The cross-flow core model."""
+        return self._exchanger
+
+    @property
+    def coolant(self) -> FluidProperties:
+        """Coolant property set."""
+        return self._coolant
+
+    @property
+    def air(self) -> FluidProperties:
+        """Air property set."""
+        return self._air
+
+    @property
+    def sink_preheat_fraction(self) -> float:
+        """Configured sink preheat fraction."""
+        return self._sink_preheat_fraction
+
+    def operating_point(
+        self,
+        coolant_inlet_c: float,
+        coolant_flow_kg_s: float,
+        ambient_c: float,
+        air_flow_kg_s: float,
+        n_modules: int,
+    ) -> RadiatorOperatingPoint:
+        """Solve the radiator state and per-module temperatures.
+
+        Parameters
+        ----------
+        coolant_inlet_c:
+            Coolant temperature entering the radiator (``T_h,i``).
+        coolant_flow_kg_s:
+            Coolant mass flow.
+        ambient_c:
+            Ambient air temperature (= air inlet, and the heatsink
+            reference).
+        air_flow_kg_s:
+            Air mass flow through the core.
+        n_modules:
+            Number of TEG modules along the path.
+
+        Notes
+        -----
+        A cold start can present coolant at or below ambient; the
+        exchanger model only covers heat rejection, so that regime is
+        returned as a degenerate zero-duty operating point (flat
+        profile at the coolant temperature, zero-to-negative module
+        dT) instead of an error — the array then simply produces
+        nothing until the engine warms past ambient.
+        """
+        if coolant_inlet_c <= ambient_c + 0.05:
+            return self._inactive_operating_point(
+                coolant_inlet_c, coolant_flow_kg_s, ambient_c, air_flow_kg_s,
+                n_modules,
+            )
+        hot = FluidStream(self._coolant, coolant_flow_kg_s, coolant_inlet_c)
+        cold = FluidStream(self._air, air_flow_kg_s, ambient_c)
+        solution = self._exchanger.solve(hot, cold)
+
+        # Eq. (1): K is the overall coefficient per unit path length,
+        # C_c the cold-stream capacity rate.
+        decay_per_m = solution.ua_w_k / (
+            self._geometry.path_length_m * solution.cold_capacity_w_k
+        )
+        positions = self._geometry.module_positions(n_modules)
+        surface = surface_temperature_profile(
+            coolant_inlet_c, solution.cold_mean_c, decay_per_m, positions
+        )
+
+        air_rise_k = solution.cold_outlet_c - ambient_c
+        sink = ambient_c + (
+            self._sink_preheat_fraction
+            * air_rise_k
+            * positions
+            / self._geometry.path_length_m
+        )
+        return RadiatorOperatingPoint(
+            solution=solution,
+            decay_per_m=decay_per_m,
+            surface_temps_c=surface,
+            sink_temps_c=sink,
+            delta_t_k=surface - sink,
+            ambient_c=float(ambient_c),
+        )
+
+    def _inactive_operating_point(
+        self,
+        coolant_inlet_c: float,
+        coolant_flow_kg_s: float,
+        ambient_c: float,
+        air_flow_kg_s: float,
+        n_modules: int,
+    ) -> RadiatorOperatingPoint:
+        """Zero-duty state for coolant at/below ambient (cold start)."""
+        c_hot = self._coolant.capacity_rate(coolant_flow_kg_s)
+        c_cold = self._air.capacity_rate(air_flow_kg_s)
+        ua = self._exchanger.ua_model.ua(coolant_flow_kg_s, air_flow_kg_s)
+        solution = HeatExchangerSolution(
+            duty_w=0.0,
+            effectiveness=0.0,
+            ntu=ua / min(c_hot, c_cold),
+            ua_w_k=ua,
+            hot_outlet_c=float(coolant_inlet_c),
+            cold_outlet_c=float(ambient_c),
+            hot_capacity_w_k=c_hot,
+            cold_capacity_w_k=c_cold,
+        )
+        surface = np.full(n_modules, float(coolant_inlet_c))
+        sink = np.full(n_modules, float(ambient_c))
+        return RadiatorOperatingPoint(
+            solution=solution,
+            decay_per_m=0.0,
+            surface_temps_c=surface,
+            sink_temps_c=sink,
+            delta_t_k=surface - sink,
+            ambient_c=float(ambient_c),
+        )

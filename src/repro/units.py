@@ -1,0 +1,101 @@
+"""Unit conventions and validation helpers.
+
+tegkit uses plain SI floats rather than a unit-wrapper type; this module
+centralises the conventions and the small validation helpers every
+subpackage relies on.
+
+Conventions
+-----------
+* Temperatures are degrees **Celsius** (``degC``).  Every model in the
+  library depends only on temperature *differences* and Celsius offsets
+  (no radiation laws), so Celsius is safe and matches the paper's
+  presentation.
+* Temperature differences are **kelvin** (``K``) — numerically identical
+  to Celsius differences.
+* Power in watts, energy in joules, time in seconds, current in amperes,
+  voltage in volts, resistance in ohms.
+* Mass flow in kg/s, volumetric flow in m^3/s, heat capacity rate in W/K.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ModelParameterError
+
+#: Absolute zero expressed in Celsius; used for sanity checks only.
+ABSOLUTE_ZERO_C = -273.15
+
+#: Conversion factor litres/minute -> m^3/s, the unit pair used by the
+#: flow-meter substrate.
+LPM_TO_M3S = 1.0e-3 / 60.0
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a Celsius temperature to kelvin."""
+    return temp_c - ABSOLUTE_ZERO_C
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a kelvin temperature to Celsius."""
+    return temp_k + ABSOLUTE_ZERO_C
+
+
+def lpm_to_m3s(flow_lpm: float) -> float:
+    """Convert a volumetric flow from litres/minute to m^3/s."""
+    return flow_lpm * LPM_TO_M3S
+
+
+def m3s_to_lpm(flow_m3s: float) -> float:
+    """Convert a volumetric flow from m^3/s to litres/minute."""
+    return flow_m3s / LPM_TO_M3S
+
+
+def require_positive(value: float, name: str) -> float:
+    """Return ``value`` if strictly positive, else raise.
+
+    Raises
+    ------
+    ModelParameterError
+        If ``value`` is not a finite number greater than zero.
+    """
+    if not math.isfinite(value) or value <= 0.0:
+        raise ModelParameterError(f"{name} must be finite and > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Return ``value`` if finite and >= 0, else raise."""
+    if not math.isfinite(value) or value < 0.0:
+        raise ModelParameterError(f"{name} must be finite and >= 0, got {value!r}")
+    return value
+
+
+def require_fraction(value: float, name: str) -> float:
+    """Return ``value`` if it lies in the closed interval [0, 1]."""
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ModelParameterError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def require_temperature_c(value: float, name: str) -> float:
+    """Return ``value`` if it is a physically possible Celsius temperature."""
+    if not math.isfinite(value) or value < ABSOLUTE_ZERO_C:
+        raise ModelParameterError(
+            f"{name} must be a finite Celsius temperature >= {ABSOLUTE_ZERO_C}, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def require_monotonic_increasing(values: Sequence[float], name: str) -> None:
+    """Raise unless ``values`` is strictly increasing.
+
+    Used for time axes and partition boundaries.
+    """
+    for left, right in zip(values, values[1:]):
+        if not right > left:
+            raise ModelParameterError(
+                f"{name} must be strictly increasing; found {left!r} before {right!r}"
+            )

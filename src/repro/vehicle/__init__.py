@@ -1,0 +1,67 @@
+"""Vehicle substrate: the source of the radiator boundary conditions.
+
+The paper measured coolant inlet/outlet temperature and flow rate on a
+Hyundai Porter II pickup during an 800-second drive.  We do not have
+that data, so this subpackage synthesises it from first principles
+(DESIGN.md section 3):
+
+* :mod:`repro.vehicle.drive_cycle` — seeded synthetic speed profiles
+  (urban stop-and-go, highway, mixed).
+* :mod:`repro.vehicle.engine` — tractive-power, heat-rejection and
+  coolant-loop thermal model with thermostat and fan logic.
+* :mod:`repro.vehicle.sensors` — thermocouple and flow-meter models
+  (lag, noise, quantisation) standing in for the paper's TC-K probes
+  and Recordall meter.
+* :mod:`repro.vehicle.trace` — the glue that integrates everything into
+  a :class:`~repro.vehicle.trace.RadiatorTrace`, including the canonical
+  :func:`~repro.vehicle.trace.porter_ii_trace`.
+"""
+
+from repro.vehicle.drive_cycle import (
+    DriveCycle,
+    synthetic_highway,
+    synthetic_mixed,
+    synthetic_urban,
+)
+from repro.vehicle.engine import (
+    EngineModel,
+    EngineParameters,
+    EngineTelemetry,
+    FanParameters,
+    RamAirParameters,
+    ThermostatParameters,
+)
+from repro.vehicle.sensors import FlowMeter, ModuleTemperatureScanner, Thermocouple
+from repro.vehicle.trace import (
+    DEFAULT_SINK_PREHEAT_FRACTION,
+    RadiatorTrace,
+    build_trace,
+    default_radiator,
+    porter_ii_trace,
+)
+from repro.vehicle.trace_io import load_cycle, load_trace, save_cycle, save_trace
+
+__all__ = [
+    "DEFAULT_SINK_PREHEAT_FRACTION",
+    "DriveCycle",
+    "EngineModel",
+    "EngineParameters",
+    "EngineTelemetry",
+    "FanParameters",
+    "FlowMeter",
+    "ModuleTemperatureScanner",
+    "RadiatorTrace",
+    "RamAirParameters",
+    "Thermocouple",
+    "ThermostatParameters",
+    "build_trace",
+    "default_radiator",
+    "load_cycle",
+    "load_trace",
+    "porter_ii_trace",
+    "save_cycle",
+    "save_trace",
+    "synthetic_highway",
+    "synthetic_mixed",
+    "synthetic_urban",
+]

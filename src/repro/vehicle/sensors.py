@@ -1,0 +1,136 @@
+"""Instrumentation models.
+
+The paper samples the radiator with TC-K-NPT-U-72 thermocouple probes
+and a Recordall industrial flow meter.  These classes model the
+relevant imperfections — first-order response lag, zero-mean noise,
+quantisation — so the controller operates on *sensed* rather than true
+values, as the real system would.
+
+All sensors are deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelParameterError
+from repro.units import require_non_negative, require_positive
+
+
+class _FirstOrderSensor:
+    """Shared lag + noise + quantisation machinery."""
+
+    def __init__(
+        self,
+        tau_s: float,
+        noise_std: float,
+        quantization: float,
+        seed: Optional[int],
+    ) -> None:
+        require_non_negative(tau_s, "tau_s")
+        require_non_negative(noise_std, "noise_std")
+        require_non_negative(quantization, "quantization")
+        self._tau_s = tau_s
+        self._noise_std = noise_std
+        self._quantization = quantization
+        self._rng = np.random.default_rng(seed)
+        self._state: Optional[float] = None
+
+    def reset(self) -> None:
+        """Forget the lag state (e.g. on probe re-attachment)."""
+        self._state = None
+
+    def sample(self, true_value: float, dt_s: float) -> float:
+        """Advance the sensor by ``dt_s`` and return a reading."""
+        require_positive(dt_s, "dt_s")
+        if not np.isfinite(true_value):
+            raise ModelParameterError(f"true_value must be finite, got {true_value!r}")
+        if self._state is None or self._tau_s == 0.0:
+            self._state = float(true_value)
+        else:
+            blend = min(dt_s / self._tau_s, 1.0)
+            self._state += (float(true_value) - self._state) * blend
+        reading = self._state + float(self._rng.normal(0.0, self._noise_std))
+        if self._quantization > 0.0:
+            reading = round(reading / self._quantization) * self._quantization
+        return reading
+
+
+class Thermocouple(_FirstOrderSensor):
+    """K-type thermocouple probe model.
+
+    Defaults follow a sheathed TC-K probe in flowing coolant: ~1.5 s
+    response, 0.1 K noise, 0.1 K acquisition quantisation.
+    """
+
+    def __init__(
+        self,
+        tau_s: float = 1.5,
+        noise_std_k: float = 0.10,
+        quantization_k: float = 0.1,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(tau_s, noise_std_k, quantization_k, seed)
+
+
+class FlowMeter(_FirstOrderSensor):
+    """Positive-displacement flow meter model (kg/s readings).
+
+    Defaults: fast response (0.5 s), 1% of ~0.3 kg/s noise,
+    0.002 kg/s register quantisation.
+    """
+
+    def __init__(
+        self,
+        tau_s: float = 0.5,
+        noise_std_kg_s: float = 0.003,
+        quantization_kg_s: float = 0.002,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(tau_s, noise_std_kg_s, quantization_kg_s, seed)
+
+    def sample(self, true_value: float, dt_s: float) -> float:
+        """Sample and clamp to physical (non-negative) flow."""
+        return max(super().sample(true_value, dt_s), 1.0e-4)
+
+
+class ModuleTemperatureScanner:
+    """Per-module hot-side temperature acquisition.
+
+    The controller needs the whole temperature distribution each control
+    period (Alg. 1 input).  Physically this is either a thermocouple per
+    module or, as in the paper, inlet/flow measurements propagated
+    through the Eq. (1) model; either way the readings carry small
+    independent errors, which this scanner injects.
+    """
+
+    def __init__(self, noise_std_k: float = 0.08, seed: Optional[int] = None) -> None:
+        require_non_negative(noise_std_k, "noise_std_k")
+        self._noise_std_k = noise_std_k
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    def reset(self) -> None:
+        """Rewind the noise stream to its seed.
+
+        The simulator calls this at the start of every run so each
+        scheme sees the *same* sensing-noise realisation — a fair
+        comparison and bit-reproducible results.
+        """
+        self._rng = np.random.default_rng(self._seed)
+
+    @property
+    def noise_std_k(self) -> float:
+        """Per-module reading noise (kelvin, 1 sigma)."""
+        return self._noise_std_k
+
+    def scan(self, true_temps_c: np.ndarray) -> np.ndarray:
+        """Return one noisy reading of the module temperature vector."""
+        temps = np.asarray(true_temps_c, dtype=float)
+        if temps.ndim != 1:
+            raise ModelParameterError("true_temps_c must be 1-D")
+        if self._noise_std_k == 0.0:
+            return temps.copy()
+        return temps + self._rng.normal(0.0, self._noise_std_k, temps.shape)

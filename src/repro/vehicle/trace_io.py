@@ -1,0 +1,134 @@
+"""CSV persistence for radiator traces and drive cycles.
+
+A downstream user of this library will sooner or later have *real*
+logged data — coolant temperatures from an OBD dongle, a flow meter, a
+GPS speed trace.  These helpers give :class:`RadiatorTrace` and
+:class:`DriveCycle` a plain-CSV round trip so such data drops straight
+into every experiment that accepts the synthetic trace.
+
+Format: one header row, comma-separated, one sample per line.  Columns
+are fixed and documented in :data:`TRACE_COLUMNS` / :data:`CYCLE_COLUMNS`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.vehicle.drive_cycle import DriveCycle
+from repro.vehicle.trace import RadiatorTrace
+
+#: Column order of the trace CSV format.
+TRACE_COLUMNS = (
+    "time_s",
+    "coolant_inlet_c",
+    "coolant_flow_kg_s",
+    "air_flow_kg_s",
+    "ambient_c",
+    "speed_mps",
+    "coolant_inlet_sensed_c",
+    "coolant_flow_sensed_kg_s",
+)
+
+#: Column order of the drive-cycle CSV format.
+CYCLE_COLUMNS = ("time_s", "speed_mps")
+
+
+def save_trace(trace: RadiatorTrace, path: Union[str, Path]) -> Path:
+    """Write a trace to CSV; returns the path written."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(TRACE_COLUMNS)
+        columns = [getattr(trace, name) for name in TRACE_COLUMNS]
+        for row in zip(*columns):
+            writer.writerow(f"{value:.10g}" for value in row)
+    return path
+
+
+def load_trace(path: Union[str, Path], name: str | None = None) -> RadiatorTrace:
+    """Read a trace from CSV.
+
+    Raises
+    ------
+    SimulationError
+        If the header does not match :data:`TRACE_COLUMNS` or a row is
+        malformed.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = tuple(next(reader))
+        except StopIteration:
+            raise SimulationError(f"{path} is empty") from None
+        if header != TRACE_COLUMNS:
+            raise SimulationError(
+                f"{path} has unexpected header {header!r}; "
+                f"expected {TRACE_COLUMNS!r}"
+            )
+        rows = []
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(TRACE_COLUMNS):
+                raise SimulationError(
+                    f"{path}:{line_no}: expected {len(TRACE_COLUMNS)} fields, "
+                    f"got {len(row)}"
+                )
+            try:
+                rows.append([float(v) for v in row])
+            except ValueError as exc:
+                raise SimulationError(f"{path}:{line_no}: {exc}") from None
+    if len(rows) < 2:
+        raise SimulationError(f"{path} holds fewer than two samples")
+    data = np.asarray(rows, dtype=float)
+    kwargs = {
+        column: data[:, i].copy() for i, column in enumerate(TRACE_COLUMNS)
+    }
+    return RadiatorTrace(name=name or path.stem, **kwargs)
+
+
+def save_cycle(cycle: DriveCycle, path: Union[str, Path]) -> Path:
+    """Write a drive cycle to CSV; returns the path written."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CYCLE_COLUMNS)
+        for t, v in zip(cycle.time_s, cycle.speed_mps):
+            writer.writerow((f"{t:.10g}", f"{v:.10g}"))
+    return path
+
+
+def load_cycle(path: Union[str, Path], name: str | None = None) -> DriveCycle:
+    """Read a drive cycle from CSV (``time_s,speed_mps`` columns)."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = tuple(next(reader))
+        except StopIteration:
+            raise SimulationError(f"{path} is empty") from None
+        if header != CYCLE_COLUMNS:
+            raise SimulationError(
+                f"{path} has unexpected header {header!r}; "
+                f"expected {CYCLE_COLUMNS!r}"
+            )
+        times, speeds = [], []
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != 2:
+                raise SimulationError(
+                    f"{path}:{line_no}: expected 2 fields, got {len(row)}"
+                )
+            try:
+                times.append(float(row[0]))
+                speeds.append(float(row[1]))
+            except ValueError as exc:
+                raise SimulationError(f"{path}:{line_no}: {exc}") from None
+    return DriveCycle(
+        time_s=np.asarray(times),
+        speed_mps=np.asarray(speeds),
+        name=name or path.stem,
+    )

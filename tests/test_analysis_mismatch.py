@@ -1,0 +1,85 @@
+"""Tests for repro.analysis.mismatch — the exact loss decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.mismatch import loss_breakdown
+from repro.core.inor import inor
+from repro.power.charger import TEGCharger
+
+
+class TestExactness:
+    def test_terms_reconstruct_ideal(self, module_params):
+        emf, res = module_params
+        bd = loss_breakdown(emf, res, tuple(range(0, 20, 4)), TEGCharger())
+        total = (
+            bd.parallel_mismatch_w
+            + bd.series_mismatch_w
+            + bd.conversion_loss_w
+            + bd.delivered_power_w
+        )
+        assert total == pytest.approx(bd.ideal_power_w, rel=1e-12)
+
+    def test_terms_nonnegative_for_positive_field(self, module_params):
+        emf, res = module_params
+        for starts in ((0,), tuple(range(20)), (0, 5, 9, 16)):
+            bd = loss_breakdown(emf, res, starts, TEGCharger())
+            assert bd.parallel_mismatch_w >= -1e-12
+            assert bd.series_mismatch_w >= -1e-12
+            assert bd.conversion_loss_w >= -1e-12
+
+    def test_no_charger_no_conversion_loss(self, module_params):
+        emf, res = module_params
+        bd = loss_breakdown(emf, res, (0, 10))
+        assert bd.conversion_loss_w == 0.0
+        assert bd.delivered_power_w == pytest.approx(bd.electrical_power_w)
+
+
+class TestMechanisms:
+    def test_all_parallel_has_no_series_loss(self, module_params):
+        """One group: current sharing cannot lose anything."""
+        emf, res = module_params
+        bd = loss_breakdown(emf, res, (0,))
+        assert bd.series_mismatch_w == pytest.approx(0.0, abs=1e-12)
+        assert bd.parallel_mismatch_w > 0.0
+
+    def test_all_series_has_no_parallel_loss(self, module_params):
+        """Singleton groups: every group is at most one module."""
+        emf, res = module_params
+        bd = loss_breakdown(emf, res, tuple(range(20)))
+        assert bd.parallel_mismatch_w == pytest.approx(0.0, abs=1e-12)
+        assert bd.series_mismatch_w > 0.0
+
+    def test_uniform_field_no_mismatch(self):
+        emf = np.full(12, 2.5)
+        res = np.full(12, 2.9)
+        bd = loss_breakdown(emf, res, (0, 4, 8))
+        assert bd.parallel_mismatch_w == pytest.approx(0.0, abs=1e-12)
+        assert bd.series_mismatch_w == pytest.approx(0.0, abs=1e-9)
+
+    def test_inor_config_has_small_mismatch(self, module_params):
+        """INOR's whole purpose: drive the mismatch terms down."""
+        emf, res = module_params
+        charger = TEGCharger()
+        config = inor(emf, res, charger=charger).config
+        optimised = loss_breakdown(emf, res, config.starts, charger)
+        grid = loss_breakdown(emf, res, (0, 5, 10, 15), charger)
+        assert optimised.mismatch_fraction < grid.mismatch_fraction
+        assert optimised.mismatch_fraction < 0.06
+
+    def test_mismatch_fraction_zero_ideal_safe(self):
+        bd = loss_breakdown(np.array([-1.0, -1.0]), np.ones(2), (0,))
+        assert bd.mismatch_fraction == 0.0
+
+
+class TestViews:
+    def test_as_dict_keys(self, module_params):
+        emf, res = module_params
+        d = loss_breakdown(emf, res, (0, 10)).as_dict()
+        assert set(d) == {
+            "ideal_w",
+            "parallel_mismatch_w",
+            "series_mismatch_w",
+            "conversion_loss_w",
+            "delivered_w",
+        }

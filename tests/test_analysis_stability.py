@@ -1,0 +1,58 @@
+"""Tests for repro.analysis.stability."""
+
+import pytest
+
+from repro.analysis.stability import configuration_stats, group_count_series
+from repro.core.config import ArrayConfiguration
+from repro.errors import ConfigurationError
+
+
+def cfg(*starts, n=12):
+    return ArrayConfiguration(starts=tuple(starts), n_modules=n)
+
+
+class TestConfigurationStats:
+    def test_static_sequence(self):
+        stats = configuration_stats([cfg(0, 4)] * 5)
+        assert stats.n_changes == 0
+        assert stats.change_rate == 0.0
+        assert stats.total_junction_flips == 0
+        assert stats.mean_flips_per_change == 0.0
+
+    def test_alternating_sequence(self):
+        a, b = cfg(0, 4), cfg(0, 6)
+        stats = configuration_stats([a, b, a, b])
+        assert stats.n_changes == 3
+        assert stats.change_rate == pytest.approx(1.0)
+        # Each a<->b change flips 2 junctions.
+        assert stats.total_junction_flips == 6
+        assert stats.mean_flips_per_change == pytest.approx(2.0)
+
+    def test_histogram_and_dominant(self):
+        stats = configuration_stats([cfg(0, 4), cfg(0, 4), cfg(0, 3, 8)])
+        assert stats.group_count_histogram == {2: 2, 3: 1}
+        assert stats.dominant_group_count == 2
+
+    def test_single_config(self):
+        stats = configuration_stats([cfg(0, 4)])
+        assert stats.n_configs == 1
+        assert stats.change_rate == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            configuration_stats([])
+
+    def test_mixed_chain_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            configuration_stats([cfg(0, 4, n=12), cfg(0, 4, n=10)])
+
+
+class TestGroupCountSeries:
+    def test_series(self):
+        idx, counts = group_count_series([cfg(0, 4), cfg(0, 3, 8)])
+        assert idx.tolist() == [0, 1]
+        assert counts.tolist() == [2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            group_count_series([])

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestInfo:
+    def test_prints_paper_and_catalog(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "DATE 2018" in out
+        assert "TGM-199-1.4-0.8" in out
+
+
+class TestReconfigure:
+    def test_default_run(self, capsys):
+        assert main(["reconfigure", "--modules", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "paper form:" in out
+        assert "delivered:" in out
+
+    def test_unknown_module_errors(self):
+        with pytest.raises(Exception):
+            main(["reconfigure", "--module", "bogus"])
+
+
+class TestSimulate:
+    def test_short_simulation(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--duration",
+                "20",
+                "--seed",
+                "5",
+                "--schemes",
+                "INOR,Baseline",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Energy Output (J)" in out
+        assert "INOR" in out and "Baseline" in out
+
+    def test_unknown_scheme_exits_nonzero(self, capsys):
+        code = main(
+            ["simulate", "--duration", "20", "--schemes", "MAGIC"]
+        )
+        assert code == 2
+        assert "unknown schemes" in capsys.readouterr().err
+
+    def test_save_trace(self, tmp_path, capsys):
+        target = tmp_path / "trace.csv"
+        code = main(
+            [
+                "simulate",
+                "--duration",
+                "20",
+                "--schemes",
+                "Baseline",
+                "--save-trace",
+                str(target),
+            ]
+        )
+        assert code == 0
+        assert target.exists()
+        header = target.read_text().splitlines()[0]
+        assert header.startswith("time_s,coolant_inlet_c")
+
+
+class TestSweepPeriod:
+    def test_sweep_runs(self, capsys):
+        code = main(
+            [
+                "sweep-period",
+                "--duration",
+                "30",
+                "--periods",
+                "0.5,4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "best" in out
+        assert "DNOR on the same trace" in out

@@ -1,0 +1,30 @@
+"""Tests for repro.core.baseline."""
+
+import pytest
+
+from repro.core.baseline import grid_configuration, grid_for_square_array
+from repro.errors import ConfigurationError
+
+
+class TestGrid:
+    def test_paper_baseline_shape(self):
+        config = grid_for_square_array(100)
+        assert config.n_groups == 10
+        assert config.group_sizes == (10,) * 10
+
+    def test_small_square(self):
+        config = grid_for_square_array(16)
+        assert config.group_sizes == (4, 4, 4, 4)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ConfigurationError):
+            grid_for_square_array(50)
+
+    def test_generic_grid(self):
+        config = grid_configuration(12, 3)
+        assert config.group_sizes == (4, 4, 4)
+
+    def test_generic_grid_remainder(self):
+        config = grid_configuration(14, 4)
+        assert sum(config.group_sizes) == 14
+        assert max(config.group_sizes) - min(config.group_sizes) <= 1

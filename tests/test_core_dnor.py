@@ -1,0 +1,155 @@
+"""Tests for repro.core.dnor — Algorithm 2."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ArrayConfiguration
+from repro.core.dnor import DNORPlanner, thevenin_from_temps
+from repro.core.overhead import SwitchingOverheadModel
+from repro.errors import ConfigurationError
+from repro.power.charger import TEGCharger
+from repro.prediction.mlr import MLRPredictor
+from repro.teg.datasheet import TGM_199_1_4_0_8
+from repro.teg.network import array_mpp
+
+
+def make_planner(tp_seconds=1.0, overhead=None) -> DNORPlanner:
+    return DNORPlanner(
+        module=TGM_199_1_4_0_8,
+        charger=TEGCharger(),
+        overhead=overhead or SwitchingOverheadModel(),
+        predictor=MLRPredictor(lags=4, train_window=120),
+        tp_seconds=tp_seconds,
+        sample_dt_s=0.5,
+    )
+
+
+def steady_history(n_rows=60, n_modules=20, level=45.0) -> np.ndarray:
+    """dT-referenced temperatures: ambient 25 + exp gradient."""
+    profile = 25.0 + level * np.exp(-2.0 * np.linspace(0, 1, n_modules)) + 10.0
+    return np.tile(profile, (n_rows, 1))
+
+
+class TestTheveninFromTemps:
+    def test_matches_module_model(self):
+        temps = np.array([80.0, 60.0, 40.0])
+        emf, res = thevenin_from_temps(TGM_199_1_4_0_8, temps, 25.0)
+        expected_emf = [
+            TGM_199_1_4_0_8.open_circuit_voltage(t - 25.0) for t in temps
+        ]
+        assert emf == pytest.approx(expected_emf)
+        assert np.allclose(res, TGM_199_1_4_0_8.internal_resistance())
+
+
+class TestFirstEpoch:
+    def test_adopts_inor_unconditionally(self):
+        planner = make_planner()
+        decision = planner.plan(steady_history(), 25.0, current=None)
+        assert decision.switch
+        assert decision.config == decision.candidate
+        assert decision.energy_overhead_j == 0.0
+
+
+class TestIdenticalCandidate:
+    def test_keep_is_free(self):
+        planner = make_planner()
+        first = planner.plan(steady_history(), 25.0, current=None)
+        second = planner.plan(steady_history(), 25.0, current=first.config)
+        assert not second.switch
+        assert second.config == first.config
+        assert second.energy_overhead_j == 0.0
+        assert second.predict_seconds == 0.0
+
+
+class TestSwitchDecision:
+    def test_steady_state_keeps_suboptimal_marginal_config(self):
+        """A config only marginally worse than INOR's proposal must be
+        kept: the predicted gain cannot amortise the switching bill."""
+        planner = make_planner()
+        history = steady_history()
+        proposal = planner.plan(history, 25.0, current=None).config
+        # Perturb one boundary by one module: nearly as good.
+        starts = list(proposal.starts)
+        starts[-1] = min(starts[-1] + 1, history.shape[1] - 1)
+        if starts[-1] == starts[-2]:
+            starts[-1] += 1
+        marginal = ArrayConfiguration(tuple(starts), history.shape[1])
+        decision = planner.plan(history, 25.0, current=marginal)
+        assert not decision.switch
+
+    def test_grossly_wrong_config_triggers_switch(self):
+        """All-parallel on a steep gradient wastes enough power that the
+        predicted gain dwarfs the bill."""
+        planner = make_planner()
+        history = steady_history()
+        awful = ArrayConfiguration.all_parallel(history.shape[1])
+        decision = planner.plan(history, 25.0, current=awful)
+        assert decision.switch
+        assert decision.energy_new_j > decision.energy_old_j
+
+    def test_huge_overhead_blocks_switch(self):
+        """Same scenario, but with an absurd switching bill Algorithm 2
+        must refuse."""
+        overhead = SwitchingOverheadModel(per_toggle_energy_j=1e3)
+        planner = make_planner(overhead=overhead)
+        history = steady_history()
+        awful = ArrayConfiguration.all_parallel(history.shape[1])
+        decision = planner.plan(history, 25.0, current=awful)
+        assert not decision.switch
+        assert decision.config == awful
+
+    def test_decision_inequality(self):
+        """switch <=> E_old <= E_new - E_overhead, verbatim Alg. 2."""
+        planner = make_planner()
+        history = steady_history()
+        for current in (
+            ArrayConfiguration.all_parallel(history.shape[1]),
+            ArrayConfiguration.uniform(history.shape[1], 4),
+        ):
+            decision = planner.plan(history, 25.0, current=current)
+            if decision.candidate == current:
+                continue
+            expected = (
+                decision.energy_old_j
+                <= decision.energy_new_j - decision.energy_overhead_j
+            )
+            assert decision.switch == expected
+
+
+class TestHorizonEnergy:
+    def test_energy_consistent_with_network(self):
+        """The vectorised horizon evaluation equals per-row MPP math."""
+        planner = make_planner()
+        history = steady_history(10, 12)
+        config = ArrayConfiguration.uniform(12, 3)
+        rows = history[-3:]
+        energy = planner._horizon_energy(config, rows, 25.0)
+        expected = 0.0
+        for row in rows:
+            emf, res = thevenin_from_temps(TGM_199_1_4_0_8, row, 25.0)
+            mpp = array_mpp(emf, res, config.starts)
+            expected += planner._charger.delivered_at_mpp(mpp) * 0.5
+        assert energy == pytest.approx(expected, rel=1e-9)
+
+
+class TestFallbackForecast:
+    def test_short_history_uses_persistence(self):
+        planner = make_planner()
+        history = steady_history(3)  # shorter than lags + 1
+        awful = ArrayConfiguration.all_parallel(history.shape[1])
+        decision = planner.plan(history, 25.0, current=awful)
+        assert decision.used_fallback_forecast
+
+
+class TestValidation:
+    def test_rejects_bad_tp(self):
+        with pytest.raises(ConfigurationError):
+            make_planner(tp_seconds=0.0)
+
+    def test_rejects_empty_history(self):
+        planner = make_planner()
+        with pytest.raises(ConfigurationError):
+            planner.plan(np.zeros((0, 5)), 25.0, None)
+
+    def test_epoch_length(self):
+        assert make_planner(tp_seconds=2.0).epoch_seconds == pytest.approx(3.0)

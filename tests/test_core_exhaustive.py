@@ -1,0 +1,78 @@
+"""Tests for repro.core.exhaustive — exact references."""
+
+import numpy as np
+import pytest
+
+from repro.core.exhaustive import (
+    best_partition_brute_force,
+    best_partition_parametric_dp,
+)
+from repro.errors import ConfigurationError
+from repro.teg.network import array_mpp
+
+
+def random_chain(n: int, seed: int) -> tuple:
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.5, 4.0, n), rng.uniform(1.0, 4.0, n)
+
+
+class TestBruteForce:
+    def test_three_module_known_case(self):
+        """[2, 1, 1] with equal R: hot module alone + cold pair in
+        parallel achieves P_ideal exactly (worked example in the
+        exhaustive module docs)."""
+        emf = np.array([2.0, 1.0, 1.0])
+        res = np.ones(3)
+        result = best_partition_brute_force(emf, res)
+        ideal = float((emf**2 / (4 * res)).sum())
+        assert result.mpp.power_w == pytest.approx(ideal)
+        assert result.config.starts == (0, 1)
+
+    def test_uniform_modules_any_partition_optimal(self):
+        emf, res = np.full(6, 2.0), np.full(6, 1.0)
+        result = best_partition_brute_force(emf, res)
+        # All-parallel has the same power as the optimum here.
+        assert result.mpp.power_w == pytest.approx(
+            array_mpp(emf, res, [0]).power_w
+        )
+
+    def test_dominates_random_partitions(self, rng):
+        emf, res = random_chain(10, 21)
+        best = best_partition_brute_force(emf, res)
+        for _ in range(30):
+            cuts = sorted(
+                set([0]) | set(rng.choice(range(1, 10), size=3, replace=False))
+            )
+            assert (
+                array_mpp(emf, res, cuts).power_w <= best.mpp.power_w + 1e-12
+            )
+
+    def test_size_guard(self):
+        with pytest.raises(ConfigurationError):
+            best_partition_brute_force(np.ones(25), np.ones(25))
+
+
+class TestParametricDP:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        emf, res = random_chain(10, seed)
+        exact = best_partition_brute_force(emf, res)
+        dp = best_partition_parametric_dp(emf, res, n_sweep=96)
+        assert dp.mpp.power_w == pytest.approx(exact.mpp.power_w, rel=1e-6)
+
+    def test_scales_past_brute_force_limit(self):
+        emf, res = random_chain(60, 1)
+        result = best_partition_parametric_dp(emf, res, n_sweep=32)
+        assert result.config.n_modules == 60
+        ideal = float((emf**2 / (4 * res)).sum())
+        assert 0.0 < result.mpp.power_w <= ideal
+
+    def test_rejects_tiny_sweep(self):
+        emf, res = random_chain(5, 0)
+        with pytest.raises(ConfigurationError):
+            best_partition_parametric_dp(emf, res, n_sweep=1)
+
+    def test_rejects_bad_mu_range(self):
+        emf, res = random_chain(5, 0)
+        with pytest.raises(ConfigurationError):
+            best_partition_parametric_dp(emf, res, mu_range=(1.0, 0.5))

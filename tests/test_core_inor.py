@@ -1,0 +1,179 @@
+"""Tests for repro.core.inor — Algorithm 1."""
+
+import numpy as np
+import pytest
+
+from repro.core.exhaustive import best_partition_brute_force
+from repro.core.inor import (
+    converter_aware_group_range,
+    greedy_balanced_partition,
+    inor,
+)
+from repro.errors import ConfigurationError
+from repro.power.charger import TEGCharger
+
+
+class TestGreedyPartition:
+    def test_single_group(self):
+        starts = greedy_balanced_partition(np.ones(5), 1)
+        assert starts.tolist() == [0]
+
+    def test_all_groups(self):
+        starts = greedy_balanced_partition(np.ones(5), 5)
+        assert starts.tolist() == [0, 1, 2, 3, 4]
+
+    def test_uniform_currents_equal_split(self):
+        starts = greedy_balanced_partition(np.ones(12), 4)
+        assert starts.tolist() == [0, 3, 6, 9]
+
+    def test_balances_decaying_currents(self):
+        """Hot end gets small groups, cold end large ones."""
+        currents = np.exp(-np.linspace(0.0, 2.5, 30))
+        starts = greedy_balanced_partition(currents, 5)
+        sizes = np.diff(np.append(starts, 30))
+        assert sizes[0] < sizes[-1]
+        # Group sums within a factor ~2 of the ideal.
+        ideal = currents.sum() / 5
+        sums = np.add.reduceat(currents, starts)
+        assert np.all(sums > 0.3 * ideal)
+        assert np.all(sums < 2.5 * ideal)
+
+    def test_every_group_nonempty(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            currents = rng.uniform(0.1, 2.0, 17)
+            n_groups = int(rng.integers(1, 17))
+            starts = greedy_balanced_partition(currents, n_groups)
+            sizes = np.diff(np.append(starts, 17))
+            assert starts.size == n_groups
+            assert np.all(sizes >= 1)
+
+    def test_rejects_too_many_groups(self):
+        with pytest.raises(ConfigurationError):
+            greedy_balanced_partition(np.ones(3), 4)
+
+
+class TestConverterAwareRange:
+    def test_no_charger_full_range(self):
+        lo, hi = converter_aware_group_range(np.full(50, 2.0), 50, None)
+        assert (lo, hi) == (1, 50)
+
+    def test_window_scales_inversely_with_emf(self):
+        charger = TEGCharger()
+        lo_hot, hi_hot = converter_aware_group_range(np.full(100, 3.0), 100, charger)
+        lo_cold, hi_cold = converter_aware_group_range(np.full(100, 1.5), 100, charger)
+        assert lo_cold > lo_hot
+        assert hi_cold > hi_hot
+
+    def test_window_brackets_bus_voltage(self):
+        """n * mean(E)/2 across the window must straddle ~13.8 V."""
+        charger = TEGCharger()
+        emf = np.full(100, 2.6)
+        lo, hi = converter_aware_group_range(emf, 100, charger)
+        assert lo * 2.6 / 2 < 14.5 < hi * 2.6 / 2
+
+    def test_degenerate_emf_handled(self):
+        charger = TEGCharger()
+        lo, hi = converter_aware_group_range(np.zeros(10), 10, charger)
+        assert 1 <= lo <= hi <= 10
+
+    def test_range_within_bounds(self):
+        charger = TEGCharger()
+        lo, hi = converter_aware_group_range(np.full(4, 0.1), 4, charger)
+        assert 1 <= lo <= hi <= 4
+
+
+class TestInor:
+    def test_returns_valid_configuration(self, module_params):
+        emf, res = module_params
+        result = inor(emf, res)
+        assert result.config.n_modules == emf.size
+        assert sum(result.config.group_sizes) == emf.size
+
+    def test_beats_static_grid(self, small_array, module_params):
+        """INOR's raison d'etre: outperform the fixed uniform grid."""
+        emf, res = module_params
+        result = inor(emf, res)
+        grid = small_array.configured_mpp(
+            list(range(0, 20, 4))
+        )
+        assert result.mpp.power_w > grid.power_w
+
+    def test_near_optimal_on_small_chain(self):
+        """Within a few percent of brute force (the 'near' in INOR)."""
+        rng = np.random.default_rng(17)
+        for trial in range(5):
+            delta_t = 15.0 + 50.0 * np.exp(-2.0 * np.linspace(0, 1, 12))
+            delta_t += rng.normal(0.0, 2.0, 12)
+            emf = 0.075 * delta_t
+            res = np.full(12, 2.9)
+            exact = best_partition_brute_force(emf, res)
+            approx = inor(emf, res)
+            assert approx.mpp.power_w >= 0.95 * exact.mpp.power_w
+
+    def test_respects_explicit_range(self, module_params):
+        emf, res = module_params
+        result = inor(emf, res, n_min=3, n_max=5)
+        assert 3 <= result.config.n_groups <= 5
+        assert result.n_range == (3, 5)
+        assert result.candidates_evaluated == 3
+
+    def test_charger_ranking_prefers_bus_voltage(self, module_params):
+        """With the charger, the chosen MPP voltage lands in the
+        converter's preferred window."""
+        emf, res = module_params
+        charger = TEGCharger()
+        result = inor(emf, res, charger=charger)
+        lo, hi = charger.preferred_voltage_window(0.05)
+        assert lo * 0.8 <= result.mpp.voltage_v <= hi * 1.2
+
+    def test_delivered_power_consistent(self, module_params):
+        emf, res = module_params
+        charger = TEGCharger()
+        result = inor(emf, res, charger=charger)
+        assert result.delivered_power_w == pytest.approx(
+            charger.delivered_at_mpp(result.mpp)
+        )
+
+    def test_no_charger_delivered_equals_raw(self, module_params):
+        emf, res = module_params
+        result = inor(emf, res)
+        assert result.delivered_power_w == pytest.approx(result.mpp.power_w)
+
+    def test_rejects_inconsistent_range(self, module_params):
+        emf, res = module_params
+        with pytest.raises(ConfigurationError):
+            inor(emf, res, n_min=5, n_max=3)
+        with pytest.raises(ConfigurationError):
+            inor(emf, res, n_min=0, n_max=3)
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ConfigurationError):
+            inor(np.ones(5), np.ones(4))
+
+    def test_linear_complexity_scaling(self):
+        """Doubling N roughly doubles runtime (with fixed n-range) —
+        loose sanity check of the O(N) claim."""
+        import time
+
+        def measure(n, repeats=5):
+            emf = 2.0 + np.exp(-np.linspace(0, 2, n))
+            res = np.full(n, 2.9)
+            t0 = time.perf_counter()
+            for _ in range(repeats):
+                inor(emf, res, n_min=8, n_max=16)
+            return (time.perf_counter() - t0) / repeats
+
+        t_small = measure(200)
+        t_large = measure(800)
+        assert t_large < t_small * 16  # far below quadratic blow-up
+
+
+class TestInorNegativeDeltaT:
+    def test_handles_back_biased_tail(self):
+        """A few negative-dT modules (preheated sinks) must not crash."""
+        delta_t = np.concatenate([np.linspace(60, 5, 18), [-1.0, -2.0]])
+        emf = 0.075 * delta_t
+        res = np.full(20, 2.9)
+        result = inor(emf, res, n_min=2, n_max=8)
+        assert result.mpp.power_w > 0.0

@@ -1,0 +1,82 @@
+"""Tests for repro.core.overhead — the switching bill."""
+
+import pytest
+
+from repro.core.overhead import SwitchingOverheadModel
+from repro.units import ModelParameterError
+
+
+class TestTiming:
+    def test_interruption_excludes_compute(self):
+        model = SwitchingOverheadModel(
+            sensing_delay_s=5e-3, reconfiguration_delay_s=12e-3, mppt_settle_s=8e-3
+        )
+        assert model.interruption_s() == pytest.approx(25e-3)
+
+    def test_downtime_adds_compute(self):
+        model = SwitchingOverheadModel()
+        assert model.downtime_s(40e-3) == pytest.approx(
+            model.interruption_s() + 40e-3
+        )
+
+    def test_downtime_rejects_negative_compute(self):
+        with pytest.raises(ModelParameterError):
+            SwitchingOverheadModel().downtime_s(-1e-3)
+
+
+class TestEventEnergy:
+    def test_components(self):
+        model = SwitchingOverheadModel(
+            sensing_delay_s=5e-3,
+            reconfiguration_delay_s=10e-3,
+            mppt_settle_s=5e-3,
+            per_toggle_energy_j=1e-3,
+            compute_staleness_factor=0.1,
+        )
+        energy = model.event_energy_j(power_w=50.0, compute_time_s=40e-3, toggles=30)
+        expected = 50.0 * 20e-3 + 50.0 * 40e-3 * 0.1 + 30 * 1e-3
+        assert energy == pytest.approx(expected)
+
+    def test_zero_power_only_toggles(self):
+        model = SwitchingOverheadModel(per_toggle_energy_j=2e-4)
+        assert model.event_energy_j(0.0, 1e-3, 10) == pytest.approx(2e-3)
+
+    def test_compute_charged_below_full_power(self):
+        """The Table-I pin: EHTR's 33 ms extra compute must cost far
+        less than 33 ms of full output power."""
+        model = SwitchingOverheadModel()
+        base = model.event_energy_j(50.0, 4e-3, 0)
+        heavy = model.event_energy_j(50.0, 37e-3, 0)
+        assert heavy - base < 50.0 * 33e-3 * 0.5
+        assert heavy > base
+
+    def test_paper_scale_per_event(self):
+        """~1600 events at ~50 W must land near the paper's ~2 kJ."""
+        model = SwitchingOverheadModel()
+        per_event = model.event_energy_j(power_w=50.0, compute_time_s=0.5e-3, toggles=60)
+        assert 1600 * per_event == pytest.approx(2035.0, rel=0.25)
+
+    def test_rejects_negative_toggles(self):
+        with pytest.raises(ValueError):
+            SwitchingOverheadModel().event_energy_j(50.0, 1e-3, -1)
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ModelParameterError):
+            SwitchingOverheadModel().event_energy_j(-1.0, 1e-3, 1)
+
+
+class TestEventRecord:
+    def test_fields(self):
+        model = SwitchingOverheadModel()
+        event = model.event(time_s=12.5, power_w=45.0, compute_time_s=2e-3, toggles=12)
+        assert event.time_s == 12.5
+        assert event.toggles == 12
+        assert event.compute_time_s == 2e-3
+        assert event.downtime_s == pytest.approx(model.downtime_s(2e-3))
+        assert event.energy_j == pytest.approx(
+            model.event_energy_j(45.0, 2e-3, 12)
+        )
+
+    def test_model_validates_parameters(self):
+        with pytest.raises(ModelParameterError):
+            SwitchingOverheadModel(sensing_delay_s=-1.0)

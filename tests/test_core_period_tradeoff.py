@@ -1,0 +1,59 @@
+"""Tests for repro.core.period_tradeoff — the prior-work alternative."""
+
+import pytest
+
+from repro.core.period_tradeoff import sweep_fixed_period
+from repro.errors import SimulationError
+from repro.sim.scenario import default_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return default_scenario(duration_s=60.0, seed=11, n_modules=49)
+
+
+@pytest.fixture(scope="module")
+def tradeoff(scenario):
+    return sweep_fixed_period(scenario, periods_s=(0.5, 2.0, 8.0))
+
+
+class TestSweep:
+    def test_point_per_period(self, tradeoff):
+        assert [p.period_s for p in tradeoff.points] == [0.5, 2.0, 8.0]
+
+    def test_longer_period_fewer_switches(self, tradeoff):
+        switches = [p.result.switch_count for p in tradeoff.points]
+        assert switches[0] > switches[1] > switches[2]
+
+    def test_longer_period_less_overhead(self, tradeoff):
+        overheads = [p.result.switch_overhead_j for p in tradeoff.points]
+        assert overheads[0] > overheads[1] > overheads[2]
+
+    def test_best_is_argmax(self, tradeoff):
+        best = tradeoff.best
+        assert best.energy_output_j == max(
+            p.energy_output_j for p in tradeoff.points
+        )
+
+    def test_table_renders_all_rows(self, tradeoff):
+        table = tradeoff.table()
+        assert "<- best" in table
+        for point in tradeoff.points:
+            assert f"{point.period_s:11.2f}" in table
+
+    def test_dnor_not_worse_than_best_fixed_period(self, scenario, tradeoff):
+        """The paper's motivation: period tuning alone is 'not
+        remarkable' — DNOR matches or beats the tuned period."""
+        simulator = scenario.make_simulator()
+        dnor = simulator.run(scenario.make_dnor_policy(), scenario.make_charger())
+        assert dnor.energy_output_j >= tradeoff.best.energy_output_j * 0.995
+
+
+class TestValidation:
+    def test_empty_periods_rejected(self, scenario):
+        with pytest.raises(SimulationError):
+            sweep_fixed_period(scenario, periods_s=())
+
+    def test_non_multiple_period_rejected(self, scenario):
+        with pytest.raises(SimulationError):
+            sweep_fixed_period(scenario, periods_s=(0.7,))

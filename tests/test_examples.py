@@ -1,0 +1,67 @@
+"""Smoke tests for the runnable examples.
+
+Each example must run to completion and print its headline results.
+The slower examples get trimmed arguments.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 300.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestQuickstart:
+    def test_runs_and_reports(self):
+        out = run_example("quickstart.py")
+        assert "INOR (Algorithm 1):" in out
+        assert "exact optimum" in out
+        assert "P_ideal" in out
+
+
+class TestDriveHarvest:
+    def test_short_run(self):
+        out = run_example("drive_harvest.py", "30")
+        assert "Energy Output (J)" in out
+        for scheme in ("DNOR", "INOR", "EHTR", "Baseline"):
+            assert scheme in out
+        assert "DNOR vs baseline energy" in out
+
+
+class TestTwoDimensionalRadiator:
+    def test_runs_and_reports(self):
+        out = run_example("two_dimensional_radiator.py")
+        assert "Bank MPP:" in out
+        assert "Reconfiguration gain:" in out
+
+
+class TestColdStart:
+    def test_runs_and_reports(self):
+        out = run_example("cold_start.py")
+        assert "DNOR group count while warming" in out
+        assert "cold start" in out.lower()
+
+
+@pytest.mark.slow
+class TestSlowExamples:
+    def test_industrial_boiler(self):
+        out = run_example("industrial_boiler.py")
+        assert "Runtime scaling" in out
+        assert "reconfiguration gain" in out
+
+    def test_prediction_showcase(self):
+        out = run_example("prediction_showcase.py")
+        assert "Best mean MAPE: MLR" in out

@@ -1,0 +1,133 @@
+"""End-to-end integration tests: the paper's experiment in miniature.
+
+These run the complete pipeline — synthetic drive, engine/coolant loop,
+radiator, TEG array, charger, all four policies — on a shortened trace
+and assert the *shape* of the paper's results (orderings and rough
+factors), which is exactly what EXPERIMENTS.md checks at full scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.scenario import default_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return default_scenario(duration_s=120.0, seed=2018, n_modules=100)
+
+
+@pytest.fixture(scope="module")
+def all_results(scenario):
+    simulator = scenario.make_simulator()
+    return {
+        name: simulator.run(policy, scenario.make_charger())
+        for name, policy in scenario.make_policies().items()
+    }
+
+
+class TestTableOneShape:
+    def test_energy_ordering(self, all_results):
+        """DNOR > INOR > Baseline and EHTR > Baseline (Table I)."""
+        assert (
+            all_results["DNOR"].energy_output_j
+            > all_results["INOR"].energy_output_j
+            > all_results["Baseline"].energy_output_j
+        )
+        assert (
+            all_results["EHTR"].energy_output_j
+            > all_results["Baseline"].energy_output_j
+        )
+
+    def test_inor_vs_ehtr_close(self, all_results):
+        """The two near-optimal periodic schemes are within a few %."""
+        ratio = (
+            all_results["INOR"].energy_output_j
+            / all_results["EHTR"].energy_output_j
+        )
+        assert 0.97 < ratio < 1.08
+
+    def test_dnor_over_baseline_scale(self, all_results):
+        """Paper: +30%. Shape check: clearly double-digit improvement."""
+        gain = (
+            all_results["DNOR"].energy_output_j
+            / all_results["Baseline"].energy_output_j
+        )
+        assert gain > 1.12
+
+    def test_overhead_ordering(self, all_results):
+        """DNOR's switching bill is orders of magnitude below the
+        periodic schemes' (the paper's ~100x claim)."""
+        assert all_results["DNOR"].switch_overhead_j * 5 < all_results[
+            "INOR"
+        ].switch_overhead_j
+        assert all_results["EHTR"].switch_overhead_j >= all_results[
+            "INOR"
+        ].switch_overhead_j * 0.9
+
+    def test_runtime_ordering(self, all_results):
+        """EHTR is the slow one; DNOR amortises below INOR."""
+        assert (
+            all_results["EHTR"].average_runtime_ms
+            > 5 * all_results["INOR"].average_runtime_ms
+        )
+        assert (
+            all_results["DNOR"].average_runtime_ms
+            <= all_results["INOR"].average_runtime_ms * 1.5
+        )
+
+
+class TestFigSevenShape:
+    def test_reconfig_schemes_track_ideal(self, all_results):
+        for scheme in ("DNOR", "INOR", "EHTR"):
+            assert float(all_results[scheme].ratio_to_ideal().mean()) > 0.85
+
+    def test_baseline_markedly_lower(self, all_results):
+        baseline = float(all_results["Baseline"].ratio_to_ideal().mean())
+        dnor = float(all_results["DNOR"].ratio_to_ideal().mean())
+        assert baseline < dnor - 0.10
+
+    def test_ratios_below_one(self, all_results):
+        for result in all_results.values():
+            assert np.all(result.ratio_to_ideal() <= 1.0 + 1e-9)
+
+    def test_dnor_switch_points_sparse(self, all_results):
+        """The paper marks only a handful of DNOR switch points."""
+        n_epochs = 120 / 2.0  # one decision per t_p + 1 = 2 s
+        assert all_results["DNOR"].switch_count < n_epochs / 3
+
+
+class TestEnergyAccounting:
+    def test_net_energy_consistency(self, all_results):
+        for result in all_results.values():
+            assert result.energy_output_j == pytest.approx(
+                result.delivered_energy_j - result.switch_overhead_j
+            )
+
+    def test_net_power_series_integrates_to_net_energy(self, all_results):
+        for result in all_results.values():
+            integrated = float(result.net_power_w().sum() * result.dt_s)
+            assert integrated == pytest.approx(result.energy_output_j, rel=1e-9)
+
+    def test_battery_absorbs_delivered_energy(self, scenario):
+        simulator = scenario.make_simulator()
+        charger = scenario.make_charger(with_battery=True)
+        result = simulator.run(scenario.make_baseline_policy(), charger)
+        assert charger.battery.absorbed_energy_j == pytest.approx(
+            result.delivered_energy_j, rel=1e-6
+        )
+
+
+class TestCrossSeedRobustness:
+    @pytest.mark.parametrize("seed", [1, 99])
+    def test_orderings_hold_across_seeds(self, seed):
+        scenario = default_scenario(duration_s=60.0, seed=seed, n_modules=100)
+        simulator = scenario.make_simulator()
+        dnor = simulator.run(scenario.make_dnor_policy(), scenario.make_charger())
+        inor = simulator.run(scenario.make_inor_policy(), scenario.make_charger())
+        base = simulator.run(
+            scenario.make_baseline_policy(), scenario.make_charger()
+        )
+        assert dnor.energy_output_j > base.energy_output_j
+        assert inor.energy_output_j > base.energy_output_j
+        assert dnor.switch_overhead_j < inor.switch_overhead_j / 3

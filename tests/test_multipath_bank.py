@@ -1,0 +1,156 @@
+"""Tests for the 2-D radiator bank (thermal.multipath + teg.bank)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ArrayConfiguration
+from repro.errors import ConfigurationError, ModelParameterError
+from repro.power.charger import TEGCharger
+from repro.teg.bank import (
+    bank_mpp,
+    bank_power_at_voltage,
+    chain_state,
+    reconfigure_bank,
+)
+from repro.teg.datasheet import TGM_199_1_4_0_8
+from repro.thermal.multipath import MultiPathRadiator, PathImbalance
+from repro.vehicle.trace import default_radiator
+
+
+@pytest.fixture
+def multipath():
+    return MultiPathRadiator(default_radiator(), n_paths=4)
+
+
+class TestPathImbalance:
+    def test_even_split(self):
+        coolant, air = PathImbalance.even(4).normalised(4)
+        assert np.allclose(coolant, 0.25)
+        assert np.allclose(air, 0.25)
+
+    def test_random_normalises(self):
+        coolant, air = PathImbalance.random(5, spread=0.2, seed=3).normalised(5)
+        assert coolant.sum() == pytest.approx(1.0)
+        assert air.sum() == pytest.approx(1.0)
+        assert np.all(coolant > 0.0)
+
+    def test_random_deterministic(self):
+        a = PathImbalance.random(4, seed=7)
+        b = PathImbalance.random(4, seed=7)
+        assert a.coolant_flow_factors == b.coolant_flow_factors
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ModelParameterError):
+            PathImbalance.even(3).normalised(4)
+
+    def test_bad_spread_rejected(self):
+        with pytest.raises(ModelParameterError):
+            PathImbalance.random(4, spread=1.5)
+
+
+class TestMultiPathRadiator:
+    def test_even_paths_identical(self, multipath):
+        matrix = multipath.delta_t_matrix(90.0, 0.24, 25.0, 0.8, 25)
+        assert matrix.shape == (4, 25)
+        for row in matrix[1:]:
+            assert np.allclose(row, matrix[0])
+
+    def test_total_duty_preserved_scale(self, multipath):
+        """Four even paths at quarter flow reject roughly what one path
+        at full flow does (mild nonlinearity from UA flow exponents)."""
+        points = multipath.operating_points(90.0, 0.24, 25.0, 0.8, 25)
+        total = sum(op.solution.duty_w for op in points)
+        single = default_radiator().operating_point(90.0, 0.24, 25.0, 0.8, 25)
+        assert total == pytest.approx(single.solution.duty_w, rel=0.25)
+
+    def test_imbalance_differentiates_paths(self):
+        mp = MultiPathRadiator(
+            default_radiator(), 4, PathImbalance.random(4, spread=0.25, seed=2)
+        )
+        matrix = mp.delta_t_matrix(90.0, 0.24, 25.0, 0.8, 25)
+        assert not np.allclose(matrix[0], matrix[1])
+
+    def test_rejects_zero_paths(self):
+        with pytest.raises(ModelParameterError):
+            MultiPathRadiator(default_radiator(), 0)
+
+
+class TestBankElectrical:
+    def test_identical_chains_scale_current(self):
+        config = ArrayConfiguration.uniform(10, 2)
+        emf = np.linspace(2.0, 3.0, 10)
+        res = np.full(10, 2.9)
+        single = chain_state(emf, res, config)
+        double = bank_mpp([single, single])
+        alone = bank_mpp([single])
+        assert double.voltage_v == pytest.approx(alone.voltage_v)
+        assert double.current_a == pytest.approx(2 * alone.current_a)
+        assert double.power_w == pytest.approx(2 * alone.power_w)
+
+    def test_bank_mpp_dominates_voltage_sweep(self):
+        config = ArrayConfiguration.uniform(10, 2)
+        rng = np.random.default_rng(4)
+        chains = [
+            chain_state(rng.uniform(1.5, 3.5, 10), np.full(10, 2.9), config)
+            for _ in range(3)
+        ]
+        mpp = bank_mpp(chains)
+        for frac in (0.5, 0.8, 1.2, 1.5):
+            assert (
+                bank_power_at_voltage(chains, mpp.voltage_v * frac)
+                <= mpp.power_w + 1e-9
+            )
+
+    def test_power_at_mpp_voltage_matches(self):
+        config = ArrayConfiguration.uniform(8, 2)
+        chains = [
+            chain_state(np.linspace(2, 3, 8), np.full(8, 2.9), config),
+            chain_state(np.linspace(1.8, 2.8, 8), np.full(8, 2.9), config),
+        ]
+        mpp = bank_mpp(chains)
+        assert bank_power_at_voltage(chains, mpp.voltage_v) == pytest.approx(
+            mpp.power_w
+        )
+
+    def test_empty_bank_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bank_mpp([])
+
+
+class TestReconfigureBank:
+    def test_one_chain_per_path(self, multipath):
+        matrix = multipath.delta_t_matrix(90.0, 0.24, 25.0, 0.8, 25)
+        chains = reconfigure_bank(TGM_199_1_4_0_8, matrix, TEGCharger())
+        assert len(chains) == 4
+        for chain in chains:
+            assert chain.config.n_modules == 25
+
+    def test_even_paths_get_identical_configs(self, multipath):
+        matrix = multipath.delta_t_matrix(90.0, 0.24, 25.0, 0.8, 25)
+        chains = reconfigure_bank(TGM_199_1_4_0_8, matrix, TEGCharger())
+        assert all(c.config == chains[0].config for c in chains)
+
+    def test_bank_beats_uniform_grid_bank(self):
+        """Per-path INOR on a maldistributed bank outperforms per-path
+        uniform grids — the 2-D analogue of the paper's claim."""
+        mp = MultiPathRadiator(
+            default_radiator(), 4, PathImbalance.random(4, spread=0.25, seed=2)
+        )
+        matrix = mp.delta_t_matrix(90.0, 0.24, 25.0, 0.8, 25)
+        charger = TEGCharger()
+        optimised = bank_mpp(reconfigure_bank(TGM_199_1_4_0_8, matrix, charger))
+
+        alpha = (
+            TGM_199_1_4_0_8.material.seebeck_v_per_k * TGM_199_1_4_0_8.n_couples
+        )
+        r_module = TGM_199_1_4_0_8.internal_resistance()
+        grid = ArrayConfiguration.uniform(25, 5)
+        grid_chains = [
+            chain_state(alpha * row, np.full(25, r_module), grid)
+            for row in matrix
+        ]
+        assert optimised.power_w > bank_mpp(grid_chains).power_w
+
+    def test_rejects_1d_matrix(self):
+        with pytest.raises(ConfigurationError):
+            reconfigure_bank(TGM_199_1_4_0_8, np.ones(10))

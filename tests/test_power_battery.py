@@ -1,0 +1,60 @@
+"""Tests for repro.power.battery."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.power.battery import LeadAcidBattery
+
+
+class TestAcceptance:
+    def test_accepts_offered_power(self):
+        battery = LeadAcidBattery()
+        assert battery.accept(50.0, 1.0) == pytest.approx(50.0)
+
+    def test_tracks_absorbed_energy(self):
+        battery = LeadAcidBattery()
+        battery.accept(50.0, 2.0)
+        battery.accept(25.0, 4.0)
+        assert battery.absorbed_energy_j == pytest.approx(200.0)
+
+    def test_current_ceiling(self):
+        battery = LeadAcidBattery(max_charge_current_a=10.0, charge_voltage_v=13.8)
+        accepted = battery.accept(500.0, 1.0)
+        assert accepted == pytest.approx(138.0)
+
+    def test_full_battery_refuses(self):
+        battery = LeadAcidBattery(initial_soc=1.0)
+        assert battery.accept(50.0, 1.0) == 0.0
+
+    def test_soc_increases_with_charge(self):
+        battery = LeadAcidBattery(capacity_ah=1.0, initial_soc=0.0)
+        battery.accept(13.8, 3600.0)  # one amp-hour offered
+        assert battery.soc == pytest.approx(0.95)  # coulombic efficiency
+
+    def test_soc_saturates_at_one(self):
+        battery = LeadAcidBattery(capacity_ah=0.01, initial_soc=0.99)
+        battery.accept(276.0, 3600.0)
+        assert battery.soc == 1.0
+
+    def test_rejects_negative_power(self):
+        battery = LeadAcidBattery()
+        with pytest.raises(ModelParameterError):
+            battery.accept(-1.0, 1.0)
+
+    def test_rejects_nonpositive_dt(self):
+        battery = LeadAcidBattery()
+        with pytest.raises(ModelParameterError):
+            battery.accept(1.0, 0.0)
+
+
+class TestValidation:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ModelParameterError):
+            LeadAcidBattery(capacity_ah=0.0)
+
+    def test_rejects_bad_soc(self):
+        with pytest.raises(ModelParameterError):
+            LeadAcidBattery(initial_soc=1.5)
+
+    def test_charge_voltage_exposed(self):
+        assert LeadAcidBattery().charge_voltage_v == pytest.approx(13.8)

@@ -1,0 +1,83 @@
+"""Tests for repro.power.charger."""
+
+import pytest
+
+from repro.power.battery import LeadAcidBattery
+from repro.power.charger import TEGCharger
+from repro.power.converter import BuckBoostConverter
+from repro.power.mppt import PerturbObserveMPPT
+
+
+class TestDeliveredAtMPP:
+    def test_applies_converter_curve(self, small_array):
+        charger = TEGCharger()
+        mpp = small_array.configured_mpp([0, 5, 10, 15])
+        expected = charger.converter.output_power(mpp.power_w, mpp.voltage_v)
+        assert charger.delivered_at_mpp(mpp) == pytest.approx(expected)
+
+    def test_voltage_preference_changes_ranking(self, small_array):
+        """Two configs with similar raw power rank differently after the
+        converter — the effect INOR's n-range exists to exploit."""
+        charger = TEGCharger()
+        few_groups = small_array.configured_mpp([0, 10])          # low voltage
+        many_groups = small_array.configured_mpp(list(range(0, 20, 2)))
+        raw_ratio = few_groups.power_w / many_groups.power_w
+        delivered_ratio = charger.delivered_at_mpp(few_groups) / charger.delivered_at_mpp(
+            many_groups
+        )
+        assert delivered_ratio != pytest.approx(raw_ratio, rel=1e-3)
+
+    def test_preferred_window_delegates(self):
+        charger = TEGCharger()
+        assert charger.preferred_voltage_window(0.03) == pytest.approx(
+            charger.converter.preferred_voltage_window(0.03)
+        )
+
+
+class TestStep:
+    def test_exact_tracking_uses_analytic_mpp(self, small_array):
+        charger = TEGCharger(exact_tracking=True)
+        report = charger.step(small_array, [0, 5, 10, 15], dt_s=0.5)
+        mpp = small_array.configured_mpp([0, 5, 10, 15])
+        assert report.array_power_w == pytest.approx(mpp.power_w)
+        assert report.array_voltage_v == pytest.approx(mpp.voltage_v)
+        assert report.mppt_iterations == 0
+
+    def test_po_tracking_close_to_exact(self, small_array):
+        exact = TEGCharger(exact_tracking=True)
+        tracked = TEGCharger(
+            exact_tracking=False,
+            mppt=PerturbObserveMPPT(initial_step_a=0.3, min_step_a=1e-4),
+        )
+        starts = [0, 5, 10, 15]
+        exact_report = exact.step(small_array, starts, dt_s=0.5)
+        tracked_report = tracked.step(small_array, starts, dt_s=0.5)
+        assert tracked_report.array_power_w == pytest.approx(
+            exact_report.array_power_w, rel=1e-3
+        )
+        assert tracked_report.mppt_iterations > 0
+
+    def test_battery_accepts_delivered(self, small_array):
+        battery = LeadAcidBattery()
+        charger = TEGCharger(battery=battery)
+        report = charger.step(small_array, [0, 5, 10, 15], dt_s=2.0)
+        assert report.accepted_power_w == pytest.approx(report.delivered_power_w)
+        assert battery.absorbed_energy_j == pytest.approx(
+            report.accepted_power_w * 2.0
+        )
+
+    def test_no_battery_passthrough(self, small_array):
+        charger = TEGCharger(battery=None)
+        report = charger.step(small_array, [0, 5, 10, 15], dt_s=0.5)
+        assert report.accepted_power_w == report.delivered_power_w
+
+    def test_delivered_below_array_power(self, small_array):
+        report = TEGCharger().step(small_array, [0, 5, 10, 15], dt_s=0.5)
+        assert report.delivered_power_w < report.array_power_w
+
+    def test_efficiency_reported(self, small_array):
+        report = TEGCharger().step(small_array, [0, 5, 10, 15], dt_s=0.5)
+        converter = BuckBoostConverter()
+        assert report.conversion_efficiency == pytest.approx(
+            converter.efficiency(report.array_voltage_v)
+        )

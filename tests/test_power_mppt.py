@@ -1,0 +1,84 @@
+"""Tests for repro.power.mppt — perturb & observe tracking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.power.mppt import PerturbObserveMPPT
+from repro.teg.network import array_mpp, power_at_current
+
+
+def parabola(i_opt: float, p_max: float):
+    """A concave P(I) with known maximum."""
+    return lambda i: p_max - (i - i_opt) ** 2
+
+
+class TestTracking:
+    def test_finds_parabola_maximum(self):
+        tracker = PerturbObserveMPPT()
+        result = tracker.track(parabola(2.0, 10.0))
+        assert result.converged
+        assert result.current_a == pytest.approx(2.0, abs=0.02)
+        assert result.power_w == pytest.approx(10.0, abs=0.01)
+
+    def test_warm_start_converges_faster(self):
+        tracker = PerturbObserveMPPT()
+        cold = tracker.track(parabola(2.0, 10.0), initial_current_a=0.0)
+        warm = tracker.track(parabola(2.0, 10.0), initial_current_a=1.95)
+        assert warm.iterations <= cold.iterations
+
+    def test_fixed_step_limit_cycles(self):
+        """Classic P&O (no shrink) oscillates but stays near the MPP."""
+        tracker = PerturbObserveMPPT(
+            initial_step_a=0.1, shrink_factor=1.0, max_iterations=100
+        )
+        result = tracker.track(parabola(2.0, 10.0))
+        assert not result.converged
+        assert abs(result.current_a - 2.0) < 0.3
+
+    def test_tracks_teg_array_mpp(self, module_params):
+        """On the real array P-I curve, P&O lands on the analytic MPP."""
+        emf, res = module_params
+        starts = [0, 5, 10, 15]
+        analytic = array_mpp(emf, res, starts)
+        tracker = PerturbObserveMPPT(initial_step_a=0.3, min_step_a=1e-4)
+        result = tracker.track(
+            lambda i: power_at_current(emf, res, starts, i)
+        )
+        assert result.power_w == pytest.approx(analytic.power_w, rel=1e-4)
+        assert result.current_a == pytest.approx(analytic.current_a, rel=1e-2)
+
+    def test_trajectory_records_path(self):
+        tracker = PerturbObserveMPPT()
+        result = tracker.track(parabola(1.0, 5.0))
+        assert len(result.trajectory_a) >= 2
+        assert result.trajectory_a[-1] == result.current_a
+
+    def test_current_never_negative(self):
+        tracker = PerturbObserveMPPT(initial_step_a=1.0)
+        result = tracker.track(parabola(0.05, 1.0))
+        assert all(i >= 0.0 for i in result.trajectory_a)
+
+
+class TestSettleTime:
+    def test_settle_time_linear_in_iterations(self):
+        tracker = PerturbObserveMPPT(settle_time_per_step_s=1e-3)
+        assert tracker.settle_time_s(50) == pytest.approx(0.05)
+
+    def test_rejects_negative_iterations(self):
+        with pytest.raises(ModelParameterError):
+            PerturbObserveMPPT().settle_time_s(-1)
+
+
+class TestValidation:
+    def test_rejects_bad_shrink(self):
+        with pytest.raises(ModelParameterError):
+            PerturbObserveMPPT(shrink_factor=0.0)
+
+    def test_rejects_zero_step(self):
+        with pytest.raises(ModelParameterError):
+            PerturbObserveMPPT(initial_step_a=0.0)
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ModelParameterError):
+            PerturbObserveMPPT(max_iterations=0)

@@ -1,0 +1,61 @@
+"""Tests for repro.prediction.baselines."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.baselines import DriftPredictor, PersistencePredictor
+from repro.prediction.mlr import MLRPredictor
+
+
+def ramp_history(n_rows=40, n_modules=3):
+    t = np.arange(n_rows, dtype=float)[:, None]
+    return 60.0 + 0.1 * t + np.linspace(0, 10, n_modules)[None, :]
+
+
+class TestPersistence:
+    def test_holds_last_value(self):
+        history = ramp_history()
+        predictor = PersistencePredictor().fit(history)
+        forecast = predictor.forecast(history, 3)
+        for row in forecast:
+            assert np.allclose(row, history[-1])
+
+    def test_name(self):
+        assert PersistencePredictor().name == "Persist"
+
+
+class TestDrift:
+    def test_extrapolates_linearly(self):
+        history = ramp_history()
+        predictor = DriftPredictor().fit(history)
+        forecast = predictor.forecast(history, 4)
+        for k, row in enumerate(forecast, start=1):
+            assert np.allclose(row, history[-1] + 0.1 * k)
+
+    def test_constant_series_stays(self):
+        history = np.full((20, 2), 88.0)
+        predictor = DriftPredictor().fit(history)
+        assert np.allclose(predictor.forecast(history, 3), 88.0)
+
+    def test_name(self):
+        assert DriftPredictor().name == "Drift"
+
+
+class TestBaselinesVsMLR:
+    def test_mlr_beats_persistence_on_trend(self):
+        """On a trending series, persistence lags; MLR must not."""
+        history = ramp_history(200)
+        actual_next = history[-1] + 0.1
+
+        persist = PersistencePredictor().fit(history).forecast(history, 1)[0]
+        mlr = MLRPredictor(lags=3).fit(history).forecast(history, 1)[0]
+
+        persist_err = np.abs(persist - actual_next).max()
+        mlr_err = np.abs(mlr - actual_next).max()
+        assert mlr_err < persist_err
+
+    def test_drift_exact_on_linear_mlr_matches(self):
+        history = ramp_history(200)
+        actual_next = history[-1] + 0.1
+        drift = DriftPredictor().fit(history).forecast(history, 1)[0]
+        assert np.allclose(drift, actual_next)

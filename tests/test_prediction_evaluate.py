@@ -1,0 +1,98 @@
+"""Tests for repro.prediction.evaluate (the Fig. 5 procedure)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction.evaluate import walk_forward_evaluation
+from repro.prediction.mlr import MLRPredictor
+
+
+def history_matrix(n_rows=200, n_modules=3) -> np.ndarray:
+    t = np.arange(n_rows, dtype=float)[:, None]
+    return 80.0 + 4.0 * np.sin(2 * np.pi * t / 90.0) + np.linspace(0, 5, n_modules)
+
+
+class TestWalkForward:
+    def test_series_length(self):
+        history = history_matrix()
+        ev = walk_forward_evaluation(
+            MLRPredictor(lags=4), history, horizon_steps=2, warmup_rows=60, stride=5
+        )
+        expected = len(range(60, history.shape[0] - 2, 5))
+        assert ev.mape_series_pct.shape == (expected,)
+        assert ev.eval_times_idx.shape == (expected,)
+
+    def test_aggregates_consistent(self):
+        ev = walk_forward_evaluation(
+            MLRPredictor(lags=4), history_matrix(), horizon_steps=2, warmup_rows=60
+        )
+        assert ev.mean_mape_pct == pytest.approx(float(ev.mape_series_pct.mean()))
+        assert ev.max_mape_pct == pytest.approx(float(ev.mape_series_pct.max()))
+
+    def test_errors_small_on_smooth_series(self):
+        ev = walk_forward_evaluation(
+            MLRPredictor(lags=4), history_matrix(), horizon_steps=2, warmup_rows=60
+        )
+        assert ev.mean_mape_pct < 0.1
+
+    def test_refit_every_reduces_fit_calls(self):
+        slow_fit_counter = {"n": 0}
+
+        class Counting(MLRPredictor):
+            def _fit_impl(self, history):
+                slow_fit_counter["n"] += 1
+                super()._fit_impl(history)
+
+        walk_forward_evaluation(
+            Counting(lags=4),
+            history_matrix(),
+            horizon_steps=2,
+            warmup_rows=60,
+            stride=2,
+            refit_every=10,
+        )
+        first = slow_fit_counter["n"]
+        slow_fit_counter["n"] = 0
+        walk_forward_evaluation(
+            Counting(lags=4),
+            history_matrix(),
+            horizon_steps=2,
+            warmup_rows=60,
+            stride=2,
+            refit_every=1,
+        )
+        assert first < slow_fit_counter["n"]
+
+    def test_timing_fields_populated(self):
+        ev = walk_forward_evaluation(
+            MLRPredictor(lags=4), history_matrix(), horizon_steps=1, warmup_rows=60
+        )
+        assert ev.mean_fit_seconds > 0.0
+        assert ev.mean_forecast_seconds > 0.0
+
+    def test_predictor_name_recorded(self):
+        ev = walk_forward_evaluation(
+            MLRPredictor(), history_matrix(), horizon_steps=1, warmup_rows=60
+        )
+        assert ev.predictor_name == "MLR"
+
+    def test_history_too_short_raises(self):
+        with pytest.raises(PredictionError):
+            walk_forward_evaluation(
+                MLRPredictor(), history_matrix(50), horizon_steps=2, warmup_rows=60
+            )
+
+    def test_bad_stride_raises(self):
+        with pytest.raises(PredictionError):
+            walk_forward_evaluation(
+                MLRPredictor(), history_matrix(), horizon_steps=2, warmup_rows=60,
+                stride=0,
+            )
+
+    def test_warmup_must_cover_lags(self):
+        with pytest.raises(PredictionError):
+            walk_forward_evaluation(
+                MLRPredictor(lags=10), history_matrix(), horizon_steps=2,
+                warmup_rows=5,
+            )

@@ -1,0 +1,98 @@
+"""Tests for repro.prediction.features."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction.features import Standardizer, lag_matrix, pooled_lag_matrix
+
+
+class TestLagMatrix:
+    def test_shapes(self):
+        x, y = lag_matrix(np.arange(10.0), lags=3)
+        assert x.shape == (7, 3)
+        assert y.shape == (7,)
+
+    def test_contents_oldest_first(self):
+        x, y = lag_matrix(np.array([0.0, 1.0, 2.0, 3.0]), lags=2)
+        assert x[0].tolist() == [0.0, 1.0]
+        assert y[0] == 2.0
+        assert x[-1].tolist() == [1.0, 2.0]
+        assert y[-1] == 3.0
+
+    def test_minimum_length(self):
+        x, y = lag_matrix(np.array([1.0, 2.0]), lags=1)
+        assert x.shape == (1, 1)
+
+    def test_too_short_raises(self):
+        with pytest.raises(PredictionError):
+            lag_matrix(np.array([1.0, 2.0]), lags=2)
+
+    def test_rejects_zero_lags(self):
+        with pytest.raises(PredictionError):
+            lag_matrix(np.arange(5.0), lags=0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(PredictionError):
+            lag_matrix(np.zeros((4, 2)), lags=1)
+
+
+class TestPooledLagMatrix:
+    def test_pools_columns(self):
+        history = np.column_stack([np.arange(6.0), np.arange(6.0) * 10])
+        x, y = pooled_lag_matrix(history, lags=2)
+        assert x.shape == (8, 2)  # (6-2) rows * 2 modules
+        assert y.shape == (8,)
+
+    def test_column_relationship_preserved(self):
+        """Each pooled row's target continues its own module's series."""
+        history = np.column_stack([np.arange(6.0), 100.0 + np.arange(6.0)])
+        x, y = pooled_lag_matrix(history, lags=2)
+        for row, target in zip(x, y):
+            assert target == pytest.approx(row[-1] + 1.0)
+
+    def test_1d_input_falls_back(self):
+        series = np.arange(8.0)
+        x1, y1 = pooled_lag_matrix(series, lags=3)
+        x2, y2 = lag_matrix(series, lags=3)
+        assert np.array_equal(x1, x2)
+        assert np.array_equal(y1, y2)
+
+    def test_too_short_raises(self):
+        with pytest.raises(PredictionError):
+            pooled_lag_matrix(np.zeros((2, 4)), lags=2)
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_variance(self, rng):
+        data = rng.normal(50.0, 5.0, size=(200, 3))
+        scaler = Standardizer().fit(data)
+        scaled = scaler.transform(data)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_inverse_roundtrip(self, rng):
+        data = rng.normal(50.0, 5.0, size=(50, 2))
+        scaler = Standardizer().fit(data)
+        assert np.allclose(scaler.inverse(scaler.transform(data)), data)
+
+    def test_constant_column_safe(self):
+        data = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+        scaler = Standardizer().fit(data)
+        scaled = scaler.transform(data)
+        assert np.all(np.isfinite(scaled))
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(PredictionError):
+            Standardizer().transform(np.zeros((2, 2)))
+
+    def test_fitted_flag(self):
+        scaler = Standardizer()
+        assert not scaler.fitted
+        scaler.fit(np.zeros((3, 1)))
+        assert scaler.fitted
+
+    def test_empty_raises(self):
+        with pytest.raises(PredictionError):
+            Standardizer().fit(np.array([]))

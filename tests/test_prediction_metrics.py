@@ -1,0 +1,66 @@
+"""Tests for repro.prediction.metrics (paper Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction.metrics import mae, mape, max_ape, rmse
+
+
+class TestMAPE:
+    def test_perfect_forecast_zero(self):
+        actual = np.array([90.0, 85.0, 80.0])
+        assert mape(actual, actual) == 0.0
+
+    def test_equation_three(self):
+        # M = (100/n) * sum(|A - F| / A)
+        actual = np.array([100.0, 50.0])
+        forecast = np.array([99.0, 51.0])
+        expected = 100.0 / 2.0 * (1.0 / 100.0 + 1.0 / 50.0)
+        assert mape(actual, forecast) == pytest.approx(expected)
+
+    def test_percent_units(self):
+        assert mape(np.array([100.0]), np.array([99.0])) == pytest.approx(1.0)
+
+    def test_flattens_matrices(self):
+        actual = np.array([[100.0, 100.0], [100.0, 100.0]])
+        forecast = actual * 1.01
+        assert mape(actual, forecast) == pytest.approx(1.0)
+
+    def test_rejects_zero_actual(self):
+        with pytest.raises(PredictionError):
+            mape(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(PredictionError):
+            mape(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(PredictionError):
+            mape(np.array([]), np.array([]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(PredictionError):
+            mape(np.array([1.0, np.nan]), np.array([1.0, 1.0]))
+
+
+class TestOtherMetrics:
+    def test_max_ape_is_worst_case(self):
+        actual = np.array([100.0, 100.0])
+        forecast = np.array([99.0, 90.0])
+        assert max_ape(actual, forecast) == pytest.approx(10.0)
+
+    def test_rmse(self):
+        actual = np.array([1.0, 2.0, 3.0])
+        forecast = np.array([1.0, 2.0, 6.0])
+        assert rmse(actual, forecast) == pytest.approx(np.sqrt(3.0))
+
+    def test_mae(self):
+        actual = np.array([1.0, 2.0, 3.0])
+        forecast = np.array([2.0, 2.0, 1.0])
+        assert mae(actual, forecast) == pytest.approx(1.0)
+
+    def test_rmse_at_least_mae(self, rng):
+        actual = rng.uniform(50.0, 100.0, 40)
+        forecast = actual + rng.normal(0.0, 2.0, 40)
+        assert rmse(actual, forecast) >= mae(actual, forecast)

@@ -1,0 +1,203 @@
+"""Tests for the MLR / BPNN / SVR predictors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction.bpnn import BPNNPredictor
+from repro.prediction.mlr import MLRPredictor
+from repro.prediction.svr import SVRPredictor
+
+
+def linear_history(n_rows: int = 120, n_modules: int = 4) -> np.ndarray:
+    """Per-module linear ramps — exactly representable by an AR model."""
+    t = np.arange(n_rows, dtype=float)[:, None]
+    slopes = np.linspace(0.02, 0.08, n_modules)[None, :]
+    offsets = np.linspace(60.0, 90.0, n_modules)[None, :]
+    return offsets + slopes * t
+
+
+def sinusoid_history(n_rows: int = 240, n_modules: int = 6) -> np.ndarray:
+    """Slow thermostat-like oscillation around 85 degC."""
+    t = np.arange(n_rows, dtype=float)[:, None]
+    phase = np.linspace(0.0, 1.0, n_modules)[None, :]
+    return 85.0 + 3.0 * np.sin(2 * np.pi * (t / 120.0 + phase))
+
+
+ALL_PREDICTORS = [
+    lambda: MLRPredictor(lags=4),
+    lambda: BPNNPredictor(lags=4, epochs=40, seed=1),
+    lambda: SVRPredictor(lags=4, epochs=30, seed=1),
+]
+
+
+class TestCommonInterface:
+    @pytest.mark.parametrize("factory", ALL_PREDICTORS)
+    def test_forecast_before_fit_raises(self, factory):
+        with pytest.raises(PredictionError):
+            factory().forecast(linear_history(), 2)
+
+    @pytest.mark.parametrize("factory", ALL_PREDICTORS)
+    def test_forecast_shape(self, factory):
+        history = sinusoid_history()
+        predictor = factory().fit(history)
+        out = predictor.forecast(history, 3)
+        assert out.shape == (3, history.shape[1])
+
+    @pytest.mark.parametrize("factory", ALL_PREDICTORS)
+    def test_1d_history_supported(self, factory):
+        series = sinusoid_history()[:, 0]
+        predictor = factory().fit(series)
+        out = predictor.forecast(series, 2)
+        assert out.shape == (2,)
+
+    @pytest.mark.parametrize("factory", ALL_PREDICTORS)
+    def test_short_history_raises(self, factory):
+        with pytest.raises(PredictionError):
+            factory().fit(np.zeros((3, 2)))
+
+    @pytest.mark.parametrize("factory", ALL_PREDICTORS)
+    def test_rejects_zero_steps(self, factory):
+        history = sinusoid_history()
+        predictor = factory().fit(history)
+        with pytest.raises(PredictionError):
+            predictor.forecast(history, 0)
+
+    @pytest.mark.parametrize("factory", ALL_PREDICTORS)
+    def test_nonfinite_history_rejected(self, factory):
+        history = sinusoid_history()
+        history[5, 0] = np.nan
+        with pytest.raises(PredictionError):
+            factory().fit(history)
+
+    def test_train_window_truncation(self):
+        predictor = MLRPredictor(lags=2, train_window=10)
+        long_history = linear_history(500, 2)
+        predictor.fit(long_history)  # must not be slow or unstable
+        assert predictor.fitted
+
+
+class TestMLR:
+    def test_exact_on_linear_series(self):
+        history = linear_history()
+        predictor = MLRPredictor(lags=3).fit(history)
+        forecast = predictor.forecast(history, 4)
+        t_future = np.arange(history.shape[0], history.shape[0] + 4)[:, None]
+        slopes = np.linspace(0.02, 0.08, history.shape[1])[None, :]
+        offsets = np.linspace(60.0, 90.0, history.shape[1])[None, :]
+        expected = offsets + slopes * t_future
+        assert np.allclose(forecast, expected, atol=1e-6)
+
+    def test_constant_series_stays_constant(self):
+        history = np.full((60, 3), 88.0)
+        predictor = MLRPredictor(lags=4).fit(history)
+        forecast = predictor.forecast(history, 5)
+        assert np.allclose(forecast, 88.0, atol=1e-6)
+
+    def test_coefficients_exposed(self):
+        predictor = MLRPredictor(lags=3).fit(linear_history())
+        assert predictor.coefficients.shape == (3,)
+        assert np.isfinite(predictor.intercept)
+
+    def test_coefficients_before_fit_raise(self):
+        with pytest.raises(PredictionError):
+            MLRPredictor().coefficients
+
+    def test_one_second_mape_below_paper_bound(self):
+        """Paper Fig. 5: worst-case MLR error ~0.3%; smooth dynamics
+        should keep us well under that."""
+        history = sinusoid_history(400, 8)
+        predictor = MLRPredictor(lags=4)
+        errors = []
+        for origin in range(300, 396, 8):
+            predictor.fit(history[:origin])
+            forecast = predictor.forecast(history[:origin], 2)
+            actual = history[origin : origin + 2]
+            errors.append(np.abs((actual - forecast) / actual).max() * 100)
+        assert max(errors) < 0.3
+
+    def test_name(self):
+        assert MLRPredictor().name == "MLR"
+
+
+class TestBPNN:
+    def test_learns_sinusoid_reasonably(self):
+        history = sinusoid_history()
+        predictor = BPNNPredictor(lags=4, epochs=80, seed=3).fit(history)
+        forecast = predictor.forecast(history, 2)
+        actual_range = (history.min(), history.max())
+        assert np.all(forecast > actual_range[0] - 2.0)
+        assert np.all(forecast < actual_range[1] + 2.0)
+
+    def test_deterministic_given_seed(self):
+        history = sinusoid_history()
+        a = BPNNPredictor(seed=7).fit(history).forecast(history, 2)
+        b = BPNNPredictor(seed=7).fit(history).forecast(history, 2)
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self):
+        history = sinusoid_history()
+        a = BPNNPredictor(seed=1).fit(history).forecast(history, 2)
+        b = BPNNPredictor(seed=2).fit(history).forecast(history, 2)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_bad_hyperparams(self):
+        with pytest.raises(PredictionError):
+            BPNNPredictor(hidden_units=0)
+        with pytest.raises(PredictionError):
+            BPNNPredictor(momentum=1.0)
+        with pytest.raises(PredictionError):
+            BPNNPredictor(learning_rate=0.0)
+
+    def test_name(self):
+        assert BPNNPredictor().name == "BPNN"
+
+
+class TestSVR:
+    def test_tracks_linear_series_within_tube(self):
+        history = linear_history()
+        predictor = SVRPredictor(lags=3, epochs=60, seed=2).fit(history)
+        forecast = predictor.forecast(history, 1)
+        actual_next = history[-1] + (history[-1] - history[-2])
+        # Error should be small relative to the ~0.05 K/step dynamics.
+        assert np.all(np.abs(forecast - actual_next) < 1.0)
+
+    def test_deterministic_given_seed(self):
+        history = sinusoid_history()
+        a = SVRPredictor(seed=5).fit(history).forecast(history, 2)
+        b = SVRPredictor(seed=5).fit(history).forecast(history, 2)
+        assert np.array_equal(a, b)
+
+    def test_epsilon_exposed(self):
+        assert SVRPredictor(epsilon=0.05).epsilon == 0.05
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(PredictionError):
+            SVRPredictor(epsilon=-0.1)
+
+    def test_name(self):
+        assert SVRPredictor().name == "SVR"
+
+
+class TestRelativeAccuracy:
+    def test_mlr_beats_others_on_radiator_like_series(self):
+        """The paper's Fig. 5 verdict: MLR is the most accurate."""
+        history = sinusoid_history(360, 6)
+        # Add mild measurement noise so the problem is not trivial.
+        rng = np.random.default_rng(0)
+        noisy = history + rng.normal(0.0, 0.02, history.shape)
+
+        def mean_error(predictor):
+            errs = []
+            for origin in range(280, 350, 10):
+                predictor.fit(noisy[:origin])
+                forecast = predictor.forecast(noisy[:origin], 2)
+                actual = history[origin : origin + 2]
+                errs.append(np.abs((actual - forecast) / actual).mean())
+            return float(np.mean(errs))
+
+        mlr_err = mean_error(MLRPredictor(lags=4))
+        bpnn_err = mean_error(BPNNPredictor(lags=4, epochs=40, seed=1))
+        svr_err = mean_error(SVRPredictor(lags=4, epochs=25, seed=1))
+        assert mlr_err <= bpnn_err
+        assert mlr_err <= svr_err

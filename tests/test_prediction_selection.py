@@ -1,0 +1,74 @@
+"""Tests for repro.prediction.selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PredictionError
+from repro.prediction.baselines import PersistencePredictor
+from repro.prediction.bpnn import BPNNPredictor
+from repro.prediction.mlr import MLRPredictor
+from repro.prediction.selection import select_predictor
+
+
+def history(n_rows=260, n_modules=4):
+    t = np.arange(n_rows, dtype=float)[:, None]
+    return 80.0 + 4.0 * np.sin(2 * np.pi * t / 90.0) + np.linspace(0, 5, n_modules)
+
+
+class TestSelection:
+    def test_mlr_wins_paper_setting(self):
+        """MLR vs BPNN on radiator-like data: the paper's outcome."""
+        report = select_predictor(
+            [MLRPredictor(lags=4), BPNNPredictor(lags=4, epochs=15, seed=1)],
+            history(),
+            horizon_steps=2,
+        )
+        assert report.winner.name == "MLR"
+        assert report.winner.fitted
+
+    def test_tie_broken_by_runtime(self):
+        """Two equally accurate models: the cheaper one must win."""
+        import time
+
+        class SlowMLR(MLRPredictor):
+            @property
+            def name(self):
+                return "SlowMLR"
+
+            def _fit_impl(self, data):
+                time.sleep(0.002)
+                super()._fit_impl(data)
+
+        report = select_predictor(
+            [SlowMLR(lags=4), MLRPredictor(lags=4)],
+            history(),
+            horizon_steps=2,
+            accuracy_tolerance=1.5,
+        )
+        assert report.winner.name == "MLR"
+        assert "cheapest" in report.reason
+
+    def test_evaluations_cover_candidates(self):
+        candidates = [MLRPredictor(lags=4), PersistencePredictor()]
+        report = select_predictor(candidates, history(), horizon_steps=2)
+        assert [e.predictor_name for e in report.evaluations] == ["MLR", "Persist"]
+
+    def test_reason_is_informative(self):
+        report = select_predictor(
+            [MLRPredictor(lags=4), PersistencePredictor()],
+            history(),
+            horizon_steps=2,
+        )
+        assert "selected" in report.reason
+        assert report.winner.name in report.reason
+
+    def test_no_candidates_rejected(self):
+        with pytest.raises(PredictionError):
+            select_predictor([], history(), horizon_steps=2)
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(PredictionError):
+            select_predictor(
+                [MLRPredictor()], history(), horizon_steps=2,
+                accuracy_tolerance=0.5,
+            )

@@ -1,0 +1,95 @@
+"""Property-based tests for the prediction stack."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.prediction.baselines import DriftPredictor, PersistencePredictor
+from repro.prediction.features import pooled_lag_matrix
+from repro.prediction.metrics import mae, mape, rmse
+from repro.prediction.mlr import MLRPredictor
+
+
+class TestMLRProperties:
+    @given(
+        st.floats(-0.9, 0.9),
+        st.floats(-0.5, 0.5),
+        st.floats(50.0, 100.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_recovers_stable_ar2_process(self, a1, a2, level):
+        """MLR fitted on a noiseless AR(2) series reproduces its next
+        samples exactly (the model class contains the truth)."""
+        assume(abs(a2) < 1.0 - abs(a1))  # stationarity triangle
+        n = 160
+        x = np.empty(n)
+        x[0], x[1] = level, level + 1.0
+        for t in range(2, n):
+            x[t] = level + a1 * (x[t - 1] - level) + a2 * (x[t - 2] - level)
+        spread = np.abs(x - level).max()
+        assume(spread > 1e-3)  # skip degenerate collapses
+
+        predictor = MLRPredictor(lags=3, train_window=None).fit(x)
+        forecast = predictor.forecast(x, 2)
+        x_next1 = level + a1 * (x[-1] - level) + a2 * (x[-2] - level)
+        x_next2 = level + a1 * (x_next1 - level) + a2 * (x[-1] - level)
+        assert np.isclose(forecast[0], x_next1, rtol=1e-6, atol=1e-6 * spread + 1e-9)
+        assert np.isclose(forecast[1], x_next2, rtol=1e-6, atol=1e-6 * spread + 1e-9)
+
+    @given(st.integers(2, 6), st.integers(12, 40), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_pooled_matrix_shape_invariant(self, lags, rows, cols):
+        assume(rows > lags)
+        history = np.arange(rows * cols, dtype=float).reshape(rows, cols)
+        x, y = pooled_lag_matrix(history, lags)
+        assert x.shape == ((rows - lags) * cols, lags)
+        assert y.shape == ((rows - lags) * cols,)
+
+
+class TestMetricProperties:
+    @given(
+        st.lists(st.floats(10.0, 200.0), min_size=2, max_size=30),
+        st.floats(-5.0, 5.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_mape_shift_invariance_scale(self, values, shift):
+        """Constant multiplicative error k gives MAPE = |k - 1| * 100."""
+        actual = np.asarray(values)
+        factor = 1.0 + shift / 100.0
+        assert mape(actual, actual * factor) == np.float64(
+            abs(shift)
+        ).round(6) or np.isclose(
+            mape(actual, actual * factor), abs(shift), rtol=1e-9, atol=1e-9
+        )
+
+    @given(st.lists(st.floats(-50.0, 50.0), min_size=2, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_rmse_dominates_mae(self, values):
+        actual = np.zeros(len(values))
+        forecast = np.asarray(values)
+        assert rmse(actual + 100.0, forecast + 100.0) >= mae(
+            actual + 100.0, forecast + 100.0
+        ) - 1e-12
+
+
+class TestBaselineProperties:
+    @given(st.lists(st.floats(50.0, 150.0), min_size=5, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_persistence_forecast_constant(self, values):
+        series = np.asarray(values)
+        predictor = PersistencePredictor().fit(series)
+        forecast = predictor.forecast(series, 4)
+        assert np.all(forecast == series[-1])
+
+    @given(
+        st.floats(50.0, 150.0),
+        st.floats(-2.0, 2.0),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_drift_exact_on_affine_series(self, start, slope, horizon):
+        series = start + slope * np.arange(30.0)
+        predictor = DriftPredictor().fit(series)
+        forecast = predictor.forecast(series, horizon)
+        expected = series[-1] + slope * np.arange(1, horizon + 1)
+        assert np.allclose(forecast, expected, rtol=1e-9, atol=1e-7)

@@ -1,0 +1,78 @@
+"""Public API surface tests."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPackageMetadata:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_paper_identity(self):
+        assert "Thermoelectric" in repro.PAPER_TITLE
+        assert repro.PAPER_VENUE == "DATE 2018"
+        assert repro.PAPER_ARXIV == "1804.01574"
+
+
+class TestAllExports:
+    def test_every_name_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing {name!r}"
+
+    def test_all_sorted_unique(self):
+        assert len(set(repro.__all__)) == len(repro.__all__)
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.teg",
+            "repro.thermal",
+            "repro.vehicle",
+            "repro.power",
+            "repro.prediction",
+            "repro.sim",
+        ],
+    )
+    def test_subpackage_all_resolvable(self, module):
+        mod = importlib.import_module(module)
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{module}.__all__ lists missing {name!r}"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_base(self):
+        for exc in (
+            repro.ConfigurationError,
+            repro.ModelParameterError,
+            repro.PredictionError,
+            repro.SimulationError,
+        ):
+            assert issubclass(exc, repro.TegkitError)
+
+    def test_base_is_exception(self):
+        assert issubclass(repro.TegkitError, Exception)
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "obj_name",
+        [
+            "TEGArray",
+            "TEGCharger",
+            "ArrayConfiguration",
+            "SwitchingOverheadModel",
+            "MLRPredictor",
+            "HarvestSimulator",
+            "inor",
+            "ehtr",
+            "default_scenario",
+            "porter_ii_trace",
+        ],
+    )
+    def test_public_objects_documented(self, obj_name):
+        obj = getattr(repro, obj_name)
+        assert obj.__doc__ and len(obj.__doc__.strip()) > 20

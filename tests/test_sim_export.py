@@ -1,0 +1,60 @@
+"""Tests for repro.sim.export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.sim.export import SERIES_COLUMNS, result_series_to_csv, summary_rows_to_csv
+from repro.sim.scenario import default_scenario
+
+
+@pytest.fixture(scope="module")
+def result():
+    scenario = default_scenario(duration_s=20.0, seed=6, n_modules=25)
+    simulator = scenario.make_simulator()
+    return simulator.run(scenario.make_inor_policy(), scenario.make_charger())
+
+
+class TestSeriesExport:
+    def test_header_and_row_count(self, result, tmp_path):
+        path = result_series_to_csv(result, tmp_path / "series.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert tuple(rows[0]) == SERIES_COLUMNS
+        assert len(rows) - 1 == result.time_s.size
+
+    def test_values_roundtrip(self, result, tmp_path):
+        path = result_series_to_csv(result, tmp_path / "series.csv")
+        with path.open() as handle:
+            reader = csv.DictReader(handle)
+            first = next(reader)
+        assert float(first["time_s"]) == pytest.approx(result.time_s[0])
+        assert float(first["delivered_power_w"]) == pytest.approx(
+            result.delivered_power_w[0]
+        )
+        assert int(first["n_groups"]) == result.n_groups_series[0]
+
+    def test_net_power_column_integrates(self, result, tmp_path):
+        path = result_series_to_csv(result, tmp_path / "series.csv")
+        with path.open() as handle:
+            net = [float(row["net_power_w"]) for row in csv.DictReader(handle)]
+        assert sum(net) * result.dt_s == pytest.approx(
+            result.energy_output_j, rel=1e-9
+        )
+
+
+class TestSummaryExport:
+    def test_one_row_per_scheme(self, result, tmp_path):
+        path = summary_rows_to_csv([result, result], tmp_path / "summary.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 2
+        assert rows[0]["scheme"] == "INOR"
+        assert float(rows[0]["energy_output_j"]) == pytest.approx(
+            result.energy_output_j
+        )
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            summary_rows_to_csv([], tmp_path / "summary.csv")

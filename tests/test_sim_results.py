@@ -1,0 +1,109 @@
+"""Tests for repro.sim.results."""
+
+import numpy as np
+import pytest
+
+from repro.core.overhead import OverheadEvent
+from repro.sim.results import SimulationResult, comparison_table, summary_row
+
+
+def make_result(
+    scheme="INOR",
+    n=10,
+    delivered=50.0,
+    ideal=60.0,
+    events=(),
+) -> SimulationResult:
+    return SimulationResult(
+        scheme=scheme,
+        time_s=np.arange(n) * 0.5,
+        gross_power_w=np.full(n, delivered + 3.0),
+        delivered_power_w=np.full(n, delivered),
+        ideal_power_w=np.full(n, ideal),
+        array_voltage_v=np.full(n, 14.0),
+        runtime_s=np.full(n, 2.0e-3),
+        overhead_events=tuple(events),
+        switch_times_s=tuple(e.time_s for e in events),
+        n_groups_series=np.full(n, 10, dtype=np.int64),
+    )
+
+
+def make_event(time_s=1.0, energy=1.2, toggles=30) -> OverheadEvent:
+    return OverheadEvent(
+        time_s=time_s,
+        downtime_s=0.02,
+        energy_j=energy,
+        toggles=toggles,
+        compute_time_s=1e-3,
+    )
+
+
+class TestTotals:
+    def test_delivered_energy(self):
+        result = make_result(n=10, delivered=50.0)
+        assert result.delivered_energy_j == pytest.approx(50.0 * 10 * 0.5)
+
+    def test_overhead_sums_events(self):
+        result = make_result(events=[make_event(1.0, 1.2), make_event(2.0, 0.8)])
+        assert result.switch_overhead_j == pytest.approx(2.0)
+
+    def test_energy_output_is_net(self):
+        result = make_result(events=[make_event(1.0, 5.0)])
+        assert result.energy_output_j == pytest.approx(
+            result.delivered_energy_j - 5.0
+        )
+
+    def test_average_runtime_ms(self):
+        result = make_result()
+        assert result.average_runtime_ms == pytest.approx(2.0)
+
+    def test_switch_and_toggle_counts(self):
+        result = make_result(events=[make_event(toggles=30), make_event(toggles=12)])
+        assert result.switch_count == 2
+        assert result.total_toggles == 42
+
+    def test_duration(self):
+        result = make_result(n=10)
+        assert result.duration_s == pytest.approx(5.0)
+
+
+class TestSeries:
+    def test_ratio_to_ideal(self):
+        result = make_result(delivered=45.0, ideal=60.0)
+        assert np.allclose(result.ratio_to_ideal(), 0.75)
+
+    def test_ratio_zero_ideal_safe(self):
+        result = make_result()
+        result.ideal_power_w[3] = 0.0
+        ratio = result.ratio_to_ideal()
+        assert ratio[3] == 0.0
+        assert np.all(np.isfinite(ratio))
+
+    def test_net_power_deducts_events_at_their_step(self):
+        event = make_event(time_s=1.0, energy=2.0)
+        result = make_result(events=[event])
+        net = result.net_power_w()
+        idx = int(round(1.0 / 0.5))
+        assert net[idx] == pytest.approx(result.delivered_power_w[idx] - 2.0 / 0.5)
+        others = np.delete(net, idx)
+        assert np.allclose(others, result.delivered_power_w[0])
+
+
+class TestRendering:
+    def test_summary_row_keys(self):
+        row = summary_row(make_result())
+        assert row["scheme"] == "INOR"
+        assert "energy_output_j" in row
+        assert "average_runtime_ms" in row
+
+    def test_comparison_table_contains_all_schemes(self):
+        results = [make_result(scheme=s) for s in ("DNOR", "INOR", "EHTR", "Baseline")]
+        table = comparison_table(results)
+        for scheme in ("DNOR", "INOR", "EHTR", "Baseline"):
+            assert scheme in table
+        assert "Energy Output (J)" in table
+        assert "Average Runtime (ms)" in table
+
+    def test_zero_switch_scheme_renders_slash(self):
+        table = comparison_table([make_result(scheme="Baseline")])
+        assert "/" in table

@@ -1,0 +1,72 @@
+"""Scenario configuration variants and factory behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.baselines import PersistencePredictor
+from repro.sim.scenario import default_scenario
+
+
+class TestDefaultScenario:
+    def test_paper_defaults(self):
+        scenario = default_scenario(duration_s=20.0)
+        assert scenario.n_modules == 100
+        assert scenario.module.name == "TGM-199-1.4-0.8"
+        assert scenario.control_period_s == 0.5
+        assert scenario.tp_seconds == 1.0
+
+    def test_duration_controls_trace(self):
+        scenario = default_scenario(duration_s=30.0)
+        assert scenario.trace.duration_s == pytest.approx(30.0)
+
+    def test_seed_controls_trace(self):
+        a = default_scenario(duration_s=20.0, seed=1)
+        b = default_scenario(duration_s=20.0, seed=1)
+        c = default_scenario(duration_s=20.0, seed=2)
+        assert np.array_equal(a.trace.coolant_inlet_c, b.trace.coolant_inlet_c)
+        assert not np.allclose(a.trace.coolant_inlet_c, c.trace.coolant_inlet_c)
+
+    def test_tp_override(self):
+        scenario = default_scenario(duration_s=20.0, tp_seconds=3.0)
+        policy = scenario.make_dnor_policy()
+        assert policy.planner.tp_seconds == 3.0
+        assert policy.planner.epoch_seconds == 4.0
+
+    def test_nominal_compute_propagates(self):
+        scenario = default_scenario(duration_s=20.0, nominal_compute_s=2e-3)
+        simulator = scenario.make_simulator()
+        assert simulator._nominal_compute_s == 2e-3
+
+
+class TestFactoryIsolation:
+    def test_policies_are_fresh_instances(self):
+        scenario = default_scenario(duration_s=20.0, n_modules=25)
+        first = scenario.make_policies()
+        second = scenario.make_policies()
+        for name in first:
+            assert first[name] is not second[name]
+
+    def test_custom_predictor_injected(self):
+        scenario = default_scenario(duration_s=20.0, n_modules=25)
+        predictor = PersistencePredictor()
+        policy = scenario.make_dnor_policy(predictor=predictor)
+        assert policy.planner.predictor is predictor
+
+    def test_baseline_requires_square_array(self):
+        scenario = default_scenario(duration_s=20.0, n_modules=50)
+        with pytest.raises(Exception):
+            scenario.make_baseline_policy()
+
+    def test_inor_policy_period_matches_scenario(self):
+        scenario = default_scenario(duration_s=20.0)
+        assert scenario.make_inor_policy().period_s == scenario.control_period_s
+
+
+class TestDNORWithNaivePredictor:
+    def test_closed_loop_runs(self):
+        """DNOR must function with any LagSeriesPredictor."""
+        scenario = default_scenario(duration_s=20.0, n_modules=25)
+        simulator = scenario.make_simulator()
+        policy = scenario.make_dnor_policy(predictor=PersistencePredictor())
+        result = simulator.run(policy, scenario.make_charger())
+        assert result.energy_output_j > 0.0

@@ -1,0 +1,96 @@
+"""Edge paths of the closed-loop simulator and charger wiring."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.power.charger import TEGCharger
+from repro.power.mppt import PerturbObserveMPPT
+from repro.sim.scenario import default_scenario
+from repro.sim.simulator import HarvestSimulator
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return default_scenario(duration_s=20.0, seed=8, n_modules=25)
+
+
+class TestScannerlessOperation:
+    def test_runs_without_scanner(self, scenario):
+        simulator = HarvestSimulator(
+            trace=scenario.trace,
+            radiator=scenario.radiator,
+            module=scenario.module,
+            n_modules=scenario.n_modules,
+            overhead=scenario.overhead,
+            scanner=None,
+        )
+        result = simulator.run(scenario.make_inor_policy(), scenario.make_charger())
+        assert result.energy_output_j > 0.0
+
+    def test_scannerless_is_deterministic(self, scenario):
+        def run_once():
+            simulator = HarvestSimulator(
+                trace=scenario.trace,
+                radiator=scenario.radiator,
+                module=scenario.module,
+                n_modules=scenario.n_modules,
+                scanner=None,
+                nominal_compute_s=1.0e-3,
+            )
+            return simulator.run(
+                scenario.make_inor_policy(), scenario.make_charger()
+            )
+
+        a, b = run_once(), run_once()
+        assert np.array_equal(a.delivered_power_w, b.delivered_power_w)
+        assert a.switch_overhead_j == pytest.approx(b.switch_overhead_j)
+
+
+class TestTrackedChargerInLoop:
+    def test_po_tracking_close_to_exact(self, scenario):
+        """Full closed loop with real P&O tracking lands within a
+        fraction of a percent of the exact-MPP loop."""
+        simulator = scenario.make_simulator()
+        exact = simulator.run(
+            scenario.make_baseline_policy(),
+            TEGCharger(exact_tracking=True),
+        )
+        tracked = simulator.run(
+            scenario.make_baseline_policy(),
+            TEGCharger(
+                exact_tracking=False,
+                mppt=PerturbObserveMPPT(initial_step_a=0.3, min_step_a=1e-3),
+            ),
+        )
+        ratio = tracked.delivered_energy_j / exact.delivered_energy_j
+        assert 0.995 < ratio <= 1.0 + 1e-9
+
+
+class TestValidation:
+    def test_rejects_zero_modules(self, scenario):
+        with pytest.raises(SimulationError):
+            HarvestSimulator(
+                trace=scenario.trace,
+                radiator=scenario.radiator,
+                module=scenario.module,
+                n_modules=0,
+            )
+
+    def test_trace_property_exposed(self, scenario):
+        simulator = scenario.make_simulator()
+        assert simulator.trace is scenario.trace
+        assert simulator.n_modules == scenario.n_modules
+
+
+class TestRuntimeAccounting:
+    def test_dnor_runtime_concentrated_at_epochs(self, scenario):
+        simulator = scenario.make_simulator()
+        result = simulator.run(scenario.make_dnor_policy(), scenario.make_charger())
+        runtimes = result.runtime_s
+        # Epochs every 4 periods: the top quartile of runtimes should
+        # dominate the total (planner runs are much heavier than the
+        # between-epoch bookkeeping).
+        sorted_rt = np.sort(runtimes)[::-1]
+        top_quarter = sorted_rt[: max(len(sorted_rt) // 4, 1)].sum()
+        assert top_quarter > 0.7 * runtimes.sum()

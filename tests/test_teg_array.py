@@ -1,0 +1,142 @@
+"""Tests for repro.teg.array."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ModelParameterError
+from repro.teg.array import TEGArray
+from repro.teg.datasheet import TGM_199_1_4_0_8, TGM_199_1_4_0_8_REALISTIC
+
+
+class TestConstruction:
+    def test_len(self):
+        assert len(TEGArray(TGM_199_1_4_0_8, 12)) == 12
+
+    def test_rejects_zero_modules(self):
+        with pytest.raises(ModelParameterError):
+            TEGArray(TGM_199_1_4_0_8, 0)
+
+    def test_queries_before_temperatures_raise(self):
+        array = TEGArray(TGM_199_1_4_0_8, 4)
+        with pytest.raises(ConfigurationError, match="temperatures not set"):
+            array.emf_vector()
+
+
+class TestThermalState:
+    def test_set_temperatures_computes_delta(self):
+        array = TEGArray(TGM_199_1_4_0_8, 3)
+        array.set_temperatures([85.0, 65.0, 45.0], ambient_c=25.0)
+        assert array.delta_t == pytest.approx([60.0, 40.0, 20.0])
+
+    def test_set_delta_t_direct(self):
+        array = TEGArray(TGM_199_1_4_0_8, 3)
+        array.set_delta_t([50.0, 40.0, 30.0])
+        assert array.delta_t == pytest.approx([50.0, 40.0, 30.0])
+
+    def test_wrong_shape_rejected(self):
+        array = TEGArray(TGM_199_1_4_0_8, 3)
+        with pytest.raises(ConfigurationError):
+            array.set_delta_t([50.0, 40.0])
+
+    def test_nonfinite_rejected(self):
+        array = TEGArray(TGM_199_1_4_0_8, 2)
+        with pytest.raises(ModelParameterError):
+            array.set_delta_t([50.0, np.nan])
+
+    def test_delta_t_returns_copy(self):
+        array = TEGArray(TGM_199_1_4_0_8, 2)
+        array.set_delta_t([50.0, 40.0])
+        view = array.delta_t
+        view[0] = -999.0
+        assert array.delta_t[0] == 50.0
+
+
+class TestElectricalVectors:
+    def test_emf_matches_module(self, small_array):
+        emf = small_array.emf_vector()
+        module = small_array.module
+        expected = [module.open_circuit_voltage(dt) for dt in small_array.delta_t]
+        assert emf == pytest.approx(expected)
+
+    def test_resistance_uniform(self, small_array):
+        res = small_array.resistance_vector()
+        assert np.allclose(res, small_array.module.internal_resistance())
+
+    def test_mpp_currents(self, small_array):
+        expected = small_array.emf_vector() / (2 * small_array.resistance_vector())
+        assert small_array.mpp_currents() == pytest.approx(expected)
+
+    def test_ideal_power_is_sum_of_module_mpps(self, small_array):
+        module = small_array.module
+        expected = sum(module.mpp_power(dt) for dt in small_array.delta_t)
+        assert small_array.ideal_power() == pytest.approx(expected)
+
+    def test_ideal_power_ignores_negative_delta_t(self):
+        array = TEGArray(TGM_199_1_4_0_8, 2)
+        array.set_delta_t([40.0, -10.0])
+        only_first = TEGArray(TGM_199_1_4_0_8, 1)
+        only_first.set_delta_t([40.0])
+        assert array.ideal_power() == pytest.approx(only_first.ideal_power())
+
+
+class TestConfiguredQueries:
+    def test_configured_mpp_below_ideal(self, small_array):
+        mpp = small_array.configured_mpp([0, 5, 10, 15])
+        assert mpp.power_w < small_array.ideal_power()
+
+    def test_accepts_object_with_starts(self, small_array):
+        class Cfg:
+            starts = (0, 10)
+
+        direct = small_array.configured_mpp((0, 10))
+        via_object = small_array.configured_mpp(Cfg())
+        assert direct.power_w == pytest.approx(via_object.power_w)
+
+    def test_power_at_mpp_current(self, small_array):
+        starts = (0, 4, 9, 14)
+        mpp = small_array.configured_mpp(starts)
+        assert small_array.power_at_current(starts, mpp.current_a) == pytest.approx(
+            mpp.power_w
+        )
+
+    def test_operating_points_share_group_voltage(self, small_array):
+        v, _, _ = small_array.operating_points((0, 10), 1.0)
+        assert np.allclose(v[:10], v[0])
+        assert np.allclose(v[10:], v[10])
+
+    def test_thevenin_consistent_with_mpp(self, small_array):
+        starts = (0, 7, 13)
+        e, r = small_array.thevenin(starts)
+        mpp = small_array.configured_mpp(starts)
+        assert mpp.power_w == pytest.approx(e * e / (4 * r))
+
+    def test_segment_tables_match_network(self, small_array):
+        tables = small_array.segment_tables()
+        emf = small_array.emf_vector()
+        res = small_array.resistance_vector()
+        e_seg, r_seg = tables.segment(2, 8)
+        cond = (1.0 / res[2:8]).sum()
+        assert r_seg == pytest.approx(1.0 / cond)
+        assert e_seg == pytest.approx((emf[2:8] / res[2:8]).sum() / cond)
+
+
+class TestTemperatureDrift:
+    def test_drift_array_differs_from_constant(self):
+        constant = TEGArray(TGM_199_1_4_0_8, 3)
+        drifting = TEGArray(TGM_199_1_4_0_8_REALISTIC, 3, use_temperature_drift=True)
+        for array in (constant, drifting):
+            array.set_temperatures([95.0, 80.0, 65.0], ambient_c=25.0)
+        assert not np.allclose(constant.emf_vector(), drifting.emf_vector())
+        assert not np.allclose(
+            constant.resistance_vector(), drifting.resistance_vector()
+        )
+
+    def test_drift_without_absolute_temps_falls_back(self):
+        drifting = TEGArray(TGM_199_1_4_0_8_REALISTIC, 2, use_temperature_drift=True)
+        drifting.set_delta_t([40.0, 30.0])
+        # No mean temperature available: reference-point values used.
+        module_res = (
+            TGM_199_1_4_0_8_REALISTIC.material.resistance_ohm
+            * TGM_199_1_4_0_8_REALISTIC.n_couples
+        )
+        assert np.allclose(drifting.resistance_vector(), module_res)

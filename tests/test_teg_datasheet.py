@@ -1,0 +1,53 @@
+"""Tests for repro.teg.datasheet."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.teg.datasheet import (
+    MODULE_CATALOG,
+    TGM_127_1_0_0_8,
+    TGM_199_1_4_0_8,
+    TGM_287_1_0_1_5,
+    get_module,
+)
+
+
+class TestCatalog:
+    def test_paper_module_present(self):
+        assert "TGM-199-1.4-0.8" in MODULE_CATALOG
+
+    def test_catalog_keys_match_names(self):
+        for name, module in MODULE_CATALOG.items():
+            assert module.name == name
+
+    def test_catalog_has_multiple_entries(self):
+        assert len(MODULE_CATALOG) >= 3
+
+    def test_couple_counts(self):
+        assert TGM_199_1_4_0_8.n_couples == 199
+        assert TGM_127_1_0_0_8.n_couples == 127
+        assert TGM_287_1_0_1_5.n_couples == 287
+
+
+class TestGetModule:
+    def test_lookup(self):
+        assert get_module("TGM-199-1.4-0.8") is TGM_199_1_4_0_8
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(ModelParameterError, match="TGM-199-1.4-0.8"):
+            get_module("no-such-module")
+
+
+class TestPaperOperatingScale:
+    """The Fig. 1 / Table I regime: radiator-scale dT on the paper module."""
+
+    def test_mpp_power_at_radiator_delta_t(self):
+        # Around dT = 35 K one module delivers roughly half a watt,
+        # which is what makes the 100-module array a ~50 W system.
+        power = TGM_199_1_4_0_8.mpp_power(35.0)
+        assert 0.3 < power < 0.8
+
+    def test_array_scale_voltage(self):
+        # A ~10-group configuration should land near the 13.8 V bus.
+        v_group = TGM_199_1_4_0_8.mpp(35.0).voltage_v
+        assert 10.0 < 10 * v_group < 18.0

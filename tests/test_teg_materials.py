@@ -1,0 +1,79 @@
+"""Tests for repro.teg.materials."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.teg.materials import (
+    BISMUTH_TELLURIDE,
+    BISMUTH_TELLURIDE_REALISTIC,
+    REFERENCE_TEMPERATURE_C,
+    CoupleMaterial,
+)
+
+
+class TestCoupleMaterialValidation:
+    def test_valid_material_constructs(self):
+        mat = CoupleMaterial(seebeck_v_per_k=4e-4, resistance_ohm=1e-2)
+        assert mat.seebeck_v_per_k == 4e-4
+
+    def test_rejects_negative_seebeck(self):
+        with pytest.raises(ModelParameterError):
+            CoupleMaterial(seebeck_v_per_k=-4e-4, resistance_ohm=1e-2)
+
+    def test_rejects_zero_resistance(self):
+        with pytest.raises(ModelParameterError):
+            CoupleMaterial(seebeck_v_per_k=4e-4, resistance_ohm=0.0)
+
+    def test_rejects_negative_thermal_conductance(self):
+        with pytest.raises(ModelParameterError):
+            CoupleMaterial(
+                seebeck_v_per_k=4e-4,
+                resistance_ohm=1e-2,
+                thermal_conductance_w_per_k=-1.0,
+            )
+
+    def test_is_frozen(self):
+        with pytest.raises(AttributeError):
+            BISMUTH_TELLURIDE.seebeck_v_per_k = 1.0
+
+
+class TestTemperatureDrift:
+    def test_constant_material_ignores_temperature(self):
+        assert BISMUTH_TELLURIDE.seebeck_at(150.0) == BISMUTH_TELLURIDE.seebeck_v_per_k
+        assert BISMUTH_TELLURIDE.resistance_at(150.0) == BISMUTH_TELLURIDE.resistance_ohm
+
+    def test_reference_temperature_is_nominal(self):
+        mat = BISMUTH_TELLURIDE_REALISTIC
+        assert mat.seebeck_at(REFERENCE_TEMPERATURE_C) == pytest.approx(mat.seebeck_v_per_k)
+        assert mat.resistance_at(REFERENCE_TEMPERATURE_C) == pytest.approx(mat.resistance_ohm)
+
+    def test_drift_increases_with_temperature(self):
+        mat = BISMUTH_TELLURIDE_REALISTIC
+        assert mat.seebeck_at(80.0) > mat.seebeck_v_per_k
+        assert mat.resistance_at(80.0) > mat.resistance_ohm
+
+    def test_drift_clamped_at_low_extremes(self):
+        mat = CoupleMaterial(
+            seebeck_v_per_k=4e-4,
+            resistance_ohm=1e-2,
+            seebeck_temp_coeff_per_k=0.1,
+            resistance_temp_coeff_per_k=0.1,
+        )
+        # Far below reference, the linear law would go negative; it must
+        # clamp at 10% of nominal instead.
+        assert mat.seebeck_at(-100.0) == pytest.approx(0.1 * 4e-4)
+        assert mat.resistance_at(-100.0) == pytest.approx(0.1 * 1e-2)
+
+
+class TestNamedMaterials:
+    def test_bismuth_telluride_order_of_magnitude(self):
+        # A Bi2Te3 couple is a few hundred microvolts per kelvin.
+        assert 1e-4 < BISMUTH_TELLURIDE.seebeck_v_per_k < 1e-3
+
+    def test_tgm199_module_level_figures(self):
+        # 199 couples must give the TGM-199-1.4-0.8 datasheet scale:
+        # ~12.8 V open-circuit at dT = 170 K, ~3 Ohm internal.
+        emf = BISMUTH_TELLURIDE.seebeck_v_per_k * 199 * 170.0
+        resistance = BISMUTH_TELLURIDE.resistance_ohm * 199
+        assert emf == pytest.approx(12.8, rel=0.05)
+        assert resistance == pytest.approx(2.9, rel=0.05)

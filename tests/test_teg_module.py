@@ -1,0 +1,157 @@
+"""Tests for repro.teg.module (paper Eq. 2 and Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.teg.datasheet import TGM_199_1_4_0_8
+from repro.teg.materials import CoupleMaterial
+from repro.teg.module import TEGModule
+
+MODULE = TGM_199_1_4_0_8
+
+
+class TestConstruction:
+    def test_rejects_zero_couples(self):
+        with pytest.raises(ModelParameterError):
+            TEGModule("bad", MODULE.material, 0)
+
+    def test_rejects_fractional_couples(self):
+        with pytest.raises(ModelParameterError):
+            TEGModule("bad", MODULE.material, 10.5)
+
+
+class TestEquationTwo:
+    """The paper's Eq. (2): E = alpha * dT * N_cpl."""
+
+    def test_emf_linear_in_delta_t(self):
+        assert MODULE.open_circuit_voltage(40.0) == pytest.approx(
+            2.0 * MODULE.open_circuit_voltage(20.0)
+        )
+
+    def test_emf_formula(self):
+        expected = MODULE.material.seebeck_v_per_k * 50.0 * MODULE.n_couples
+        assert MODULE.open_circuit_voltage(50.0) == pytest.approx(expected)
+
+    def test_zero_delta_t_gives_zero_emf(self):
+        assert MODULE.open_circuit_voltage(0.0) == 0.0
+
+    def test_negative_delta_t_gives_negative_emf(self):
+        assert MODULE.open_circuit_voltage(-10.0) < 0.0
+
+    def test_internal_resistance_scales_with_couples(self):
+        expected = MODULE.material.resistance_ohm * MODULE.n_couples
+        assert MODULE.internal_resistance() == pytest.approx(expected)
+
+    def test_power_at_load_matches_equation(self):
+        # P = (E / (R + R_L))^2 * R_L, verbatim Eq. (2).
+        delta_t, load = 45.0, 3.3
+        emf = MODULE.open_circuit_voltage(delta_t)
+        resistance = MODULE.internal_resistance()
+        current = emf / (resistance + load)
+        assert MODULE.power_at_load(load, delta_t) == pytest.approx(
+            current * current * load
+        )
+
+    def test_power_at_load_rejects_nonpositive_load(self):
+        with pytest.raises(ModelParameterError):
+            MODULE.power_at_load(0.0, 40.0)
+
+
+class TestOperatingPoints:
+    def test_voltage_current_inverse(self):
+        delta_t = 37.0
+        current = 0.6
+        voltage = MODULE.voltage_at_current(current, delta_t)
+        assert MODULE.current_at_voltage(voltage, delta_t) == pytest.approx(current)
+
+    def test_short_circuit_current(self):
+        delta_t = 42.0
+        isc = MODULE.short_circuit_current(delta_t)
+        assert MODULE.voltage_at_current(isc, delta_t) == pytest.approx(0.0)
+
+    def test_open_circuit_zero_current(self):
+        delta_t = 42.0
+        voc = MODULE.open_circuit_voltage(delta_t)
+        assert MODULE.current_at_voltage(voc, delta_t) == pytest.approx(0.0)
+
+
+class TestMPP:
+    def test_mpp_at_half_open_circuit(self):
+        delta_t = 55.0
+        mpp = MODULE.mpp(delta_t)
+        assert mpp.voltage_v == pytest.approx(MODULE.open_circuit_voltage(delta_t) / 2)
+
+    def test_mpp_power_formula(self):
+        delta_t = 55.0
+        emf = MODULE.open_circuit_voltage(delta_t)
+        assert MODULE.mpp_power(delta_t) == pytest.approx(
+            emf * emf / (4 * MODULE.internal_resistance())
+        )
+
+    def test_mpp_current_is_half_short_circuit(self):
+        delta_t = 55.0
+        assert MODULE.mpp_current(delta_t) == pytest.approx(
+            MODULE.short_circuit_current(delta_t) / 2
+        )
+
+    def test_mpp_power_consistent_with_v_times_i(self):
+        mpp = MODULE.mpp(48.0)
+        assert mpp.power_w == pytest.approx(mpp.voltage_v * mpp.current_a)
+
+    def test_mpp_dominates_curve(self):
+        """No point on the P-V curve beats the analytic MPP."""
+        delta_t = 60.0
+        voltage, power = MODULE.pv_curve(delta_t, 501)
+        assert power.max() <= MODULE.mpp_power(delta_t) * (1 + 1e-9)
+
+    def test_matched_load_attains_mpp(self):
+        delta_t = 60.0
+        assert MODULE.power_at_load(
+            MODULE.internal_resistance(), delta_t
+        ) == pytest.approx(MODULE.mpp_power(delta_t))
+
+    def test_mpp_power_grows_quadratically_with_delta_t(self):
+        assert MODULE.mpp_power(80.0) == pytest.approx(4.0 * MODULE.mpp_power(40.0))
+
+
+class TestCurves:
+    def test_iv_curve_endpoints(self):
+        delta_t = 30.0
+        voltage, current = MODULE.iv_curve(delta_t, 11)
+        assert voltage[0] == 0.0
+        assert voltage[-1] == pytest.approx(MODULE.open_circuit_voltage(delta_t))
+        assert current[0] == pytest.approx(MODULE.short_circuit_current(delta_t))
+        assert current[-1] == pytest.approx(0.0)
+
+    def test_iv_curve_is_linear(self):
+        voltage, current = MODULE.iv_curve(40.0, 21)
+        slopes = np.diff(current) / np.diff(voltage)
+        assert np.allclose(slopes, slopes[0])
+
+    def test_pv_curve_is_concave_parabola(self):
+        voltage, power = MODULE.pv_curve(40.0, 101)
+        second_diff = np.diff(power, 2)
+        assert np.all(second_diff < 0)
+
+    def test_curve_rejects_single_point(self):
+        with pytest.raises(ModelParameterError):
+            MODULE.iv_curve(40.0, 1)
+
+    def test_curves_share_voltage_axis(self):
+        v1, _ = MODULE.iv_curve(40.0, 31)
+        v2, _ = MODULE.pv_curve(40.0, 31)
+        assert np.array_equal(v1, v2)
+
+
+class TestTemperatureDriftPath:
+    def test_mean_temp_changes_emf_for_drifting_material(self):
+        material = CoupleMaterial(
+            seebeck_v_per_k=4e-4,
+            resistance_ohm=1e-2,
+            seebeck_temp_coeff_per_k=1e-3,
+        )
+        module = TEGModule("drift", material, 100)
+        cool = module.open_circuit_voltage(40.0, mean_temp_c=25.0)
+        hot = module.open_circuit_voltage(40.0, mean_temp_c=75.0)
+        assert hot > cool

@@ -1,0 +1,216 @@
+"""Tests for repro.teg.network — the exact Thevenin algebra."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.teg import network
+
+
+@pytest.fixture
+def uniform_modules():
+    """Five identical modules: E = 2 V, R = 1 Ohm."""
+    return np.full(5, 2.0), np.full(5, 1.0)
+
+
+class TestValidateStarts:
+    def test_accepts_valid(self):
+        out = network.validate_starts([0, 3, 7], 10)
+        assert list(out) == [0, 3, 7]
+
+    def test_rejects_not_starting_at_zero(self):
+        with pytest.raises(ConfigurationError):
+            network.validate_starts([1, 3], 10)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ConfigurationError):
+            network.validate_starts([0, 5, 3], 10)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            network.validate_starts([0, 3, 3], 10)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            network.validate_starts([0, 10], 10)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            network.validate_starts([], 10)
+
+    def test_rejects_nonpositive_module_count(self):
+        with pytest.raises(ConfigurationError):
+            network.validate_starts([0], 0)
+
+
+class TestParallelReduce:
+    def test_identical_modules(self, uniform_modules):
+        emf, res = uniform_modules
+        e_g, r_g = network.parallel_reduce(emf, res)
+        assert e_g == pytest.approx(2.0)
+        assert r_g == pytest.approx(1.0 / 5.0)
+
+    def test_single_module_identity(self):
+        e_g, r_g = network.parallel_reduce(np.array([3.0]), np.array([2.0]))
+        assert (e_g, r_g) == (pytest.approx(3.0), pytest.approx(2.0))
+
+    def test_conductance_weighted_emf(self):
+        # Stronger (lower-R) module dominates the group EMF.
+        emf = np.array([1.0, 3.0])
+        res = np.array([1.0, 0.5])
+        e_g, r_g = network.parallel_reduce(emf, res)
+        assert e_g == pytest.approx((1.0 / 1.0 + 3.0 / 0.5) / (1.0 / 1.0 + 1.0 / 0.5))
+        assert r_g == pytest.approx(1.0 / 3.0)
+
+    def test_circuit_consistency(self):
+        """The reduced source reproduces the group's terminal behaviour."""
+        emf = np.array([2.0, 2.6, 1.4])
+        res = np.array([1.0, 1.5, 0.8])
+        e_g, r_g = network.parallel_reduce(emf, res)
+        for v_terminal in (0.0, 0.7, 1.3):
+            branch_sum = float(((emf - v_terminal) / res).sum())
+            thevenin_current = (e_g - v_terminal) / r_g
+            assert branch_sum == pytest.approx(thevenin_current)
+
+
+class TestReduceConfiguration:
+    def test_groups_in_chain_order(self, uniform_modules):
+        emf, res = uniform_modules
+        e_groups, r_groups = network.reduce_configuration(emf, res, [0, 2])
+        # Groups of 2 and 3 identical modules.
+        assert e_groups == pytest.approx([2.0, 2.0])
+        assert r_groups == pytest.approx([0.5, 1.0 / 3.0])
+
+    def test_all_series(self, uniform_modules):
+        emf, res = uniform_modules
+        e_groups, r_groups = network.reduce_configuration(emf, res, range(5))
+        assert np.allclose(e_groups, emf)
+        assert np.allclose(r_groups, res)
+
+
+class TestArrayThevenin:
+    def test_series_sums(self, uniform_modules):
+        emf, res = uniform_modules
+        e_tot, r_tot = network.array_thevenin(emf, res, range(5))
+        assert e_tot == pytest.approx(10.0)
+        assert r_tot == pytest.approx(5.0)
+
+    def test_all_parallel(self, uniform_modules):
+        emf, res = uniform_modules
+        e_tot, r_tot = network.array_thevenin(emf, res, [0])
+        assert e_tot == pytest.approx(2.0)
+        assert r_tot == pytest.approx(0.2)
+
+
+class TestArrayMPP:
+    def test_uniform_modules_same_power_any_equal_split(self, uniform_modules):
+        """For identical modules every equal-size partition has equal MPP.
+
+        This is the analytic invariant that makes *unequal* group sizes
+        the source of reconfiguration gains (DESIGN.md section 5).
+        """
+        emf, res = uniform_modules
+        p_series = network.array_mpp(emf, res, range(5)).power_w
+        p_parallel = network.array_mpp(emf, res, [0]).power_w
+        assert p_series == pytest.approx(p_parallel)
+
+    def test_mpp_power_equals_e2_over_4r(self, uniform_modules):
+        emf, res = uniform_modules
+        mpp = network.array_mpp(emf, res, [0, 2])
+        e_tot, r_tot = network.array_thevenin(emf, res, [0, 2])
+        assert mpp.power_w == pytest.approx(e_tot**2 / (4 * r_tot))
+        assert mpp.voltage_v == pytest.approx(e_tot / 2)
+        assert mpp.current_a == pytest.approx(e_tot / (2 * r_tot))
+
+    def test_mpp_dominates_power_at_current(self, uniform_modules):
+        emf, res = uniform_modules
+        starts = [0, 1, 3]
+        mpp = network.array_mpp(emf, res, starts)
+        for frac in (0.25, 0.5, 0.9, 1.1, 1.5):
+            p = network.power_at_current(emf, res, starts, mpp.current_a * frac)
+            assert p <= mpp.power_w + 1e-12
+
+    def test_power_at_mpp_current_matches(self, uniform_modules):
+        emf, res = uniform_modules
+        starts = [0, 2, 4]
+        mpp = network.array_mpp(emf, res, starts)
+        assert network.power_at_current(
+            emf, res, starts, mpp.current_a
+        ) == pytest.approx(mpp.power_w)
+
+
+class TestModuleOperatingPoints:
+    def test_energy_conservation(self):
+        """Sum of module powers equals array power at any current."""
+        rng = np.random.default_rng(3)
+        emf = rng.uniform(1.0, 4.0, 12)
+        res = rng.uniform(0.5, 2.0, 12)
+        starts = [0, 3, 7, 10]
+        for current in (0.2, 0.8, 1.4):
+            _, _, p_modules = network.module_operating_points(
+                emf, res, starts, current
+            )
+            p_array = network.power_at_current(emf, res, starts, current)
+            # Module power includes internal dissipation of back-driven
+            # branches; array power = sum(V_g * I) = sum over modules of
+            # V_g * I_i only when branch currents sum to I per group.
+            assert p_modules.sum() == pytest.approx(p_array, rel=1e-9)
+
+    def test_group_voltage_shared(self):
+        emf = np.array([2.0, 2.5, 1.5, 3.0])
+        res = np.ones(4)
+        v, _, _ = network.module_operating_points(emf, res, [0, 2], 0.5)
+        assert v[0] == v[1]
+        assert v[2] == v[3]
+
+    def test_branch_currents_sum_to_array_current(self):
+        emf = np.array([2.0, 2.5, 1.5, 3.0])
+        res = np.array([1.0, 0.7, 1.2, 0.9])
+        current = 0.9
+        _, branch, _ = network.module_operating_points(emf, res, [0, 2], current)
+        assert branch[:2].sum() == pytest.approx(current)
+        assert branch[2:].sum() == pytest.approx(current)
+
+    def test_weak_module_back_driven(self):
+        """A much colder module in a hot parallel group sinks current."""
+        emf = np.array([4.0, 0.1])
+        res = np.ones(2)
+        _, branch, power = network.module_operating_points(emf, res, [0], 1.0)
+        assert branch[1] < 0.0
+        assert power[1] < 0.0
+
+
+class TestSegmentThevenin:
+    def test_matches_parallel_reduce(self):
+        rng = np.random.default_rng(9)
+        emf = rng.uniform(0.5, 3.0, 15)
+        res = rng.uniform(0.5, 2.0, 15)
+        tables = network.SegmentThevenin.from_modules(emf, res)
+        for lo, hi in [(0, 15), (3, 9), (14, 15), (0, 1)]:
+            expected = network.parallel_reduce(emf[lo:hi], res[lo:hi])
+            assert tables.segment(lo, hi) == (
+                pytest.approx(expected[0]),
+                pytest.approx(expected[1]),
+            )
+
+    def test_segment_mpp_current_sum(self):
+        emf = np.array([2.0, 4.0, 6.0])
+        res = np.array([1.0, 2.0, 3.0])
+        tables = network.SegmentThevenin.from_modules(emf, res)
+        assert tables.segment_mpp_current_sum(0, 3) == pytest.approx(
+            (emf / (2 * res)).sum()
+        )
+
+    def test_rejects_empty_segment(self):
+        tables = network.SegmentThevenin.from_modules(np.ones(3), np.ones(3))
+        with pytest.raises(ConfigurationError):
+            tables.segment(2, 2)
+
+    def test_rejects_out_of_range(self):
+        tables = network.SegmentThevenin.from_modules(np.ones(3), np.ones(3))
+        with pytest.raises(ConfigurationError):
+            tables.segment(0, 4)
+
+    def test_n_modules(self):
+        tables = network.SegmentThevenin.from_modules(np.ones(7), np.ones(7))
+        assert tables.n_modules == 7

@@ -1,0 +1,145 @@
+"""Tests for repro.teg.switches — the Fig. 4 switch fabric."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.teg.switches import (
+    SWITCHES_PER_JUNCTION_FLIP,
+    JunctionState,
+    SwitchFabric,
+    count_junction_flips,
+    count_switch_toggles,
+    junction_states_to_starts,
+    starts_to_junction_states,
+)
+
+
+class TestJunctionStates:
+    def test_all_series(self):
+        states = starts_to_junction_states(range(4), 4)
+        assert all(s is JunctionState.SERIES for s in states)
+
+    def test_all_parallel(self):
+        states = starts_to_junction_states([0], 4)
+        assert all(s is JunctionState.PARALLEL for s in states)
+
+    def test_mixed(self):
+        # Groups [0,1] and [2,3]: junction 1 (between modules 1 and 2)
+        # is the only series junction.
+        states = starts_to_junction_states([0, 2], 4)
+        assert states == [
+            JunctionState.PARALLEL,
+            JunctionState.SERIES,
+            JunctionState.PARALLEL,
+        ]
+
+    def test_junction_count(self):
+        assert len(starts_to_junction_states([0], 7)) == 6
+
+    def test_roundtrip(self):
+        for starts in [(0,), (0, 1, 2, 3), (0, 2, 5), (0, 4)]:
+            states = starts_to_junction_states(starts, 6)
+            assert junction_states_to_starts(states) == starts
+
+
+class TestToggleCounting:
+    def test_identical_configs_zero(self):
+        assert count_switch_toggles([0, 3], [0, 3], 6) == 0
+
+    def test_single_junction_flip(self):
+        # [0,3] -> [0,4]: junction at boundary 3 opens, 4 closes: 2 flips.
+        assert count_junction_flips([0, 3], [0, 4], 6) == 2
+
+    def test_three_switches_per_flip(self):
+        assert count_switch_toggles([0, 3], [0, 4], 6) == 2 * SWITCHES_PER_JUNCTION_FLIP
+
+    def test_series_to_parallel_flips_everything(self):
+        n = 8
+        assert count_junction_flips(range(n), [0], n) == n - 1
+
+    def test_symmetry(self):
+        a, b = [0, 2, 5], [0, 3, 6]
+        assert count_switch_toggles(a, b, 8) == count_switch_toggles(b, a, 8)
+
+
+class TestSwitchFabric:
+    def test_initial_state_all_series(self):
+        fabric = SwitchFabric(5)
+        assert fabric.starts == (0, 1, 2, 3, 4)
+        assert fabric.n_junctions == 4
+
+    def test_custom_initial(self):
+        fabric = SwitchFabric(5, initial_starts=[0, 2])
+        assert fabric.starts == (0, 2)
+
+    def test_apply_updates_state(self):
+        fabric = SwitchFabric(5)
+        fabric.apply([0, 2])
+        assert fabric.starts == (0, 2)
+
+    def test_apply_returns_toggles(self):
+        fabric = SwitchFabric(5)
+        toggles = fabric.apply([0, 2])
+        # From all-series to [0,2]: junctions 0,2,3 flip.
+        assert toggles == 3 * SWITCHES_PER_JUNCTION_FLIP
+
+    def test_apply_same_config_is_free(self):
+        fabric = SwitchFabric(5, initial_starts=[0, 2])
+        assert fabric.apply([0, 2]) == 0
+        assert fabric.reconfiguration_count == 0
+
+    def test_counters_accumulate(self):
+        fabric = SwitchFabric(5)
+        t1 = fabric.apply([0, 2])
+        t2 = fabric.apply([0, 3])
+        assert fabric.total_toggles == t1 + t2
+        assert fabric.reconfiguration_count == 2
+
+    def test_reset_counters(self):
+        fabric = SwitchFabric(5)
+        fabric.apply([0, 2])
+        fabric.reset_counters()
+        assert fabric.total_toggles == 0
+        assert fabric.reconfiguration_count == 0
+        # State itself is preserved.
+        assert fabric.starts == (0, 2)
+
+    def test_toggles_to_matches_apply(self):
+        fabric = SwitchFabric(6, initial_starts=[0, 3])
+        preview = fabric.toggles_to([0, 2, 4])
+        assert fabric.apply([0, 2, 4]) == preview
+
+    def test_rejects_invalid_module_count(self):
+        with pytest.raises(ConfigurationError):
+            SwitchFabric(0)
+
+    def test_rejects_invalid_starts(self):
+        fabric = SwitchFabric(5)
+        with pytest.raises(ConfigurationError):
+            fabric.apply([1, 3])
+
+
+class TestSwitchVector:
+    def test_shape(self):
+        fabric = SwitchFabric(5, initial_starts=[0, 2])
+        vec = fabric.as_switch_vector()
+        assert vec.shape == (4, 3)
+
+    def test_exactly_one_kind_closed(self):
+        """Each junction closes either S_S alone or both rail switches."""
+        fabric = SwitchFabric(8, initial_starts=[0, 3, 5])
+        vec = fabric.as_switch_vector()
+        for row in vec:
+            series_closed = row[0]
+            rails_closed = row[1] and row[2]
+            assert series_closed != rails_closed
+            if series_closed:
+                assert not row[1] and not row[2]
+
+    def test_matches_junction_states(self):
+        fabric = SwitchFabric(6, initial_starts=[0, 2, 4])
+        vec = fabric.as_switch_vector()
+        states = fabric.junction_states()
+        for row, state in zip(vec, states):
+            assert bool(row[0]) == (state is JunctionState.SERIES)

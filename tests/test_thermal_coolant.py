@@ -1,0 +1,41 @@
+"""Tests for repro.thermal.coolant."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.thermal.coolant import AIR, ETHYLENE_GLYCOL_50_50, FluidProperties, FluidStream
+
+
+class TestFluidProperties:
+    def test_capacity_rate(self):
+        # C = m_dot * c_p
+        c = ETHYLENE_GLYCOL_50_50.capacity_rate(0.5)
+        assert c == pytest.approx(0.5 * ETHYLENE_GLYCOL_50_50.specific_heat_j_kg_k)
+
+    def test_capacity_rate_rejects_zero_flow(self):
+        with pytest.raises(ModelParameterError):
+            AIR.capacity_rate(0.0)
+
+    def test_mass_flow_from_lpm(self):
+        # 60 LPM of coolant: 1e-3 m^3/s * density.
+        flow = ETHYLENE_GLYCOL_50_50.mass_flow_from_lpm(60.0)
+        assert flow == pytest.approx(1.0e-3 * ETHYLENE_GLYCOL_50_50.density_kg_m3)
+
+    def test_rejects_nonpositive_density(self):
+        with pytest.raises(ModelParameterError):
+            FluidProperties("bad", 0.0, 4000.0, 0.4, 1e-6)
+
+    def test_named_fluids_plausible(self):
+        assert 900 < ETHYLENE_GLYCOL_50_50.density_kg_m3 < 1200
+        assert 0.8 < AIR.density_kg_m3 < 1.4
+        assert AIR.specific_heat_j_kg_k == pytest.approx(1007.0)
+
+
+class TestFluidStream:
+    def test_capacity_rate_property(self):
+        stream = FluidStream(AIR, 0.8, 25.0)
+        assert stream.capacity_rate_w_k == pytest.approx(0.8 * 1007.0)
+
+    def test_rejects_zero_flow(self):
+        with pytest.raises(ModelParameterError):
+            FluidStream(AIR, 0.0, 25.0)

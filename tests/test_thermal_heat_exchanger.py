@@ -1,0 +1,148 @@
+"""Tests for repro.thermal.heat_exchanger (effectiveness-NTU)."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.thermal.coolant import AIR, ETHYLENE_GLYCOL_50_50, FluidStream
+from repro.thermal.heat_exchanger import (
+    CrossFlowHeatExchanger,
+    UAModel,
+    effectiveness_crossflow_both_unmixed,
+    effectiveness_crossflow_cmax_mixed,
+)
+
+
+@pytest.fixture
+def ua_model() -> UAModel:
+    return UAModel(
+        hot_conductance_ref_w_k=5000.0,
+        cold_conductance_ref_w_k=2200.0,
+        hot_ref_flow_kg_s=0.30,
+        cold_ref_flow_kg_s=0.70,
+    )
+
+
+class TestEffectivenessRelations:
+    def test_zero_ntu_gives_zero(self):
+        assert effectiveness_crossflow_both_unmixed(0.0, 0.5) == 0.0
+        assert effectiveness_crossflow_cmax_mixed(0.0, 0.5) == 0.0
+
+    def test_single_stream_limit(self):
+        # C_r -> 0 reduces to 1 - exp(-NTU) for both relations.
+        ntu = 1.7
+        expected = 1.0 - math.exp(-ntu)
+        assert effectiveness_crossflow_both_unmixed(ntu, 0.0) == pytest.approx(expected)
+        assert effectiveness_crossflow_cmax_mixed(ntu, 0.0) == pytest.approx(expected)
+
+    def test_monotonic_in_ntu(self):
+        values = [effectiveness_crossflow_both_unmixed(ntu, 0.6) for ntu in (0.5, 1.0, 2.0, 4.0)]
+        assert values == sorted(values)
+
+    def test_decreasing_in_c_ratio(self):
+        # Balanced exchangers are the hardest case.
+        lo = effectiveness_crossflow_both_unmixed(2.0, 0.2)
+        hi = effectiveness_crossflow_both_unmixed(2.0, 1.0)
+        assert lo > hi
+
+    def test_bounded_by_one(self):
+        for ntu in (0.1, 1.0, 5.0, 20.0):
+            for cr in (0.0, 0.3, 1.0):
+                assert 0.0 <= effectiveness_crossflow_both_unmixed(ntu, cr) < 1.0
+
+    def test_textbook_value(self):
+        # Bergman Fig. 11.14: NTU=1, Cr=1, both unmixed -> eps ~ 0.47.
+        assert effectiveness_crossflow_both_unmixed(1.0, 1.0) == pytest.approx(0.47, abs=0.02)
+
+    def test_rejects_negative_ntu(self):
+        with pytest.raises(ModelParameterError):
+            effectiveness_crossflow_both_unmixed(-0.1, 0.5)
+
+    def test_rejects_bad_c_ratio(self):
+        with pytest.raises(ModelParameterError):
+            effectiveness_crossflow_both_unmixed(1.0, 1.2)
+
+
+class TestUAModel:
+    def test_reference_point(self, ua_model):
+        ua = ua_model.ua(0.30, 0.70)
+        expected = 1.0 / (1.0 / 5000.0 + 1.0 / 2200.0)
+        assert ua == pytest.approx(expected)
+
+    def test_increases_with_flow(self, ua_model):
+        assert ua_model.ua(0.6, 0.7) > ua_model.ua(0.3, 0.7)
+        assert ua_model.ua(0.3, 1.4) > ua_model.ua(0.3, 0.7)
+
+    def test_flow_exponent_scaling(self, ua_model):
+        # With the cold side made non-limiting, UA ~ hot_flow^0.8.
+        big_cold = UAModel(5000.0, 1e9, 0.30, 0.70)
+        ratio = big_cold.ua(0.6, 0.70) / big_cold.ua(0.3, 0.70)
+        assert ratio == pytest.approx(2.0 ** 0.8, rel=1e-4)
+
+    def test_wall_resistance_reduces_ua(self):
+        without = UAModel(5000.0, 2200.0, 0.3, 0.7, wall_resistance_k_w=0.0)
+        with_wall = UAModel(5000.0, 2200.0, 0.3, 0.7, wall_resistance_k_w=1e-3)
+        assert with_wall.ua(0.3, 0.7) < without.ua(0.3, 0.7)
+
+    def test_rejects_zero_flow(self, ua_model):
+        with pytest.raises(ModelParameterError):
+            ua_model.ua(0.0, 0.7)
+
+
+class TestCrossFlowSolve:
+    def make_streams(self, hot_t=92.0, hot_flow=0.3, cold_t=25.0, cold_flow=0.7):
+        hot = FluidStream(ETHYLENE_GLYCOL_50_50, hot_flow, hot_t)
+        cold = FluidStream(AIR, cold_flow, cold_t)
+        return hot, cold
+
+    def test_energy_balance(self, ua_model):
+        hx = CrossFlowHeatExchanger(ua_model)
+        hot, cold = self.make_streams()
+        sol = hx.solve(hot, cold)
+        hot_loss = sol.hot_capacity_w_k * (hot.inlet_temp_c - sol.hot_outlet_c)
+        cold_gain = sol.cold_capacity_w_k * (sol.cold_outlet_c - cold.inlet_temp_c)
+        assert hot_loss == pytest.approx(sol.duty_w)
+        assert cold_gain == pytest.approx(sol.duty_w)
+
+    def test_duty_positive_and_bounded(self, ua_model):
+        hx = CrossFlowHeatExchanger(ua_model)
+        hot, cold = self.make_streams()
+        sol = hx.solve(hot, cold)
+        c_min = min(sol.hot_capacity_w_k, sol.cold_capacity_w_k)
+        q_max = c_min * (hot.inlet_temp_c - cold.inlet_temp_c)
+        assert 0.0 < sol.duty_w < q_max
+
+    def test_outlets_between_inlets(self, ua_model):
+        hx = CrossFlowHeatExchanger(ua_model)
+        hot, cold = self.make_streams()
+        sol = hx.solve(hot, cold)
+        assert cold.inlet_temp_c < sol.hot_outlet_c < hot.inlet_temp_c
+        assert cold.inlet_temp_c < sol.cold_outlet_c < hot.inlet_temp_c
+
+    def test_cold_mean_definition(self, ua_model):
+        hx = CrossFlowHeatExchanger(ua_model)
+        hot, cold = self.make_streams()
+        sol = hx.solve(hot, cold)
+        assert sol.cold_mean_c == pytest.approx(
+            (cold.inlet_temp_c + sol.cold_outlet_c) / 2.0
+        )
+
+    def test_truck_scale_duty(self, ua_model):
+        """Highway operating point rejects tens of kW, as a real radiator."""
+        hx = CrossFlowHeatExchanger(ua_model)
+        hot, cold = self.make_streams(hot_t=92.0, hot_flow=0.35, cold_flow=1.2)
+        sol = hx.solve(hot, cold)
+        assert 15e3 < sol.duty_w < 60e3
+
+    def test_rejects_inverted_temperatures(self, ua_model):
+        hx = CrossFlowHeatExchanger(ua_model)
+        hot, cold = self.make_streams(hot_t=20.0, cold_t=25.0)
+        with pytest.raises(ModelParameterError):
+            hx.solve(hot, cold)
+
+    def test_mixed_variant_lower_effectiveness(self, ua_model):
+        hot, cold = self.make_streams()
+        both = CrossFlowHeatExchanger(ua_model, both_unmixed=True).solve(hot, cold)
+        mixed = CrossFlowHeatExchanger(ua_model, both_unmixed=False).solve(hot, cold)
+        assert mixed.effectiveness <= both.effectiveness + 1e-9

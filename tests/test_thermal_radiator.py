@@ -1,0 +1,165 @@
+"""Tests for repro.thermal.radiator (paper Eq. 1 and module placement)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.thermal.coolant import AIR, ETHYLENE_GLYCOL_50_50
+from repro.thermal.heat_exchanger import CrossFlowHeatExchanger, UAModel
+from repro.thermal.radiator import (
+    Radiator,
+    RadiatorGeometry,
+    surface_temperature_profile,
+)
+
+
+def make_radiator(preheat: float = 0.0) -> Radiator:
+    geometry = RadiatorGeometry(path_length_m=2.0, n_rows=10)
+    ua = UAModel(5000.0, 2200.0, 0.30, 0.70)
+    return Radiator(
+        geometry, CrossFlowHeatExchanger(ua), ETHYLENE_GLYCOL_50_50, AIR,
+        sink_preheat_fraction=preheat,
+    )
+
+
+class TestSurfaceProfile:
+    """Equation (1): T(d) = (Th,i - Tc,a) e^{-K d / Cc} + Tc,a."""
+
+    def test_entrance_value(self):
+        d = np.array([0.0])
+        assert surface_temperature_profile(95.0, 40.0, 1.2, d)[0] == pytest.approx(95.0)
+
+    def test_asymptote(self):
+        d = np.array([1000.0])
+        assert surface_temperature_profile(95.0, 40.0, 1.2, d)[0] == pytest.approx(40.0)
+
+    def test_exact_formula(self):
+        d = np.array([0.7])
+        value = surface_temperature_profile(95.0, 40.0, 1.2, d)[0]
+        assert value == pytest.approx((95.0 - 40.0) * np.exp(-1.2 * 0.7) + 40.0)
+
+    def test_monotonically_decreasing(self):
+        d = np.linspace(0.0, 2.0, 50)
+        profile = surface_temperature_profile(95.0, 40.0, 1.2, d)
+        assert np.all(np.diff(profile) < 0.0)
+
+    def test_zero_decay_is_flat(self):
+        d = np.linspace(0.0, 2.0, 5)
+        profile = surface_temperature_profile(95.0, 40.0, 0.0, d)
+        assert np.allclose(profile, 95.0)
+
+    def test_rejects_negative_decay(self):
+        with pytest.raises(ModelParameterError):
+            surface_temperature_profile(95.0, 40.0, -0.1, np.array([0.5]))
+
+
+class TestGeometry:
+    def test_module_positions_count_and_range(self):
+        geometry = RadiatorGeometry(path_length_m=2.0)
+        pos = geometry.module_positions(100)
+        assert pos.shape == (100,)
+        assert 0.0 < pos[0] < pos[-1] < 2.0
+
+    def test_positions_centered(self):
+        geometry = RadiatorGeometry(path_length_m=1.0)
+        pos = geometry.module_positions(4)
+        assert pos == pytest.approx([0.125, 0.375, 0.625, 0.875])
+
+    def test_rejects_zero_modules(self):
+        with pytest.raises(ModelParameterError):
+            RadiatorGeometry(path_length_m=1.0).module_positions(0)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ModelParameterError):
+            RadiatorGeometry(path_length_m=0.0)
+
+
+class TestOperatingPoint:
+    def test_surface_matches_eq1(self):
+        radiator = make_radiator()
+        op = radiator.operating_point(92.0, 0.3, 25.0, 0.7, 10)
+        positions = radiator.geometry.module_positions(10)
+        expected = surface_temperature_profile(
+            92.0, op.solution.cold_mean_c, op.decay_per_m, positions
+        )
+        assert op.surface_temps_c == pytest.approx(expected)
+
+    def test_decay_constant_definition(self):
+        """decay = UA / (L * C_c), with K = UA per unit length."""
+        radiator = make_radiator()
+        op = radiator.operating_point(92.0, 0.3, 25.0, 0.7, 10)
+        expected = op.solution.ua_w_k / (2.0 * op.solution.cold_capacity_w_k)
+        assert op.decay_per_m == pytest.approx(expected)
+
+    def test_paper_assumption_sink_at_ambient(self):
+        radiator = make_radiator(preheat=0.0)
+        op = radiator.operating_point(92.0, 0.3, 25.0, 0.7, 10)
+        assert np.allclose(op.sink_temps_c, 25.0)
+        assert op.delta_t_k == pytest.approx(op.surface_temps_c - 25.0)
+
+    def test_preheat_gradient_reduces_tail_delta_t(self):
+        flat = make_radiator(preheat=0.0).operating_point(92.0, 0.3, 25.0, 0.7, 10)
+        graded = make_radiator(preheat=0.6).operating_point(92.0, 0.3, 25.0, 0.7, 10)
+        # First module nearly unaffected, last module much cooler drive.
+        assert graded.delta_t_k[0] == pytest.approx(flat.delta_t_k[0], rel=0.05)
+        assert graded.delta_t_k[-1] < flat.delta_t_k[-1] - 5.0
+
+    def test_sink_gradient_monotonic(self):
+        op = make_radiator(preheat=0.5).operating_point(92.0, 0.3, 25.0, 0.7, 10)
+        assert np.all(np.diff(op.sink_temps_c) > 0.0)
+        assert op.sink_temps_c[0] >= 25.0
+
+    def test_delta_t_mostly_positive_in_operating_band(self):
+        """Strong preheat may push the last few modules slightly negative
+        (duct air accumulates heat faster than the surface decays) —
+        that is physically real and the electrical model handles it;
+        the bulk of the chain must stay positive."""
+        op = make_radiator(preheat=0.65).operating_point(90.0, 0.15, 25.0, 0.5, 100)
+        assert np.all(op.delta_t_k[:90] > 0.0)
+        assert np.all(op.delta_t_k > -5.0)
+        assert op.delta_t_k[0] > 40.0
+
+    def test_steeper_profile_at_lower_airflow(self):
+        radiator = make_radiator()
+        slow = radiator.operating_point(92.0, 0.3, 25.0, 0.4, 10)
+        fast = radiator.operating_point(92.0, 0.3, 25.0, 1.4, 10)
+        assert slow.decay_per_m > fast.decay_per_m
+
+    def test_coolant_outlet_exposed(self):
+        radiator = make_radiator()
+        op = radiator.operating_point(92.0, 0.3, 25.0, 0.7, 10)
+        assert op.coolant_outlet_c == pytest.approx(op.solution.hot_outlet_c)
+        assert op.coolant_outlet_c < 92.0
+
+    def test_rejects_bad_preheat(self):
+        with pytest.raises(ModelParameterError):
+            make_radiator(preheat=1.5)
+
+
+class TestColdStartRegime:
+    """Coolant at/below ambient: the radiator is inactive, not an error."""
+
+    def test_zero_duty_below_ambient(self):
+        op = make_radiator().operating_point(20.0, 0.2, 25.0, 0.5, 10)
+        assert op.solution.duty_w == 0.0
+        assert op.solution.effectiveness == 0.0
+
+    def test_flat_profile_at_coolant_temperature(self):
+        op = make_radiator().operating_point(20.0, 0.2, 25.0, 0.5, 10)
+        assert np.allclose(op.surface_temps_c, 20.0)
+        assert np.allclose(op.sink_temps_c, 25.0)
+        assert np.allclose(op.delta_t_k, -5.0)
+
+    def test_exactly_ambient_is_inactive(self):
+        op = make_radiator().operating_point(25.0, 0.2, 25.0, 0.5, 10)
+        assert op.solution.duty_w == 0.0
+
+    def test_just_above_threshold_is_active(self):
+        op = make_radiator().operating_point(26.0, 0.2, 25.0, 0.5, 10)
+        assert op.solution.duty_w > 0.0
+
+    def test_capacities_still_reported(self):
+        op = make_radiator().operating_point(20.0, 0.2, 25.0, 0.5, 10)
+        assert op.solution.hot_capacity_w_k > 0.0
+        assert op.solution.cold_capacity_w_k > 0.0
+        assert op.solution.ua_w_k > 0.0

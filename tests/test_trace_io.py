@@ -1,0 +1,93 @@
+"""Tests for repro.vehicle.trace_io."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.vehicle.drive_cycle import synthetic_urban
+from repro.vehicle.trace import porter_ii_trace
+from repro.vehicle.trace_io import (
+    TRACE_COLUMNS,
+    load_cycle,
+    load_trace,
+    save_cycle,
+    save_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return porter_ii_trace(duration_s=20.0, seed=3)
+
+
+class TestTraceRoundTrip:
+    def test_roundtrip_preserves_columns(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.csv")
+        loaded = load_trace(path)
+        for column in TRACE_COLUMNS:
+            assert np.allclose(
+                getattr(loaded, column), getattr(trace, column), rtol=1e-9
+            ), column
+
+    def test_loaded_trace_usable(self, trace, tmp_path):
+        loaded = load_trace(save_trace(trace, tmp_path / "t.csv"))
+        assert loaded.dt_s == pytest.approx(trace.dt_s)
+        assert loaded.duration_s == pytest.approx(trace.duration_s)
+
+    def test_name_defaults_to_stem(self, trace, tmp_path):
+        loaded = load_trace(save_trace(trace, tmp_path / "porter.csv"))
+        assert loaded.name == "porter"
+
+    def test_explicit_name(self, trace, tmp_path):
+        loaded = load_trace(save_trace(trace, tmp_path / "t.csv"), name="x")
+        assert loaded.name == "x"
+
+
+class TestTraceErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SimulationError, match="empty"):
+            load_trace(path)
+
+    def test_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(SimulationError, match="header"):
+            load_trace(path)
+
+    def test_short_row(self, tmp_path, trace):
+        path = save_trace(trace, tmp_path / "t.csv")
+        lines = path.read_text().splitlines()
+        lines[1] = "0.0,1.0"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SimulationError, match="fields"):
+            load_trace(path)
+
+    def test_non_numeric(self, tmp_path, trace):
+        path = save_trace(trace, tmp_path / "t.csv")
+        text = path.read_text().replace("25", "oops", 1)
+        path.write_text(text)
+        with pytest.raises(SimulationError):
+            load_trace(path)
+
+    def test_single_sample(self, tmp_path):
+        path = tmp_path / "one.csv"
+        header = ",".join(TRACE_COLUMNS)
+        path.write_text(header + "\n" + ",".join(["1.0"] * len(TRACE_COLUMNS)) + "\n")
+        with pytest.raises(SimulationError, match="two samples"):
+            load_trace(path)
+
+
+class TestCycleRoundTrip:
+    def test_roundtrip(self, tmp_path):
+        cycle = synthetic_urban(60.0, seed=4)
+        loaded = load_cycle(save_cycle(cycle, tmp_path / "c.csv"))
+        assert np.allclose(loaded.time_s, cycle.time_s)
+        assert np.allclose(loaded.speed_mps, cycle.speed_mps)
+
+    def test_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("x,y\n0,0\n")
+        with pytest.raises(SimulationError, match="header"):
+            load_cycle(path)

@@ -1,0 +1,102 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro import units
+
+
+class TestConversions:
+    def test_celsius_to_kelvin(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+    def test_kelvin_to_celsius(self):
+        assert units.kelvin_to_celsius(273.15) == pytest.approx(0.0)
+
+    def test_celsius_kelvin_roundtrip(self):
+        assert units.kelvin_to_celsius(units.celsius_to_kelvin(37.2)) == pytest.approx(37.2)
+
+    def test_lpm_to_m3s(self):
+        # 60 L/min = 1 L/s = 1e-3 m^3/s
+        assert units.lpm_to_m3s(60.0) == pytest.approx(1.0e-3)
+
+    def test_m3s_to_lpm_roundtrip(self):
+        assert units.m3s_to_lpm(units.lpm_to_m3s(12.5)) == pytest.approx(12.5)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert units.require_positive(0.5, "x") == 0.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ModelParameterError, match="x"):
+            units.require_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelParameterError):
+            units.require_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ModelParameterError):
+            units.require_positive(math.nan, "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ModelParameterError):
+            units.require_positive(math.inf, "x")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert units.require_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ModelParameterError):
+            units.require_non_negative(-1.0e-9, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ModelParameterError):
+            units.require_non_negative(math.nan, "x")
+
+
+class TestRequireFraction:
+    def test_accepts_bounds(self):
+        assert units.require_fraction(0.0, "x") == 0.0
+        assert units.require_fraction(1.0, "x") == 1.0
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ModelParameterError):
+            units.require_fraction(1.0001, "x")
+
+    def test_rejects_below_zero(self):
+        with pytest.raises(ModelParameterError):
+            units.require_fraction(-0.0001, "x")
+
+
+class TestRequireTemperature:
+    def test_accepts_room_temperature(self):
+        assert units.require_temperature_c(25.0, "t") == 25.0
+
+    def test_accepts_absolute_zero(self):
+        assert units.require_temperature_c(units.ABSOLUTE_ZERO_C, "t") == units.ABSOLUTE_ZERO_C
+
+    def test_rejects_below_absolute_zero(self):
+        with pytest.raises(ModelParameterError):
+            units.require_temperature_c(-300.0, "t")
+
+
+class TestRequireMonotonic:
+    def test_accepts_increasing(self):
+        units.require_monotonic_increasing([1.0, 2.0, 3.0], "t")
+
+    def test_rejects_flat(self):
+        with pytest.raises(ModelParameterError):
+            units.require_monotonic_increasing([1.0, 1.0], "t")
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ModelParameterError):
+            units.require_monotonic_increasing([2.0, 1.0], "t")
+
+    def test_accepts_single_value(self):
+        units.require_monotonic_increasing([5.0], "t")

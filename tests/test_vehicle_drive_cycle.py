@@ -1,0 +1,97 @@
+"""Tests for repro.vehicle.drive_cycle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.vehicle.drive_cycle import (
+    DriveCycle,
+    synthetic_highway,
+    synthetic_mixed,
+    synthetic_urban,
+)
+
+
+class TestDriveCycleType:
+    def test_duration(self):
+        cycle = DriveCycle(np.array([0.0, 5.0, 10.0]), np.array([0.0, 10.0, 0.0]))
+        assert cycle.duration_s == 10.0
+
+    def test_speed_interpolation(self):
+        cycle = DriveCycle(np.array([0.0, 10.0]), np.array([0.0, 20.0]))
+        assert cycle.speed_at(5.0) == pytest.approx(10.0)
+
+    def test_speed_clamped_outside_range(self):
+        cycle = DriveCycle(np.array([0.0, 10.0]), np.array([5.0, 20.0]))
+        assert cycle.speed_at(-1.0) == pytest.approx(5.0)
+        assert cycle.speed_at(99.0) == pytest.approx(20.0)
+
+    def test_acceleration_sign(self):
+        cycle = DriveCycle(np.array([0.0, 10.0]), np.array([0.0, 20.0]))
+        assert cycle.acceleration_at(5.0) == pytest.approx(2.0)
+
+    def test_mean_speed(self):
+        cycle = DriveCycle(np.array([0.0, 10.0]), np.array([0.0, 20.0]))
+        assert cycle.mean_speed_mps() == pytest.approx(10.0)
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ModelParameterError):
+            DriveCycle(np.array([0.0, 1.0]), np.array([0.0, -1.0]))
+
+    def test_rejects_nonmonotonic_time(self):
+        with pytest.raises(ModelParameterError):
+            DriveCycle(np.array([0.0, 2.0, 1.0]), np.array([0.0, 1.0, 2.0]))
+
+    def test_rejects_time_not_starting_at_zero(self):
+        with pytest.raises(ModelParameterError):
+            DriveCycle(np.array([1.0, 2.0]), np.array([0.0, 1.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ModelParameterError):
+            DriveCycle(np.array([0.0, 1.0]), np.array([0.0, 1.0, 2.0]))
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "factory", [synthetic_urban, synthetic_highway, synthetic_mixed]
+    )
+    def test_exact_duration(self, factory):
+        cycle = factory(duration_s=200.0, seed=3)
+        assert cycle.duration_s == pytest.approx(200.0)
+
+    @pytest.mark.parametrize(
+        "factory", [synthetic_urban, synthetic_highway, synthetic_mixed]
+    )
+    def test_deterministic_given_seed(self, factory):
+        a = factory(duration_s=150.0, seed=11)
+        b = factory(duration_s=150.0, seed=11)
+        assert np.array_equal(a.time_s, b.time_s)
+        assert np.array_equal(a.speed_mps, b.speed_mps)
+
+    @pytest.mark.parametrize(
+        "factory", [synthetic_urban, synthetic_highway, synthetic_mixed]
+    )
+    def test_seeds_differ(self, factory):
+        a = factory(duration_s=150.0, seed=1)
+        b = factory(duration_s=150.0, seed=2)
+        assert not (
+            a.time_s.shape == b.time_s.shape and np.allclose(a.speed_mps, b.speed_mps)
+        )
+
+    def test_urban_slower_than_highway(self):
+        urban = synthetic_urban(duration_s=300.0, seed=5)
+        highway = synthetic_highway(duration_s=300.0, seed=5)
+        assert urban.mean_speed_mps() < highway.mean_speed_mps()
+
+    def test_urban_contains_stops(self):
+        cycle = synthetic_urban(duration_s=300.0, seed=5)
+        assert (cycle.speed_mps == 0.0).any()
+
+    def test_mixed_has_both_regimes(self):
+        cycle = synthetic_mixed(duration_s=800.0, seed=2018)
+        assert cycle.speed_mps.min() == 0.0
+        assert cycle.speed_mps.max() > 20.0
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ModelParameterError):
+            synthetic_mixed(duration_s=0.0)

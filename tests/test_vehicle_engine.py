@@ -1,0 +1,116 @@
+"""Tests for repro.vehicle.engine."""
+
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.vehicle.engine import (
+    EngineModel,
+    EngineParameters,
+    FanParameters,
+    RamAirParameters,
+    ThermostatParameters,
+)
+from repro.vehicle.trace import default_radiator
+
+
+@pytest.fixture
+def engine():
+    return EngineModel(default_radiator(), start_temp_c=88.0)
+
+
+class TestEngineParameters:
+    def test_tractive_power_at_standstill_zero(self):
+        assert EngineParameters().tractive_power_w(0.0, 0.0) == 0.0
+
+    def test_tractive_power_clipped_during_braking(self):
+        assert EngineParameters().tractive_power_w(20.0, -3.0) == 0.0
+
+    def test_tractive_power_increases_with_speed(self):
+        params = EngineParameters()
+        assert params.tractive_power_w(30.0, 0.0) > params.tractive_power_w(15.0, 0.0)
+
+    def test_highway_power_plausible(self):
+        # A laden light truck at 25 m/s needs roughly 20-40 kW.
+        power = EngineParameters().tractive_power_w(25.0, 0.0)
+        assert 15e3 < power < 45e3
+
+    def test_coolant_heat_has_idle_floor(self):
+        params = EngineParameters()
+        assert params.coolant_heat_w(0.0, 0.0) == pytest.approx(params.idle_heat_w)
+
+    def test_pump_flow_grows_with_speed(self):
+        params = EngineParameters()
+        assert params.pump_flow_kg_s(25.0) > params.pump_flow_kg_s(0.0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ModelParameterError):
+            EngineParameters(engine_efficiency=1.5)
+
+
+class TestThermostat:
+    def test_closed_below_opening(self):
+        thermostat = ThermostatParameters()
+        assert thermostat.target_opening(70.0) == thermostat.leak
+
+    def test_fully_open_above_range(self):
+        thermostat = ThermostatParameters()
+        assert thermostat.target_opening(100.0) == 1.0
+
+    def test_linear_in_between(self):
+        thermostat = ThermostatParameters(t_open_c=80.0, t_full_c=90.0, leak=0.0)
+        assert thermostat.target_opening(85.0) == pytest.approx(0.5)
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ModelParameterError):
+            ThermostatParameters(t_open_c=90.0, t_full_c=85.0)
+
+
+class TestFanAndRamAir:
+    def test_fan_rejects_inverted_hysteresis(self):
+        with pytest.raises(ModelParameterError):
+            FanParameters(on_above_c=90.0, off_below_c=95.0)
+
+    def test_ram_air_floor(self):
+        ram = RamAirParameters()
+        assert ram.flow_kg_s(0.0) == pytest.approx(ram.floor_kg_s)
+
+    def test_ram_air_linear(self):
+        ram = RamAirParameters(floor_kg_s=0.1, slope_kg_s_per_mps=0.04)
+        assert ram.flow_kg_s(25.0) == pytest.approx(0.1 + 1.0)
+
+
+class TestEngineModel:
+    def test_step_advances_time(self, engine):
+        telemetry = engine.step(0.5, 10.0, 0.0, 25.0)
+        assert telemetry.time_s == pytest.approx(0.5)
+
+    def test_heavy_load_warms_coolant(self, engine):
+        start = engine.coolant_temp_c
+        for _ in range(40):
+            engine.step(0.5, 28.0, 0.5, 25.0)
+        assert engine.coolant_temp_c > start - 1.0  # heavy load keeps it warm/warming
+
+    def test_temperature_regulated_in_band(self, engine):
+        """Sustained mixed driving keeps the loop in the thermostat band."""
+        for k in range(1200):
+            speed = 20.0 if (k // 120) % 2 == 0 else 5.0
+            engine.step(0.5, speed, 0.0, 25.0)
+        assert 78.0 < engine.coolant_temp_c < 100.0
+
+    def test_radiator_flow_positive(self, engine):
+        telemetry = engine.step(0.5, 15.0, 0.0, 25.0)
+        assert telemetry.radiator_flow_kg_s > 0.0
+
+    def test_air_flow_includes_ram(self, engine):
+        slow = engine.step(0.5, 0.0, 0.0, 25.0).air_flow_kg_s
+        fast = engine.step(0.5, 25.0, 0.0, 25.0).air_flow_kg_s
+        assert fast > slow
+
+    def test_heat_rejection_reported(self, engine):
+        telemetry = engine.step(0.5, 20.0, 0.0, 25.0)
+        assert telemetry.heat_rejected_w > 0.0
+        assert telemetry.heat_in_w > 0.0
+
+    def test_rejects_nonpositive_dt(self, engine):
+        with pytest.raises(ModelParameterError):
+            engine.step(0.0, 10.0, 0.0, 25.0)

@@ -1,0 +1,99 @@
+"""Tests for repro.vehicle.sensors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelParameterError
+from repro.vehicle.sensors import FlowMeter, ModuleTemperatureScanner, Thermocouple
+
+
+class TestThermocouple:
+    def test_first_sample_initialises_state(self):
+        probe = Thermocouple(noise_std_k=0.0, quantization_k=0.0, seed=1)
+        assert probe.sample(90.0, 0.5) == pytest.approx(90.0)
+
+    def test_lag_smooths_step(self):
+        probe = Thermocouple(tau_s=2.0, noise_std_k=0.0, quantization_k=0.0)
+        probe.sample(80.0, 0.5)
+        reading = probe.sample(90.0, 0.5)
+        assert 80.0 < reading < 90.0
+
+    def test_converges_to_true_value(self):
+        probe = Thermocouple(tau_s=1.0, noise_std_k=0.0, quantization_k=0.0)
+        probe.sample(80.0, 0.5)
+        for _ in range(60):
+            reading = probe.sample(90.0, 0.5)
+        assert reading == pytest.approx(90.0, abs=0.01)
+
+    def test_quantization(self):
+        probe = Thermocouple(tau_s=0.0, noise_std_k=0.0, quantization_k=0.5, seed=0)
+        assert probe.sample(90.26, 0.5) in (90.0, 90.5)
+
+    def test_noise_deterministic_with_seed(self):
+        a = Thermocouple(seed=42)
+        b = Thermocouple(seed=42)
+        ra = [a.sample(90.0, 0.5) for _ in range(5)]
+        rb = [b.sample(90.0, 0.5) for _ in range(5)]
+        assert ra == rb
+
+    def test_reset_forgets_lag(self):
+        probe = Thermocouple(tau_s=5.0, noise_std_k=0.0, quantization_k=0.0)
+        probe.sample(50.0, 0.5)
+        probe.reset()
+        assert probe.sample(90.0, 0.5) == pytest.approx(90.0)
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ModelParameterError):
+            Thermocouple().sample(float("nan"), 0.5)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ModelParameterError):
+            Thermocouple().sample(90.0, 0.0)
+
+
+class TestFlowMeter:
+    def test_reading_positive(self):
+        meter = FlowMeter(seed=3)
+        for _ in range(50):
+            assert meter.sample(0.001, 0.5) > 0.0
+
+    def test_tracks_true_flow(self):
+        meter = FlowMeter(noise_std_kg_s=0.0, quantization_kg_s=0.0)
+        meter.sample(0.3, 0.5)
+        for _ in range(20):
+            reading = meter.sample(0.3, 0.5)
+        assert reading == pytest.approx(0.3, abs=1e-6)
+
+
+class TestScanner:
+    def test_noiseless_identity(self):
+        scanner = ModuleTemperatureScanner(noise_std_k=0.0)
+        temps = np.linspace(40.0, 90.0, 10)
+        assert np.array_equal(scanner.scan(temps), temps)
+
+    def test_noise_magnitude(self):
+        scanner = ModuleTemperatureScanner(noise_std_k=0.1, seed=0)
+        temps = np.full(2000, 70.0)
+        noisy = scanner.scan(temps)
+        assert np.std(noisy - temps) == pytest.approx(0.1, rel=0.15)
+
+    def test_does_not_mutate_input(self):
+        scanner = ModuleTemperatureScanner(noise_std_k=0.1, seed=0)
+        temps = np.full(5, 70.0)
+        scanner.scan(temps)
+        assert np.all(temps == 70.0)
+
+    def test_deterministic_with_seed(self):
+        a = ModuleTemperatureScanner(noise_std_k=0.1, seed=9)
+        b = ModuleTemperatureScanner(noise_std_k=0.1, seed=9)
+        temps = np.linspace(40.0, 90.0, 6)
+        assert np.array_equal(a.scan(temps), b.scan(temps))
+
+    def test_rejects_2d(self):
+        scanner = ModuleTemperatureScanner()
+        with pytest.raises(ModelParameterError):
+            scanner.scan(np.zeros((2, 3)))
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ModelParameterError):
+            ModuleTemperatureScanner(noise_std_k=-0.1)

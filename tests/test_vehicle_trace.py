@@ -1,0 +1,93 @@
+"""Tests for repro.vehicle.trace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.vehicle.drive_cycle import synthetic_urban
+from repro.vehicle.engine import EngineModel
+from repro.vehicle.trace import build_trace, default_radiator, porter_ii_trace
+
+
+@pytest.fixture(scope="module")
+def short_trace():
+    return porter_ii_trace(duration_s=60.0, seed=7)
+
+
+class TestBuildTrace:
+    def test_sampling(self, short_trace):
+        assert short_trace.dt_s == pytest.approx(0.5)
+        assert short_trace.n_samples == 121
+        assert short_trace.duration_s == pytest.approx(60.0)
+
+    def test_arrays_aligned(self, short_trace):
+        n = short_trace.n_samples
+        assert short_trace.coolant_inlet_c.shape == (n,)
+        assert short_trace.coolant_flow_kg_s.shape == (n,)
+        assert short_trace.air_flow_kg_s.shape == (n,)
+        assert short_trace.coolant_inlet_sensed_c.shape == (n,)
+
+    def test_flows_positive(self, short_trace):
+        assert np.all(short_trace.coolant_flow_kg_s > 0.0)
+        assert np.all(short_trace.air_flow_kg_s > 0.0)
+        assert np.all(short_trace.coolant_flow_sensed_kg_s > 0.0)
+
+    def test_temperatures_in_operating_band(self, short_trace):
+        assert np.all(short_trace.coolant_inlet_c > 60.0)
+        assert np.all(short_trace.coolant_inlet_c < 110.0)
+
+    def test_sensed_tracks_truth(self, short_trace):
+        error = np.abs(
+            short_trace.coolant_inlet_sensed_c - short_trace.coolant_inlet_c
+        )
+        assert error.mean() < 1.0
+
+    def test_deterministic(self):
+        a = porter_ii_trace(duration_s=30.0, seed=3)
+        b = porter_ii_trace(duration_s=30.0, seed=3)
+        assert np.array_equal(a.coolant_inlet_c, b.coolant_inlet_c)
+        assert np.array_equal(a.coolant_inlet_sensed_c, b.coolant_inlet_sensed_c)
+
+    def test_seed_changes_trace(self):
+        a = porter_ii_trace(duration_s=30.0, seed=3)
+        b = porter_ii_trace(duration_s=30.0, seed=4)
+        assert not np.allclose(a.coolant_inlet_c, b.coolant_inlet_c)
+
+    def test_internal_dt_must_divide(self):
+        radiator = default_radiator()
+        engine = EngineModel(radiator)
+        with pytest.raises(SimulationError):
+            build_trace(synthetic_urban(20.0, 1), engine, dt_s=0.5, internal_dt_s=1.0)
+
+
+class TestWindow:
+    def test_window_rebases_time(self, short_trace):
+        sub = short_trace.window(10.0, 30.0)
+        assert sub.time_s[0] == 0.0
+        assert sub.duration_s == pytest.approx(20.0)
+
+    def test_window_preserves_values(self, short_trace):
+        sub = short_trace.window(10.0, 30.0)
+        original = short_trace.coolant_inlet_c[20]  # t = 10 s at dt = 0.5
+        assert sub.coolant_inlet_c[0] == original
+
+    def test_window_too_small_raises(self, short_trace):
+        with pytest.raises(SimulationError):
+            short_trace.window(10.0, 10.1)
+
+
+class TestShapeValidation:
+    def test_mismatched_arrays_rejected(self, short_trace):
+        from repro.vehicle.trace import RadiatorTrace
+
+        with pytest.raises(SimulationError):
+            RadiatorTrace(
+                time_s=short_trace.time_s,
+                coolant_inlet_c=short_trace.coolant_inlet_c[:-1],
+                coolant_flow_kg_s=short_trace.coolant_flow_kg_s,
+                air_flow_kg_s=short_trace.air_flow_kg_s,
+                ambient_c=short_trace.ambient_c,
+                speed_mps=short_trace.speed_mps,
+                coolant_inlet_sensed_c=short_trace.coolant_inlet_sensed_c,
+                coolant_flow_sensed_kg_s=short_trace.coolant_flow_sensed_kg_s,
+            )
