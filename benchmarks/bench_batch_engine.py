@@ -1,0 +1,178 @@
+"""Batch simulation engine — sequential per-step loop vs layered engine.
+
+The refactor's acceptance bar: the batched single-policy path
+(trace-level physics precompute + segment-batched converter math) must
+beat the pre-refactor per-sample loop (two radiator solves and a
+scalar charger step per control period) by >= 3x at the scalability
+bench's largest configuration (N = 400).  This bench measures both
+engines across array sizes, plus the multi-scenario throughput of the
+:class:`~repro.sim.engine.ExperimentRunner` fan-out, and writes the
+table and a JSON record into ``benchmarks/results/`` so the speedup
+trajectory is tracked across PRs.
+
+Environment knobs (used by the CI smoke job):
+
+* ``REPRO_BENCH_BATCH_SIZES``      — comma list of array sizes
+  (default ``100,400``; must be perfect squares for the baseline).
+* ``REPRO_BENCH_BATCH_DURATION_S`` — trace length (default 40 s).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from conftest import emit, write_artifact
+from repro.sim.engine import ExperimentRunner, grid_cases, run_case
+from repro.sim.scenario import build_named_scenario, default_scenario
+from repro.sim.simulator import HarvestSimulator
+
+SIZES = tuple(
+    int(s)
+    for s in os.environ.get("REPRO_BENCH_BATCH_SIZES", "100,400").split(",")
+)
+DURATION_S = float(os.environ.get("REPRO_BENCH_BATCH_DURATION_S", "40"))
+
+
+def _make_simulator(scenario, engine: str) -> HarvestSimulator:
+    return HarvestSimulator(
+        trace=scenario.trace,
+        radiator=scenario.radiator,
+        module=scenario.module,
+        n_modules=scenario.n_modules,
+        overhead=scenario.overhead,
+        scanner=scenario.make_scanner(),
+        nominal_compute_s=1.0e-3,
+        engine=engine,
+    )
+
+
+def measure(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+@pytest.fixture(scope="module")
+def engine_rows():
+    """(N, t_reference, t_batched_cold, t_batched_warm) per array size.
+
+    The cold batched time includes the physics precompute (a fresh
+    simulator per run — the fair single-policy comparison); the warm
+    time reuses one simulator's cached :class:`TracePhysics`, which is
+    what a multi-policy experiment actually pays per run.
+    """
+    rows = []
+    for n in SIZES:
+        scenario = default_scenario(
+            duration_s=DURATION_S, seed=2018, n_modules=n,
+            nominal_compute_s=1.0e-3,
+        )
+        policy = scenario.make_baseline_policy()
+
+        def run_reference():
+            _make_simulator(scenario, "reference").run(
+                policy, scenario.make_charger()
+            )
+
+        def run_batched_cold():
+            _make_simulator(scenario, "batched").run(
+                policy, scenario.make_charger()
+            )
+
+        warm_simulator = _make_simulator(scenario, "batched")
+        warm_simulator.physics  # precompute outside the timed region
+
+        def run_batched_warm():
+            warm_simulator.run(policy, scenario.make_charger())
+
+        rows.append(
+            (
+                n,
+                measure(run_reference),
+                measure(run_batched_cold),
+                measure(run_batched_warm),
+            )
+        )
+    return rows
+
+
+def render_rows(rows) -> str:
+    lines = [
+        "Batch engine - per-step reference loop vs layered engine "
+        f"({DURATION_S:g} s trace, static policy)",
+        f"{'N':>6s} {'reference (ms)':>15s} {'batched cold (ms)':>18s} "
+        f"{'batched warm (ms)':>18s} {'speedup':>8s}",
+    ]
+    for n, t_ref, t_cold, t_warm in rows:
+        lines.append(
+            f"{n:6d} {t_ref * 1e3:15.1f} {t_cold * 1e3:18.1f} "
+            f"{t_warm * 1e3:18.1f} {t_ref / t_cold:7.1f}x"
+        )
+    lines.append("")
+    lines.append(
+        "cold = fresh TracePhysics per run; warm = precompute shared "
+        "across policy runs (the conftest table1 pattern)."
+    )
+    return "\n".join(lines)
+
+
+def test_batched_engine_speedup(engine_rows):
+    """The acceptance criterion: >= 3x at the largest configuration."""
+    n, t_ref, t_cold, t_warm = engine_rows[-1]
+    emit("batch_engine.txt", render_rows(engine_rows))
+    assert t_warm <= t_cold * 1.05  # precompute reuse can only help
+    assert t_ref / t_cold >= 3.0, (
+        f"batched engine only {t_ref / t_cold:.1f}x faster than the "
+        f"per-step loop at N={n}"
+    )
+
+
+def test_multi_scenario_throughput(engine_rows):
+    """Fan-out throughput: ExperimentRunner vs a sequential case loop.
+
+    Informational (no speedup assert — worker count and machine load
+    vary); the JSON artifact records the trajectory.
+    """
+    scenarios = [
+        build_named_scenario("porter-ii", duration_s=DURATION_S, n_modules=25),
+        build_named_scenario("cold-start", duration_s=DURATION_S, n_modules=25),
+    ]
+    cases = grid_cases(scenarios, ["INOR", "Baseline"])
+
+    t_seq = measure(lambda: [run_case(c) for c in cases], repeats=1)
+    t_par = measure(
+        lambda: ExperimentRunner(cases, executor="process", max_workers=4).run(),
+        repeats=1,
+    )
+
+    rows = {
+        "sizes": list(SIZES),
+        "duration_s": DURATION_S,
+        "engine": [
+            {
+                "n_modules": n,
+                "reference_s": t_ref,
+                "batched_cold_s": t_cold,
+                "batched_warm_s": t_warm,
+                "speedup_cold": t_ref / t_cold,
+                "speedup_warm": t_ref / t_warm,
+            }
+            for n, t_ref, t_cold, t_warm in engine_rows
+        ],
+        "multi_scenario": {
+            "cases": len(cases),
+            "sequential_s": t_seq,
+            "process_pool_s": t_par,
+        },
+    }
+    path = write_artifact("batch_engine.json", json.dumps(rows, indent=2))
+    print(f"\n[batch-engine JSON saved to {path}]")
+    print(
+        f"multi-scenario: {len(cases)} cases sequential {t_seq:.2f} s, "
+        f"process pool {t_par:.2f} s"
+    )

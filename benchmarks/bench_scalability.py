@@ -7,6 +7,7 @@ both algorithms across array sizes and regenerates the runtime-vs-N
 table, checking the growth-rate gap.
 """
 
+import os
 import time
 
 import numpy as np
@@ -19,7 +20,11 @@ from repro.core.inor import inor
 from repro.power.charger import TEGCharger
 from repro.teg.datasheet import TGM_199_1_4_0_8
 
-SIZES = (25, 50, 100, 200, 400)
+#: Override with e.g. ``REPRO_BENCH_SIZES=25,50,100`` for a CI smoke run.
+SIZES = tuple(
+    int(s)
+    for s in os.environ.get("REPRO_BENCH_SIZES", "25,50,100,200,400").split(",")
+)
 
 
 def instance(n: int):

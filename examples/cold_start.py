@@ -4,45 +4,30 @@
 The paper's 800-second trace starts with a warm engine.  A cold start
 is the harder — and more rewarding — regime: coolant sweeps from
 ambient to ~90 degC, the radiator profile morphs continuously, and a
-static array is wrong for most of the climb.  This example builds a
-cold-start trace (thermostat initially closed), runs DNOR, INOR and
-the static baseline, and shows how the chosen group count tracks the
-warming radiator.
+static array is wrong for most of the climb.  This example builds the
+registry's named cold-start scenario (thermostat initially closed),
+runs DNOR, INOR and the static baseline, and shows how the chosen
+group count tracks the warming radiator.
 
 Run with::
 
     python examples/cold_start.py
 """
 
-import numpy as np
-
 from repro import comparison_table
-from repro.sim.scenario import Scenario
-from repro.teg.datasheet import TGM_199_1_4_0_8
-from repro.vehicle.drive_cycle import synthetic_urban
-from repro.vehicle.engine import EngineModel
-from repro.vehicle.trace import build_trace, default_radiator
+from repro.sim.scenario import build_named_scenario
 
 
 def main() -> None:
     duration_s = 300.0
-    radiator = default_radiator()
-    engine = EngineModel(radiator, start_temp_c=21.0)  # overnight soak
-    cycle = synthetic_urban(duration_s=duration_s, seed=77)
-    trace = build_trace(cycle, engine, sensor_seed=78, name="cold-start")
+    scenario = build_named_scenario("cold-start", duration_s=duration_s)
+    trace = scenario.trace
 
     print(
         f"Cold start: coolant {trace.coolant_inlet_c[0]:.0f} -> "
         f"{trace.coolant_inlet_c[-1]:.0f} degC over {duration_s:.0f} s"
     )
 
-    scenario = Scenario(
-        module=TGM_199_1_4_0_8,
-        n_modules=100,
-        radiator=radiator,
-        trace=trace,
-        sensor_seed=79,
-    )
     simulator = scenario.make_simulator()
 
     results = []

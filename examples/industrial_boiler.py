@@ -92,6 +92,18 @@ def main() -> None:
         f"{result.delivered_power_w / grid_delivered - 1.0:+.1%}"
     )
 
+    # Closed loop: the registry's named boiler scenario (144-module
+    # economiser bank under firing-rate swings) through the batch
+    # experiment engine.
+    from repro.sim.engine import ExperimentRunner, grid_cases
+    from repro.sim.scenario import build_named_scenario
+
+    scenario = build_named_scenario("industrial-boiler", duration_s=120.0)
+    cases = grid_cases([scenario], ["DNOR", "INOR", "Baseline"])
+    collation = ExperimentRunner(cases, executor="serial").run()
+    print("\nClosed-loop economiser bank (120 s of load swings):")
+    print(collation.tables())
+
 
 if __name__ == "__main__":
     main()

@@ -60,11 +60,18 @@ from repro.prediction import (
     walk_forward_evaluation,
 )
 from repro.sim import (
+    ExperimentCase,
+    ExperimentRunner,
     HarvestSimulator,
     Scenario,
+    ScenarioRegistry,
     SimulationResult,
+    TracePhysics,
+    build_named_scenario,
     comparison_table,
+    default_registry,
     default_scenario,
+    grid_cases,
     ideal_power_series,
 )
 from repro.teg import (
@@ -97,6 +104,8 @@ __all__ = [
     "DNORPolicy",
     "DriveCycle",
     "EngineModel",
+    "ExperimentCase",
+    "ExperimentRunner",
     "HarvestSimulator",
     "LeadAcidBattery",
     "MLRPredictor",
@@ -114,6 +123,7 @@ __all__ = [
     "ReconfigurationPolicy",
     "SVRPredictor",
     "Scenario",
+    "ScenarioRegistry",
     "SimulationError",
     "SimulationResult",
     "StaticPolicy",
@@ -124,14 +134,18 @@ __all__ = [
     "TEGModule",
     "TGM_199_1_4_0_8",
     "TegkitError",
+    "TracePhysics",
     "__version__",
+    "build_named_scenario",
     "build_trace",
     "comparison_table",
     "converter_aware_group_range",
     "default_radiator",
+    "default_registry",
     "default_scenario",
     "ehtr",
     "get_module",
+    "grid_cases",
     "grid_configuration",
     "grid_for_square_array",
     "ideal_power_series",

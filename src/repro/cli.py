@@ -1,12 +1,15 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the everyday uses of the library:
+Five commands cover the everyday uses of the library:
 
 * ``info``        — paper identity, module catalog, default scenario.
 * ``reconfigure`` — run INOR once on a synthetic or CSV-described
   temperature profile and print the chosen configuration.
 * ``simulate``    — run the closed-loop schemes over a drive trace and
   print the Table-I style comparison (optionally save the trace CSV).
+* ``batch``       — fan a grid of named scenarios × schemes across
+  workers through the batch experiment engine and print collated
+  tables (``--list`` shows the scenario registry).
 * ``sweep-period``— the prior-work fixed-period trade-off table.
 
 Every command is deterministic given its ``--seed``.
@@ -16,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -24,8 +28,9 @@ from repro._about import PAPER_ARXIV, PAPER_TITLE, PAPER_VENUE, __version__
 from repro.core.inor import inor
 from repro.core.period_tradeoff import sweep_fixed_period
 from repro.power.charger import TEGCharger
+from repro.sim.engine import ExperimentRunner, grid_cases
 from repro.sim.results import comparison_table
-from repro.sim.scenario import default_scenario
+from repro.sim.scenario import default_registry, default_scenario
 from repro.teg.array import TEGArray
 from repro.teg.datasheet import MODULE_CATALOG, get_module
 from repro.vehicle.trace_io import save_trace
@@ -106,6 +111,63 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    if args.list:
+        print("Registered scenarios:")
+        for name, description in registry.describe().items():
+            print(f"  {name:20s} {description}")
+        return 0
+
+    # De-duplicate while preserving order: repeating a name would
+    # otherwise produce duplicate case names downstream.
+    wanted = list(
+        dict.fromkeys(s.strip() for s in args.scenarios.split(",") if s.strip())
+    )
+    unknown = [s for s in wanted if s not in registry.names()]
+    if unknown:
+        print(
+            f"unknown scenarios: {', '.join(unknown)} "
+            f"(available: {', '.join(registry.names())})",
+            file=sys.stderr,
+        )
+        return 2
+    schemes = list(
+        dict.fromkeys(s.strip() for s in args.schemes.split(",") if s.strip())
+    )
+    known_schemes = ("DNOR", "INOR", "EHTR", "Baseline")
+    bad_schemes = [s for s in schemes if s not in known_schemes]
+    if bad_schemes:
+        print(
+            f"unknown schemes: {', '.join(bad_schemes)} "
+            f"(available: {', '.join(known_schemes)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    scenarios = [
+        registry.build(name, duration_s=args.duration, seed=args.seed)
+        for name in wanted
+    ]
+    cases = grid_cases(scenarios, schemes)
+    print(
+        f"running {len(cases)} cases "
+        f"({len(scenarios)} scenarios x {len(schemes)} schemes) "
+        f"on the {args.executor} executor ...",
+        file=sys.stderr,
+    )
+    runner = ExperimentRunner(
+        cases, executor=args.executor, max_workers=args.workers
+    )
+    collation = runner.run()
+    print(collation.tables())
+    if args.json:
+        path = Path(args.json)
+        path.write_text(collation.to_json())
+        print(f"summary JSON saved to {path}", file=sys.stderr)
+    return 0
+
+
 def _cmd_sweep_period(args: argparse.Namespace) -> int:
     scenario = default_scenario(duration_s=args.duration, seed=args.seed)
     periods = [float(p) for p in args.periods.split(",")]
@@ -161,6 +223,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-trace", default=None, help="also write the trace CSV here"
     )
     simulate.set_defaults(handler=_cmd_simulate)
+
+    batch = sub.add_parser(
+        "batch", help="multi-scenario scheme comparison via the batch engine"
+    )
+    batch.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+    batch.add_argument(
+        "--scenarios",
+        default="porter-ii",
+        help="comma list of registry names (see --list)",
+    )
+    batch.add_argument(
+        "--schemes",
+        default="DNOR,INOR,Baseline",
+        help="comma list from DNOR,INOR,EHTR,Baseline (EHTR is slow)",
+    )
+    batch.add_argument("--duration", type=float, default=None)
+    batch.add_argument("--seed", type=int, default=None)
+    batch.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="process",
+    )
+    batch.add_argument("--workers", type=int, default=None)
+    batch.add_argument(
+        "--json", default=None, help="also write the summary rows here"
+    )
+    batch.set_defaults(handler=_cmd_batch)
 
     sweep = sub.add_parser(
         "sweep-period", help="prior-work fixed-period trade-off vs DNOR"

@@ -36,7 +36,7 @@ from repro.errors import ConfigurationError, PredictionError
 from repro.power.charger import TEGCharger
 from repro.prediction.base import LagSeriesPredictor
 from repro.teg.module import TEGModule
-from repro.teg.network import array_mpp
+from repro.teg.network import array_mpp, array_mpp_rows
 
 
 def thevenin_from_temps(
@@ -116,6 +116,12 @@ class DNORPlanner:
         coefficients are unchanged while fitting cost drops by the
         stride factor — this is what keeps DNOR's amortised runtime
         below INOR's (Table I).  Forecasts still cover every module.
+    nominal_compute_s:
+        When set, the switching bill inside the epoch decision uses
+        this fixed compute time instead of the measured INOR wall-clock
+        — making the decision sequence machine-independent, which the
+        batch engine's bit-reproducibility guarantees rely on.  ``None``
+        (the default) keeps the measured-runtime behaviour.
     """
 
     def __init__(
@@ -127,6 +133,7 @@ class DNORPlanner:
         tp_seconds: float = 1.0,
         sample_dt_s: float = 0.5,
         fit_module_stride: int = 8,
+        nominal_compute_s: Optional[float] = None,
     ) -> None:
         if tp_seconds <= 0.0:
             raise ConfigurationError(f"tp_seconds must be > 0, got {tp_seconds}")
@@ -143,6 +150,9 @@ class DNORPlanner:
         self._tp_seconds = float(tp_seconds)
         self._sample_dt_s = float(sample_dt_s)
         self._fit_module_stride = int(fit_module_stride)
+        self._nominal_compute_s = (
+            None if nominal_compute_s is None else float(nominal_compute_s)
+        )
 
     @property
     def tp_seconds(self) -> float:
@@ -168,30 +178,24 @@ class DNORPlanner:
     ) -> float:
         """Delivered energy of ``config`` over stacked temperature rows.
 
-        Vectorised over the horizon: module resistance is constant, so
-        each row's array Thevenin reduces to one ``reduceat`` over the
-        EMF matrix; only the converter curve is evaluated per row.
+        Fully vectorised over the horizon: module resistance is
+        constant, so each row's array Thevenin reduces to one
+        ``reduceat`` over the EMF matrix
+        (:func:`repro.teg.network.array_mpp_rows` — the same batched
+        kernel the simulation engine uses), and the converter curve is
+        evaluated for all rows at once through the batched charger API
+        — no per-sample Python in this hot path.
         """
         rows = np.asarray(temp_rows, dtype=float)
         alpha = self._module.material.seebeck_v_per_k * self._module.n_couples
         emf_rows = alpha * (rows - float(ambient_c))
-        r_module = self._module.material.resistance_ohm * self._module.n_couples
-        starts = np.asarray(config.starts, dtype=np.int64)
-        sizes = np.diff(np.append(starts, rows.shape[1])).astype(float)
-        # Equal resistances: group EMF is the arithmetic mean, group
-        # resistance R/size; series totals follow.
-        group_sums = np.add.reduceat(emf_rows, starts, axis=1)
-        e_total = (group_sums / sizes).sum(axis=1)
-        r_total = float((r_module / sizes).sum())
-        power = e_total * e_total / (4.0 * r_total)
-        voltage = e_total / 2.0
-        energy = 0.0
-        for p, v in zip(power, voltage):
-            energy += (
-                self._charger.converter.output_power(float(p), float(v))
-                * self._sample_dt_s
-            )
-        return energy
+        resistance = np.full(
+            rows.shape[1],
+            self._module.material.resistance_ohm * self._module.n_couples,
+        )
+        power, voltage = array_mpp_rows(emf_rows, resistance, config.starts)
+        delivered = self._charger.delivered_batch(power, voltage)
+        return float(delivered.sum() * self._sample_dt_s)
 
     def plan(
         self,
@@ -278,9 +282,14 @@ class DNORPlanner:
             array_mpp(emf, res, current.starts)
         )
         toggles = current.switch_toggles_to(candidate)
+        billed_compute_s = (
+            inor_seconds
+            if self._nominal_compute_s is None
+            else self._nominal_compute_s
+        )
         energy_overhead = self._overhead.event_energy_j(
             power_w=max(power_now, 0.0),
-            compute_time_s=inor_seconds,
+            compute_time_s=billed_compute_s,
             toggles=toggles,
         )
 

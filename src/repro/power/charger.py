@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+import numpy as np
+
 from repro.power.battery import LeadAcidBattery
 from repro.power.converter import BuckBoostConverter
 from repro.power.mppt import PerturbObserveMPPT
@@ -96,6 +98,11 @@ class TEGCharger:
         """The P&O tracker."""
         return self._mppt
 
+    @property
+    def exact_tracking(self) -> bool:
+        """Whether the charger operates at the analytic MPP."""
+        return self._exact_tracking
+
     # ------------------------------------------------------------------
     # Evaluation used by the reconfiguration algorithms
     # ------------------------------------------------------------------
@@ -107,6 +114,17 @@ class TEGCharger:
         at the MPP voltage.
         """
         return self._converter.output_power(mpp.power_w, mpp.voltage_v)
+
+    def delivered_batch(
+        self, power_w: np.ndarray, voltage_v: np.ndarray
+    ) -> np.ndarray:
+        """Bus power for row vectors of array ``(P, V)`` operating points.
+
+        The batched counterpart of :meth:`delivered_at_mpp`, used by the
+        simulation engine's segment evaluation and DNOR's horizon
+        scoring; elementwise bit-identical to the scalar path.
+        """
+        return self._converter.output_power_batch(power_w, voltage_v)
 
     def preferred_voltage_window(self, efficiency_drop: float = 0.03) -> Tuple[float, float]:
         """Input-voltage band for the converter-aware group-count range."""

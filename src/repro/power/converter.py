@@ -17,12 +17,21 @@ with a steeper coefficient below the optimum (buck-boost stages lose
 more to conduction at low input voltage / high input current) than
 above it.  A small quiescent draw makes very-low-power operation
 unprofitable, as in the real part.
+
+The curve has two evaluation forms: the scalar :meth:`efficiency` /
+:meth:`output_power` used inside per-step control loops, and the
+batched :meth:`efficiency_batch` / :meth:`output_power_batch` row-vector
+forms the simulation engine and DNOR's horizon scoring consume.  The
+scalar forms delegate to the same NumPy kernels so both paths are
+bit-identical — the batch engine's equivalence guarantee depends on it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 import math
+
+import numpy as np
 
 from repro.errors import ModelParameterError
 from repro.units import require_fraction, require_non_negative, require_positive
@@ -78,10 +87,30 @@ class BuckBoostConverter:
         """
         if input_voltage_v <= 0.0:
             return self.floor_efficiency
-        deviation = math.log(input_voltage_v / self.optimal_input_v)
+        deviation = float(np.log(input_voltage_v / self.optimal_input_v))
         coeff = self.low_side_coeff if deviation < 0.0 else self.high_side_coeff
         eta = self.peak_efficiency - coeff * deviation * deviation
         return min(max(eta, self.floor_efficiency), self.peak_efficiency)
+
+    def efficiency_batch(self, input_voltage_v: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`efficiency` over a row vector of voltages.
+
+        Elementwise bit-identical to the scalar form: both use the same
+        NumPy ``log`` kernel, so a batched sweep and a per-step loop
+        produce exactly the same efficiencies.
+        """
+        v = np.asarray(input_voltage_v, dtype=float)
+        startable = v > 0.0
+        safe_v = np.where(startable, v, self.optimal_input_v)
+        deviation = np.log(safe_v / self.optimal_input_v)
+        coeff = np.where(
+            deviation < 0.0, self.low_side_coeff, self.high_side_coeff
+        )
+        eta = self.peak_efficiency - coeff * deviation * deviation
+        eta = np.minimum(
+            np.maximum(eta, self.floor_efficiency), self.peak_efficiency
+        )
+        return np.where(startable, eta, self.floor_efficiency)
 
     def output_power(self, input_power_w: float, input_voltage_v: float) -> float:
         """Power delivered to the bus for a given input operating point.
@@ -92,6 +121,21 @@ class BuckBoostConverter:
             return 0.0
         delivered = input_power_w * self.efficiency(input_voltage_v)
         return max(delivered - self.quiescent_power_w, 0.0)
+
+    def output_power_batch(
+        self, input_power_w: np.ndarray, input_voltage_v: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`output_power` over ``(P, V)`` row vectors.
+
+        The hot-path form used by the batch simulation engine and by
+        DNOR's horizon-energy scoring; elementwise bit-identical to the
+        scalar :meth:`output_power`.
+        """
+        p = np.asarray(input_power_w, dtype=float)
+        v = np.asarray(input_voltage_v, dtype=float)
+        delivered = p * self.efficiency_batch(v)
+        delivered = np.maximum(delivered - self.quiescent_power_w, 0.0)
+        return np.where(p > 0.0, delivered, 0.0)
 
     def preferred_voltage_window(self, efficiency_drop: float = 0.03) -> tuple:
         """Input-voltage band keeping efficiency within ``drop`` of peak.

@@ -1,29 +1,63 @@
 """Closed-loop harvesting simulation.
 
+The stack is layered (see ROADMAP "Open items" for the architecture
+overview):
+
+* :mod:`repro.sim.physics` — :class:`TracePhysics`, the trace-level
+  physics precompute: vectorised radiator solves (true + sensed), EMF
+  matrix and ``P_ideal`` series for a whole trace in one NumPy pass.
+* :mod:`repro.sim.simulator` — the step loop running one
+  reconfiguration policy against a trace; consumes the precompute and
+  evaluates the electrical series in batched constant-configuration
+  segments.
+* :mod:`repro.sim.engine` — :class:`ExperimentRunner`, fanning a grid
+  of (trace × policy × chain length × scanner noise) cases across
+  workers with seeded determinism and collated result tables.
 * :mod:`repro.sim.scenario` — bundles module, array size, radiator,
-  trace, charger and overhead settings into the canonical experiment
-  setup (the paper's 100-module Porter-II platform).
-* :mod:`repro.sim.simulator` — the time-stepped simulator running one
-  reconfiguration policy against a trace.
+  trace, charger and overhead settings into reproducible experiment
+  setups, with a :class:`ScenarioRegistry` of named scenarios.
 * :mod:`repro.sim.results` — result containers and the Table-I style
   comparison renderer.
 * :mod:`repro.sim.ideal` — the ``P_ideal`` reference of Fig. 7.
 """
 
+from repro.sim.engine import (
+    ExperimentCase,
+    ExperimentCollation,
+    ExperimentRunner,
+    grid_cases,
+    run_case,
+)
 from repro.sim.export import result_series_to_csv, summary_rows_to_csv
 from repro.sim.ideal import ideal_power_series
+from repro.sim.physics import TracePhysics
 from repro.sim.results import SimulationResult, comparison_table, summary_row
-from repro.sim.scenario import Scenario, default_scenario
+from repro.sim.scenario import (
+    Scenario,
+    ScenarioRegistry,
+    build_named_scenario,
+    default_registry,
+    default_scenario,
+)
 from repro.sim.simulator import HarvestSimulator
 
 __all__ = [
+    "ExperimentCase",
+    "ExperimentCollation",
+    "ExperimentRunner",
     "HarvestSimulator",
     "Scenario",
+    "ScenarioRegistry",
     "SimulationResult",
+    "TracePhysics",
+    "build_named_scenario",
     "comparison_table",
+    "default_registry",
     "default_scenario",
+    "grid_cases",
     "ideal_power_series",
     "result_series_to_csv",
+    "run_case",
     "summary_row",
     "summary_rows_to_csv",
 ]

@@ -1,0 +1,266 @@
+"""The batch experiment layer — many scenarios, one call.
+
+Layer three of the simulation stack (physics precompute → step loop →
+batch engine): :class:`ExperimentRunner` fans a list of
+:class:`ExperimentCase` objects — typically a grid of
+``trace × policy × chain length × scanner noise`` built by
+:func:`grid_cases` — across ``concurrent.futures`` workers and collates
+the per-case :class:`~repro.sim.results.SimulationResult` objects into
+comparison tables.
+
+Determinism: every case carries its own fully-seeded
+:class:`~repro.sim.scenario.Scenario`; workers construct the policy,
+scanner and charger *inside* the worker from those seeds, so results
+are bit-identical to running the same case sequentially in the parent
+process, regardless of worker count or scheduling order — **provided
+the scenario sets** ``nominal_compute_s`` (all registry-built
+scenarios do).  With it unset, overhead bills — and through them DNOR
+decisions — use the measured ``decide`` wall-clock, which varies
+between runs by design.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.results import SimulationResult, comparison_table, summary_row
+from repro.sim.scenario import Scenario
+
+#: Valid values of the ``executor`` argument.
+EXECUTORS = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ExperimentCase:
+    """One (scenario, policy) cell of an experiment grid.
+
+    Attributes
+    ----------
+    name:
+        Unique label of the case in the collation (e.g.
+        ``"porter-ii-800s-seed2018/DNOR"``).
+    scenario:
+        The fully-seeded scenario to simulate.  Everything stochastic
+        (trace sensors, module scanner) is derived from its seeds, so a
+        case is reproducible wherever it runs — bit-exactly when the
+        scenario also pins ``nominal_compute_s`` (registry scenarios
+        do), within measured-runtime jitter otherwise.
+    policy:
+        Scheme name, a key of :meth:`Scenario.make_policies`
+        (``"DNOR"``, ``"INOR"``, ``"EHTR"``, ``"Baseline"``).
+    with_battery:
+        Whether the charger carries a battery sink.
+    """
+
+    name: str
+    scenario: Scenario
+    policy: str
+    with_battery: bool = True
+
+
+def run_case(case: ExperimentCase, physics=None) -> SimulationResult:
+    """Execute one case: build the simulator and policy, run, return.
+
+    Module-level so process pools can pickle it; also the single code
+    path for every executor, which is what makes parallel results
+    bit-identical to sequential ones.  ``physics`` optionally injects
+    a shared :class:`~repro.sim.physics.TracePhysics` so in-process
+    cases over the same scenario split one precompute (the precompute
+    is a pure function of the scenario, so sharing cannot change
+    results).
+    """
+    policies = case.scenario.make_policies()
+    if case.policy not in policies:
+        raise SimulationError(
+            f"unknown policy {case.policy!r} for case {case.name!r} "
+            f"(available: {', '.join(policies)})"
+        )
+    simulator = case.scenario.make_simulator(physics=physics)
+    charger = case.scenario.make_charger(with_battery=case.with_battery)
+    return simulator.run(policies[case.policy], charger)
+
+
+def grid_cases(
+    scenarios: Sequence[Scenario],
+    policies: Sequence[str],
+    n_modules: Optional[Sequence[int]] = None,
+    scanner_noise_std_k: Optional[Sequence[float]] = None,
+) -> List[ExperimentCase]:
+    """Build the full ``trace × policy × N × noise`` case grid.
+
+    ``n_modules`` / ``scanner_noise_std_k`` axes default to "keep the
+    scenario's own value".  Case names encode only the axes that vary,
+    so a plain scenario × policy grid keeps short names.
+    """
+    module_axis: Sequence[Optional[int]] = (
+        [None] if n_modules is None else list(n_modules)
+    )
+    noise_axis: Sequence[Optional[float]] = (
+        [None] if scanner_noise_std_k is None else list(scanner_noise_std_k)
+    )
+    cases: List[ExperimentCase] = []
+    for scenario in scenarios:
+        for m in module_axis:
+            for noise in noise_axis:
+                variant = scenario
+                suffix = ""
+                if m is not None:
+                    variant = dataclasses.replace(variant, n_modules=int(m))
+                    suffix += f"/N={int(m)}"
+                if noise is not None:
+                    variant = dataclasses.replace(
+                        variant, scanner_noise_std_k=float(noise)
+                    )
+                    suffix += f"/noise={noise:g}K"
+                for policy in policies:
+                    cases.append(
+                        ExperimentCase(
+                            name=f"{scenario.trace.name}{suffix}/{policy}",
+                            scenario=variant,
+                            policy=policy,
+                        )
+                    )
+    return cases
+
+
+@dataclass(frozen=True)
+class ExperimentCollation:
+    """Collated results of one :class:`ExperimentRunner` invocation."""
+
+    cases: Tuple[ExperimentCase, ...]
+    results: Tuple[SimulationResult, ...]
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    def __iter__(self):
+        """Iterate ``(case, result)`` pairs in collation order."""
+        return iter(zip(self.cases, self.results))
+
+    def __getitem__(self, name: str) -> SimulationResult:
+        for case, result in zip(self.cases, self.results):
+            if case.name == name:
+                return result
+        raise KeyError(name)
+
+    def by_scenario(self) -> Dict[str, List[Tuple[ExperimentCase, SimulationResult]]]:
+        """Group (case, result) pairs by their scenario grouping key.
+
+        The key is the case name minus the trailing ``/<policy>``
+        component, so every variant of a scenario collates its schemes
+        into one Table-I style block.
+        """
+        groups: Dict[str, List[Tuple[ExperimentCase, SimulationResult]]] = {}
+        for case, result in zip(self.cases, self.results):
+            key = case.name.rsplit("/", 1)[0] if "/" in case.name else case.name
+            groups.setdefault(key, []).append((case, result))
+        return groups
+
+    def tables(self) -> str:
+        """Render one comparison table per scenario grouping."""
+        blocks = []
+        for key, pairs in self.by_scenario().items():
+            blocks.append(f"== {key} ==")
+            blocks.append(comparison_table(result for _, result in pairs))
+        return "\n\n".join(blocks)
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Flat per-case summary dictionaries (JSON-friendly)."""
+        rows: List[Dict[str, object]] = []
+        for case, result in zip(self.cases, self.results):
+            row: Dict[str, object] = {"case": case.name, "policy": case.policy}
+            row.update(summary_row(result))
+            rows.append(row)
+        return rows
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialised :meth:`summary_rows`."""
+        return json.dumps(self.summary_rows(), indent=indent)
+
+
+class ExperimentRunner:
+    """Fan an experiment grid across workers, deterministically.
+
+    Parameters
+    ----------
+    cases:
+        The grid (see :func:`grid_cases`); names must be unique.
+    executor:
+        ``"process"`` (default) uses a :class:`ProcessPoolExecutor` —
+        right for CPU-bound policy loops; ``"thread"`` avoids pickling
+        and process start-up for small grids; ``"serial"`` runs inline
+        (debugging, exact-equivalence tests).
+    max_workers:
+        Worker count for the pooled executors; ``None`` lets
+        ``concurrent.futures`` pick.
+    """
+
+    def __init__(
+        self,
+        cases: Iterable[ExperimentCase],
+        executor: str = "process",
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self._cases: Tuple[ExperimentCase, ...] = tuple(cases)
+        if not self._cases:
+            raise SimulationError("an experiment needs at least one case")
+        names = [case.name for case in self._cases]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SimulationError(f"duplicate case names: {', '.join(dupes)}")
+        if executor not in EXECUTORS:
+            raise SimulationError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        self._executor = executor
+        self._max_workers = max_workers
+
+    @property
+    def cases(self) -> Tuple[ExperimentCase, ...]:
+        """The grid, in submission (= collation) order."""
+        return self._cases
+
+    def _shared_physics(self) -> List[object]:
+        """One lazily-filled TracePhysics slot per unique scenario.
+
+        In-process executors hand every case of a scenario the same
+        precompute; process pools can't share memory, so their workers
+        compute their own (`run_case(physics=None)`).
+        """
+        from repro.sim.physics import TracePhysics
+
+        cache: Dict[int, object] = {}
+        slots: List[object] = []
+        for case in self._cases:
+            key = id(case.scenario)
+            if key not in cache:
+                scenario = case.scenario
+                cache[key] = TracePhysics.compute(
+                    scenario.trace,
+                    scenario.radiator,
+                    scenario.module,
+                    scenario.n_modules,
+                )
+            slots.append(cache[key])
+        return slots
+
+    def run(self) -> ExperimentCollation:
+        """Execute every case and collate results in case order."""
+        if self._executor == "serial":
+            physics = self._shared_physics()
+            results = [
+                run_case(case, p) for case, p in zip(self._cases, physics)
+            ]
+        elif self._executor == "thread":
+            physics = self._shared_physics()
+            with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+                results = list(pool.map(run_case, self._cases, physics))
+        else:
+            with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
+                results = list(pool.map(run_case, self._cases))
+        return ExperimentCollation(cases=self._cases, results=tuple(results))

@@ -3,14 +3,18 @@
 ``P_ideal(t) = sum_i E_i(t)^2 / 4 R_i`` is an upper bound no physical
 configuration reaches (series groups share a current, parallel modules
 share a voltage), which is what makes it the natural normaliser for
-comparing schemes.
+comparing schemes.  The series needs only the *true* boundary
+conditions, so it is one vectorised radiator solve plus the batched
+per-module MPP sum (:func:`repro.sim.physics.ideal_power_from_delta_t`)
+— the sensed pass a full :class:`~repro.sim.physics.TracePhysics`
+would also run is skipped.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.teg.array import TEGArray
+from repro.sim.physics import ideal_power_from_delta_t
 from repro.teg.module import TEGModule
 from repro.thermal.radiator import Radiator
 from repro.vehicle.trace import RadiatorTrace
@@ -23,16 +27,11 @@ def ideal_power_series(
     n_modules: int,
 ) -> np.ndarray:
     """``P_ideal`` at every trace sample, from the true boundary conditions."""
-    array = TEGArray(module, n_modules)
-    out = np.empty(trace.n_samples)
-    for i in range(trace.n_samples):
-        op = radiator.operating_point(
-            coolant_inlet_c=float(trace.coolant_inlet_c[i]),
-            coolant_flow_kg_s=float(trace.coolant_flow_kg_s[i]),
-            ambient_c=float(trace.ambient_c[i]),
-            air_flow_kg_s=float(trace.air_flow_kg_s[i]),
-            n_modules=n_modules,
-        )
-        array.set_delta_t(op.delta_t_k)
-        out[i] = array.ideal_power()
-    return out
+    solution = radiator.solve_trace(
+        trace.coolant_inlet_c,
+        trace.coolant_flow_kg_s,
+        trace.ambient_c,
+        trace.air_flow_kg_s,
+        n_modules,
+    )
+    return ideal_power_from_delta_t(module, solution.delta_t_k)

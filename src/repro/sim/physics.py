@@ -1,0 +1,178 @@
+"""Trace-level physics precompute — the engine's first layer.
+
+The closed-loop simulator used to re-solve the radiator twice per
+control period (once at the true boundary conditions, once at the
+sensed ones) and rebuild the per-module EMF vector from scratch each
+step.  None of that depends on the controller's decisions: the thermal
+world is fully determined by the trace.  :class:`TracePhysics` hoists
+it all out of the control loop:
+
+* one vectorised :meth:`repro.thermal.radiator.Radiator.solve_trace`
+  pass over the *true* boundary conditions,
+* a second pass over the *sensed* conditions — skipped entirely when
+  the trace is noiseless (sensed columns identical to true), in which
+  case the true solution is shared,
+* the per-module EMF matrix and the ``P_ideal`` reference series,
+  precomputed with exactly the same elementwise operations the
+  per-step :class:`repro.teg.array.TEGArray` path uses, so downstream
+  results are bit-identical.
+
+The step loop (:class:`repro.sim.simulator.HarvestSimulator`) and the
+batch experiment layer (:mod:`repro.sim.engine`) both consume this
+object; computing it once and reusing it across policies amortises the
+physics over a whole experiment grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.teg.module import TEGModule
+from repro.thermal.radiator import Radiator, RadiatorTraceSolution
+from repro.vehicle.trace import RadiatorTrace
+
+
+def ideal_power_from_delta_t(
+    module: TEGModule, delta_t_k: np.ndarray
+) -> np.ndarray:
+    """``P_ideal`` rows from a ``(T, N)`` temperature-difference matrix.
+
+    Mirrors :meth:`repro.teg.array.TEGArray.ideal_power` operation-for-
+    operation (back-biased modules contribute zero), batched over the
+    trace.
+    """
+    emf = module.material.seebeck_v_per_k * delta_t_k * module.n_couples
+    resistance_row = np.full(
+        delta_t_k.shape[1], module.material.resistance_ohm * module.n_couples
+    )
+    per_module = np.where(emf > 0.0, emf * emf / (4.0 * resistance_row), 0.0)
+    return per_module.sum(axis=1)
+
+
+@dataclass(frozen=True)
+class TracePhysics:
+    """Everything the control loop needs from the thermal world.
+
+    Attributes
+    ----------
+    trace:
+        The driving boundary conditions.
+    radiator:
+        The radiator model both solutions were solved against.
+    module:
+        The shared TEG module model.
+    n_modules:
+        Chain length.
+    true_solution:
+        Vectorised radiator solution at the true boundary conditions —
+        the temperatures the array physically experiences.
+    sensed_solution:
+        Radiator solution at the sensed boundary conditions (what the
+        controller's model-derived distribution sees).  When the trace
+        is noiseless this is the *same object* as ``true_solution``;
+        the redundant second solve is skipped.
+    sensed_temps_c:
+        ``(T, N)`` effective hot-side temperatures fed to the policies:
+        ambient plus the sensed per-module temperature difference
+        (differential sensing across each module — see the simulator
+        docstring).
+    emf_true:
+        ``(T, N)`` per-module open-circuit EMFs at the true temperature
+        differences.
+    module_resistance_ohm:
+        Per-module internal resistance (constant-parameter model).
+    ideal_power_w:
+        ``P_ideal`` reference series (every module at its own MPP).
+    noiseless:
+        True when the sensed trace columns equal the true columns and
+        the second radiator solve was skipped.
+    """
+
+    trace: RadiatorTrace
+    radiator: Radiator
+    module: TEGModule
+    n_modules: int
+    true_solution: RadiatorTraceSolution
+    sensed_solution: RadiatorTraceSolution
+    sensed_temps_c: np.ndarray
+    emf_true: np.ndarray
+    module_resistance_ohm: float
+    ideal_power_w: np.ndarray
+    noiseless: bool
+
+    @property
+    def n_samples(self) -> int:
+        """Number of trace samples."""
+        return self.trace.n_samples
+
+    @property
+    def true_delta_t_k(self) -> np.ndarray:
+        """``(T, N)`` true per-module temperature differences."""
+        return self.true_solution.delta_t_k
+
+    @classmethod
+    def compute(
+        cls,
+        trace: RadiatorTrace,
+        radiator: Radiator,
+        module: TEGModule,
+        n_modules: int,
+    ) -> "TracePhysics":
+        """Precompute the physics of a whole trace in two NumPy passes.
+
+        The second (sensed) pass is skipped when the trace carries no
+        sensing error — ``sensed_solution`` then aliases
+        ``true_solution``.
+        """
+        true_solution = radiator.solve_trace(
+            trace.coolant_inlet_c,
+            trace.coolant_flow_kg_s,
+            trace.ambient_c,
+            trace.air_flow_kg_s,
+            n_modules,
+        )
+        noiseless = bool(
+            np.array_equal(trace.coolant_inlet_sensed_c, trace.coolant_inlet_c)
+            and np.array_equal(
+                trace.coolant_flow_sensed_kg_s, trace.coolant_flow_kg_s
+            )
+        )
+        if noiseless:
+            sensed_solution = true_solution
+        else:
+            sensed_solution = radiator.solve_trace(
+                trace.coolant_inlet_sensed_c,
+                trace.coolant_flow_sensed_kg_s,
+                trace.ambient_c,
+                trace.air_flow_kg_s,
+                n_modules,
+            )
+        sensed_temps_c = trace.ambient_c[:, None] + sensed_solution.delta_t_k
+
+        # Mirror TEGArray.emf_vector / resistance_vector / ideal_power
+        # operation-for-operation so the precomputed series are
+        # bit-identical to what the per-step path would produce.
+        emf_true = (
+            module.material.seebeck_v_per_k
+            * true_solution.delta_t_k
+            * module.n_couples
+        )
+        return cls(
+            trace=trace,
+            radiator=radiator,
+            module=module,
+            n_modules=int(n_modules),
+            true_solution=true_solution,
+            sensed_solution=sensed_solution,
+            sensed_temps_c=sensed_temps_c,
+            emf_true=emf_true,
+            module_resistance_ohm=float(
+                module.material.resistance_ohm * module.n_couples
+            ),
+            ideal_power_w=ideal_power_from_delta_t(
+                module, true_solution.delta_t_k
+            ),
+            noiseless=noiseless,
+        )

@@ -34,7 +34,9 @@ from repro.teg.module import MPPPoint
 __all__ = [
     "SegmentThevenin",
     "array_mpp",
+    "array_mpp_rows",
     "array_thevenin",
+    "array_thevenin_rows",
     "module_operating_points",
     "parallel_reduce",
     "power_at_current",
@@ -142,6 +144,46 @@ def array_mpp(
         current_a=e_total / (2.0 * r_total),
         power_w=e_total * e_total / (4.0 * r_total),
     )
+
+
+def array_thevenin_rows(
+    emf_rows: np.ndarray, resistance: np.ndarray, starts: Sequence[int]
+) -> Tuple[np.ndarray, float]:
+    """Whole-array Thevenin of many EMF rows under one configuration.
+
+    The row-batched sibling of :func:`array_thevenin` for the
+    constant-resistance module model: ``emf_rows`` is an ``(S, N)``
+    matrix of per-module EMFs (one row per time sample / forecast
+    step), ``resistance`` the shared ``(N,)`` resistance vector.
+    Returns ``(E_total per row, R_total)`` — the configuration fixes
+    ``R_total`` across rows.  Elementwise the operations mirror the
+    scalar path, so batched sweeps reproduce per-sample results.
+    """
+    emf_rows = np.asarray(emf_rows, dtype=float)
+    conductance = 1.0 / np.asarray(resistance, dtype=float)
+    idx = validate_starts(starts, conductance.size)
+    group_conductance = np.add.reduceat(conductance, idx)
+    r_groups = 1.0 / group_conductance
+    r_total = float(r_groups.sum())
+    weighted = emf_rows * conductance
+    group_weighted = np.add.reduceat(weighted, idx, axis=1)
+    e_rows = (group_weighted * r_groups).sum(axis=1)
+    return e_rows, r_total
+
+
+def array_mpp_rows(
+    emf_rows: np.ndarray, resistance: np.ndarray, starts: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact MPP ``(power, voltage)`` rows for a batched configuration.
+
+    Row-batched :func:`array_mpp`: ``P* = E^2/4R`` and ``V* = E/2``
+    for every row of ``emf_rows`` at once — the hot path of the batch
+    simulation engine and DNOR's horizon scoring.
+    """
+    e_rows, r_total = array_thevenin_rows(emf_rows, resistance, starts)
+    power = e_rows * e_rows / (4.0 * r_total)
+    voltage = e_rows / 2.0
+    return power, voltage
 
 
 def power_at_current(

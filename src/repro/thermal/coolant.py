@@ -69,6 +69,16 @@ ETHYLENE_GLYCOL_50_50 = FluidProperties(
     kinematic_viscosity_m2_s=1.1e-6,
 )
 
+#: Pressurised boiler feedwater around 150 degC (industrial-boiler
+#: economiser scenarios; liquid phase, so constant properties hold).
+WATER = FluidProperties(
+    name="water",
+    density_kg_m3=917.0,
+    specific_heat_j_kg_k=4310.0,
+    thermal_conductivity_w_m_k=0.68,
+    kinematic_viscosity_m2_s=2.0e-7,
+)
+
 #: Ambient air around 35 degC (the radiator's cold stream).
 AIR = FluidProperties(
     name="air",

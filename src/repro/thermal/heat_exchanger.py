@@ -18,6 +18,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ModelParameterError
 from repro.thermal.coolant import FluidStream
 from repro.units import require_positive
@@ -63,6 +65,46 @@ def effectiveness_crossflow_cmax_mixed(ntu: float, c_ratio: float) -> float:
     if c_ratio < 1.0e-9:
         return 1.0 - math.exp(-ntu)
     return (1.0 / c_ratio) * (1.0 - math.exp(-c_ratio * (1.0 - math.exp(-ntu))))
+
+
+def effectiveness_crossflow_both_unmixed_batch(
+    ntu: np.ndarray, c_ratio: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`effectiveness_crossflow_both_unmixed`.
+
+    Evaluates whole trace columns of ``(NTU, C_r)`` pairs in one NumPy
+    pass; the single-stream ``C_r -> 0`` and ``NTU = 0`` limits are
+    resolved with masks rather than Python branches.
+    """
+    ntu = np.asarray(ntu, dtype=float)
+    c_ratio = np.asarray(c_ratio, dtype=float)
+    if np.any(ntu < 0.0):
+        raise ModelParameterError("ntu must be >= 0")
+    if np.any((c_ratio < 0.0) | (c_ratio > 1.0)):
+        raise ModelParameterError("c_ratio must lie in [0, 1]")
+    safe_cr = np.where(c_ratio < 1.0e-9, 1.0, c_ratio)
+    exponent = (ntu ** 0.22 / safe_cr) * (np.exp(-safe_cr * ntu ** 0.78) - 1.0)
+    general = 1.0 - np.exp(exponent)
+    single_stream = 1.0 - np.exp(-ntu)
+    eff = np.where(c_ratio < 1.0e-9, single_stream, general)
+    return np.where(ntu == 0.0, 0.0, eff)
+
+
+def effectiveness_crossflow_cmax_mixed_batch(
+    ntu: np.ndarray, c_ratio: np.ndarray
+) -> np.ndarray:
+    """Vectorised :func:`effectiveness_crossflow_cmax_mixed`."""
+    ntu = np.asarray(ntu, dtype=float)
+    c_ratio = np.asarray(c_ratio, dtype=float)
+    if np.any(ntu < 0.0):
+        raise ModelParameterError("ntu must be >= 0")
+    if np.any((c_ratio < 0.0) | (c_ratio > 1.0)):
+        raise ModelParameterError("c_ratio must lie in [0, 1]")
+    safe_cr = np.where(c_ratio < 1.0e-9, 1.0, c_ratio)
+    general = (1.0 / safe_cr) * (1.0 - np.exp(-safe_cr * (1.0 - np.exp(-ntu))))
+    single_stream = 1.0 - np.exp(-ntu)
+    eff = np.where(c_ratio < 1.0e-9, single_stream, general)
+    return np.where(ntu == 0.0, 0.0, eff)
 
 
 @dataclass(frozen=True)
@@ -125,6 +167,23 @@ class UAModel:
         resistance = 1.0 / hot_cond + self.wall_resistance_k_w + 1.0 / cold_cond
         return 1.0 / resistance
 
+    def ua_batch(
+        self, hot_flow_kg_s: np.ndarray, cold_flow_kg_s: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`ua` over matching arrays of stream flows."""
+        hot = np.asarray(hot_flow_kg_s, dtype=float)
+        cold = np.asarray(cold_flow_kg_s, dtype=float)
+        if np.any(hot <= 0.0) or np.any(cold <= 0.0):
+            raise ModelParameterError("stream mass flows must be > 0")
+        hot_cond = self.hot_conductance_ref_w_k * (
+            hot / self.hot_ref_flow_kg_s
+        ) ** self.hot_flow_exponent
+        cold_cond = self.cold_conductance_ref_w_k * (
+            cold / self.cold_ref_flow_kg_s
+        ) ** self.cold_flow_exponent
+        resistance = 1.0 / hot_cond + self.wall_resistance_k_w + 1.0 / cold_cond
+        return 1.0 / resistance
+
 
 @dataclass(frozen=True)
 class HeatExchangerSolution:
@@ -161,6 +220,49 @@ class HeatExchangerSolution:
         paper's ``T_c,a`` in Eq. (1)."""
         inlet = self.cold_outlet_c - self.duty_w / self.cold_capacity_w_k
         return (inlet + self.cold_outlet_c) / 2.0
+
+
+@dataclass(frozen=True)
+class HeatExchangerTraceSolution:
+    """Column-vector form of :class:`HeatExchangerSolution`.
+
+    Every attribute is an array over the trace's time samples; sample
+    ``i`` holds exactly what a scalar :meth:`CrossFlowHeatExchanger.solve`
+    call at that sample's boundary conditions would have produced.
+    """
+
+    duty_w: np.ndarray
+    effectiveness: np.ndarray
+    ntu: np.ndarray
+    ua_w_k: np.ndarray
+    hot_outlet_c: np.ndarray
+    cold_outlet_c: np.ndarray
+    hot_capacity_w_k: np.ndarray
+    cold_capacity_w_k: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        """Number of time samples covered."""
+        return int(self.duty_w.size)
+
+    @property
+    def cold_mean_c(self) -> np.ndarray:
+        """Per-sample ``T_c,a`` (Eq. (1) cold mean)."""
+        inlet = self.cold_outlet_c - self.duty_w / self.cold_capacity_w_k
+        return (inlet + self.cold_outlet_c) / 2.0
+
+    def sample(self, i: int) -> HeatExchangerSolution:
+        """Scalar :class:`HeatExchangerSolution` view of sample ``i``."""
+        return HeatExchangerSolution(
+            duty_w=float(self.duty_w[i]),
+            effectiveness=float(self.effectiveness[i]),
+            ntu=float(self.ntu[i]),
+            ua_w_k=float(self.ua_w_k[i]),
+            hot_outlet_c=float(self.hot_outlet_c[i]),
+            cold_outlet_c=float(self.cold_outlet_c[i]),
+            hot_capacity_w_k=float(self.hot_capacity_w_k[i]),
+            cold_capacity_w_k=float(self.cold_capacity_w_k[i]),
+        )
 
 
 class CrossFlowHeatExchanger:
@@ -217,6 +319,52 @@ class CrossFlowHeatExchanger:
             ua_w_k=ua,
             hot_outlet_c=hot.inlet_temp_c - duty / c_hot,
             cold_outlet_c=cold.inlet_temp_c + duty / c_cold,
+            hot_capacity_w_k=c_hot,
+            cold_capacity_w_k=c_cold,
+        )
+
+    def solve_batch(
+        self,
+        hot_inlet_c: np.ndarray,
+        hot_flow_kg_s: np.ndarray,
+        cold_inlet_c: np.ndarray,
+        cold_flow_kg_s: np.ndarray,
+        hot_cp_j_kg_k: float,
+        cold_cp_j_kg_k: float,
+    ) -> HeatExchangerTraceSolution:
+        """Solve a whole trace of operating points in one NumPy pass.
+
+        All four boundary-condition arguments are matching 1-D arrays;
+        fluid heat capacities are passed as scalars because the property
+        sets are constant over the operating band.  Every hot inlet must
+        exceed its cold inlet — cold-start samples are the caller's
+        responsibility (the radiator masks them out before calling).
+        """
+        hot_inlet = np.asarray(hot_inlet_c, dtype=float)
+        cold_inlet = np.asarray(cold_inlet_c, dtype=float)
+        if np.any(hot_inlet <= cold_inlet):
+            raise ModelParameterError(
+                "hot inlet must exceed cold inlet at every sample"
+            )
+        c_hot = np.asarray(hot_flow_kg_s, dtype=float) * float(hot_cp_j_kg_k)
+        c_cold = np.asarray(cold_flow_kg_s, dtype=float) * float(cold_cp_j_kg_k)
+        c_min = np.minimum(c_hot, c_cold)
+        c_max = np.maximum(c_hot, c_cold)
+        ua = self._ua_model.ua_batch(hot_flow_kg_s, cold_flow_kg_s)
+        ntu = ua / c_min
+        c_ratio = c_min / c_max
+        if self._both_unmixed:
+            eff = effectiveness_crossflow_both_unmixed_batch(ntu, c_ratio)
+        else:
+            eff = effectiveness_crossflow_cmax_mixed_batch(ntu, c_ratio)
+        duty = eff * c_min * (hot_inlet - cold_inlet)
+        return HeatExchangerTraceSolution(
+            duty_w=duty,
+            effectiveness=eff,
+            ntu=ntu,
+            ua_w_k=ua,
+            hot_outlet_c=hot_inlet - duty / c_hot,
+            cold_outlet_c=cold_inlet + duty / c_cold,
             hot_capacity_w_k=c_hot,
             cold_capacity_w_k=c_cold,
         )

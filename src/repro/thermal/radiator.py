@@ -36,7 +36,11 @@ import numpy as np
 
 from repro.errors import ModelParameterError
 from repro.thermal.coolant import FluidProperties, FluidStream
-from repro.thermal.heat_exchanger import CrossFlowHeatExchanger, HeatExchangerSolution
+from repro.thermal.heat_exchanger import (
+    CrossFlowHeatExchanger,
+    HeatExchangerSolution,
+    HeatExchangerTraceSolution,
+)
 from repro.units import require_fraction, require_positive
 
 
@@ -129,6 +133,61 @@ class RadiatorOperatingPoint:
     def coolant_outlet_c(self) -> float:
         """Coolant temperature leaving the radiator."""
         return self.solution.hot_outlet_c
+
+
+@dataclass(frozen=True)
+class RadiatorTraceSolution:
+    """Vectorised radiator state over a whole boundary-condition trace.
+
+    Row ``i`` of every array is exactly the operating point a scalar
+    :meth:`Radiator.operating_point` call at sample ``i`` would produce
+    — including the degenerate zero-duty state for cold-start samples
+    whose coolant sits at or below ambient (``active[i] == False``).
+
+    Attributes
+    ----------
+    exchanger:
+        Effectiveness-NTU solution columns (degenerate rows hold the
+        zero-duty solution).
+    decay_per_m:
+        Eq. (1) decay constant per sample (0 for inactive samples).
+    surface_temps_c, sink_temps_c, delta_t_k:
+        ``(T, N)`` module-position temperature fields.
+    ambient_c:
+        Ambient temperature per sample.
+    active:
+        Boolean mask of samples solved by the exchanger (coolant above
+        ambient).
+    """
+
+    exchanger: HeatExchangerTraceSolution
+    decay_per_m: np.ndarray
+    surface_temps_c: np.ndarray
+    sink_temps_c: np.ndarray
+    delta_t_k: np.ndarray
+    ambient_c: np.ndarray
+    active: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        """Number of trace samples."""
+        return int(self.decay_per_m.size)
+
+    @property
+    def n_modules(self) -> int:
+        """Number of module positions along the path."""
+        return int(self.delta_t_k.shape[1])
+
+    def operating_point(self, i: int) -> RadiatorOperatingPoint:
+        """Scalar :class:`RadiatorOperatingPoint` view of sample ``i``."""
+        return RadiatorOperatingPoint(
+            solution=self.exchanger.sample(i),
+            decay_per_m=float(self.decay_per_m[i]),
+            surface_temps_c=self.surface_temps_c[i].copy(),
+            sink_temps_c=self.sink_temps_c[i].copy(),
+            delta_t_k=self.delta_t_k[i].copy(),
+            ambient_c=float(self.ambient_c[i]),
+        )
 
 
 class Radiator:
@@ -257,6 +316,161 @@ class Radiator:
             delta_t_k=surface - sink,
             ambient_c=float(ambient_c),
         )
+
+    def solve_trace(
+        self,
+        coolant_inlet_c: np.ndarray,
+        coolant_flow_kg_s: np.ndarray,
+        ambient_c: np.ndarray,
+        air_flow_kg_s: np.ndarray,
+        n_modules: int,
+    ) -> RadiatorTraceSolution:
+        """Solve every sample of a boundary-condition trace in one pass.
+
+        This is the vectorised counterpart of :meth:`operating_point`:
+        instead of re-solving the exchanger sample by sample, the whole
+        effectiveness-NTU chain and the Eq. (1) surface profile are
+        evaluated as array algebra over the trace.  Cold-start samples
+        (coolant at or below ambient) are masked out and filled with the
+        same degenerate zero-duty state the scalar path returns.
+
+        Parameters
+        ----------
+        coolant_inlet_c, coolant_flow_kg_s, ambient_c, air_flow_kg_s:
+            Matching 1-D boundary-condition columns (one row per trace
+            sample).
+        n_modules:
+            Number of TEG modules along the path.
+        """
+        inlet = np.asarray(coolant_inlet_c, dtype=float)
+        flow = np.asarray(coolant_flow_kg_s, dtype=float)
+        ambient = np.asarray(ambient_c, dtype=float)
+        air_flow = np.asarray(air_flow_kg_s, dtype=float)
+        for label, arr in (
+            ("coolant_flow_kg_s", flow),
+            ("ambient_c", ambient),
+            ("air_flow_kg_s", air_flow),
+        ):
+            if arr.shape != inlet.shape or inlet.ndim != 1:
+                raise ModelParameterError(
+                    f"{label} must match coolant_inlet_c in shape, got "
+                    f"{arr.shape} vs {inlet.shape}"
+                )
+        n = inlet.size
+        positions = self._geometry.module_positions(n_modules)
+        length = self._geometry.path_length_m
+
+        active = inlet > ambient + 0.05
+        all_active = bool(active.all())
+
+        if all_active:
+            # Fast path (the usual warm-engine trace): no degenerate
+            # rows, so skip the mask scatter/gather entirely.
+            sol = self._exchanger.solve_batch(
+                inlet,
+                flow,
+                ambient,
+                air_flow,
+                self._coolant.specific_heat_j_kg_k,
+                self._air.specific_heat_j_kg_k,
+            )
+            decay, surface, sink = self._profile_fields(
+                sol, inlet, ambient, positions
+            )
+            return RadiatorTraceSolution(
+                exchanger=sol,
+                decay_per_m=decay,
+                surface_temps_c=surface,
+                sink_temps_c=sink,
+                delta_t_k=surface - sink,
+                ambient_c=ambient.copy(),
+                active=active,
+            )
+
+        # Degenerate (cold-start) defaults; active samples overwrite.
+        c_hot = flow * self._coolant.specific_heat_j_kg_k
+        c_cold = air_flow * self._air.specific_heat_j_kg_k
+        ua = self._exchanger.ua_model.ua_batch(flow, air_flow)
+        duty = np.zeros(n)
+        eff = np.zeros(n)
+        ntu = ua / np.minimum(c_hot, c_cold)
+        hot_outlet = inlet.copy()
+        cold_outlet = ambient.copy()
+        decay = np.zeros(n)
+        surface = np.repeat(inlet[:, None], n_modules, axis=1)
+        sink = np.repeat(ambient[:, None], n_modules, axis=1)
+
+        if bool(active.any()):
+            idx = np.flatnonzero(active)
+            sol = self._exchanger.solve_batch(
+                inlet[idx],
+                flow[idx],
+                ambient[idx],
+                air_flow[idx],
+                self._coolant.specific_heat_j_kg_k,
+                self._air.specific_heat_j_kg_k,
+            )
+            duty[idx] = sol.duty_w
+            eff[idx] = sol.effectiveness
+            ntu[idx] = sol.ntu
+            ua[idx] = sol.ua_w_k
+            hot_outlet[idx] = sol.hot_outlet_c
+            cold_outlet[idx] = sol.cold_outlet_c
+            c_hot[idx] = sol.hot_capacity_w_k
+            c_cold[idx] = sol.cold_capacity_w_k
+            decay_a, surface_a, sink_a = self._profile_fields(
+                sol, inlet[idx], ambient[idx], positions
+            )
+            decay[idx] = decay_a
+            surface[idx] = surface_a
+            sink[idx] = sink_a
+
+        return RadiatorTraceSolution(
+            exchanger=HeatExchangerTraceSolution(
+                duty_w=duty,
+                effectiveness=eff,
+                ntu=ntu,
+                ua_w_k=ua,
+                hot_outlet_c=hot_outlet,
+                cold_outlet_c=cold_outlet,
+                hot_capacity_w_k=c_hot,
+                cold_capacity_w_k=c_cold,
+            ),
+            decay_per_m=decay,
+            surface_temps_c=surface,
+            sink_temps_c=sink,
+            delta_t_k=surface - sink,
+            ambient_c=ambient.copy(),
+            active=active,
+        )
+
+    def _profile_fields(
+        self,
+        sol: HeatExchangerTraceSolution,
+        inlet: np.ndarray,
+        ambient: np.ndarray,
+        positions: np.ndarray,
+    ) -> tuple:
+        """Eq. (1) decay/surface plus the sink model for solved rows.
+
+        The one copy of the profile math both ``solve_trace`` branches
+        share; row ``i`` matches the scalar :meth:`operating_point`
+        path operation-for-operation.
+        """
+        length = self._geometry.path_length_m
+        decay = sol.ua_w_k / (length * sol.cold_capacity_w_k)
+        cold_mean = sol.cold_mean_c
+        surface = (inlet - cold_mean)[:, None] * np.exp(
+            -decay[:, None] * positions[None, :]
+        ) + cold_mean[:, None]
+        air_rise_k = sol.cold_outlet_c - ambient
+        sink = ambient[:, None] + (
+            self._sink_preheat_fraction
+            * air_rise_k[:, None]
+            * positions[None, :]
+            / length
+        )
+        return decay, surface, sink
 
     def _inactive_operating_point(
         self,

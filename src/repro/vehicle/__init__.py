@@ -21,6 +21,7 @@ from repro.vehicle.drive_cycle import (
     DriveCycle,
     synthetic_highway,
     synthetic_mixed,
+    synthetic_nedc,
     synthetic_urban,
 )
 from repro.vehicle.engine import (
@@ -63,5 +64,6 @@ __all__ = [
     "save_trace",
     "synthetic_highway",
     "synthetic_mixed",
+    "synthetic_nedc",
     "synthetic_urban",
 ]

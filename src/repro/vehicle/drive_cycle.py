@@ -177,3 +177,51 @@ def _trim(cycle: DriveCycle, duration_s: float) -> DriveCycle:
     times = np.append(cycle.time_s[mask], duration_s)
     speeds = np.append(cycle.speed_mps[mask], cycle.speed_at(duration_s))
     return DriveCycle(time_s=times, speed_mps=speeds, name=cycle.name)
+
+
+#: One ECE-15 urban element of the NEDC, as (time offset s, speed m/s)
+#: breakpoints: idle, three accelerate/cruise/brake humps (15, 32 and
+#: 50 km/h), 195 s total.
+_ECE15_POINTS: Tuple[Tuple[float, float], ...] = (
+    (0.0, 0.0),
+    (11.0, 0.0), (15.0, 4.17), (23.0, 4.17), (28.0, 0.0),
+    (49.0, 0.0), (61.0, 8.89), (85.0, 8.89), (96.0, 0.0),
+    (117.0, 0.0), (143.0, 13.89), (155.0, 13.89), (163.0, 9.72),
+    (176.0, 9.72), (188.0, 0.0), (195.0, 0.0),
+)
+
+#: The extra-urban (EUDC) element: climb through the gears to 120 km/h
+#: with two sustained cruises, 400 s total.
+_EUDC_POINTS: Tuple[Tuple[float, float], ...] = (
+    (0.0, 0.0), (41.0, 19.44), (91.0, 19.44), (111.0, 13.89),
+    (180.0, 13.89), (215.0, 27.78), (265.0, 27.78), (285.0, 33.33),
+    (295.0, 33.33), (315.0, 0.0), (340.0, 0.0), (400.0, 0.0),
+)
+
+
+def synthetic_nedc(duration_s: float = 1180.0, seed: int = 0) -> DriveCycle:
+    """NEDC-style certification profile: 4 x ECE-15 urban + EUDC.
+
+    Unlike the randomised generators above, the backbone is the
+    standard's deterministic breakpoint profile (scaled speeds in m/s);
+    the seed only adds a small cruise-speed jitter so that repeated
+    cycles do not produce a perfectly periodic coolant trace.  Requests
+    longer than one 1180 s cycle repeat it; shorter requests truncate.
+    """
+    require_positive(duration_s, "duration_s")
+    rng = np.random.default_rng(seed)
+    points: List[Tuple[float, float]] = [(0.0, 0.0)]
+    while points[-1][0] < duration_s:
+        base = points[-1][0]
+        for _ in range(4):
+            offset = points[-1][0]
+            for t, v in _ECE15_POINTS[1:]:
+                jitter = float(rng.normal(0.0, 0.15)) if v > 1.0 else 0.0
+                points.append((offset + t, max(v + jitter, 0.0)))
+        offset = points[-1][0]
+        for t, v in _EUDC_POINTS[1:]:
+            jitter = float(rng.normal(0.0, 0.25)) if v > 1.0 else 0.0
+            points.append((offset + t, max(v + jitter, 0.0)))
+        if points[-1][0] <= base:  # pragma: no cover - defensive
+            break
+    return _trim(_finalise(points, "synthetic-nedc"), duration_s)

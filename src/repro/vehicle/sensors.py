@@ -134,3 +134,19 @@ class ModuleTemperatureScanner:
         if self._noise_std_k == 0.0:
             return temps.copy()
         return temps + self._rng.normal(0.0, self._noise_std_k, temps.shape)
+
+    def scan_batch(self, true_temps_c: np.ndarray) -> np.ndarray:
+        """Scan a whole ``(T, N)`` matrix of readings in one draw.
+
+        NumPy generators fill arrays from the bit stream in C order, so
+        this consumes exactly the same noise realisation as ``T``
+        successive :meth:`scan` calls — row ``i`` of the result is
+        bit-identical to the ``i``-th sequential scan.  The batch
+        engine uses this to hoist sensing out of the control loop.
+        """
+        temps = np.asarray(true_temps_c, dtype=float)
+        if temps.ndim != 2:
+            raise ModelParameterError("true_temps_c must be 2-D")
+        if self._noise_std_k == 0.0:
+            return temps.copy()
+        return temps + self._rng.normal(0.0, self._noise_std_k, temps.shape)

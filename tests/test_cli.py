@@ -84,6 +84,42 @@ class TestSimulate:
         assert header.startswith("time_s,coolant_inlet_c")
 
 
+class TestBatch:
+    def test_list_scenarios(self, capsys):
+        assert main(["batch", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "porter-ii" in out
+        assert "industrial-boiler" in out
+
+    def test_batch_run_serial(self, tmp_path, capsys):
+        target = tmp_path / "summary.json"
+        code = main(
+            [
+                "batch",
+                "--scenarios",
+                "porter-ii",
+                "--schemes",
+                "INOR,Baseline",
+                "--duration",
+                "20",
+                "--executor",
+                "serial",
+                "--json",
+                str(target),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Energy Output (J)" in out
+        assert target.exists()
+        assert "energy_output_j" in target.read_text()
+
+    def test_unknown_scenario_exits_nonzero(self, capsys):
+        code = main(["batch", "--scenarios", "warp-core"])
+        assert code == 2
+        assert "unknown scenarios" in capsys.readouterr().err
+
+
 class TestSweepPeriod:
     def test_sweep_runs(self, capsys):
         code = main(
