@@ -10,6 +10,14 @@ engines across array sizes, plus the multi-scenario throughput of the
 table and a JSON record into ``benchmarks/results/`` so the speedup
 trajectory is tracked across PRs.
 
+The physics-cache section measures what
+:class:`~repro.sim.cache.PhysicsCache` buys an experiment grid whose
+cells share a trace (the scanner-noise axis): "cold" runs each cell
+the way an uncached process-pool worker does — re-solving the trace
+physics per case — while "warm" routes every cell through a
+pre-warmed cache.  Acceptance bar: warm >= 2x cold at the largest
+array size; the JSON artifact records the hit rate alongside.
+
 Environment knobs (used by the CI smoke job):
 
 * ``REPRO_BENCH_BATCH_SIZES``      — comma list of array sizes
@@ -24,6 +32,7 @@ import time
 import pytest
 
 from conftest import emit, write_artifact
+from repro.sim.cache import PhysicsCache
 from repro.sim.engine import ExperimentRunner, grid_cases, run_case
 from repro.sim.scenario import build_named_scenario, default_scenario
 from repro.sim.simulator import HarvestSimulator
@@ -121,6 +130,51 @@ def render_rows(rows) -> str:
     return "\n".join(lines)
 
 
+@pytest.fixture(scope="module")
+def cache_rows():
+    """Shared-trace grid: per-cell solves (cold) vs a warm cache.
+
+    Four scanner-noise variants of one scenario at the largest array
+    size — the exact grid shape the cache layer targets: every cell
+    shares the trace, so cold pays four physics precomputes and warm
+    pays none.
+    """
+    n = SIZES[-1]
+    scenario = default_scenario(
+        duration_s=DURATION_S, seed=2018, n_modules=n,
+        nominal_compute_s=1.0e-3,
+    )
+    cases = grid_cases(
+        [scenario], ["Baseline"], scanner_noise_std_k=[0.0, 0.04, 0.08, 0.16]
+    )
+
+    def run_cold():
+        # What an uncached process-pool worker pays: every cell solves
+        # its own TracePhysics from scratch.
+        for case in cases:
+            run_case(case)
+
+    warm_cache = PhysicsCache()
+    warm_cache.warm([case.scenario for case in cases])
+
+    def run_warm():
+        ExperimentRunner(cases, executor="serial", cache=warm_cache).run()
+
+    t_cold = measure(run_cold, repeats=3)
+    t_warm = measure(run_warm, repeats=3)
+    stats = warm_cache.stats
+    return {
+        "n_modules": n,
+        "grid_cells": len(cases),
+        "cold_s": t_cold,
+        "warm_s": t_warm,
+        "speedup": t_cold / t_warm,
+        "cache_hit_rate": stats.hit_rate,
+        "cache_hits": stats.hits,
+        "cache_misses": stats.misses,
+    }
+
+
 def test_batched_engine_speedup(engine_rows):
     """The acceptance criterion: >= 3x at the largest configuration."""
     n, t_ref, t_cold, t_warm = engine_rows[-1]
@@ -132,7 +186,30 @@ def test_batched_engine_speedup(engine_rows):
     )
 
 
-def test_multi_scenario_throughput(engine_rows):
+def test_warm_cache_grid_speedup(cache_rows):
+    """The cache acceptance gate: warm grid >= 2x the per-cell solves."""
+    emit(
+        "batch_engine_cache.txt",
+        (
+            f"Physics cache - shared-trace grid "
+            f"({cache_rows['grid_cells']} cells, N = "
+            f"{cache_rows['n_modules']}, {DURATION_S:g} s trace)\n"
+            f"cold (per-cell solve): {cache_rows['cold_s'] * 1e3:8.1f} ms\n"
+            f"warm (cached physics): {cache_rows['warm_s'] * 1e3:8.1f} ms\n"
+            f"speedup:               {cache_rows['speedup']:8.1f}x\n"
+            f"cache hit rate:        {cache_rows['cache_hit_rate']:8.0%} "
+            f"({cache_rows['cache_hits']} hits / "
+            f"{cache_rows['cache_misses']} solve)"
+        ),
+    )
+    assert cache_rows["cache_misses"] == 1  # one solve for the whole grid
+    assert cache_rows["speedup"] >= 2.0, (
+        f"warm-cache grid only {cache_rows['speedup']:.1f}x faster than "
+        f"per-cell solves at N={cache_rows['n_modules']}"
+    )
+
+
+def test_multi_scenario_throughput(engine_rows, cache_rows):
     """Fan-out throughput: ExperimentRunner vs a sequential case loop.
 
     Informational (no speedup assert — worker count and machine load
@@ -169,6 +246,7 @@ def test_multi_scenario_throughput(engine_rows):
             "sequential_s": t_seq,
             "process_pool_s": t_par,
         },
+        "physics_cache": cache_rows,
     }
     path = write_artifact("batch_engine.json", json.dumps(rows, indent=2))
     print(f"\n[batch-engine JSON saved to {path}]")

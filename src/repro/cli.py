@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the everyday uses of the library:
+Six commands cover the everyday uses of the library:
 
 * ``info``        — paper identity, module catalog, default scenario.
 * ``reconfigure`` — run INOR once on a synthetic or CSV-described
@@ -9,7 +9,10 @@ Five commands cover the everyday uses of the library:
   print the Table-I style comparison (optionally save the trace CSV).
 * ``batch``       — fan a grid of named scenarios × schemes across
   workers through the batch experiment engine and print collated
-  tables (``--list`` shows the scenario registry).
+  tables (``--list`` shows the scenario registry; ``--cache-dir``
+  shares the physics precompute through an on-disk store).
+* ``cache``       — inspect, warm or clear an on-disk physics cache
+  directory.
 * ``sweep-period``— the prior-work fixed-period trade-off table.
 
 Every command is deterministic given its ``--seed``.
@@ -28,6 +31,7 @@ from repro._about import PAPER_ARXIV, PAPER_TITLE, PAPER_VENUE, __version__
 from repro.core.inor import inor
 from repro.core.period_tradeoff import sweep_fixed_period
 from repro.power.charger import TEGCharger
+from repro.sim.cache import PhysicsCache
 from repro.sim.engine import ExperimentRunner, grid_cases
 from repro.sim.results import comparison_table
 from repro.sim.scenario import default_registry, default_scenario
@@ -157,14 +161,71 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     runner = ExperimentRunner(
-        cases, executor=args.executor, max_workers=args.workers
+        cases,
+        executor=args.executor,
+        max_workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     collation = runner.run()
     print(collation.tables())
+    stats = runner.cache.stats
+    if stats.lookups:
+        print(
+            f"physics cache: {stats.hits}/{stats.lookups} hits "
+            f"({stats.memory_hits} memory, {stats.disk_hits} disk), "
+            f"{stats.misses} solves",
+            file=sys.stderr,
+        )
     if args.json:
         path = Path(args.json)
         path.write_text(collation.to_json())
         print(f"summary JSON saved to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = PhysicsCache(cache_dir=args.dir)
+    if args.clear:
+        count = len(cache.artifacts())
+        cache.clear(disk=True)
+        print(f"removed {count} artifact(s) from {args.dir}")
+        return 0
+    if args.warm:
+        registry = default_registry()
+        wanted = list(
+            dict.fromkeys(s.strip() for s in args.warm.split(",") if s.strip())
+        )
+        unknown = [s for s in wanted if s not in registry.names()]
+        if unknown:
+            print(
+                f"unknown scenarios: {', '.join(unknown)} "
+                f"(available: {', '.join(registry.names())})",
+                file=sys.stderr,
+            )
+            return 2
+        scenarios = [
+            registry.build(
+                name,
+                duration_s=args.duration,
+                seed=args.seed,
+                n_modules=args.modules,
+            )
+            for name in wanted
+        ]
+        solved = cache.warm(scenarios)
+        stats = cache.stats
+        print(
+            f"warmed {len(scenarios)} scenario(s): {solved} solved, "
+            f"{stats.disk_hits} loaded from disk"
+        )
+        for scenario, name in zip(scenarios, wanted):
+            print(f"  {name:20s} {scenario.physics_fingerprint()[:16]}...")
+        return 0
+    artifacts = cache.artifacts()
+    print(f"physics cache at {args.dir}: {len(artifacts)} artifact(s)")
+    for path in artifacts:
+        size_kib = path.stat().st_size / 1024.0
+        print(f"  {path.stem[:16]}...  {size_kib:8.1f} KiB")
     return 0
 
 
@@ -251,7 +312,32 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--json", default=None, help="also write the summary rows here"
     )
+    batch.add_argument(
+        "--cache-dir",
+        default=None,
+        dest="cache_dir",
+        help="on-disk physics cache shared across cases, workers and runs",
+    )
     batch.set_defaults(handler=_cmd_batch)
+
+    cache = sub.add_parser(
+        "cache", help="inspect, warm or clear an on-disk physics cache"
+    )
+    cache.add_argument(
+        "--dir", required=True, help="cache directory (see batch --cache-dir)"
+    )
+    cache.add_argument(
+        "--warm",
+        default=None,
+        help="comma list of registry scenarios to precompute into the cache",
+    )
+    cache.add_argument(
+        "--clear", action="store_true", help="delete all cached artifacts"
+    )
+    cache.add_argument("--duration", type=float, default=None)
+    cache.add_argument("--seed", type=int, default=None)
+    cache.add_argument("--modules", type=int, default=None)
+    cache.set_defaults(handler=_cmd_cache)
 
     sweep = sub.add_parser(
         "sweep-period", help="prior-work fixed-period trade-off vs DNOR"

@@ -26,6 +26,13 @@ every candidate keeps the converter near peak efficiency
 candidates are ranked by *delivered* power (array MPP power times
 converter efficiency at the MPP voltage); without one, by raw
 electrical MPP power.
+
+Candidate scoring is vectorised: the default ``kernel="batched"``
+evaluates every group count's exact MPP through one
+:func:`repro.teg.network.array_mpp_multi` reduction and ranks the
+window with the charger's row-vector API, bit-identical to — and
+several times faster than — the retained ``kernel="scalar"`` reference
+loop (one ``array_mpp`` call per candidate).
 """
 
 from __future__ import annotations
@@ -40,7 +47,14 @@ from repro.core.config import ArrayConfiguration
 from repro.errors import ConfigurationError
 from repro.power.charger import TEGCharger
 from repro.teg.module import MPPPoint
-from repro.teg.network import array_mpp
+from repro.teg.network import array_mpp, array_mpp_multi
+
+#: Valid values of the :func:`inor` ``kernel`` argument.  ``"batched"``
+#: scores the whole candidate window through one
+#: :func:`repro.teg.network.array_mpp_multi` pass; ``"scalar"`` is the
+#: pre-vectorisation per-candidate loop, retained as the reference
+#: implementation the batched kernel is pinned bit-identical against.
+INOR_KERNELS = ("batched", "scalar")
 
 
 @dataclass(frozen=True)
@@ -147,6 +161,66 @@ def greedy_balanced_partition(mpp_currents: np.ndarray, n_groups: int) -> np.nda
     return starts
 
 
+def _score_candidates_scalar(
+    emf: np.ndarray,
+    resistance: np.ndarray,
+    candidates: list,
+    charger: Optional[TEGCharger],
+) -> Tuple[int, MPPPoint, float]:
+    """Reference per-candidate loop: one ``array_mpp`` call per ``n``.
+
+    Kept as the ground truth the batched kernel is validated against
+    (and for profiling comparisons); returns the winning candidate
+    index, its MPP and its score.  Ties keep the earliest (smallest
+    ``n``) candidate, like the paper's ascending scan.
+    """
+    best_index = -1
+    best_score = -math.inf
+    best_mpp: Optional[MPPPoint] = None
+    for index, starts in enumerate(candidates):
+        mpp = array_mpp(emf, resistance, starts)
+        score = (
+            charger.delivered_at_mpp(mpp) if charger is not None else mpp.power_w
+        )
+        if score > best_score:
+            best_score = score
+            best_index = index
+            best_mpp = mpp
+    assert best_mpp is not None
+    return best_index, best_mpp, float(best_score)
+
+
+def _score_candidates_batched(
+    emf: np.ndarray,
+    resistance: np.ndarray,
+    candidates: list,
+    charger: Optional[TEGCharger],
+) -> Tuple[int, MPPPoint, float]:
+    """Score the whole candidate window in one vectorised pass.
+
+    One :func:`array_mpp_multi` reduction evaluates every candidate's
+    exact MPP, and the charger ranking reuses the converter's
+    row-vector API — both elementwise bit-identical to the scalar
+    loop, so ``np.argmax`` (first maximum) reproduces the reference
+    tie-breaking exactly.  Validation is skipped: the greedy walk
+    produces partitions correct by construction.
+    """
+    power, voltage, current = array_mpp_multi(
+        emf, resistance, candidates, validate=False
+    )
+    if charger is not None:
+        scores = charger.delivered_batch(power, voltage)
+    else:
+        scores = power
+    best_index = int(np.argmax(scores))
+    best_mpp = MPPPoint(
+        voltage_v=float(voltage[best_index]),
+        current_a=float(current[best_index]),
+        power_w=float(power[best_index]),
+    )
+    return best_index, best_mpp, float(scores[best_index])
+
+
 def inor(
     emf: np.ndarray,
     resistance: np.ndarray,
@@ -154,6 +228,7 @@ def inor(
     n_min: Optional[int] = None,
     n_max: Optional[int] = None,
     efficiency_drop: float = 0.03,
+    kernel: str = "batched",
 ) -> InorResult:
     """Run Algorithm 1 on per-module Thevenin parameters.
 
@@ -170,12 +245,22 @@ def inor(
         converter-derived value).
     efficiency_drop:
         Converter-efficiency tolerance used to derive the range.
+    kernel:
+        ``"batched"`` (default) scores every candidate group count in
+        one :func:`repro.teg.network.array_mpp_multi` pass;
+        ``"scalar"`` runs the original per-candidate loop.  The two
+        are bit-identical (pinned in the test suite) — the kernel is a
+        speed choice, never a results choice.
 
     Raises
     ------
     ConfigurationError
-        If the explicit range is inconsistent.
+        If the explicit range or the kernel name is inconsistent.
     """
+    if kernel not in INOR_KERNELS:
+        raise ConfigurationError(
+            f"kernel must be one of {INOR_KERNELS}, got {kernel!r}"
+        )
     emf = np.asarray(emf, dtype=float)
     resistance = np.asarray(resistance, dtype=float)
     if emf.shape != resistance.shape or emf.ndim != 1 or emf.size == 0:
@@ -196,28 +281,26 @@ def inor(
         )
 
     mpp_currents = emf / (2.0 * resistance)
-    best_score = -math.inf
-    best_starts: Optional[np.ndarray] = None
-    best_mpp: Optional[MPPPoint] = None
-    evaluated = 0
+    candidates = [
+        greedy_balanced_partition(mpp_currents, n_groups)
+        for n_groups in range(lo, hi + 1)
+    ]
+    score_candidates = (
+        _score_candidates_batched
+        if kernel == "batched"
+        else _score_candidates_scalar
+    )
+    best_index, best_mpp, best_score = score_candidates(
+        emf, resistance, candidates, charger
+    )
 
-    for n_groups in range(lo, hi + 1):
-        starts = greedy_balanced_partition(mpp_currents, n_groups)
-        mpp = array_mpp(emf, resistance, starts)
-        score = charger.delivered_at_mpp(mpp) if charger is not None else mpp.power_w
-        evaluated += 1
-        if score > best_score:
-            best_score = score
-            best_starts = starts
-            best_mpp = mpp
-
-    assert best_starts is not None and best_mpp is not None
     return InorResult(
         config=ArrayConfiguration(
-            starts=tuple(int(s) for s in best_starts), n_modules=n_modules
+            starts=tuple(int(s) for s in candidates[best_index]),
+            n_modules=n_modules,
         ),
         mpp=best_mpp,
-        delivered_power_w=float(best_score),
+        delivered_power_w=best_score,
         n_range=(lo, hi),
-        candidates_evaluated=evaluated,
+        candidates_evaluated=len(candidates),
     )

@@ -6,6 +6,9 @@ overview):
 * :mod:`repro.sim.physics` — :class:`TracePhysics`, the trace-level
   physics precompute: vectorised radiator solves (true + sensed), EMF
   matrix and ``P_ideal`` series for a whole trace in one NumPy pass.
+* :mod:`repro.sim.cache` — :class:`PhysicsCache`, content-fingerprint
+  memoisation of the precompute (in-process LRU + on-disk artifact
+  store) shared across simulators, grid cells and worker processes.
 * :mod:`repro.sim.simulator` — the step loop running one
   reconfiguration policy against a trace; consumes the precompute and
   evaluates the electrical series in batched constant-configuration
@@ -21,6 +24,7 @@ overview):
 * :mod:`repro.sim.ideal` — the ``P_ideal`` reference of Fig. 7.
 """
 
+from repro.sim.cache import CacheStats, PhysicsCache, physics_fingerprint
 from repro.sim.engine import (
     ExperimentCase,
     ExperimentCollation,
@@ -42,15 +46,18 @@ from repro.sim.scenario import (
 from repro.sim.simulator import HarvestSimulator
 
 __all__ = [
+    "CacheStats",
     "ExperimentCase",
     "ExperimentCollation",
     "ExperimentRunner",
     "HarvestSimulator",
+    "PhysicsCache",
     "Scenario",
     "ScenarioRegistry",
     "SimulationResult",
     "TracePhysics",
     "build_named_scenario",
+    "physics_fingerprint",
     "comparison_table",
     "default_registry",
     "default_scenario",

@@ -1,0 +1,443 @@
+"""Content-addressed caching of :class:`~repro.sim.physics.TracePhysics`.
+
+The physics precompute is a pure function of ``(trace, radiator,
+module, n_modules)``: nothing the controller or charger does can change
+it.  Experiment grids exploit exactly that purity — a scanner-noise or
+policy axis fans tens of cases over the *same* trace — but before this
+layer every grid cell paid the radiator solves again (the batch engine
+shared per ``id(scenario)`` only, so ``dataclasses.replace`` variants
+and process-pool workers each re-solved from scratch).
+
+:class:`PhysicsCache` closes that gap with two tiers keyed by one
+content fingerprint (:func:`physics_fingerprint`):
+
+* an in-process LRU, shared by the serial/thread executors and by
+  consecutive :class:`~repro.sim.simulator.HarvestSimulator` builds;
+* an optional on-disk artifact store (one ``<fingerprint>.npz`` per
+  entry) that process-pool workers — and, eventually, machines sharing
+  a filesystem in a sharded grid — warm once and then load instead of
+  solving.
+
+Both tiers reproduce the compute path bit-for-bit: the artifact stores
+the solved arrays losslessly (raw float64), and a loaded entry is
+rebound to the caller's live trace/radiator/module objects, so cached
+and uncached experiments are indistinguishable.  Artifacts are written
+atomically (temp file + ``os.replace``) and a corrupt or truncated file
+is treated as a miss: the entry is recomputed and the artifact
+rewritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Optional, Tuple
+
+import hashlib
+
+import numpy as np
+
+from repro.sim.physics import TracePhysics
+from repro.teg.module import TEGModule
+from repro.thermal.heat_exchanger import HeatExchangerTraceSolution
+from repro.thermal.radiator import Radiator, RadiatorTraceSolution
+from repro.vehicle.trace import RadiatorTrace
+
+#: Bumped whenever the artifact layout changes; artifacts carrying a
+#: different version are treated as misses and rewritten.
+CACHE_FORMAT_VERSION = 1
+
+#: Trace columns entering the fingerprint (everything the solves read).
+_TRACE_COLUMNS = (
+    "time_s",
+    "coolant_inlet_c",
+    "coolant_flow_kg_s",
+    "air_flow_kg_s",
+    "ambient_c",
+    "coolant_inlet_sensed_c",
+    "coolant_flow_sensed_kg_s",
+)
+
+#: Array attributes of :class:`HeatExchangerTraceSolution`.
+_EXCHANGER_FIELDS = (
+    "duty_w",
+    "effectiveness",
+    "ntu",
+    "ua_w_k",
+    "hot_outlet_c",
+    "cold_outlet_c",
+    "hot_capacity_w_k",
+    "cold_capacity_w_k",
+)
+
+#: Non-exchanger array attributes of :class:`RadiatorTraceSolution`.
+_SOLUTION_FIELDS = (
+    "decay_per_m",
+    "surface_temps_c",
+    "sink_temps_c",
+    "delta_t_k",
+    "ambient_c",
+    "active",
+)
+
+
+def _scalar_token(name: str, value: float) -> bytes:
+    """A lossless text token for one scalar parameter."""
+    return f"{name}={float(value).hex()};".encode()
+
+
+def physics_fingerprint(
+    trace: RadiatorTrace,
+    radiator: Radiator,
+    module: TEGModule,
+    n_modules: int,
+) -> str:
+    """Content fingerprint of one :meth:`TracePhysics.compute` input set.
+
+    Hashes the raw bytes of every trace column the solves read plus
+    every model parameter that enters the thermal/electrical chain —
+    radiator geometry, UA model, fluid properties, sink preheat, module
+    material — and the chain length.  Two inputs with equal
+    fingerprints produce bit-identical :class:`TracePhysics` objects;
+    object identity, trace names and scanner settings are deliberately
+    excluded so grid variants built via ``dataclasses.replace`` (and
+    re-built scenarios in other processes) share one entry.
+    """
+    h = hashlib.sha256()
+    h.update(f"tegkit-physics-v{CACHE_FORMAT_VERSION};".encode())
+    h.update(f"n_modules={int(n_modules)};".encode())
+
+    for column in _TRACE_COLUMNS:
+        arr = np.ascontiguousarray(getattr(trace, column), dtype=float)
+        h.update(f"{column}[{arr.size}];".encode())
+        h.update(arr.tobytes())
+
+    material = module.material
+    h.update(f"module={module.name};n_couples={int(module.n_couples)};".encode())
+    for name in (
+        "seebeck_v_per_k",
+        "resistance_ohm",
+        "seebeck_temp_coeff_per_k",
+        "resistance_temp_coeff_per_k",
+    ):
+        h.update(_scalar_token(name, getattr(material, name)))
+
+    geometry = radiator.geometry
+    h.update(_scalar_token("path_length_m", geometry.path_length_m))
+    h.update(_scalar_token("sink_preheat", radiator.sink_preheat_fraction))
+    exchanger = radiator.exchanger
+    h.update(
+        f"exchanger={type(exchanger).__name__};"
+        f"both_unmixed={exchanger.both_unmixed};".encode()
+    )
+    ua = exchanger.ua_model
+    for name in (
+        "hot_conductance_ref_w_k",
+        "cold_conductance_ref_w_k",
+        "hot_ref_flow_kg_s",
+        "cold_ref_flow_kg_s",
+        "wall_resistance_k_w",
+        "hot_flow_exponent",
+        "cold_flow_exponent",
+    ):
+        h.update(_scalar_token(name, getattr(ua, name)))
+    for label, fluid in (("coolant", radiator.coolant), ("air", radiator.air)):
+        h.update(f"{label}={fluid.name};".encode())
+        h.update(_scalar_token("cp", fluid.specific_heat_j_kg_k))
+        h.update(_scalar_token("rho", fluid.density_kg_m3))
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss accounting of one :class:`PhysicsCache`.
+
+    Attributes
+    ----------
+    memory_hits:
+        Lookups answered by the in-process LRU.
+    disk_hits:
+        Lookups answered by loading an on-disk artifact.
+    misses:
+        Lookups that had to run :meth:`TracePhysics.compute` (equals
+        the number of radiator solve passes paid, up to the noiseless
+        single-solve optimisation).
+    corrupt_artifacts:
+        On-disk artifacts that failed to load and were recomputed.
+    """
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    corrupt_artifacts: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total lookups that avoided a recompute."""
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that avoided a recompute (0 when idle)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PhysicsCache:
+    """Two-tier memoisation of :meth:`TracePhysics.compute`.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity of the in-process LRU tier.  The working set of an
+        experiment grid is its number of *unique* scenarios, so the
+        default comfortably covers the registry-driven grids; least
+        recently used entries are evicted beyond it.
+    cache_dir:
+        Optional directory for the on-disk artifact tier.  Created on
+        first store.  Process-pool executors need this tier — workers
+        cannot share the parent's memory — and a warm directory
+        survives across runs and processes.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 32,
+        cache_dir: Optional[os.PathLike] = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._max_entries = int(max_entries)
+        self._dir: Optional[Path] = Path(cache_dir) if cache_dir is not None else None
+        self._lru: "OrderedDict[str, TracePhysics]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._memory_hits = 0
+        self._disk_hits = 0
+        self._misses = 0
+        self._corrupt = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        """The on-disk tier's directory (``None`` when memory-only)."""
+        return self._dir
+
+    @property
+    def stats(self) -> CacheStats:
+        """Current hit/miss accounting."""
+        return CacheStats(
+            memory_hits=self._memory_hits,
+            disk_hits=self._disk_hits,
+            misses=self._misses,
+            corrupt_artifacts=self._corrupt,
+        )
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def artifacts(self) -> Tuple[Path, ...]:
+        """Artifact files currently present in the on-disk tier."""
+        if self._dir is None or not self._dir.is_dir():
+            return ()
+        return tuple(sorted(self._dir.glob("*.npz")))
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the LRU tier; with ``disk=True`` also delete artifacts."""
+        with self._lock:
+            self._lru.clear()
+            if disk:
+                for path in self.artifacts():
+                    path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # The cache operation
+    # ------------------------------------------------------------------
+    def get_or_compute(
+        self,
+        trace: RadiatorTrace,
+        radiator: Radiator,
+        module: TEGModule,
+        n_modules: int,
+    ) -> TracePhysics:
+        """Return the memoised physics for the inputs, computing on miss.
+
+        The returned object is always bound to *these* trace/radiator/
+        module objects (a hit under a content-equal but distinct trace
+        is rebound via ``dataclasses.replace``; the solved arrays are
+        shared), so it passes the simulator's identity validation and
+        downstream results are bit-identical to an uncached compute.
+        """
+        key = physics_fingerprint(trace, radiator, module, n_modules)
+        with self._lock:
+            physics = self._lru.get(key)
+            if physics is not None:
+                self._lru.move_to_end(key)
+                self._memory_hits += 1
+                return self._rebind(physics, trace, radiator, module)
+
+            physics = self._load(key, trace, radiator, module, n_modules)
+            if physics is not None:
+                self._disk_hits += 1
+                self._insert(key, physics)
+                return physics
+
+            physics = TracePhysics.compute(trace, radiator, module, n_modules)
+            self._misses += 1
+            self._insert(key, physics)
+            if self._dir is not None:
+                self._save(key, physics)
+            return physics
+
+    def warm(self, scenarios) -> int:
+        """Precompute (or load) the physics of each scenario's inputs.
+
+        Returns the number of entries that had to be computed.  Used by
+        the batch engine before a process-pool fan-out and by the
+        ``repro cache --warm`` CLI.
+        """
+        before = self._misses
+        for scenario in scenarios:
+            self.get_or_compute(
+                scenario.trace, scenario.radiator, scenario.module,
+                scenario.n_modules,
+            )
+        return self._misses - before
+
+    # ------------------------------------------------------------------
+    # LRU tier
+    # ------------------------------------------------------------------
+    def _insert(self, key: str, physics: TracePhysics) -> None:
+        self._lru[key] = physics
+        self._lru.move_to_end(key)
+        while len(self._lru) > self._max_entries:
+            self._lru.popitem(last=False)
+
+    @staticmethod
+    def _rebind(
+        physics: TracePhysics,
+        trace: RadiatorTrace,
+        radiator: Radiator,
+        module: TEGModule,
+    ) -> TracePhysics:
+        """Point a cached entry at the caller's live model objects."""
+        if (
+            physics.trace is trace
+            and physics.radiator is radiator
+            and physics.module is module
+        ):
+            return physics
+        return replace(physics, trace=trace, radiator=radiator, module=module)
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def _artifact_path(self, key: str) -> Path:
+        assert self._dir is not None
+        return self._dir / f"{key}.npz"
+
+    def _save(self, key: str, physics: TracePhysics) -> None:
+        """Write one artifact atomically (temp file + rename)."""
+        assert self._dir is not None
+        self._dir.mkdir(parents=True, exist_ok=True)
+        arrays = {}
+        self._pack_solution(arrays, "true", physics.true_solution)
+        if not physics.noiseless:
+            self._pack_solution(arrays, "sensed", physics.sensed_solution)
+        arrays["sensed_temps_c"] = physics.sensed_temps_c
+        arrays["emf_true"] = physics.emf_true
+        arrays["ideal_power_w"] = physics.ideal_power_w
+        meta = {
+            "version": CACHE_FORMAT_VERSION,
+            "fingerprint": key,
+            "noiseless": bool(physics.noiseless),
+            "n_modules": int(physics.n_modules),
+            "module_resistance_ohm": physics.module_resistance_ohm.hex(),
+        }
+        path = self._artifact_path(key)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez(handle, meta_json=np.array(json.dumps(meta)), **arrays)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def _load(
+        self,
+        key: str,
+        trace: RadiatorTrace,
+        radiator: Radiator,
+        module: TEGModule,
+        n_modules: int,
+    ) -> Optional[TracePhysics]:
+        """Load one artifact; a broken file counts as a miss."""
+        if self._dir is None:
+            return None
+        path = self._artifact_path(key)
+        if not path.is_file():
+            return None
+        try:
+            with np.load(path) as data:
+                meta = json.loads(str(data["meta_json"]))
+                if (
+                    meta.get("version") != CACHE_FORMAT_VERSION
+                    or meta.get("fingerprint") != key
+                    or meta.get("n_modules") != int(n_modules)
+                ):
+                    raise ValueError("artifact metadata mismatch")
+                noiseless = bool(meta["noiseless"])
+                true_solution = self._unpack_solution(data, "true")
+                sensed_solution = (
+                    true_solution
+                    if noiseless
+                    else self._unpack_solution(data, "sensed")
+                )
+                return TracePhysics(
+                    trace=trace,
+                    radiator=radiator,
+                    module=module,
+                    n_modules=int(n_modules),
+                    true_solution=true_solution,
+                    sensed_solution=sensed_solution,
+                    sensed_temps_c=data["sensed_temps_c"],
+                    emf_true=data["emf_true"],
+                    module_resistance_ohm=float.fromhex(
+                        meta["module_resistance_ohm"]
+                    ),
+                    ideal_power_w=data["ideal_power_w"],
+                    noiseless=noiseless,
+                )
+        except Exception:
+            # Truncated download, version skew, concurrent writer crash:
+            # recompute and let the fresh _save overwrite the artifact.
+            self._corrupt += 1
+            return None
+
+    @staticmethod
+    def _pack_solution(
+        arrays: dict, prefix: str, solution: RadiatorTraceSolution
+    ) -> None:
+        for name in _EXCHANGER_FIELDS:
+            arrays[f"{prefix}_x_{name}"] = getattr(solution.exchanger, name)
+        for name in _SOLUTION_FIELDS:
+            arrays[f"{prefix}_{name}"] = getattr(solution, name)
+
+    @staticmethod
+    def _unpack_solution(data, prefix: str) -> RadiatorTraceSolution:
+        exchanger = HeatExchangerTraceSolution(
+            **{name: data[f"{prefix}_x_{name}"] for name in _EXCHANGER_FIELDS}
+        )
+        return RadiatorTraceSolution(
+            exchanger=exchanger,
+            **{name: data[f"{prefix}_{name}"] for name in _SOLUTION_FIELDS},
+        )

@@ -25,9 +25,12 @@ import dataclasses
 import json
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from itertools import repeat
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SimulationError
+from repro.sim.cache import PhysicsCache
 from repro.sim.results import SimulationResult, comparison_table, summary_row
 from repro.sim.scenario import Scenario
 
@@ -63,16 +66,36 @@ class ExperimentCase:
     with_battery: bool = True
 
 
-def run_case(case: ExperimentCase, physics=None) -> SimulationResult:
+#: Per-process :class:`PhysicsCache` instances, keyed by directory.
+#: Pool workers are reused across cases, so a worker's first case pays
+#: one artifact load and later cases over the same scenario hit the
+#: worker-local LRU.
+_WORKER_CACHES: Dict[str, PhysicsCache] = {}
+
+
+def _worker_cache(cache_dir: str) -> PhysicsCache:
+    cache = _WORKER_CACHES.get(cache_dir)
+    if cache is None:
+        cache = PhysicsCache(cache_dir=cache_dir)
+        _WORKER_CACHES[cache_dir] = cache
+    return cache
+
+
+def run_case(
+    case: ExperimentCase, physics=None, cache_dir: Optional[str] = None
+) -> SimulationResult:
     """Execute one case: build the simulator and policy, run, return.
 
     Module-level so process pools can pickle it; also the single code
     path for every executor, which is what makes parallel results
     bit-identical to sequential ones.  ``physics`` optionally injects
     a shared :class:`~repro.sim.physics.TracePhysics` so in-process
-    cases over the same scenario split one precompute (the precompute
-    is a pure function of the scenario, so sharing cannot change
-    results).
+    cases over the same scenario split one precompute; ``cache_dir``
+    instead points a (typically pool-worker) process at a shared
+    on-disk :class:`~repro.sim.cache.PhysicsCache` tier, which the
+    parent runner warms before fanning out.  Neither can change
+    results — the precompute is a pure function of the scenario and
+    cached entries are bit-identical to fresh ones.
     """
     policies = case.scenario.make_policies()
     if case.policy not in policies:
@@ -80,7 +103,12 @@ def run_case(case: ExperimentCase, physics=None) -> SimulationResult:
             f"unknown policy {case.policy!r} for case {case.name!r} "
             f"(available: {', '.join(policies)})"
         )
-    simulator = case.scenario.make_simulator(physics=physics)
+    cache = (
+        _worker_cache(cache_dir)
+        if physics is None and cache_dir is not None
+        else None
+    )
+    simulator = case.scenario.make_simulator(physics=physics, cache=cache)
     charger = case.scenario.make_charger(with_battery=case.with_battery)
     return simulator.run(policies[case.policy], charger)
 
@@ -198,6 +226,21 @@ class ExperimentRunner:
     max_workers:
         Worker count for the pooled executors; ``None`` lets
         ``concurrent.futures`` pick.
+    cache:
+        Optional :class:`~repro.sim.cache.PhysicsCache` shared with the
+        caller (and, across runs, with other runners).  By default each
+        runner owns a private in-memory cache, which is already enough
+        to solve each *unique* scenario once per run: cases are keyed
+        by content fingerprint, so grid variants built via
+        ``dataclasses.replace`` over one trace — an ``n_modules`` axis
+        aside — share a single solve.
+    cache_dir:
+        Directory for the on-disk cache tier.  Enables physics sharing
+        with process-pool workers (which cannot see the parent's
+        memory): the runner warms the artifact store before fanning
+        out and workers load instead of solving.  A warm directory
+        also persists across runs, machines sharing a filesystem, and
+        the ``repro cache`` CLI.
     """
 
     def __init__(
@@ -205,6 +248,8 @@ class ExperimentRunner:
         cases: Iterable[ExperimentCase],
         executor: str = "process",
         max_workers: Optional[int] = None,
+        cache: Optional[PhysicsCache] = None,
+        cache_dir=None,
     ) -> None:
         self._cases: Tuple[ExperimentCase, ...] = tuple(cases)
         if not self._cases:
@@ -219,35 +264,50 @@ class ExperimentRunner:
             )
         self._executor = executor
         self._max_workers = max_workers
+        if cache is not None and cache_dir is not None and (
+            cache.cache_dir is None or Path(cache_dir) != cache.cache_dir
+        ):
+            # A memory-only (or differently-located) cache cannot warm
+            # the directory the workers will read; failing beats
+            # silently re-solving in every pool worker.
+            raise SimulationError(
+                f"cache_dir {cache_dir!r} does not match the supplied "
+                f"cache's directory ({cache.cache_dir}); pass one or the "
+                f"other, or a cache built with this cache_dir"
+            )
+        if cache is None:
+            cache = PhysicsCache(cache_dir=cache_dir)
+        self._cache = cache
+        self._cache_dir = cache.cache_dir
 
     @property
     def cases(self) -> Tuple[ExperimentCase, ...]:
         """The grid, in submission (= collation) order."""
         return self._cases
 
+    @property
+    def cache(self) -> PhysicsCache:
+        """The physics cache serving this runner's grid."""
+        return self._cache
+
     def _shared_physics(self) -> List[object]:
-        """One lazily-filled TracePhysics slot per unique scenario.
+        """One TracePhysics slot per case, deduplicated by fingerprint.
 
-        In-process executors hand every case of a scenario the same
-        precompute; process pools can't share memory, so their workers
-        compute their own (`run_case(physics=None)`).
+        Content-keyed through the :class:`PhysicsCache`, so every grid
+        cell sharing a trace/radiator/chain — including scanner-noise
+        variants and scenarios rebuilt from the registry — reuses one
+        solve (and one on-disk artifact when the cache has a
+        directory).
         """
-        from repro.sim.physics import TracePhysics
-
-        cache: Dict[int, object] = {}
-        slots: List[object] = []
-        for case in self._cases:
-            key = id(case.scenario)
-            if key not in cache:
-                scenario = case.scenario
-                cache[key] = TracePhysics.compute(
-                    scenario.trace,
-                    scenario.radiator,
-                    scenario.module,
-                    scenario.n_modules,
-                )
-            slots.append(cache[key])
-        return slots
+        return [
+            self._cache.get_or_compute(
+                case.scenario.trace,
+                case.scenario.radiator,
+                case.scenario.module,
+                case.scenario.n_modules,
+            )
+            for case in self._cases
+        ]
 
     def run(self) -> ExperimentCollation:
         """Execute every case and collate results in case order."""
@@ -260,6 +320,20 @@ class ExperimentRunner:
             physics = self._shared_physics()
             with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
                 results = list(pool.map(run_case, self._cases, physics))
+        elif self._cache_dir is not None:
+            # Warm the shared artifact store in-process (one solve or
+            # disk load per unique scenario), then let the workers read
+            # it back instead of re-solving per case.
+            self._shared_physics()
+            with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
+                results = list(
+                    pool.map(
+                        run_case,
+                        self._cases,
+                        repeat(None),
+                        repeat(str(self._cache_dir)),
+                    )
+                )
         else:
             with ProcessPoolExecutor(max_workers=self._max_workers) as pool:
                 results = list(pool.map(run_case, self._cases))

@@ -109,7 +109,7 @@ class Scenario:
             noise_std_k=self.scanner_noise_std_k, seed=self.sensor_seed
         )
 
-    def make_simulator(self, physics=None) -> HarvestSimulator:
+    def make_simulator(self, physics=None, cache=None) -> HarvestSimulator:
         """The simulator bound to this scenario's physics.
 
         Parameters
@@ -121,6 +121,11 @@ class Scenario:
             so several simulators over the same scenario skip the
             redundant solve; by default each simulator computes its
             own lazily.
+        cache:
+            Optional :class:`~repro.sim.cache.PhysicsCache` the
+            simulator's lazy precompute consults, so content-equal
+            scenarios (grid variants, repeated builds) share one
+            radiator solve.  Ignored when ``physics`` is given.
         """
         return HarvestSimulator(
             trace=self.trace,
@@ -131,6 +136,21 @@ class Scenario:
             scanner=self.make_scanner(),
             nominal_compute_s=self.nominal_compute_s,
             physics=physics,
+            cache=cache,
+        )
+
+    def physics_fingerprint(self) -> str:
+        """Content fingerprint of this scenario's physics inputs.
+
+        Two scenarios with equal fingerprints share one
+        :class:`~repro.sim.cache.PhysicsCache` entry (policy, charger
+        and scanner settings deliberately do not enter the key — they
+        cannot change the physics).
+        """
+        from repro.sim.cache import physics_fingerprint
+
+        return physics_fingerprint(
+            self.trace, self.radiator, self.module, self.n_modules
         )
 
     # ------------------------------------------------------------------

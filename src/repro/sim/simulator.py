@@ -33,7 +33,7 @@ energy numbers from machine speed.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
@@ -50,6 +50,9 @@ from repro.teg.switches import SwitchFabric
 from repro.thermal.radiator import Radiator
 from repro.vehicle.sensors import ModuleTemperatureScanner
 from repro.vehicle.trace import RadiatorTrace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.sim.cache import PhysicsCache
 
 #: Valid values of the ``engine`` constructor argument.
 ENGINES = ("batched", "reference")
@@ -81,6 +84,12 @@ class HarvestSimulator:
         describe the same trace/module/chain); by default it is
         computed lazily on the first run and cached, so consecutive
         policy runs share one precompute.
+    cache:
+        Optional :class:`~repro.sim.cache.PhysicsCache` consulted by
+        the lazy precompute instead of calling
+        :meth:`TracePhysics.compute` directly, so simulators built at
+        different times (or over content-equal scenario variants)
+        share one solve.  Ignored when ``physics`` is injected.
     engine:
         ``"batched"`` (default) runs the layered engine —
         trace-physics lookup plus segment-batched electrical math.
@@ -100,6 +109,7 @@ class HarvestSimulator:
         nominal_compute_s: Optional[float] = None,
         physics: Optional[TracePhysics] = None,
         engine: str = "batched",
+        cache: Optional["PhysicsCache"] = None,
     ) -> None:
         if n_modules < 1:
             raise SimulationError(f"n_modules must be >= 1, got {n_modules}")
@@ -126,6 +136,7 @@ class HarvestSimulator:
         self._nominal_compute_s = nominal_compute_s
         self._physics = physics
         self._engine = engine
+        self._cache = cache
 
     @property
     def trace(self) -> RadiatorTrace:
@@ -146,9 +157,14 @@ class HarvestSimulator:
     def physics(self) -> TracePhysics:
         """The trace-level physics precompute (computed once, cached)."""
         if self._physics is None:
-            self._physics = TracePhysics.compute(
-                self._trace, self._radiator, self._module, self._n_modules
-            )
+            if self._cache is not None:
+                self._physics = self._cache.get_or_compute(
+                    self._trace, self._radiator, self._module, self._n_modules
+                )
+            else:
+                self._physics = TracePhysics.compute(
+                    self._trace, self._radiator, self._module, self._n_modules
+                )
         return self._physics
 
     def _operating_points(self, i: int):

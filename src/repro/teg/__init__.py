@@ -42,6 +42,7 @@ from repro.teg.module import MPPPoint, TEGModule
 from repro.teg.network import (
     SegmentThevenin,
     array_mpp,
+    array_mpp_multi,
     array_thevenin,
     module_operating_points,
     parallel_reduce,
@@ -78,6 +79,7 @@ __all__ = [
     "TGM_199_1_4_0_8_REALISTIC",
     "TGM_287_1_0_1_5",
     "array_mpp",
+    "array_mpp_multi",
     "array_thevenin",
     "bank_mpp",
     "bank_power_at_voltage",

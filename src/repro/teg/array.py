@@ -192,6 +192,24 @@ class TEGArray:
             self.emf_vector(), self.resistance_vector(), _normalize_starts(config)
         )
 
+    def mpp_batch(
+        self, configs: Sequence[object]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Exact MPPs of many candidate configurations in one pass.
+
+        The row-vector sibling of :meth:`configured_mpp`: returns
+        ``(power_w, voltage_v, current_a)`` arrays with one entry per
+        configuration, bit-identical to calling :meth:`configured_mpp`
+        per candidate (see :func:`repro.teg.network.array_mpp_multi`).
+        This is the kernel behind INOR's vectorised ``[n_min, n_max]``
+        candidate sweep.
+        """
+        return network.array_mpp_multi(
+            self.emf_vector(),
+            self.resistance_vector(),
+            [_normalize_starts(config) for config in configs],
+        )
+
     def power_at_current(self, config: object, current_a: float) -> float:
         """Array output power at a charger-imposed current."""
         return network.power_at_current(

@@ -34,6 +34,7 @@ from repro.teg.module import MPPPoint
 __all__ = [
     "SegmentThevenin",
     "array_mpp",
+    "array_mpp_multi",
     "array_mpp_rows",
     "array_thevenin",
     "array_thevenin_rows",
@@ -184,6 +185,114 @@ def array_mpp_rows(
     power = e_rows * e_rows / (4.0 * r_total)
     voltage = e_rows / 2.0
     return power, voltage
+
+
+def array_mpp_multi(
+    emf: np.ndarray,
+    resistance: np.ndarray,
+    starts_list: Sequence[Sequence[int]],
+    validate: bool = True,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact MPPs of *many configurations* at one temperature state.
+
+    The configuration-batched sibling of :func:`array_mpp` (and the
+    transpose of :func:`array_mpp_rows`, which batches time samples
+    under one configuration): evaluates every candidate partition in
+    ``starts_list`` against the same per-module ``(emf, resistance)``
+    vectors in one NumPy pass — the hot path of INOR's
+    ``[n_min, n_max]`` candidate sweep.
+
+    Returns ``(power_w, voltage_v, current_a)`` arrays with one entry
+    per candidate, **bit-identical** to calling :func:`array_mpp` per
+    candidate: all candidates' parallel-group reductions run as one
+    ``np.add.reduceat`` over a tiled module axis (same elements, same
+    summation order as the per-candidate reduceat), and the per-
+    candidate series sums use the same ``ndarray.sum`` kernel the
+    scalar path uses.  Algorithms may therefore swap the scalar loop
+    for this kernel without perturbing a single decision.
+
+    ``validate=False`` skips the candidate-set validation sweep for
+    callers that construct partitions correct by construction (INOR's
+    greedy walk); invalid starts then produce undefined results
+    instead of :class:`~repro.errors.ConfigurationError`.
+    """
+    emf = np.asarray(emf, dtype=float)
+    resistance = np.asarray(resistance, dtype=float)
+    n_modules = emf.size
+    candidates = [np.asarray(starts, dtype=np.int64) for starts in starts_list]
+    n_candidates = len(candidates)
+    if n_candidates == 0:
+        empty = np.empty(0)
+        return empty, empty.copy(), empty.copy()
+
+    # Concatenate every candidate's group starts, offset onto a tiled
+    # module axis, so one reduceat computes all groups of all
+    # candidates (each candidate's last group correctly ends at the
+    # next candidate's offset).
+    if any(starts.ndim != 1 or starts.size == 0 for starts in candidates):
+        for starts in candidates:  # delegate for the precise error
+            validate_starts(starts, n_modules)
+    sizes = [starts.size for starts in candidates]
+    offsets = [0]
+    for size in sizes:
+        offsets.append(offsets[-1] + size)
+    cat = (
+        np.concatenate(candidates)
+        if n_candidates > 1
+        else candidates[0].reshape(-1)
+    )
+
+    # Validate the whole candidate set in one vectorised sweep; only on
+    # failure fall back to the per-candidate path for its precise error.
+    # Masking the candidate boundaries out of the diff plus the
+    # first-start-is-zero check implies every start is in-range and
+    # non-negative within its candidate.
+    if validate:
+        bounds = np.asarray(offsets)
+        diffs = np.diff(cat)
+        boundary = bounds[1:-1] - 1
+        if boundary.size:
+            diffs[boundary] = 1
+        valid = (
+            not cat[bounds[:-1]].any()
+            and not np.any(cat >= n_modules)
+            and not np.any(diffs <= 0)
+        )
+        if not valid:
+            for starts in candidates:
+                validate_starts(starts, n_modules)
+            raise ConfigurationError(
+                "inconsistent candidate configuration set"
+            )
+
+    idx = cat + np.repeat(
+        np.arange(n_candidates) * n_modules, np.asarray(sizes)
+    )
+    conductance = 1.0 / resistance
+    base = np.empty((2, n_modules))
+    base[0] = conductance
+    base[1] = emf * conductance
+    # groups rows: [0] = summed conductance 1/R_g, [1] = conductance-
+    # weighted EMF per group (reduceat's strictly sequential in-segment
+    # accumulation matches the per-candidate scalar reduceat bitwise).
+    groups = np.add.reduceat(np.tile(base, (1, n_candidates)), idx, axis=1)
+    # pair rows: [0] = E_g, [1] = R_g per group.
+    pair = np.empty_like(groups)
+    pair[1] = 1.0 / groups[0]
+    pair[0] = groups[1] * pair[1]
+
+    # Per-candidate series sums: contiguous-row ndarray.sum matches the
+    # scalar path's e_groups.sum() pairwise summation bitwise
+    # (np.add.reduceat's sequential accumulation would not).
+    totals = np.empty((n_candidates, 2))
+    for k, (lo, hi) in enumerate(zip(offsets, offsets[1:])):
+        pair[:, lo:hi].sum(axis=1, out=totals[k])
+    e_total = totals[:, 0]
+    r_total = totals[:, 1]
+    power = e_total * e_total / (4.0 * r_total)
+    voltage = e_total / 2.0
+    current = e_total / (2.0 * r_total)
+    return power, voltage, current
 
 
 def power_at_current(

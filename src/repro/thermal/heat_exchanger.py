@@ -286,6 +286,11 @@ class CrossFlowHeatExchanger:
         """The conductance model in use."""
         return self._ua_model
 
+    @property
+    def both_unmixed(self) -> bool:
+        """Which effectiveness relation the core uses (see ``__init__``)."""
+        return self._both_unmixed
+
     def solve(self, hot: FluidStream, cold: FluidStream) -> HeatExchangerSolution:
         """Solve one operating point with the effectiveness-NTU method.
 

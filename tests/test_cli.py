@@ -135,3 +135,55 @@ class TestSweepPeriod:
         out = capsys.readouterr().out
         assert "best" in out
         assert "DNOR on the same trace" in out
+
+
+class TestBatchCacheDir:
+    def test_batch_with_cache_dir_reports_stats(self, tmp_path, capsys):
+        store = tmp_path / "phys"
+        args = [
+            "batch",
+            "--scenarios", "porter-ii",
+            "--schemes", "INOR,Baseline",
+            "--duration", "15",
+            "--executor", "serial",
+            "--cache-dir", str(store),
+        ]
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "physics cache:" in err
+        assert store.is_dir() and list(store.glob("*.npz"))
+        # Second run hits the warm store instead of re-solving.
+        assert main(args) == 0
+        err = capsys.readouterr().err
+        assert "1 disk" in err and "0 solves" in err
+
+
+class TestCacheCommand:
+    def test_warm_then_info_then_clear(self, tmp_path, capsys):
+        store = str(tmp_path / "phys")
+        assert main(
+            [
+                "cache", "--dir", store,
+                "--warm", "porter-ii",
+                "--duration", "15", "--modules", "16",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1 solved" in out and "porter-ii" in out
+
+        assert main(["cache", "--dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 artifact(s)" in out and "KiB" in out
+
+        assert main(["cache", "--dir", store, "--clear"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 artifact(s)" in out
+        assert main(["cache", "--dir", store]) == 0
+        assert "0 artifact(s)" in capsys.readouterr().out
+
+    def test_warm_unknown_scenario_exits_nonzero(self, tmp_path, capsys):
+        code = main(
+            ["cache", "--dir", str(tmp_path), "--warm", "warp-core"]
+        )
+        assert code == 2
+        assert "unknown scenarios" in capsys.readouterr().err

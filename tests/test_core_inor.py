@@ -177,3 +177,62 @@ class TestInorNegativeDeltaT:
         res = np.full(20, 2.9)
         result = inor(emf, res, n_min=2, n_max=8)
         assert result.mpp.power_w > 0.0
+
+
+class TestBatchedKernel:
+    """kernel="batched" must be indistinguishable from the scalar loop."""
+
+    def _profiles(self):
+        rng = np.random.default_rng(23)
+        for trial in range(8):
+            n = int(rng.integers(4, 80))
+            emf = rng.uniform(0.1, 3.0, n)
+            if trial % 3 == 0:
+                emf[rng.integers(0, n, size=max(1, n // 8))] *= -1.0
+            yield emf, np.full(n, 0.8)
+
+    def test_bit_identical_to_scalar_kernel(self):
+        for emf, res in self._profiles():
+            for charger in (None, TEGCharger()):
+                batched = inor(emf, res, charger=charger, kernel="batched")
+                scalar = inor(emf, res, charger=charger, kernel="scalar")
+                assert batched.config == scalar.config
+                assert batched.mpp == scalar.mpp  # exact, not approx
+                assert batched.delivered_power_w == scalar.delivered_power_w
+                assert batched.n_range == scalar.n_range
+                assert (
+                    batched.candidates_evaluated
+                    == scalar.candidates_evaluated
+                )
+
+    def test_full_window_parity(self):
+        """Window [1, N]: every group count evaluated, kernels agree."""
+        emf = 2.0 * np.exp(-np.linspace(0.0, 2.2, 30))
+        res = np.full(30, 0.8)
+        batched = inor(emf, res, n_min=1, n_max=30, kernel="batched")
+        scalar = inor(emf, res, n_min=1, n_max=30, kernel="scalar")
+        assert batched.candidates_evaluated == 30
+        assert batched.config == scalar.config
+        assert batched.mpp == scalar.mpp
+
+    def test_degenerate_window(self):
+        """n_min == n_max: a single candidate still round-trips."""
+        emf = np.linspace(2.5, 0.5, 12)
+        res = np.full(12, 1.1)
+        for kernel in ("batched", "scalar"):
+            result = inor(emf, res, n_min=4, n_max=4, kernel=kernel)
+            assert result.candidates_evaluated == 1
+            assert result.config.n_groups == 4
+        assert inor(emf, res, n_min=4, n_max=4, kernel="batched") == inor(
+            emf, res, n_min=4, n_max=4, kernel="scalar"
+        )
+
+    def test_rejects_unknown_kernel(self):
+        with pytest.raises(ConfigurationError):
+            inor(np.ones(5), np.ones(5), kernel="quantum")
+
+    def test_default_kernel_is_batched(self):
+        """The hot path default; the docstring-promised speed choice."""
+        emf = np.linspace(2.0, 0.5, 16)
+        res = np.full(16, 0.9)
+        assert inor(emf, res) == inor(emf, res, kernel="batched")

@@ -1,0 +1,220 @@
+"""Cross-engine differential suite: batched engine vs the reference loop.
+
+The layered engine's contract is that its vectorised fast paths are
+*indistinguishable* from the pre-refactor per-sample loop.  This suite
+locks that down across every workload users can build by name:
+
+* every :class:`~repro.sim.scenario.ScenarioRegistry` scenario, with
+  its natural (noisy) trace *and* a noiseless variant (sensed columns
+  equal to the true columns, scanner disabled),
+* energy series, per-period decisions (group-count series) and switch
+  events, at tight tolerances — the thermal chain is computed by
+  scalar libm calls in the reference loop, so series agreement is
+  ULP-level rather than bitwise, while the discrete outputs must be
+  exactly equal,
+* a seeded randomized-trace fuzz case,
+* and, per the cache layer's contract, physics served from a warm
+  on-disk :class:`~repro.sim.cache.PhysicsCache` must reproduce the
+  uncached run *bit-identically*.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.sim.cache import PhysicsCache
+from repro.sim.physics import TracePhysics
+from repro.sim.scenario import (
+    REGISTRY_NOMINAL_COMPUTE_S,
+    Scenario,
+    build_named_scenario,
+    default_registry,
+)
+from repro.sim.simulator import HarvestSimulator
+from repro.teg.datasheet import TGM_199_1_4_0_8
+from repro.vehicle.trace import RadiatorTrace, default_radiator
+
+SCENARIO_NAMES = default_registry().names()
+
+#: Short runs keep the reference loop affordable; 16 is a perfect
+#: square so the Baseline grid stays valid for every scenario.
+DURATION_S = 20.0
+N_MODULES = 16
+
+#: Energy/electrical series compared at tight (ULP-level) tolerances.
+SERIES_FIELDS = (
+    "delivered_power_w",
+    "gross_power_w",
+    "array_voltage_v",
+    "ideal_power_w",
+    "time_s",
+)
+
+POLICIES = ("Baseline", "INOR", "DNOR")
+
+
+def _noiseless_variant(scenario: Scenario) -> Scenario:
+    """Sensed columns = true columns, scanner off: a noiseless world."""
+    trace = dataclasses.replace(
+        scenario.trace,
+        coolant_inlet_sensed_c=scenario.trace.coolant_inlet_c.copy(),
+        coolant_flow_sensed_kg_s=scenario.trace.coolant_flow_kg_s.copy(),
+        name=f"{scenario.trace.name}-noiseless",
+    )
+    return dataclasses.replace(scenario, trace=trace, scanner_noise_std_k=0.0)
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    """Each registry scenario, noisy and noiseless, built once."""
+    built = {}
+    for name in SCENARIO_NAMES:
+        scenario = build_named_scenario(
+            name, duration_s=DURATION_S, n_modules=N_MODULES
+        )
+        built[(name, "noisy")] = scenario
+        built[(name, "noiseless")] = _noiseless_variant(scenario)
+    return built
+
+
+def run_engine(scenario: Scenario, policy: str, engine: str, physics=None):
+    simulator = HarvestSimulator(
+        trace=scenario.trace,
+        radiator=scenario.radiator,
+        module=scenario.module,
+        n_modules=scenario.n_modules,
+        overhead=scenario.overhead,
+        scanner=scenario.make_scanner(),
+        nominal_compute_s=scenario.nominal_compute_s,
+        physics=physics,
+        engine=engine,
+    )
+    return simulator.run(scenario.make_policies()[policy], scenario.make_charger())
+
+
+def assert_engines_agree(batched, reference):
+    """Series at tight tolerance; decisions and switch events exact."""
+    for field in SERIES_FIELDS:
+        np.testing.assert_allclose(
+            getattr(batched, field),
+            getattr(reference, field),
+            rtol=1e-9,
+            atol=1e-9,
+            err_msg=field,
+        )
+    # Decisions: the applied group count at every control period.
+    assert np.array_equal(batched.n_groups_series, reference.n_groups_series)
+    # Switch events: same instants, same toggle bills.
+    assert batched.switch_times_s == reference.switch_times_s
+    assert batched.switch_count == reference.switch_count
+    assert len(batched.overhead_events) == len(reference.overhead_events)
+    for eb, er in zip(batched.overhead_events, reference.overhead_events):
+        assert eb.time_s == er.time_s
+        assert eb.toggles == er.toggles
+        assert eb.energy_j == pytest.approx(er.energy_j, rel=1e-9, abs=1e-12)
+    assert batched.switch_overhead_j == pytest.approx(
+        reference.switch_overhead_j, rel=1e-9, abs=1e-12
+    )
+
+
+class TestRegistryParity:
+    @pytest.mark.parametrize("noise", ["noisy", "noiseless"])
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_batched_matches_reference(self, scenarios, name, noise, policy):
+        scenario = scenarios[(name, noise)]
+        batched = run_engine(scenario, policy, "batched")
+        reference = run_engine(scenario, policy, "reference")
+        assert_engines_agree(batched, reference)
+
+    def test_ehtr_parity_on_paper_platform(self, scenarios):
+        """EHTR is slow, so the prior-work scheme is pinned on one case."""
+        scenario = scenarios[("porter-ii", "noisy")]
+        batched = run_engine(scenario, "EHTR", "batched")
+        reference = run_engine(scenario, "EHTR", "reference")
+        assert_engines_agree(batched, reference)
+
+    def test_noiseless_skips_sensed_solve(self, scenarios):
+        scenario = scenarios[("porter-ii", "noiseless")]
+        physics = TracePhysics.compute(
+            scenario.trace, scenario.radiator, scenario.module,
+            scenario.n_modules,
+        )
+        assert physics.noiseless
+        assert physics.sensed_solution is physics.true_solution
+
+
+class TestCachedPhysicsBitIdentical:
+    """The acceptance pin: cached physics changes *nothing*.
+
+    A warm on-disk artifact round-trips through ``float64`` storage, so
+    the comparison here is ``np.array_equal`` — bitwise, not approx.
+    """
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_disk_cached_run_is_bitwise_equal(self, scenarios, name, tmp_path):
+        scenario = scenarios[(name, "noisy")]
+        uncached = run_engine(scenario, "INOR", "batched")
+
+        warm = PhysicsCache(cache_dir=tmp_path / "store")
+        warm.get_or_compute(
+            scenario.trace, scenario.radiator, scenario.module,
+            scenario.n_modules,
+        )
+        reader = PhysicsCache(cache_dir=tmp_path / "store")
+        physics = reader.get_or_compute(
+            scenario.trace, scenario.radiator, scenario.module,
+            scenario.n_modules,
+        )
+        assert reader.stats.disk_hits == 1  # served from the artifact
+
+        cached = run_engine(scenario, "INOR", "batched", physics=physics)
+        for field in SERIES_FIELDS + ("n_groups_series",):
+            assert np.array_equal(
+                getattr(cached, field), getattr(uncached, field)
+            ), field
+        assert cached.switch_times_s == uncached.switch_times_s
+        assert cached.switch_overhead_j == uncached.switch_overhead_j
+
+
+def _fuzz_trace(seed: int, n: int = 41) -> RadiatorTrace:
+    """A seeded random trace spanning warm, cool and noisy regimes."""
+    rng = np.random.default_rng(seed)
+    time_s = np.arange(n) * 0.5
+    inlet = np.clip(
+        72.0 + np.cumsum(rng.normal(0.0, 1.2, n)), 35.0, 110.0
+    )
+    flow = np.clip(0.28 + np.cumsum(rng.normal(0.0, 0.01, n)), 0.05, 0.6)
+    air = np.clip(0.9 + np.cumsum(rng.normal(0.0, 0.03, n)), 0.2, 2.0)
+    ambient = np.full(n, 25.0)
+    return RadiatorTrace(
+        time_s=time_s,
+        coolant_inlet_c=inlet,
+        coolant_flow_kg_s=flow,
+        air_flow_kg_s=air,
+        ambient_c=ambient,
+        speed_mps=np.zeros(n),
+        coolant_inlet_sensed_c=inlet + rng.normal(0.0, 0.6, n),
+        coolant_flow_sensed_kg_s=np.maximum(
+            flow + rng.normal(0.0, 0.01, n), 1.0e-4
+        ),
+        name=f"fuzz-seed{seed}",
+    )
+
+
+class TestRandomizedTraceFuzz:
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_engines_agree_on_random_traces(self, seed):
+        scenario = Scenario(
+            module=TGM_199_1_4_0_8,
+            n_modules=9,
+            radiator=default_radiator(),
+            trace=_fuzz_trace(seed),
+            sensor_seed=seed + 1,
+            nominal_compute_s=REGISTRY_NOMINAL_COMPUTE_S,
+        )
+        for policy in ("INOR", "DNOR"):
+            batched = run_engine(scenario, policy, "batched")
+            reference = run_engine(scenario, policy, "reference")
+            assert_engines_agree(batched, reference)

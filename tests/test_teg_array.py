@@ -140,3 +140,33 @@ class TestTemperatureDrift:
             * TGM_199_1_4_0_8_REALISTIC.n_couples
         )
         assert np.allclose(drifting.resistance_vector(), module_res)
+
+
+class TestMppBatch:
+    def test_matches_configured_mpp_per_candidate(self):
+        array = TEGArray(TGM_199_1_4_0_8, 12)
+        array.set_delta_t(np.linspace(55.0, 8.0, 12))
+        configs = [[0], [0, 6], [0, 3, 6, 9], list(range(12))]
+        power, voltage, current = array.mpp_batch(configs)
+        assert power.shape == (4,)
+        for k, config in enumerate(configs):
+            mpp = array.configured_mpp(config)
+            assert power[k] == mpp.power_w  # bitwise, not approx
+            assert voltage[k] == mpp.voltage_v
+            assert current[k] == mpp.current_a
+
+    def test_accepts_objects_with_starts(self):
+        class Cfg:
+            def __init__(self, starts):
+                self.starts = starts
+
+        array = TEGArray(TGM_199_1_4_0_8, 6)
+        array.set_delta_t(np.linspace(40.0, 10.0, 6))
+        power, _, _ = array.mpp_batch([Cfg((0, 3)), Cfg((0, 2, 4))])
+        assert power[0] == array.configured_mpp([0, 3]).power_w
+        assert power[1] == array.configured_mpp([0, 2, 4]).power_w
+
+    def test_requires_thermal_state(self):
+        array = TEGArray(TGM_199_1_4_0_8, 4)
+        with pytest.raises(ConfigurationError):
+            array.mpp_batch([[0]])

@@ -214,3 +214,79 @@ class TestSegmentThevenin:
     def test_n_modules(self):
         tables = network.SegmentThevenin.from_modules(np.ones(7), np.ones(7))
         assert tables.n_modules == 7
+
+
+class TestArrayMppMulti:
+    """Configuration-batched MPPs: one pass, bit-identical per candidate."""
+
+    def _window(self, emf, res):
+        from repro.core.inor import greedy_balanced_partition
+
+        currents = emf / (2.0 * res)
+        return [
+            greedy_balanced_partition(currents, g)
+            for g in range(1, emf.size + 1)
+        ]
+
+    def test_bitwise_matches_scalar_over_full_window(self):
+        rng = np.random.default_rng(3)
+        emf = rng.uniform(0.2, 3.0, 40)
+        res = np.full(40, 0.8)
+        candidates = self._window(emf, res)
+        power, voltage, current = network.array_mpp_multi(emf, res, candidates)
+        assert power.shape == (40,)
+        for k, starts in enumerate(candidates):
+            mpp = network.array_mpp(emf, res, starts)
+            assert power[k] == mpp.power_w  # exact, not approx
+            assert voltage[k] == mpp.voltage_v
+            assert current[k] == mpp.current_a
+
+    def test_single_candidate(self, uniform_modules):
+        emf, res = uniform_modules
+        power, voltage, current = network.array_mpp_multi(emf, res, [[0, 2]])
+        mpp = network.array_mpp(emf, res, [0, 2])
+        assert (power[0], voltage[0], current[0]) == (
+            mpp.power_w,
+            mpp.voltage_v,
+            mpp.current_a,
+        )
+
+    def test_empty_candidate_list(self, uniform_modules):
+        emf, res = uniform_modules
+        power, voltage, current = network.array_mpp_multi(emf, res, [])
+        assert power.size == voltage.size == current.size == 0
+
+    def test_fault_masked_configurations(self):
+        """Candidates repaired against a stuck-switch mask stay exact."""
+        from repro.teg.faults import FaultMask
+
+        rng = np.random.default_rng(9)
+        emf = rng.uniform(0.5, 2.5, 16)
+        res = np.full(16, 1.2)
+        mask = FaultMask(
+            n_modules=16, stuck_series={4}, stuck_parallel={9}
+        )
+        candidates = [
+            mask.repair(starts) for starts in self._window(emf, res)
+        ]
+        power, voltage, current = network.array_mpp_multi(emf, res, candidates)
+        for k, starts in enumerate(candidates):
+            mpp = network.array_mpp(emf, res, starts)
+            assert power[k] == mpp.power_w
+            assert voltage[k] == mpp.voltage_v
+            assert current[k] == mpp.current_a
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            [[1, 2]],          # not starting at zero
+            [[0, 5, 3]],       # unsorted
+            [[0, 3, 3]],       # duplicate boundary
+            [[0, 99]],         # out of range
+            [[]],              # empty candidate
+            [[0], [0, 200]],   # one valid, one invalid
+        ],
+    )
+    def test_rejects_invalid_candidates(self, bad):
+        with pytest.raises(ConfigurationError):
+            network.array_mpp_multi(np.ones(10), np.ones(10), bad)
