@@ -21,6 +21,7 @@ Every command is deterministic given its ``--seed``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -28,7 +29,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro._about import PAPER_ARXIV, PAPER_TITLE, PAPER_VENUE, __version__
-from repro.core.inor import inor
+from repro.core.inor import INOR_KERNELS, inor
 from repro.core.period_tradeoff import sweep_fixed_period
 from repro.power.charger import TEGCharger
 from repro.sim.cache import PhysicsCache
@@ -72,7 +73,10 @@ def _cmd_reconfigure(args: argparse.Namespace) -> int:
     array.set_delta_t(_profile(args))
     charger = TEGCharger()
     result = inor(
-        array.emf_vector(), array.resistance_vector(), charger=charger
+        array.emf_vector(),
+        array.resistance_vector(),
+        charger=charger,
+        kernel=args.kernel,
     )
     print(f"module:        {module.name} x {args.modules}")
     print(
@@ -92,7 +96,10 @@ def _cmd_reconfigure(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    scenario = default_scenario(duration_s=args.duration, seed=args.seed)
+    scenario = dataclasses.replace(
+        default_scenario(duration_s=args.duration, seed=args.seed),
+        inor_kernel=args.kernel,
+    )
     if args.save_trace:
         path = save_trace(scenario.trace, args.save_trace)
         print(f"trace saved to {path}")
@@ -150,7 +157,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         return 2
 
     scenarios = [
-        registry.build(name, duration_s=args.duration, seed=args.seed)
+        dataclasses.replace(
+            registry.build(name, duration_s=args.duration, seed=args.seed),
+            inor_kernel=args.kernel,
+        )
         for name in wanted
     ]
     cases = grid_cases(scenarios, schemes)
@@ -268,6 +278,12 @@ def build_parser() -> argparse.ArgumentParser:
     recon.add_argument("--dt-peak", type=float, default=67.0, dest="dt_peak")
     recon.add_argument("--dt-floor", type=float, default=12.0, dest="dt_floor")
     recon.add_argument("--steepness", type=float, default=2.2)
+    recon.add_argument(
+        "--kernel",
+        choices=INOR_KERNELS,
+        default="batched",
+        help="INOR candidate kernel (bit-identical results; batched is faster)",
+    )
     recon.set_defaults(handler=_cmd_reconfigure)
 
     simulate = sub.add_parser(
@@ -282,6 +298,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--save-trace", default=None, help="also write the trace CSV here"
+    )
+    simulate.add_argument(
+        "--kernel",
+        choices=INOR_KERNELS,
+        default="batched",
+        help="INOR candidate kernel (bit-identical results; batched is faster)",
     )
     simulate.set_defaults(handler=_cmd_simulate)
 
@@ -317,6 +339,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         dest="cache_dir",
         help="on-disk physics cache shared across cases, workers and runs",
+    )
+    batch.add_argument(
+        "--kernel",
+        choices=INOR_KERNELS,
+        default="batched",
+        help="INOR candidate kernel (bit-identical results; batched is faster)",
     )
     batch.set_defaults(handler=_cmd_batch)
 

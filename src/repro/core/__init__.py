@@ -24,8 +24,17 @@ from repro.core.exhaustive import (
     best_partition_brute_force,
     best_partition_parametric_dp,
 )
-from repro.core.fault_aware import FaultAwareResult, fault_aware_inor
-from repro.core.inor import InorResult, converter_aware_group_range, inor
+from repro.core.fault_aware import (
+    FaultAwareResult,
+    fault_aware_candidates,
+    fault_aware_inor,
+)
+from repro.core.inor import (
+    InorResult,
+    converter_aware_group_range,
+    greedy_balanced_partition,
+    inor,
+)
 from repro.core.oracle import OracleDNORPolicy, make_oracle_policy
 from repro.core.overhead import OverheadEvent, SwitchingOverheadModel
 from repro.core.period_tradeoff import (
@@ -60,7 +69,9 @@ __all__ = [
     "best_partition_parametric_dp",
     "converter_aware_group_range",
     "ehtr",
+    "fault_aware_candidates",
     "fault_aware_inor",
+    "greedy_balanced_partition",
     "grid_configuration",
     "grid_for_square_array",
     "inor",

@@ -38,11 +38,44 @@ class ArrayConfiguration:
     _sizes: Tuple[int, ...] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
-        idx = validate_starts(self.starts, self.n_modules)
-        object.__setattr__(self, "starts", tuple(int(s) for s in idx))
-        bounds = np.append(idx, self.n_modules)
+        starts = self.starts
+        if (
+            isinstance(starts, tuple)
+            and starts
+            and all(type(s) is int for s in starts)
+        ):
+            # Canonical plain-int tuple: validate with scalar ops — this
+            # runs once per policy decision, and the numpy round-trip
+            # below costs more than the whole greedy partition build.
+            if self.n_modules <= 0:
+                raise ConfigurationError(
+                    f"n_modules must be positive, got {self.n_modules}"
+                )
+            if starts[0] != 0:
+                raise ConfigurationError(
+                    f"first group must start at module 0, got {starts[0]}"
+                )
+            previous = 0
+            for start in starts[1:]:
+                if start <= previous:
+                    raise ConfigurationError(
+                        f"starts must be strictly increasing, got {list(starts)}"
+                    )
+                previous = start
+            if previous >= self.n_modules:
+                raise ConfigurationError(
+                    f"last group start {previous} out of range for "
+                    f"{self.n_modules} modules"
+                )
+        else:
+            idx = validate_starts(starts, self.n_modules)
+            starts = tuple(int(s) for s in idx)
+            object.__setattr__(self, "starts", starts)
+        bounds = starts + (self.n_modules,)
         object.__setattr__(
-            self, "_sizes", tuple(int(d) for d in np.diff(bounds))
+            self,
+            "_sizes",
+            tuple(hi - lo for lo, hi in zip(bounds, bounds[1:])),
         )
 
     # ------------------------------------------------------------------

@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.config import ArrayConfiguration
 from repro.core.dnor import DNORDecision, DNORPlanner, thevenin_from_temps
 from repro.core.ehtr import ehtr
-from repro.core.inor import inor
+from repro.core.inor import INOR_KERNELS, inor
 from repro.errors import ConfigurationError
 from repro.power.charger import TEGCharger
 from repro.teg.module import TEGModule
@@ -102,6 +102,10 @@ class PeriodicPolicy(ReconfigurationPolicy):
     charger:
         Supplied to INOR for its converter-aware ranking; EHTR (the
         prior work) ignores it by design.
+    kernel:
+        INOR candidate-evaluation kernel (``"batched"`` — the default
+        fast path — or the ``"scalar"`` reference loop); bit-identical
+        decisions either way.  EHTR ignores it.
     """
 
     def __init__(
@@ -110,6 +114,7 @@ class PeriodicPolicy(ReconfigurationPolicy):
         algorithm: str = "inor",
         period_s: float = 0.5,
         charger: Optional[TEGCharger] = None,
+        kernel: str = "batched",
     ) -> None:
         if algorithm not in ("inor", "ehtr"):
             raise ConfigurationError(
@@ -117,10 +122,15 @@ class PeriodicPolicy(ReconfigurationPolicy):
             )
         if period_s <= 0.0:
             raise ConfigurationError(f"period_s must be > 0, got {period_s}")
+        if kernel not in INOR_KERNELS:
+            raise ConfigurationError(
+                f"kernel must be one of {INOR_KERNELS}, got {kernel!r}"
+            )
         self._module = module
         self._algorithm = algorithm
         self._period_s = float(period_s)
         self._charger = charger
+        self._kernel = kernel
         self._next_run_s = 0.0
 
     @property
@@ -142,7 +152,9 @@ class PeriodicPolicy(ReconfigurationPolicy):
         self._next_run_s = time_s + self._period_s
         emf, res = thevenin_from_temps(self._module, module_temps_c, ambient_c)
         if self._algorithm == "inor":
-            return inor(emf, res, charger=self._charger).config
+            return inor(
+                emf, res, charger=self._charger, kernel=self._kernel
+            ).config
         return ehtr(emf, res).config
 
     def reset(self) -> None:

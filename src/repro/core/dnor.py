@@ -15,28 +15,33 @@ Pseudo-code from the paper::
 closed-loop bookkeeping (history collection, epoch scheduling, fabric
 application) to :class:`repro.core.controller.DNORPolicy`.
 
-The energy horizon is evaluated sample-by-sample: the current
-distribution is held for one second (the paper's "including current
-second") followed by the ``t_p``-second forecast, each sample scored as
-the charger-delivered power of the configuration's exact MPP.
+The energy horizon holds the current distribution for one second (the
+paper's "including current second") followed by the ``t_p``-second
+forecast, each sample scored as the charger-delivered power of the
+configuration's exact MPP.  The whole comparison — old configuration
+and every proposal, over every horizon sample — runs as **one**
+stacked kernel call (:func:`repro.teg.network.array_mpp_rows_multi`
+plus one batched charger evaluation); :meth:`DNORPlanner.plan_batch`
+generalises the epoch to several candidate configurations (fault-aware
+or exhaustive proposal generators) at the same single-pass cost.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import ArrayConfiguration
-from repro.core.inor import inor
+from repro.core.inor import INOR_KERNELS, inor
 from repro.core.overhead import SwitchingOverheadModel
 from repro.errors import ConfigurationError, PredictionError
 from repro.power.charger import TEGCharger
 from repro.prediction.base import LagSeriesPredictor
 from repro.teg.module import TEGModule
-from repro.teg.network import array_mpp, array_mpp_rows
+from repro.teg.network import array_mpp, array_mpp_rows, array_mpp_rows_multi
 
 
 def thevenin_from_temps(
@@ -122,6 +127,11 @@ class DNORPlanner:
         — making the decision sequence machine-independent, which the
         batch engine's bit-reproducibility guarantees rely on.  ``None``
         (the default) keeps the measured-runtime behaviour.
+    inor_kernel:
+        Candidate-evaluation kernel forwarded to :func:`inor` for the
+        per-epoch proposal — ``"batched"`` (default) or ``"scalar"``.
+        Bit-identical results either way; the scalar kernel exists for
+        cross-validation and profiling.
     """
 
     def __init__(
@@ -134,6 +144,7 @@ class DNORPlanner:
         sample_dt_s: float = 0.5,
         fit_module_stride: int = 8,
         nominal_compute_s: Optional[float] = None,
+        inor_kernel: str = "batched",
     ) -> None:
         if tp_seconds <= 0.0:
             raise ConfigurationError(f"tp_seconds must be > 0, got {tp_seconds}")
@@ -142,6 +153,10 @@ class DNORPlanner:
         if fit_module_stride < 1:
             raise ConfigurationError(
                 f"fit_module_stride must be >= 1, got {fit_module_stride}"
+            )
+        if inor_kernel not in INOR_KERNELS:
+            raise ConfigurationError(
+                f"inor_kernel must be one of {INOR_KERNELS}, got {inor_kernel!r}"
             )
         self._module = module
         self._charger = charger
@@ -153,6 +168,7 @@ class DNORPlanner:
         self._nominal_compute_s = (
             None if nominal_compute_s is None else float(nominal_compute_s)
         )
+        self._inor_kernel = inor_kernel
 
     @property
     def tp_seconds(self) -> float:
@@ -169,6 +185,11 @@ class DNORPlanner:
         """The temperature forecaster in use."""
         return self._predictor
 
+    @property
+    def inor_kernel(self) -> str:
+        """Kernel forwarded to :func:`inor` for the epoch proposal."""
+        return self._inor_kernel
+
     # ------------------------------------------------------------------
     def _horizon_energy(
         self,
@@ -184,7 +205,10 @@ class DNORPlanner:
         (:func:`repro.teg.network.array_mpp_rows` — the same batched
         kernel the simulation engine uses), and the converter curve is
         evaluated for all rows at once through the batched charger API
-        — no per-sample Python in this hot path.
+        — no per-sample Python in this hot path.  The epoch decision
+        itself uses :meth:`_horizon_energy_multi`, which additionally
+        stacks the configurations; this single-configuration form is
+        the reference it is pinned bit-identical against.
         """
         rows = np.asarray(temp_rows, dtype=float)
         alpha = self._module.material.seebeck_v_per_k * self._module.n_couples
@@ -197,6 +221,36 @@ class DNORPlanner:
         delivered = self._charger.delivered_batch(power, voltage)
         return float(delivered.sum() * self._sample_dt_s)
 
+    def _horizon_energy_multi(
+        self,
+        configs: Sequence[ArrayConfiguration],
+        temp_rows: np.ndarray,
+        ambient_c: float,
+    ) -> np.ndarray:
+        """Delivered horizon energies of *many* configurations at once.
+
+        The configuration-stacked sibling of :meth:`_horizon_energy`:
+        one :func:`repro.teg.network.array_mpp_rows_multi` reduction
+        evaluates every configuration over the whole horizon and one
+        batched charger call converts the stacked ``(C, S)`` operating
+        points — so an epoch decision (old configuration + every
+        proposal) costs a single pass instead of one kernel invocation
+        per configuration.  Bit-identical per entry to the
+        single-configuration form.
+        """
+        rows = np.asarray(temp_rows, dtype=float)
+        alpha = self._module.material.seebeck_v_per_k * self._module.n_couples
+        emf_rows = alpha * (rows - float(ambient_c))
+        resistance = np.full(
+            rows.shape[1],
+            self._module.material.resistance_ohm * self._module.n_couples,
+        )
+        power, voltage = array_mpp_rows_multi(
+            emf_rows, resistance, [config.starts for config in configs]
+        )
+        delivered = self._charger.delivered_batch(power, voltage)
+        return delivered.sum(axis=1) * self._sample_dt_s
+
     def plan(
         self,
         history_temps_c: np.ndarray,
@@ -205,6 +259,11 @@ class DNORPlanner:
         time_s: float = 0.0,
     ) -> DNORDecision:
         """Run one Algorithm 2 epoch.
+
+        The single-proposal specialisation of :meth:`plan_batch`: one
+        timed INOR call produces the epoch's candidate, the old and
+        new configurations are scored over the forecast horizon in one
+        stacked kernel pass, and the paper's inequality decides.
 
         Parameters
         ----------
@@ -219,48 +278,24 @@ class DNORPlanner:
         time_s:
             Simulation time, recorded into diagnostics only.
         """
-        history = np.asarray(history_temps_c, dtype=float)
-        if history.ndim != 2 or history.shape[0] < 1:
-            raise ConfigurationError(
-                f"history must be a non-empty (T, N) matrix, got {history.shape}"
-            )
-        temps_now = history[-1]
+        return self.plan_batch(
+            history_temps_c, ambient_c, current, time_s=time_s
+        )
 
-        # Step 1: the instantaneous proposal.
-        t0 = time.perf_counter()
-        emf, res = thevenin_from_temps(self._module, temps_now, ambient_c)
-        proposal = inor(emf, res, charger=self._charger)
-        inor_seconds = time.perf_counter() - t0
-        candidate = proposal.config
+    def _forecast_horizon(
+        self, history: np.ndarray, temps_now: np.ndarray
+    ) -> Tuple[np.ndarray, float, bool]:
+        """Step 2: the ``t_p + 1``-second horizon temperature rows.
 
-        if current is None:
-            return DNORDecision(
-                switch=True,
-                config=candidate,
-                candidate=candidate,
-                energy_old_j=0.0,
-                energy_new_j=0.0,
-                energy_overhead_j=0.0,
-                inor_seconds=inor_seconds,
-                predict_seconds=0.0,
-                used_fallback_forecast=False,
-            )
-
-        if candidate.starts == current.starts:
-            # Identical proposal: keeping it is free and optimal.
-            return DNORDecision(
-                switch=False,
-                config=current,
-                candidate=candidate,
-                energy_old_j=0.0,
-                energy_new_j=0.0,
-                energy_overhead_j=0.0,
-                inor_seconds=inor_seconds,
-                predict_seconds=0.0,
-                used_fallback_forecast=False,
-            )
-
-        # Step 2: forecast the next t_p seconds.
+        Fits the pooled predictor on a module-strided column subset
+        (every predictor learns one *column-wise* one-step map shared
+        by all modules — see
+        :class:`repro.prediction.base.LagSeriesPredictor` — so the
+        coefficients are unchanged while the fit cost drops by the
+        stride factor) and forecasts the full-width history, so the
+        forecast covers every module regardless of the fitted width.
+        Returns ``(horizon_rows, predict_seconds, used_fallback)``.
+        """
         horizon_steps = max(int(round(self._tp_seconds / self._sample_dt_s)), 1)
         now_steps = max(int(round(1.0 / self._sample_dt_s)), 1)
         t0 = time.perf_counter()
@@ -272,26 +307,143 @@ class DNORPlanner:
             forecast = np.tile(temps_now, (horizon_steps, 1))
             used_fallback = True
         predict_seconds = time.perf_counter() - t0
-
         horizon_rows = np.vstack([np.tile(temps_now, (now_steps, 1)), forecast])
+        return horizon_rows, predict_seconds, used_fallback
 
-        # Step 3: energies over t_p + 1 seconds and the switching bill.
-        energy_old = self._horizon_energy(current, horizon_rows, ambient_c)
-        energy_new = self._horizon_energy(candidate, horizon_rows, ambient_c)
+    def plan_batch(
+        self,
+        history_temps_c: np.ndarray,
+        ambient_c: float,
+        current: Optional[ArrayConfiguration],
+        candidates: Optional[Sequence[ArrayConfiguration]] = None,
+        time_s: float = 0.0,
+        compute_seconds: float = 0.0,
+    ) -> DNORDecision:
+        """One Algorithm 2 epoch over *several* candidate configurations.
+
+        The many-proposal generalisation of :meth:`plan` for callers
+        that generate more than one candidate per epoch — the
+        fault-aware controller's feasible partitions
+        (:func:`repro.core.fault_aware.fault_aware_candidates`) or an
+        exhaustive search's short-list.  The old configuration and
+        every candidate are scored over the same forecast horizon in
+        **one** stacked kernel call
+        (:meth:`_horizon_energy_multi`), each candidate is billed its
+        own switching overhead, and the paper's inequality is applied
+        to the best net-gain candidate:  switch to
+        ``argmax_i (E_i - E_overhead_i)`` iff
+        ``E_old <= E_best - E_overhead_best``.
+
+        With ``candidates=None`` the single INOR proposal is used —
+        this is Algorithm 2 verbatim, and exactly what :meth:`plan`
+        delegates to (the batched decision is pinned against a
+        sequential per-configuration evaluation in the test suite).
+
+        Parameters
+        ----------
+        candidates:
+            Candidate configurations to score, or ``None`` to run INOR
+            (timed, exactly as :meth:`plan` does).  Candidates equal to
+            ``current`` are skipped — keeping the current configuration
+            is free; if nothing else remains the epoch keeps.
+        compute_seconds:
+            Generation cost billed against externally supplied
+            candidates when ``nominal_compute_s`` is unset (INOR's
+            measured runtime takes this role when ``candidates`` is
+            ``None``).
+        """
+        history = np.asarray(history_temps_c, dtype=float)
+        if history.ndim != 2 or history.shape[0] < 1:
+            raise ConfigurationError(
+                f"history must be a non-empty (T, N) matrix, got {history.shape}"
+            )
+        temps_now = history[-1]
+        emf, res = thevenin_from_temps(self._module, temps_now, ambient_c)
+
+        if candidates is None:
+            t0 = time.perf_counter()
+            proposal = inor(
+                emf, res, charger=self._charger, kernel=self._inor_kernel
+            )
+            generation_seconds = time.perf_counter() - t0
+            proposals: Tuple[ArrayConfiguration, ...] = (proposal.config,)
+        else:
+            generation_seconds = float(compute_seconds)
+            proposals = tuple(candidates)
+            if not proposals:
+                raise ConfigurationError(
+                    "plan_batch needs at least one candidate (or None to "
+                    "run INOR)"
+                )
+
+        if current is None:
+            # Nothing to keep: adopt the instantaneously best proposal
+            # (with a single INOR candidate this is INOR's own pick,
+            # mirroring plan()).
+            best = self._best_instantaneous(emf, res, proposals)
+            return DNORDecision(
+                switch=True,
+                config=best,
+                candidate=best,
+                energy_old_j=0.0,
+                energy_new_j=0.0,
+                energy_overhead_j=0.0,
+                inor_seconds=generation_seconds,
+                predict_seconds=0.0,
+                used_fallback_forecast=False,
+            )
+
+        distinct = [
+            config
+            for config in proposals
+            if not np.array_equal(config.starts, current.starts)
+        ]
+        if not distinct:
+            # Every proposal is the current configuration: keeping it
+            # is free and optimal.
+            return DNORDecision(
+                switch=False,
+                config=current,
+                candidate=current,
+                energy_old_j=0.0,
+                energy_new_j=0.0,
+                energy_overhead_j=0.0,
+                inor_seconds=generation_seconds,
+                predict_seconds=0.0,
+                used_fallback_forecast=False,
+            )
+
+        horizon_rows, predict_seconds, used_fallback = self._forecast_horizon(
+            history, temps_now
+        )
+        energies = self._horizon_energy_multi(
+            (current, *distinct), horizon_rows, ambient_c
+        )
+        energy_old = float(energies[0])
+
         power_now = self._charger.delivered_at_mpp(
             array_mpp(emf, res, current.starts)
         )
-        toggles = current.switch_toggles_to(candidate)
         billed_compute_s = (
-            inor_seconds
+            generation_seconds
             if self._nominal_compute_s is None
             else self._nominal_compute_s
         )
-        energy_overhead = self._overhead.event_energy_j(
-            power_w=max(power_now, 0.0),
-            compute_time_s=billed_compute_s,
-            toggles=toggles,
+        overheads = np.array(
+            [
+                self._overhead.event_energy_j(
+                    power_w=max(power_now, 0.0),
+                    compute_time_s=billed_compute_s,
+                    toggles=current.switch_toggles_to(config),
+                )
+                for config in distinct
+            ]
         )
+        net = energies[1:] - overheads
+        best_index = int(np.argmax(net))
+        candidate = distinct[best_index]
+        energy_new = float(energies[1 + best_index])
+        energy_overhead = float(overheads[best_index])
 
         switch = energy_old <= energy_new - energy_overhead
         return DNORDecision(
@@ -301,7 +453,22 @@ class DNORPlanner:
             energy_old_j=energy_old,
             energy_new_j=energy_new,
             energy_overhead_j=energy_overhead,
-            inor_seconds=inor_seconds,
+            inor_seconds=generation_seconds,
             predict_seconds=predict_seconds,
             used_fallback_forecast=used_fallback,
         )
+
+    def _best_instantaneous(
+        self,
+        emf: np.ndarray,
+        res: np.ndarray,
+        proposals: Sequence[ArrayConfiguration],
+    ) -> ArrayConfiguration:
+        """First-epoch pick: highest delivered power *right now*."""
+        if len(proposals) == 1:
+            return proposals[0]
+        scores = [
+            self._charger.delivered_at_mpp(array_mpp(emf, res, config.starts))
+            for config in proposals
+        ]
+        return proposals[int(np.argmax(scores))]

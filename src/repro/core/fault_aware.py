@@ -16,7 +16,6 @@ graceful degradation.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -28,7 +27,7 @@ from repro.errors import ConfigurationError
 from repro.power.charger import TEGCharger
 from repro.teg.faults import FaultMask
 from repro.teg.module import MPPPoint
-from repro.teg.network import array_mpp
+from repro.teg.network import array_mpp_multi
 
 
 @dataclass(frozen=True)
@@ -55,19 +54,24 @@ def _blocks(n_modules: int, mask: FaultMask) -> List[Tuple[int, int]]:
     return blocks
 
 
-def fault_aware_inor(
+def fault_aware_candidates(
     emf: np.ndarray,
     resistance: np.ndarray,
     mask: FaultMask,
     charger: Optional[TEGCharger] = None,
     efficiency_drop: float = 0.03,
-) -> FaultAwareResult:
-    """Algorithm 1 restricted to fault-feasible configurations.
+) -> List[ArrayConfiguration]:
+    """Feasible Algorithm-1 proposals under a fault mask.
 
     Runs the greedy balanced partition over the fault-induced block
-    structure for every group count in the converter-aware range,
-    merges segment partitions across forced boundaries, and ranks by
-    (charger-degraded) power — mirroring :func:`repro.core.inor.inor`.
+    structure for every group count in the converter-aware range and
+    merges segment partitions across forced boundaries, returning the
+    de-duplicated feasible configurations in ascending group-count
+    order.  This is the proposal generator behind
+    :func:`fault_aware_inor` (which batch-scores the whole list in one
+    kernel pass) and the candidate source for
+    :meth:`repro.core.dnor.DNORPlanner.plan_batch`, which scores every
+    proposal over a forecast horizon in one stacked call.
 
     Raises
     ------
@@ -106,15 +110,13 @@ def fault_aware_inor(
         emf, n_modules, charger, efficiency_drop
     )
 
-    best_score = -math.inf
-    best_starts: Optional[Tuple[int, ...]] = None
-    best_mpp: Optional[MPPPoint] = None
-
     max_groups = min(hi_range, len(blocks))
     min_groups = max(lo_range, len(segments))
     if min_groups > max_groups:
         min_groups = max_groups
 
+    candidates: List[ArrayConfiguration] = []
+    seen = set()
     for n_groups in range(min_groups, max_groups + 1):
         # Distribute the group budget across segments proportionally to
         # their MPP-current sums: forced boundaries put the segments in
@@ -159,17 +161,60 @@ def fault_aware_inor(
 
         if not mask.is_feasible(starts_tuple):
             starts_tuple = mask.repair(starts_tuple)
-        mpp = array_mpp(emf, resistance, starts_tuple)
-        score = charger.delivered_at_mpp(mpp) if charger is not None else mpp.power_w
-        if score > best_score:
-            best_score = score
-            best_starts = starts_tuple
-            best_mpp = mpp
+        if starts_tuple not in seen:
+            seen.add(starts_tuple)
+            candidates.append(
+                ArrayConfiguration(starts=starts_tuple, n_modules=n_modules)
+            )
 
-    assert best_starts is not None and best_mpp is not None
+    assert candidates
+    return candidates
+
+
+def fault_aware_inor(
+    emf: np.ndarray,
+    resistance: np.ndarray,
+    mask: FaultMask,
+    charger: Optional[TEGCharger] = None,
+    efficiency_drop: float = 0.03,
+) -> FaultAwareResult:
+    """Algorithm 1 restricted to fault-feasible configurations.
+
+    Generates the feasible candidate set with
+    :func:`fault_aware_candidates` and ranks it by (charger-degraded)
+    power — mirroring :func:`repro.core.inor.inor`, including its
+    batched scoring: every candidate's exact MPP comes from one
+    :func:`repro.teg.network.array_mpp_multi` pass and the charger
+    ranking uses the row-vector converter API, bit-identical to the
+    per-candidate loop it replaces (first maximum wins, like the
+    ascending scan).
+
+    Raises
+    ------
+    ConfigurationError
+        If the mask does not match the parameter arrays.
+    """
+    emf = np.asarray(emf, dtype=float)
+    resistance = np.asarray(resistance, dtype=float)
+    candidates = fault_aware_candidates(
+        emf, resistance, mask, charger, efficiency_drop
+    )
+    power, voltage, current = array_mpp_multi(
+        emf, resistance, [config.starts for config in candidates]
+    )
+    if charger is not None:
+        scores = charger.delivered_batch(power, voltage)
+    else:
+        scores = power
+    best = int(np.argmax(scores))
+    best_mpp = MPPPoint(
+        voltage_v=float(voltage[best]),
+        current_a=float(current[best]),
+        power_w=float(power[best]),
+    )
     return FaultAwareResult(
-        config=ArrayConfiguration(starts=best_starts, n_modules=n_modules),
+        config=candidates[best],
         mpp=best_mpp,
-        delivered_power_w=float(best_score),
+        delivered_power_w=float(scores[best]),
         fault_mask=mask,
     )

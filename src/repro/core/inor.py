@@ -27,12 +27,15 @@ candidates are ranked by *delivered* power (array MPP power times
 converter efficiency at the MPP voltage); without one, by raw
 electrical MPP power.
 
-Candidate scoring is vectorised: the default ``kernel="batched"``
-evaluates every group count's exact MPP through one
+The whole decision is vectorised: the default ``kernel="batched"``
+builds the greedy partition of every group count in one
+:func:`repro.teg.network.partition_multi` prefix-sum pass, evaluates
+every candidate's exact MPP through one
 :func:`repro.teg.network.array_mpp_multi` reduction and ranks the
-window with the charger's row-vector API, bit-identical to — and
-several times faster than — the retained ``kernel="scalar"`` reference
-loop (one ``array_mpp`` call per candidate).
+window with the charger's row-vector API — build + score + rank with
+no per-candidate Python, bit-identical to the retained
+``kernel="scalar"`` reference loop (one greedy walk plus one
+``array_mpp`` call per candidate).
 """
 
 from __future__ import annotations
@@ -47,13 +50,28 @@ from repro.core.config import ArrayConfiguration
 from repro.errors import ConfigurationError
 from repro.power.charger import TEGCharger
 from repro.teg.module import MPPPoint
-from repro.teg.network import array_mpp, array_mpp_multi
+from repro.teg.network import (
+    array_mpp,
+    array_mpp_multi,
+    greedy_balanced_partition,
+    partition_multi,
+)
+
+__all__ = [
+    "INOR_KERNELS",
+    "InorResult",
+    "converter_aware_group_range",
+    "greedy_balanced_partition",
+    "inor",
+]
 
 #: Valid values of the :func:`inor` ``kernel`` argument.  ``"batched"``
-#: scores the whole candidate window through one
-#: :func:`repro.teg.network.array_mpp_multi` pass; ``"scalar"`` is the
-#: pre-vectorisation per-candidate loop, retained as the reference
-#: implementation the batched kernel is pinned bit-identical against.
+#: builds the whole candidate window through one
+#: :func:`repro.teg.network.partition_multi` prefix-sum pass and scores
+#: it through one :func:`repro.teg.network.array_mpp_multi` pass;
+#: ``"scalar"`` is the pre-vectorisation per-candidate loop, retained as
+#: the reference implementation the batched kernel is pinned
+#: bit-identical against.
 INOR_KERNELS = ("batched", "scalar")
 
 
@@ -96,69 +114,30 @@ def converter_aware_group_range(
     the chain's mean module EMF).  The window maps the charger's
     preferred input-voltage band through that estimate.  Without a
     charger the full ``[1, N]`` range is returned.
+
+    The returned window always satisfies
+    ``1 <= n_min <= n_max <= n_modules``: both ends are clamped into
+    ``[1, N]`` symmetrically (an asymmetric clamp used to invert the
+    window for very hot/cold arrays), and non-finite estimates — a
+    non-finite mean EMF, or an unbounded preferred-voltage window from
+    a zero-curvature converter side — degrade to the full range / the
+    chain length instead of overflowing.
     """
     if charger is None:
         return 1, int(n_modules)
     emf = np.asarray(emf, dtype=float)
     mean_emf = float(emf.mean())
-    if mean_emf <= 0.0:
+    if not math.isfinite(mean_emf) or mean_emf <= 0.0:
         # Array is effectively dead; any n works equally badly.
         return 1, int(n_modules)
     v_lo, v_hi = charger.preferred_voltage_window(efficiency_drop)
-    n_min = max(1, int(math.floor(2.0 * v_lo / mean_emf)))
-    n_max = min(int(n_modules), int(math.ceil(2.0 * v_hi / mean_emf)))
-    if n_max < n_min:
-        # Degenerate window (very hot or very cold array): centre on
-        # the best single estimate.
-        centre = min(
-            max(int(round(2.0 * 0.5 * (v_lo + v_hi) / mean_emf)), 1), int(n_modules)
-        )
-        return centre, centre
+    # np.floor/np.ceil propagate inf through the clip instead of
+    # overflowing int() the way math.floor/math.ceil would.
+    n_min = int(np.clip(np.floor(2.0 * v_lo / mean_emf), 1, int(n_modules)))
+    n_max = int(np.clip(np.ceil(2.0 * v_hi / mean_emf), 1, int(n_modules)))
+    if n_max < n_min:  # unreachable after the symmetric clamp; kept as a guard
+        n_min = n_max
     return n_min, n_max
-
-
-def greedy_balanced_partition(mpp_currents: np.ndarray, n_groups: int) -> np.ndarray:
-    """The inner loop of Algorithm 1: one O(N) balanced partition.
-
-    Walks the chain once, cutting each group where its MPP-current sum
-    is closest to ``I_ideal``, while always leaving at least one module
-    for every remaining group.
-
-    Returns
-    -------
-    numpy.ndarray
-        Group start indices (0-based), length ``n_groups``.
-    """
-    currents = np.asarray(mpp_currents, dtype=float)
-    n_modules = currents.size
-    if not 1 <= n_groups <= n_modules:
-        raise ConfigurationError(
-            f"n_groups must lie in [1, {n_modules}], got {n_groups}"
-        )
-    starts = np.zeros(n_groups, dtype=np.int64)
-    if n_groups == 1:
-        return starts
-    ideal = float(currents.sum()) / n_groups
-    pos = 0
-    for j in range(1, n_groups):
-        # Group j-1 spans [pos, cut); the cut may go no further than
-        # n_modules - (n_groups - j) so later groups stay non-empty.
-        max_cut = n_modules - (n_groups - j)
-        group_sum = currents[pos]
-        cut = pos + 1
-        best_err = abs(group_sum - ideal)
-        while cut < max_cut:
-            extended = group_sum + currents[cut]
-            err = abs(extended - ideal)
-            if err <= best_err:
-                group_sum = extended
-                cut += 1
-                best_err = err
-            else:
-                break
-        starts[j] = cut
-        pos = cut
-    return starts
 
 
 def _score_candidates_scalar(
@@ -202,8 +181,12 @@ def _score_candidates_batched(
     exact MPP, and the charger ranking reuses the converter's
     row-vector API — both elementwise bit-identical to the scalar
     loop, so ``np.argmax`` (first maximum) reproduces the reference
-    tie-breaking exactly.  Validation is skipped: the greedy walk
-    produces partitions correct by construction.
+    tie-breaking exactly.  ``candidates`` is typically the
+    :class:`~repro.teg.network.PartitionSet` built by
+    :func:`~repro.teg.network.partition_multi`, whose flat layout the
+    kernel consumes without per-candidate Python.  Validation is
+    skipped: the greedy walk produces partitions correct by
+    construction.
     """
     power, voltage, current = array_mpp_multi(
         emf, resistance, candidates, validate=False
@@ -246,11 +229,15 @@ def inor(
     efficiency_drop:
         Converter-efficiency tolerance used to derive the range.
     kernel:
-        ``"batched"`` (default) scores every candidate group count in
-        one :func:`repro.teg.network.array_mpp_multi` pass;
-        ``"scalar"`` runs the original per-candidate loop.  The two
-        are bit-identical (pinned in the test suite) — the kernel is a
-        speed choice, never a results choice.
+        ``"batched"`` (default) builds every candidate partition in
+        one :func:`repro.teg.network.partition_multi` prefix-sum pass
+        and scores the window in one
+        :func:`repro.teg.network.array_mpp_multi` pass; ``"scalar"``
+        runs the original per-candidate loop (one greedy walk + one
+        ``array_mpp`` per group count).  The two are bit-identical —
+        same cut indices, same MPPs, same ranking (pinned in the test
+        suite) — so the kernel is a speed choice, never a results
+        choice.
 
     Raises
     ------
@@ -270,9 +257,12 @@ def inor(
         )
     n_modules = emf.size
 
-    auto_min, auto_max = converter_aware_group_range(
-        emf, n_modules, charger, efficiency_drop
-    )
+    if n_min is None or n_max is None:
+        auto_min, auto_max = converter_aware_group_range(
+            emf, n_modules, charger, efficiency_drop
+        )
+    else:
+        auto_min = auto_max = 0  # unused: window fully explicit
     lo = auto_min if n_min is None else int(n_min)
     hi = auto_max if n_max is None else int(n_max)
     if not 1 <= lo <= hi <= n_modules:
@@ -281,18 +271,19 @@ def inor(
         )
 
     mpp_currents = emf / (2.0 * resistance)
-    candidates = [
-        greedy_balanced_partition(mpp_currents, n_groups)
-        for n_groups in range(lo, hi + 1)
-    ]
-    score_candidates = (
-        _score_candidates_batched
-        if kernel == "batched"
-        else _score_candidates_scalar
-    )
-    best_index, best_mpp, best_score = score_candidates(
-        emf, resistance, candidates, charger
-    )
+    if kernel == "batched":
+        candidates = partition_multi(mpp_currents, lo, hi)
+        best_index, best_mpp, best_score = _score_candidates_batched(
+            emf, resistance, candidates, charger
+        )
+    else:
+        candidates = [
+            greedy_balanced_partition(mpp_currents, n_groups)
+            for n_groups in range(lo, hi + 1)
+        ]
+        best_index, best_mpp, best_score = _score_candidates_scalar(
+            emf, resistance, candidates, charger
+        )
 
     return InorResult(
         config=ArrayConfiguration(

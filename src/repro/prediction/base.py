@@ -20,6 +20,16 @@ from repro.errors import PredictionError
 class LagSeriesPredictor(abc.ABC):
     """Base class: pooled autoregressive forecaster over module columns.
 
+    Contract: the learned one-step map is **column-wise and pooled** —
+    fitting stacks every module column into one lag-feature matrix, and
+    :meth:`forecast` applies the same map independently to each column
+    of whatever history it is given.  The forecast width therefore
+    follows the ``forecast`` history, *not* the fitted width: fitting
+    on a column subset (e.g. DNOR's module-strided fit, which cuts the
+    fitting bill without changing the shared one-step dynamics) and
+    forecasting the full-width history is exact, and is pinned in the
+    DNOR test suite.
+
     Parameters
     ----------
     lags:

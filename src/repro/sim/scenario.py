@@ -81,6 +81,12 @@ class Scenario:
         the batch engine's experiment grids.
     nominal_compute_s:
         Optional fixed compute time for deterministic overhead bills.
+    inor_kernel:
+        Candidate-evaluation kernel the INOR and DNOR policies use —
+        ``"batched"`` (default: the vectorised build + score fast
+        path) or ``"scalar"`` (the per-candidate reference loop).
+        Decisions are bit-identical either way; the knob exists for
+        cross-validation and profiling (``repro batch --kernel``).
     """
 
     module: TEGModule
@@ -93,6 +99,7 @@ class Scenario:
     sensor_seed: int = 99
     scanner_noise_std_k: float = 0.08
     nominal_compute_s: Optional[float] = None
+    inor_kernel: str = "batched"
 
     # ------------------------------------------------------------------
     # Component factories (fresh instances per run, so schemes never
@@ -163,6 +170,7 @@ class Scenario:
             algorithm="inor",
             period_s=self.control_period_s,
             charger=self.make_charger(with_battery=False),
+            kernel=self.inor_kernel,
         )
 
     def make_ehtr_policy(self) -> PeriodicPolicy:
@@ -191,6 +199,7 @@ class Scenario:
             tp_seconds=self.tp_seconds,
             sample_dt_s=self.trace.dt_s,
             nominal_compute_s=self.nominal_compute_s,
+            inor_kernel=self.inor_kernel,
         )
         return DNORPolicy(planner)
 

@@ -19,8 +19,14 @@ whole trace by :class:`~repro.sim.physics.TracePhysics`, the step loop
 here only sequences the *stateful* parts — sensor noise, policy
 decisions, switch fabric — and the electrical series is evaluated in
 batched segments of constant configuration through the converter's
-row-vector API.  The pre-refactor sample-by-sample path (two radiator
-solves and a scalar charger step per sample) is retained as
+row-vector API.  The policy decisions themselves are vectorised too:
+INOR builds and scores its whole candidate window through the
+``partition_multi`` / ``array_mpp_multi`` kernels and DNOR stacks its
+epoch's horizon energies into one ``array_mpp_rows_multi`` call (both
+bit-identical to their scalar reference loops, selectable via the
+scenario's ``inor_kernel``), so no layer of the engine runs per-sample
+or per-candidate Python.  The pre-refactor sample-by-sample path (two
+radiator solves and a scalar charger step per sample) is retained as
 ``engine="reference"`` for cross-validation and benchmarking.
 
 Runtime accounting wraps every ``decide`` call with a wall-clock

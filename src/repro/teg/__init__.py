@@ -40,12 +40,17 @@ from repro.teg.materials import (
 )
 from repro.teg.module import MPPPoint, TEGModule
 from repro.teg.network import (
+    PartitionSet,
     SegmentThevenin,
     array_mpp,
     array_mpp_multi,
+    array_mpp_rows,
+    array_mpp_rows_multi,
     array_thevenin,
+    greedy_balanced_partition,
     module_operating_points,
     parallel_reduce,
+    partition_multi,
     power_at_current,
     reduce_configuration,
     validate_starts,
@@ -69,6 +74,7 @@ __all__ = [
     "JunctionState",
     "MODULE_CATALOG",
     "MPPPoint",
+    "PartitionSet",
     "SWITCHES_PER_JUNCTION_FLIP",
     "SegmentThevenin",
     "SwitchFabric",
@@ -80,6 +86,8 @@ __all__ = [
     "TGM_287_1_0_1_5",
     "array_mpp",
     "array_mpp_multi",
+    "array_mpp_rows",
+    "array_mpp_rows_multi",
     "array_thevenin",
     "bank_mpp",
     "bank_power_at_voltage",
@@ -87,9 +95,11 @@ __all__ = [
     "count_junction_flips",
     "count_switch_toggles",
     "get_module",
+    "greedy_balanced_partition",
     "junction_states_to_starts",
     "module_operating_points",
     "parallel_reduce",
+    "partition_multi",
     "power_at_current",
     "reconfigure_bank",
     "reduce_configuration",

@@ -202,13 +202,31 @@ class TEGArray:
         configuration, bit-identical to calling :meth:`configured_mpp`
         per candidate (see :func:`repro.teg.network.array_mpp_multi`).
         This is the kernel behind INOR's vectorised ``[n_min, n_max]``
-        candidate sweep.
+        candidate sweep.  A :class:`~repro.teg.network.PartitionSet`
+        (e.g. from :meth:`balanced_partitions`) is consumed through its
+        flat layout directly.
         """
+        if isinstance(configs, network.PartitionSet):
+            return network.array_mpp_multi(
+                self.emf_vector(), self.resistance_vector(), configs
+            )
         return network.array_mpp_multi(
             self.emf_vector(),
             self.resistance_vector(),
             [_normalize_starts(config) for config in configs],
         )
+
+    def balanced_partitions(
+        self, n_min: int, n_max: int
+    ) -> network.PartitionSet:
+        """Greedy balanced partitions for every group count in a window.
+
+        The Algorithm-1 candidate set at the current temperatures, built
+        by the vectorised :func:`repro.teg.network.partition_multi`
+        kernel (cut indices bit-identical to the scalar walk).  Feed the
+        result straight into :meth:`mpp_batch` to score the window.
+        """
+        return network.partition_multi(self.mpp_currents(), n_min, n_max)
 
     def power_at_current(self, config: object, current_a: float) -> float:
         """Array output power at a charger-imposed current."""

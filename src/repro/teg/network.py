@@ -23,7 +23,9 @@ sums, which the DP-style algorithms (EHTR, exact optimum) rely on.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -31,15 +33,59 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.teg.module import MPPPoint
 
+
+@lru_cache(maxsize=128)
+def _index_arange(n: int) -> np.ndarray:
+    """A shared, read-only ``arange(n)`` (hot-path index scaffolding)."""
+    indices = np.arange(n, dtype=np.int64)
+    indices.setflags(write=False)
+    return indices
+
+
+@lru_cache(maxsize=128)
+def _window_layout(
+    n_min: int, n_max: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Read-only ``(counts, offsets, ragged mask)`` of a candidate window.
+
+    Pure functions of ``(n_min, n_max)``, shared across the per-decision
+    :func:`partition_multi` calls of a simulation run.
+    """
+    counts = np.arange(n_min, n_max + 1, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    mask = _index_arange(n_max)[None, :] < counts[:, None]
+    for array in (counts, offsets, mask):
+        array.setflags(write=False)
+    return counts, offsets, mask
+
+
+@lru_cache(maxsize=128)
+def _lift_plan(n_max: int) -> Tuple[Tuple[int, np.ndarray], ...]:
+    """Binary-lifting schedule: per bit, the read-only column indices
+    (iterate numbers ``j < n_max`` with that bit set)."""
+    j_index = _index_arange(n_max)
+    plan = []
+    bit = 1
+    while bit < n_max:
+        columns = j_index[(j_index & bit) != 0]
+        columns.setflags(write=False)
+        plan.append((bit, columns))
+        bit <<= 1
+    return tuple(plan)
+
 __all__ = [
+    "PartitionSet",
     "SegmentThevenin",
     "array_mpp",
     "array_mpp_multi",
     "array_mpp_rows",
+    "array_mpp_rows_multi",
     "array_thevenin",
     "array_thevenin_rows",
+    "greedy_balanced_partition",
     "module_operating_points",
     "parallel_reduce",
+    "partition_multi",
     "power_at_current",
     "reduce_configuration",
     "validate_starts",
@@ -82,6 +128,294 @@ def validate_starts(starts: Sequence[int], n_modules: int) -> np.ndarray:
             f"last group start {arr[-1]} out of range for {n_modules} modules"
         )
     return arr
+
+
+def greedy_balanced_partition(mpp_currents: np.ndarray, n_groups: int) -> np.ndarray:
+    """The inner loop of Algorithm 1: one greedy balanced partition.
+
+    Cuts each group where its MPP-current sum is closest to
+    ``I_ideal``, ties extending the group, while always leaving at
+    least one module for every remaining group.  This is the scalar
+    reference the vectorised :func:`partition_multi` kernel is pinned
+    bit-identical against (re-exported as
+    :func:`repro.core.inor.greedy_balanced_partition`).
+
+    Two float realisations of the same real-arithmetic rule exist, and
+    which one runs is part of the bit-parity contract:
+
+    * **Non-negative currents** (the physical radiator case) use the
+      canonical *prefix-bracket* form — each cut is located by a
+      binary search of the cumulative-current prefix table and the
+      bracketing pair compared through their midpoint, the exact
+      expression tree :func:`partition_multi` vectorises.  A
+      locally-accumulated error walk agrees with it in real
+      arithmetic but rounds mathematical ties differently (uniform
+      module currents being the practical case), which is why the
+      prefix form is canonical on this branch.
+    * **Windows containing back-biased modules** (negative currents)
+      fall back to the classic accumulation walk, whose
+      stop-at-first-error-increase behaviour is the reference there —
+      and :func:`partition_multi` delegates to it verbatim.
+
+    Returns
+    -------
+    numpy.ndarray
+        Group start indices (0-based), length ``n_groups``.
+    """
+    currents = np.asarray(mpp_currents, dtype=float)
+    n_modules = currents.size
+    if not 1 <= n_groups <= n_modules:
+        raise ConfigurationError(
+            f"n_groups must lie in [1, {n_modules}], got {n_groups}"
+        )
+    starts = np.zeros(n_groups, dtype=np.int64)
+    if n_groups == 1:
+        return starts
+    if float(currents.min()) >= 0.0:
+        _greedy_prefix_walk(currents, n_groups, starts)
+    else:
+        _greedy_accumulation_walk(currents, n_groups, starts)
+    return starts
+
+
+def _greedy_prefix_walk(
+    currents: np.ndarray, n_groups: int, starts: np.ndarray
+) -> None:
+    """Canonical prefix-bracket cuts for non-negative currents.
+
+    Scalar twin of :func:`partition_multi`'s vectorised map: identical
+    expression tree (same prefix table, same bracket-midpoint tie
+    rule, same flat-run extension and clamps), so the two produce the
+    same cut indices bit-for-bit.  Runs on plain Python floats and
+    :func:`bisect.bisect_right` — IEEE-double arithmetic identical to
+    the NumPy elementwise ops, without per-cut array dispatch.
+    """
+    n_modules = currents.size
+    # tolist() yields the same doubles as the float64 prefix table.
+    prefix = np.concatenate(([0.0], np.cumsum(currents))).tolist()
+    has_flats = float(currents.min()) == 0.0
+    ideal = float(currents.sum()) / n_groups
+    end = n_modules + 1
+    pos = 0
+    for j in range(1, n_groups):
+        # First prefix entry strictly above the ideal boundary; the
+        # bracketing pair decides the cut, ties to the later one (a
+        # bound past the table resolves below, like the kernel's +inf
+        # padding).
+        target = prefix[pos] + ideal
+        bound = bisect_right(prefix, target)
+        if bound >= end:
+            cut = n_modules
+        else:
+            cut = bound - (prefix[bound] + prefix[bound - 1] > 2.0 * target)
+        if cut <= pos:
+            cut = pos + 1
+        if has_flats:
+            # Zero-current flat runs: equal prefix value means equal
+            # error, and ties extend — jump to the run's end.
+            cut = bisect_right(prefix, prefix[cut]) - 1
+        # The cut may go no further than n_modules - (n_groups - j) so
+        # later groups stay non-empty.
+        max_cut = n_modules - (n_groups - j)
+        if cut > max_cut:
+            cut = max_cut
+        starts[j] = cut
+        pos = cut
+
+
+def _greedy_accumulation_walk(
+    currents: np.ndarray, n_groups: int, starts: np.ndarray
+) -> None:
+    """The classic left-to-right error walk (reference for negatives).
+
+    Accumulates the group sum module by module and stops at the first
+    error increase — the only correct reading of the greedy rule when
+    negative currents make the cumulative sum non-monotone.
+    """
+    n_modules = currents.size
+    ideal = float(currents.sum()) / n_groups
+    pos = 0
+    for j in range(1, n_groups):
+        max_cut = n_modules - (n_groups - j)
+        group_sum = currents[pos]
+        cut = pos + 1
+        best_err = abs(group_sum - ideal)
+        while cut < max_cut:
+            extended = group_sum + currents[cut]
+            err = abs(extended - ideal)
+            if err <= best_err:
+                group_sum = extended
+                cut += 1
+                best_err = err
+            else:
+                break
+        starts[j] = cut
+        pos = cut
+
+
+@dataclass(frozen=True)
+class PartitionSet:
+    """A ragged set of candidate partitions in flat (concatenated) form.
+
+    The native output layout of :func:`partition_multi` and the native
+    input layout of :func:`array_mpp_multi`: every candidate's start
+    indices live back-to-back in ``cat`` with ``offsets`` delimiting
+    them, so the batched kernels consume the set without any
+    per-candidate Python.  Behaves as a read-only sequence of start
+    vectors (``len``, indexing and iteration return int64 views).
+
+    Attributes
+    ----------
+    cat:
+        Concatenated start indices of all candidates (``int64``).
+    offsets:
+        Candidate boundaries into ``cat``, length ``n_candidates + 1``.
+    n_modules:
+        Chain length every candidate partitions.
+    """
+
+    cat: np.ndarray
+    offsets: np.ndarray
+    n_modules: int
+
+    def __len__(self) -> int:
+        return self.offsets.size - 1
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        lo, hi = self.offsets[index], self.offsets[index + 1]
+        return self.cat[lo:hi]
+
+    def __iter__(self):
+        for k in range(len(self)):
+            yield self[k]
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Group count of each candidate."""
+        return np.diff(self.offsets)
+
+
+def partition_multi(
+    mpp_currents: np.ndarray, n_min: int, n_max: int
+) -> PartitionSet:
+    """Greedy balanced partitions for *every* group count in a window.
+
+    The candidate-batched sibling of :func:`greedy_balanced_partition`:
+    builds the Algorithm-1 partition for every ``n`` in
+    ``[n_min, n_max]`` from one cumulative-current prefix table,
+    replacing O((n_max - n_min + 1) * N) Python walk steps with a
+    handful of vectorised passes:
+
+    1. One 2-D ``searchsorted`` against the prefix sums resolves, for
+       every candidate and every possible group-start position at
+       once, where the *next* cut would land — the two prefix entries
+       bracketing ``P[pos] + I_ideal`` are compared with the walk's
+       tie rule (extend on equal error, and on through zero-current
+       flat runs), yielding each candidate's pure next-cut map over
+       positions ``0..N``.
+    2. Binary lifting composes that map with itself O(log n_max)
+       times, producing every candidate's j-th cut for all ``j``
+       simultaneously — the sequential walk recursion collapses into
+       gather operations.
+    3. The non-empty-tail constraint is applied as one vectorised
+       clamp ``min(cut_j, N - n + j)``: the next-cut map is monotone
+       in the start position, so clamping after iteration is exactly
+       equivalent to the walk's per-step clamp (once the clamp binds,
+       every later cut is provably the forced consecutive index).
+
+    Cut indices are bit-identical to running the scalar walk per
+    candidate (pinned in the parity suite).  The cumulative-prefix
+    shortcut requires the group sums to grow monotonically, i.e.
+    non-negative MPP currents; windows containing back-biased modules
+    (negative EMF) fall back to the scalar walk per candidate, whose
+    first-local-minimum semantics are the reference.
+
+    Returns
+    -------
+    PartitionSet
+        Candidates in ascending group-count order (``n_min`` first).
+    """
+    currents = np.asarray(mpp_currents, dtype=float)
+    n_modules = currents.size
+    if currents.ndim != 1 or n_modules == 0:
+        raise ConfigurationError(
+            f"mpp_currents must be a non-empty 1-D array, got shape "
+            f"{currents.shape}"
+        )
+    n_min = int(n_min)
+    n_max = int(n_max)
+    if not 1 <= n_min <= n_max <= n_modules:
+        raise ConfigurationError(
+            f"invalid group-count window [{n_min}, {n_max}] for "
+            f"{n_modules} modules"
+        )
+    counts, offsets, ragged_mask = _window_layout(n_min, n_max)
+
+    lowest = float(currents.min())
+    if not lowest >= 0.0:  # negative or NaN
+        # Non-monotone cumulative current (back-biased modules): the
+        # walk's stop-at-first-error-increase rule is the reference
+        # behaviour and cannot be expressed as a prefix search.
+        cat = np.zeros(offsets[-1], dtype=np.int64)
+        for k in range(counts.size):
+            cat[offsets[k] : offsets[k + 1]] = greedy_balanced_partition(
+                currents, int(counts[k])
+            )
+        return PartitionSet(cat=cat, offsets=offsets, n_modules=n_modules)
+
+    # prefix[c] = sum(currents[:c]); the walk's group sum for a cut at
+    # ``c`` with the group starting at ``pos`` is prefix[c] - prefix[pos].
+    prefix = np.concatenate(([0.0], np.cumsum(currents)))
+    # ndarray.sum matches the scalar walk's ideal exactly (the prefix
+    # tail would not: cumsum accumulates sequentially, sum pairwise).
+    ideals = float(currents.sum()) / counts
+    n_candidates = counts.size
+
+    # --- 1. the pure next-cut map, all candidates x all positions ----
+    # targets[k, c] = P[c] + I_ideal_k; bound = first prefix entry
+    # strictly above it, so (bound-1, bound) bracket the target.
+    targets = prefix[None, :] + ideals[:, None]
+    bound = prefix.searchsorted(targets, side="right")
+    # Walk tie rule via the bracket midpoint: the lower cut wins only
+    # on strictly smaller error, i.e. P[bound] + P[bound-1] > 2*target
+    # (prefix is padded with +inf so bound = N+1 resolves below).
+    padded = np.concatenate((prefix, [np.inf]))
+    nxt = bound - (padded[bound] + prefix[bound - 1] > 2.0 * targets)
+    # Every group takes at least one module, and the map saturates at
+    # N (an absorbing state the final tail clamp resolves).
+    np.maximum(nxt, _index_arange(n_modules + 2)[None, 1:], out=nxt)
+    np.minimum(nxt, n_modules, out=nxt)
+    if lowest == 0.0:
+        # Zero-current flat runs: equal prefix value means equal error,
+        # and the walk extends through ties — jump to the run's end.
+        nxt = prefix.searchsorted(prefix[nxt], side="right") - 1
+
+    # --- 2. all walk iterates by binary lifting ----------------------
+    # cuts[k, j] = nxt_k^j(0); column j is assembled from the powers
+    # nxt^(2^b) selected by j's bits (composition of powers commutes).
+    # Gathers run on flattened tables with per-candidate row offsets —
+    # a direct C-level take, unlike the take_along_axis wrapper.
+    cuts = np.zeros((n_candidates, n_max), dtype=np.int64)
+    row_base = (_index_arange(n_candidates) * (n_modules + 1))[:, None]
+    doubling = nxt  # (n_candidates, N + 1), C-contiguous
+    flat = doubling.reshape(-1)
+    lift_plan = _lift_plan(n_max)
+    for step, (bit, columns) in enumerate(lift_plan):
+        cuts[:, columns] = flat[cuts[:, columns] + row_base]
+        if step + 1 < len(lift_plan):
+            doubling = flat[doubling + row_base]
+            flat = doubling.reshape(-1)
+
+    # --- 3. tail clamp + ragged extraction ---------------------------
+    # min(cut_j, N - n + j) keeps every remaining group non-empty; the
+    # map's monotonicity makes this equivalent to clamping per step.
+    np.minimum(
+        cuts,
+        (n_modules - counts)[:, None] + _index_arange(n_max)[None, :],
+        out=cuts,
+    )
+    cat = cuts[ragged_mask]
+    return PartitionSet(cat=cat, offsets=offsets, n_modules=n_modules)
 
 
 def parallel_reduce(
@@ -187,6 +521,64 @@ def array_mpp_rows(
     return power, voltage
 
 
+def array_mpp_rows_multi(
+    emf_rows: np.ndarray,
+    resistance: np.ndarray,
+    starts_list: Sequence[Sequence[int]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact MPP rows of *many configurations* over stacked EMF rows.
+
+    The configuration-batched sibling of :func:`array_mpp_rows`: every
+    configuration in ``starts_list`` is evaluated against the same
+    ``(S, N)`` EMF matrix in one pass — all configurations' parallel
+    groups reduce through a single ``np.add.reduceat`` over a tiled
+    module axis, exactly like :func:`array_mpp_multi` does for one
+    temperature state.  This is the hot path of DNOR's epoch planning,
+    which scores the old configuration and every proposal over the
+    same forecast horizon.
+
+    Returns ``(power_w, voltage_v)`` arrays of shape
+    ``(n_configs, S)``, **bit-identical** to calling
+    :func:`array_mpp_rows` once per configuration: the tiled reduceat
+    preserves each group's in-segment accumulation order and the
+    per-configuration series sums run over contiguous slices with the
+    same pairwise ``ndarray.sum`` kernel the single-configuration path
+    uses.
+    """
+    emf_rows = np.asarray(emf_rows, dtype=float)
+    conductance = 1.0 / np.asarray(resistance, dtype=float)
+    n_modules = conductance.size
+    candidates = [
+        validate_starts(starts, n_modules) for starts in starts_list
+    ]
+    n_configs = len(candidates)
+    if n_configs == 0:
+        empty = np.empty((0, emf_rows.shape[0]))
+        return empty, empty.copy()
+    sizes = np.array([starts.size for starts in candidates])
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    cat = np.concatenate(candidates) if n_configs > 1 else candidates[0]
+    idx = cat + np.repeat(np.arange(n_configs) * n_modules, sizes)
+
+    group_conductance = np.add.reduceat(np.tile(conductance, n_configs), idx)
+    r_groups = 1.0 / group_conductance
+    weighted = emf_rows * conductance
+    group_weighted = np.add.reduceat(
+        np.tile(weighted, (1, n_configs)), idx, axis=1
+    )
+    contrib = group_weighted * r_groups
+
+    n_rows = emf_rows.shape[0]
+    power = np.empty((n_configs, n_rows))
+    voltage = np.empty((n_configs, n_rows))
+    for k, (lo, hi) in enumerate(zip(offsets, offsets[1:])):
+        e_rows = contrib[:, lo:hi].sum(axis=1)
+        r_total = float(r_groups[lo:hi].sum())
+        power[k] = e_rows * e_rows / (4.0 * r_total)
+        voltage[k] = e_rows / 2.0
+    return power, voltage
+
+
 def array_mpp_multi(
     emf: np.ndarray,
     resistance: np.ndarray,
@@ -215,32 +607,50 @@ def array_mpp_multi(
     callers that construct partitions correct by construction (INOR's
     greedy walk); invalid starts then produce undefined results
     instead of :class:`~repro.errors.ConfigurationError`.
+
+    ``starts_list`` may also be a :class:`PartitionSet` (the native
+    output of :func:`partition_multi`), whose flat layout is consumed
+    directly — the build + score pipeline then runs with no
+    per-candidate Python at all.
     """
     emf = np.asarray(emf, dtype=float)
     resistance = np.asarray(resistance, dtype=float)
     n_modules = emf.size
-    candidates = [np.asarray(starts, dtype=np.int64) for starts in starts_list]
-    n_candidates = len(candidates)
+    if isinstance(starts_list, PartitionSet):
+        if starts_list.n_modules != n_modules:
+            raise ConfigurationError(
+                f"partition set covers {starts_list.n_modules} modules, "
+                f"parameters {n_modules}"
+            )
+        cat = starts_list.cat
+        offsets = starts_list.offsets
+        sizes = starts_list.sizes
+        n_candidates = offsets.size - 1
+    else:
+        candidates = [
+            np.asarray(starts, dtype=np.int64) for starts in starts_list
+        ]
+        n_candidates = len(candidates)
+        if n_candidates:
+            # Concatenate every candidate's group starts, offset onto a
+            # tiled module axis, so one reduceat computes all groups of
+            # all candidates (each candidate's last group correctly ends
+            # at the next candidate's offset).
+            if any(
+                starts.ndim != 1 or starts.size == 0 for starts in candidates
+            ):
+                for starts in candidates:  # delegate for the precise error
+                    validate_starts(starts, n_modules)
+            sizes = np.array([starts.size for starts in candidates])
+            offsets = np.concatenate(([0], np.cumsum(sizes)))
+            cat = (
+                np.concatenate(candidates)
+                if n_candidates > 1
+                else candidates[0].reshape(-1)
+            )
     if n_candidates == 0:
         empty = np.empty(0)
         return empty, empty.copy(), empty.copy()
-
-    # Concatenate every candidate's group starts, offset onto a tiled
-    # module axis, so one reduceat computes all groups of all
-    # candidates (each candidate's last group correctly ends at the
-    # next candidate's offset).
-    if any(starts.ndim != 1 or starts.size == 0 for starts in candidates):
-        for starts in candidates:  # delegate for the precise error
-            validate_starts(starts, n_modules)
-    sizes = [starts.size for starts in candidates]
-    offsets = [0]
-    for size in sizes:
-        offsets.append(offsets[-1] + size)
-    cat = (
-        np.concatenate(candidates)
-        if n_candidates > 1
-        else candidates[0].reshape(-1)
-    )
 
     # Validate the whole candidate set in one vectorised sweep; only on
     # failure fall back to the per-candidate path for its precise error.
@@ -248,26 +658,27 @@ def array_mpp_multi(
     # first-start-is-zero check implies every start is in-range and
     # non-negative within its candidate.
     if validate:
-        bounds = np.asarray(offsets)
         diffs = np.diff(cat)
-        boundary = bounds[1:-1] - 1
+        boundary = offsets[1:-1] - 1
         if boundary.size:
             diffs[boundary] = 1
         valid = (
-            not cat[bounds[:-1]].any()
+            not cat[offsets[:-1]].any()
             and not np.any(cat >= n_modules)
             and not np.any(diffs <= 0)
         )
         if not valid:
-            for starts in candidates:
+            for starts in (
+                starts_list
+                if isinstance(starts_list, PartitionSet)
+                else candidates
+            ):
                 validate_starts(starts, n_modules)
             raise ConfigurationError(
                 "inconsistent candidate configuration set"
             )
 
-    idx = cat + np.repeat(
-        np.arange(n_candidates) * n_modules, np.asarray(sizes)
-    )
+    idx = cat + np.repeat(np.arange(n_candidates) * n_modules, sizes)
     conductance = 1.0 / resistance
     base = np.empty((2, n_modules))
     base[0] = conductance

@@ -32,6 +32,27 @@ class TestConstruction:
         config = ArrayConfiguration(starts=tuple(np.array([0, 4])), n_modules=8)
         assert all(isinstance(s, int) for s in config.starts)
 
+    def test_ndarray_starts_canonicalised_to_tuple(self):
+        """Regression: a raw ndarray ``starts`` (as the greedy partition
+        builder returns) must canonicalise to a plain-int tuple, so
+        ``config_a.starts == config_b.starts`` stays a *scalar* truth
+        value — an ndarray surviving construction would make it an
+        elementwise array and break every ``if`` built on it (DNOR's
+        keep-path among them)."""
+        import numpy as np
+
+        from_array = ArrayConfiguration(
+            starts=np.array([0, 3, 6], dtype=np.int64), n_modules=9
+        )
+        from_tuple = ArrayConfiguration(starts=(0, 3, 6), n_modules=9)
+        assert isinstance(from_array.starts, tuple)
+        assert all(type(s) is int for s in from_array.starts)
+        # The comparison the decision layer relies on: scalar, usable in if.
+        comparison = from_array.starts == from_tuple.starts
+        assert comparison is True
+        assert from_array == from_tuple
+        assert hash(from_array) == hash(from_tuple)
+
 
 class TestConstructors:
     def test_uniform_divides_evenly(self):

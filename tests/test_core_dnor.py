@@ -13,7 +13,9 @@ from repro.teg.datasheet import TGM_199_1_4_0_8
 from repro.teg.network import array_mpp
 
 
-def make_planner(tp_seconds=1.0, overhead=None) -> DNORPlanner:
+def make_planner(
+    tp_seconds=1.0, overhead=None, nominal_compute_s=None
+) -> DNORPlanner:
     return DNORPlanner(
         module=TGM_199_1_4_0_8,
         charger=TEGCharger(),
@@ -21,6 +23,7 @@ def make_planner(tp_seconds=1.0, overhead=None) -> DNORPlanner:
         predictor=MLRPredictor(lags=4, train_window=120),
         tp_seconds=tp_seconds,
         sample_dt_s=0.5,
+        nominal_compute_s=nominal_compute_s,
     )
 
 
@@ -153,3 +156,254 @@ class TestValidation:
 
     def test_epoch_length(self):
         assert make_planner(tp_seconds=2.0).epoch_seconds == pytest.approx(3.0)
+
+    def test_rejects_unknown_inor_kernel(self):
+        with pytest.raises(ConfigurationError):
+            DNORPlanner(
+                module=TGM_199_1_4_0_8,
+                charger=TEGCharger(),
+                overhead=SwitchingOverheadModel(),
+                predictor=MLRPredictor(),
+                inor_kernel="quantum",
+            )
+
+
+class TestKeepPathWithArrayTypedStarts:
+    """Regression: the identical-proposal test must stay a scalar truth
+    value even when the current configuration was built straight from
+    the ndarray the greedy partition builder returns."""
+
+    def test_keep_is_free_with_ndarray_built_current(self):
+        planner = make_planner()
+        history = steady_history()
+        proposal = planner.plan(history, 25.0, current=None).config
+        # Rebuild the same configuration from a raw int64 ndarray, the
+        # exact shape greedy_balanced_partition hands back.
+        current = ArrayConfiguration(
+            starts=np.asarray(proposal.starts, dtype=np.int64),
+            n_modules=proposal.n_modules,
+        )
+        decision = planner.plan(history, 25.0, current=current)
+        assert not decision.switch
+        assert decision.config == current
+        assert decision.energy_overhead_j == 0.0
+        assert decision.predict_seconds == 0.0
+
+    def test_plan_batch_keep_path_with_ndarray_built_candidates(self):
+        planner = make_planner()
+        history = steady_history()
+        proposal = planner.plan(history, 25.0, current=None).config
+        current = ArrayConfiguration(
+            starts=np.asarray(proposal.starts, dtype=np.int64),
+            n_modules=proposal.n_modules,
+        )
+        decision = planner.plan_batch(
+            history, 25.0, current=current, candidates=[current, proposal]
+        )
+        assert not decision.switch
+        assert decision.energy_overhead_j == 0.0
+
+
+class TestHorizonEnergyMulti:
+    def test_stacked_energies_bitwise_equal_sequential(self):
+        """The one-pass epoch kernel must equal per-config calls exactly
+        (not approximately) — the bit-reproducibility contract."""
+        planner = make_planner()
+        history = steady_history(10, 12)
+        rng = np.random.default_rng(3)
+        rows = history[-4:] + rng.normal(0.0, 1.5, (4, 12))
+        configs = (
+            ArrayConfiguration.uniform(12, 3),
+            ArrayConfiguration.all_parallel(12),
+            ArrayConfiguration.uniform(12, 6),
+            ArrayConfiguration.all_series(12),
+        )
+        stacked = planner._horizon_energy_multi(configs, rows, 25.0)
+        sequential = [
+            planner._horizon_energy(config, rows, 25.0) for config in configs
+        ]
+        assert stacked.tolist() == sequential  # bitwise, not approx
+
+
+class TestPlanBatch:
+    def test_stacked_decision_pin_equals_sequential_evaluation(self):
+        """The batched epoch must reproduce the decision reconstructed
+        from *sequential* single-configuration horizon scoring — the
+        sequential-plan pin (plan() itself delegates to plan_batch, so
+        the reference here is rebuilt from the scalar kernels; nominal
+        compute keeps the overhead bill machine-independent)."""
+        planner = make_planner(nominal_compute_s=2.0e-3)
+        history = steady_history()
+        n = history.shape[1]
+        for current in (
+            ArrayConfiguration.all_parallel(n),
+            ArrayConfiguration.uniform(n, 4),
+        ):
+            decision = planner.plan(history, 25.0, current=current)
+            assert decision.candidate != current  # horizon path taken
+            # Sequential reference: refit + forecast (deterministic),
+            # then one scalar _horizon_energy call per configuration.
+            horizon_rows, _, _ = planner._forecast_horizon(
+                history, history[-1]
+            )
+            energy_old = planner._horizon_energy(current, horizon_rows, 25.0)
+            energy_new = planner._horizon_energy(
+                decision.candidate, horizon_rows, 25.0
+            )
+            emf, res = thevenin_from_temps(TGM_199_1_4_0_8, history[-1], 25.0)
+            power_now = planner._charger.delivered_at_mpp(
+                array_mpp(emf, res, current.starts)
+            )
+            overhead = planner._overhead.event_energy_j(
+                power_w=max(power_now, 0.0),
+                compute_time_s=2.0e-3,
+                toggles=current.switch_toggles_to(decision.candidate),
+            )
+            assert decision.energy_old_j == energy_old  # bitwise
+            assert decision.energy_new_j == energy_new
+            assert decision.energy_overhead_j == overhead
+            assert decision.switch == (energy_old <= energy_new - overhead)
+
+    def test_plan_is_plan_batch_single_candidate(self):
+        """plan() and plan_batch(candidates=None) are one decision path
+        (guards against the two entry points ever diverging again)."""
+        planner = make_planner(nominal_compute_s=2.0e-3)
+        history = steady_history()
+        current = ArrayConfiguration.all_parallel(history.shape[1])
+        a = planner.plan(history, 25.0, current=current)
+        b = planner.plan_batch(history, 25.0, current=current)
+        assert (a.switch, a.config, a.candidate) == (
+            b.switch,
+            b.config,
+            b.candidate,
+        )
+        assert a.energy_old_j == b.energy_old_j
+        assert a.energy_new_j == b.energy_new_j
+        assert a.energy_overhead_j == b.energy_overhead_j
+
+    def test_keep_path_is_free(self):
+        planner = make_planner()
+        history = steady_history()
+        proposal = planner.plan(history, 25.0, current=None).config
+        decision = planner.plan_batch(history, 25.0, current=proposal)
+        assert not decision.switch
+        assert decision.config == proposal
+        assert decision.energy_overhead_j == 0.0
+        assert decision.predict_seconds == 0.0
+
+    def test_multiple_candidates_picks_best_net_energy(self):
+        """The winner must be argmax of (horizon energy - overhead) and
+        the paper's inequality applied against it, consistent with the
+        single-config reference kernels."""
+        planner = make_planner(nominal_compute_s=2.0e-3)
+        history = steady_history()
+        n = history.shape[1]
+        current = ArrayConfiguration.all_parallel(n)
+        proposal = planner.plan(history, 25.0, current=None).config
+        candidates = [
+            ArrayConfiguration.uniform(n, 4),
+            proposal,
+            ArrayConfiguration.uniform(n, 2),
+        ]
+        decision = planner.plan_batch(
+            history, 25.0, current=current, candidates=candidates
+        )
+        # Recompute expectations through the scalar reference kernel.
+        horizon_rows, _, _ = planner._forecast_horizon(history, history[-1])
+        energy_old = planner._horizon_energy(current, horizon_rows, 25.0)
+        emf, res = thevenin_from_temps(TGM_199_1_4_0_8, history[-1], 25.0)
+        power_now = planner._charger.delivered_at_mpp(
+            array_mpp(emf, res, current.starts)
+        )
+        nets = []
+        for config in candidates:
+            energy = planner._horizon_energy(config, horizon_rows, 25.0)
+            overhead = planner._overhead.event_energy_j(
+                power_w=max(power_now, 0.0),
+                compute_time_s=2.0e-3,
+                toggles=current.switch_toggles_to(config),
+            )
+            nets.append((energy - overhead, energy, overhead, config))
+        best = max(nets, key=lambda item: item[0])
+        assert decision.candidate == best[3]
+        assert decision.energy_new_j == pytest.approx(best[1], rel=1e-12)
+        assert decision.energy_overhead_j == pytest.approx(best[2], rel=1e-12)
+        assert decision.switch == (energy_old <= best[0])
+
+    def test_first_epoch_adopts_best_instantaneous(self):
+        planner = make_planner()
+        history = steady_history()
+        n = history.shape[1]
+        proposal = planner.plan(history, 25.0, current=None).config
+        decision = planner.plan_batch(
+            history,
+            25.0,
+            current=None,
+            candidates=[ArrayConfiguration.all_parallel(n), proposal],
+        )
+        assert decision.switch
+        assert decision.config == proposal  # beats all-parallel now
+
+    def test_rejects_empty_candidate_list(self):
+        planner = make_planner()
+        with pytest.raises(ConfigurationError):
+            planner.plan_batch(steady_history(), 25.0, None, candidates=[])
+
+
+class TestFitModuleStride:
+    """The predictor contract behind the strided fit: every predictor
+    learns a pooled *column-wise* one-step map, so fitting on a
+    module-strided subset and forecasting the full-width history is
+    exact — the shared columns forecast identically either way."""
+
+    def test_strided_fit_full_width_forecast_consistent(self):
+        history = steady_history(60, 20) + np.random.default_rng(9).normal(
+            0.0, 0.3, (60, 20)
+        )
+        stride = 4
+        predictor = MLRPredictor(lags=4, train_window=120)
+        predictor.fit(history[:, ::stride])
+        full = predictor.forecast(history, 3)
+        strided = predictor.forecast(history[:, ::stride], 3)
+        assert full.shape == (3, 20)  # forecast width follows the history
+        # Column-wise recursion: shared columns forecast identically
+        # (up to BLAS reduction order, which varies with matrix shape).
+        np.testing.assert_allclose(
+            full[:, ::stride], strided, rtol=1e-12, atol=1e-12
+        )
+
+    def test_planner_with_stride_covers_every_module(self):
+        planner = DNORPlanner(
+            module=TGM_199_1_4_0_8,
+            charger=TEGCharger(),
+            overhead=SwitchingOverheadModel(),
+            predictor=MLRPredictor(lags=4, train_window=120),
+            tp_seconds=1.0,
+            sample_dt_s=0.5,
+            fit_module_stride=7,  # deliberately not a divisor of N=20
+            nominal_compute_s=2.0e-3,
+        )
+        history = steady_history(60, 20) + np.random.default_rng(8).normal(
+            0.0, 0.4, (60, 20)
+        )
+        current = ArrayConfiguration.all_parallel(20)
+        decision = planner.plan(history, 25.0, current=current)
+        assert not decision.used_fallback_forecast  # real strided fit ran
+        assert decision.energy_new_j > 0.0
+        horizon_rows, _, _ = planner._forecast_horizon(history, history[-1])
+        assert horizon_rows.shape[1] == 20  # full width despite strided fit
+
+    def test_stride_changes_fit_cost_not_contract(self):
+        """Identical forecasts when the strided columns carry the same
+        pooled dynamics (exactly shared one-step map)."""
+        profile = 25.0 + 45.0 * np.exp(-2.0 * np.linspace(0, 1, 16)) + 10.0
+        t = np.arange(80)[:, None]
+        history = profile[None, :] + 2.0 * np.sin(0.1 * t)  # shared dynamics
+        dense = MLRPredictor(lags=4, train_window=60).fit(history)
+        strided = MLRPredictor(lags=4, train_window=60).fit(history[:, ::4])
+        np.testing.assert_allclose(
+            dense.forecast(history, 2),
+            strided.forecast(history, 2),
+            rtol=1e-9,
+            atol=1e-9,
+        )

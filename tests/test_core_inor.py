@@ -11,6 +11,8 @@ from repro.core.inor import (
 )
 from repro.errors import ConfigurationError
 from repro.power.charger import TEGCharger
+from repro.power.converter import BuckBoostConverter
+from repro.teg.network import PartitionSet, partition_multi
 
 
 class TestGreedyPartition:
@@ -53,6 +55,100 @@ class TestGreedyPartition:
             greedy_balanced_partition(np.ones(3), 4)
 
 
+class TestPartitionMulti:
+    """The vectorised window build must reproduce the scalar walk's cut
+    indices bit-for-bit — the tentpole's correctness contract."""
+
+    def _assert_matches_walk(self, currents, n_min, n_max):
+        ps = partition_multi(currents, n_min, n_max)
+        assert isinstance(ps, PartitionSet)
+        assert len(ps) == n_max - n_min + 1
+        for k, n_groups in enumerate(range(n_min, n_max + 1)):
+            ref = greedy_balanced_partition(currents, n_groups)
+            assert np.array_equal(ps[k], ref), (
+                f"cut mismatch at n={n_groups}: {ps[k]} vs {ref}"
+            )
+
+    def test_full_window_random_currents(self):
+        rng = np.random.default_rng(31)
+        for _ in range(25):
+            n = int(rng.integers(1, 60))
+            currents = rng.uniform(0.0, 2.5, n)
+            self._assert_matches_walk(currents, 1, n)
+
+    def test_partial_windows(self):
+        rng = np.random.default_rng(32)
+        for _ in range(25):
+            n = int(rng.integers(2, 50))
+            currents = rng.uniform(0.05, 2.0, n)
+            n_min = int(rng.integers(1, n + 1))
+            n_max = int(rng.integers(n_min, n + 1))
+            self._assert_matches_walk(currents, n_min, n_max)
+
+    def test_uniform_currents_exact_ties(self):
+        """Integer-exact group sums hit the walk's tie rule head on."""
+        self._assert_matches_walk(np.ones(12), 1, 12)
+        self._assert_matches_walk(np.full(9, 2.0), 1, 9)
+
+    def test_uniform_non_dyadic_currents(self):
+        """Uniform currents with inexact prefix sums — an isothermal
+        array.  Mathematical ties everywhere, resolved by floating
+        point: the regression case where a locally-accumulated error
+        walk and the prefix kernel used to round ties differently."""
+        self._assert_matches_walk(np.full(20, 0.46103092364913556), 1, 20)
+        self._assert_matches_walk(np.full(17, 1.0 / 3.0), 1, 17)
+        rng = np.random.default_rng(35)
+        for _ in range(30):
+            n = int(rng.integers(2, 40))
+            level = float(rng.uniform(0.01, 3.0))
+            self._assert_matches_walk(np.full(n, level), 1, n)
+
+    def test_repeated_value_blocks(self):
+        """Repeated current values (identical modules at shared
+        temperatures) create partial-sum ties away from uniformity."""
+        rng = np.random.default_rng(36)
+        for _ in range(30):
+            n = int(rng.integers(4, 40))
+            values = rng.uniform(0.1, 2.0, max(1, n // 4))
+            currents = values[rng.integers(0, values.size, n)]
+            self._assert_matches_walk(currents, 1, n)
+
+    def test_zero_current_flat_runs(self):
+        """Dead modules create flat cumulative runs the walk extends
+        through; the vectorised tie handling must follow."""
+        rng = np.random.default_rng(33)
+        for _ in range(25):
+            n = int(rng.integers(3, 40))
+            currents = rng.uniform(0.1, 2.0, n)
+            currents[rng.uniform(size=n) < 0.4] = 0.0
+            self._assert_matches_walk(currents, 1, n)
+
+    def test_negative_currents_fall_back_to_walk(self):
+        """Back-biased modules break cumulative monotonicity; the kernel
+        must still return exactly the walk's cuts (via its fallback)."""
+        rng = np.random.default_rng(34)
+        for _ in range(25):
+            n = int(rng.integers(2, 30))
+            currents = rng.uniform(-1.0, 2.0, n)
+            self._assert_matches_walk(currents, 1, n)
+
+    def test_iteration_and_sizes(self):
+        currents = np.linspace(2.0, 0.2, 10)
+        ps = partition_multi(currents, 2, 5)
+        assert ps.sizes.tolist() == [2, 3, 4, 5]
+        assert [v.size for v in ps] == [2, 3, 4, 5]
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ConfigurationError):
+            partition_multi(np.ones(5), 0, 3)
+        with pytest.raises(ConfigurationError):
+            partition_multi(np.ones(5), 3, 2)
+        with pytest.raises(ConfigurationError):
+            partition_multi(np.ones(5), 1, 6)
+        with pytest.raises(ConfigurationError):
+            partition_multi(np.empty(0), 1, 1)
+
+
 class TestConverterAwareRange:
     def test_no_charger_full_range(self):
         lo, hi = converter_aware_group_range(np.full(50, 2.0), 50, None)
@@ -81,6 +177,71 @@ class TestConverterAwareRange:
         charger = TEGCharger()
         lo, hi = converter_aware_group_range(np.full(4, 0.1), 4, charger)
         assert 1 <= lo <= hi <= 4
+
+    def test_window_always_well_formed_property(self):
+        """Regression property: for randomised (emf, n_modules, charger)
+        the window must satisfy 1 <= n_min <= n_max <= n_modules —
+        including 1- and 2-module chains, very hot arrays whose raw
+        lower bound exceeds N, and negative-mean EMF."""
+        rng = np.random.default_rng(41)
+        chargers = (None, TEGCharger())
+        for _ in range(200):
+            n_modules = int(rng.integers(1, 40))
+            scale = 10.0 ** rng.uniform(-4.0, 3.0)  # freezing to white hot
+            emf = scale * rng.uniform(-1.0, 2.0, n_modules)
+            if rng.uniform() < 0.2:
+                emf = -np.abs(emf)  # negative-mean (dead/back-biased) array
+            charger = chargers[int(rng.integers(0, 2))]
+            lo, hi = converter_aware_group_range(emf, n_modules, charger)
+            assert 1 <= lo <= hi <= n_modules, (
+                f"window [{lo}, {hi}] invalid for N={n_modules}, "
+                f"mean_emf={float(np.mean(emf)):.3g}"
+            )
+
+    def test_tiny_chains_hot_and_cold(self):
+        """n_modules in {1, 2} at both temperature extremes."""
+        charger = TEGCharger()
+        for n_modules in (1, 2):
+            for emf_level in (1.0e-6, 0.5, 3.0, 500.0):
+                lo, hi = converter_aware_group_range(
+                    np.full(n_modules, emf_level), n_modules, charger
+                )
+                assert 1 <= lo <= hi <= n_modules
+
+    def test_unbounded_preferred_window(self):
+        """A zero-curvature converter side yields an infinite preferred
+        voltage bound; the clamp must degrade it to N, not overflow
+        (int(math.ceil(inf)) used to raise OverflowError here)."""
+        flat_high = TEGCharger(converter=BuckBoostConverter(high_side_coeff=0.0))
+        lo, hi = converter_aware_group_range(np.full(10, 2.0), 10, flat_high)
+        assert 1 <= lo <= hi <= 10
+        assert hi == 10
+        flat_both = TEGCharger(
+            converter=BuckBoostConverter(
+                low_side_coeff=0.0, high_side_coeff=0.0
+            )
+        )
+        lo, hi = converter_aware_group_range(np.full(10, 2.0), 10, flat_both)
+        assert (lo, hi) == (1, 10)
+
+    def test_non_finite_mean_degrades_to_full_range(self):
+        charger = TEGCharger()
+        emf = np.array([1.0, np.nan, 2.0])
+        assert converter_aware_group_range(emf, 3, charger) == (1, 3)
+
+    def test_inor_accepts_every_hardened_window(self):
+        """The windows the clamp produces must all be valid inor inputs
+        (the downstream 1 <= lo <= hi <= N check must never fire)."""
+        charger = TEGCharger()
+        rng = np.random.default_rng(42)
+        for _ in range(30):
+            n_modules = int(rng.integers(1, 25))
+            scale = 10.0 ** rng.uniform(-3.0, 2.0)
+            emf = scale * rng.uniform(0.05, 2.0, n_modules)
+            res = np.full(n_modules, 0.8)
+            result = inor(emf, res, charger=charger)
+            lo, hi = result.n_range
+            assert 1 <= lo <= hi <= n_modules
 
 
 class TestInor:

@@ -23,6 +23,11 @@ import dataclasses
 import numpy as np
 import pytest
 
+from repro.core.config import ArrayConfiguration
+from repro.core.dnor import DNORPlanner, thevenin_from_temps
+from repro.core.inor import converter_aware_group_range, inor
+from repro.prediction.mlr import MLRPredictor
+from repro.teg.network import greedy_balanced_partition, partition_multi
 from repro.sim.cache import PhysicsCache
 from repro.sim.physics import TracePhysics
 from repro.sim.scenario import (
@@ -176,6 +181,139 @@ class TestCachedPhysicsBitIdentical:
             ), field
         assert cached.switch_times_s == uncached.switch_times_s
         assert cached.switch_overhead_j == uncached.switch_overhead_j
+
+
+def _scenario_emf_vectors(scenario: Scenario, n_rows: int = 4):
+    """Realistic per-module (emf, resistance, ambient) triples: sampled
+    rows of the scenario's sensed temperature field."""
+    physics = scenario.make_simulator().physics
+    temps = physics.sensed_temps_c
+    picks = np.linspace(0, temps.shape[0] - 1, n_rows).astype(int)
+    for i in picks:
+        ambient = float(scenario.trace.ambient_c[i])
+        emf, res = thevenin_from_temps(scenario.module, temps[i], ambient)
+        yield emf, res
+
+
+class TestDecisionKernelParity:
+    """Build + score + rank of the batched INOR kernel, bit-identical to
+    the scalar references on every registry scenario and on fuzz
+    vectors — the tentpole's acceptance pin."""
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_partition_multi_cuts_on_registry_scenarios(self, scenarios, name):
+        scenario = scenarios[(name, "noisy")]
+        charger = scenario.make_charger(with_battery=False)
+        for emf, res in _scenario_emf_vectors(scenario):
+            currents = emf / (2.0 * res)
+            lo, hi = converter_aware_group_range(
+                emf, emf.size, charger
+            )
+            ps = partition_multi(currents, lo, hi)
+            for k, n_groups in enumerate(range(lo, hi + 1)):
+                ref = greedy_balanced_partition(currents, n_groups)
+                assert np.array_equal(ps[k], ref), (name, n_groups)
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_inor_decisions_on_registry_scenarios(self, scenarios, name):
+        scenario = scenarios[(name, "noisy")]
+        charger = scenario.make_charger(with_battery=False)
+        for emf, res in _scenario_emf_vectors(scenario):
+            batched = inor(emf, res, charger=charger, kernel="batched")
+            scalar = inor(emf, res, charger=charger, kernel="scalar")
+            assert batched.config == scalar.config
+            assert batched.mpp == scalar.mpp  # exact, not approx
+            assert batched.delivered_power_w == scalar.delivered_power_w
+            assert batched.n_range == scalar.n_range
+            assert batched.candidates_evaluated == scalar.candidates_evaluated
+
+    def test_partition_multi_cuts_on_fuzz_vectors(self):
+        """Seeded fuzz EMF/resistance vectors, full [1, N] windows,
+        including dead (zero-EMF) and back-biased modules."""
+        rng = np.random.default_rng(2018)
+        for _ in range(40):
+            n = int(rng.integers(1, 48))
+            emf = rng.uniform(0.0, 3.0, n)
+            if rng.uniform() < 0.3:
+                emf[rng.integers(0, n, size=max(1, n // 6))] *= -1.0
+            res = rng.uniform(0.4, 3.0, n)
+            currents = emf / (2.0 * res)
+            ps = partition_multi(currents, 1, n)
+            for k, n_groups in enumerate(range(1, n + 1)):
+                ref = greedy_balanced_partition(currents, n_groups)
+                assert np.array_equal(ps[k], ref)
+
+    def test_inor_decisions_on_fuzz_vectors(self):
+        rng = np.random.default_rng(2019)
+        from repro.power.charger import TEGCharger
+
+        for _ in range(20):
+            n = int(rng.integers(2, 64))
+            emf = rng.uniform(0.05, 3.0, n)
+            res = rng.uniform(0.4, 3.0, n)
+            for charger in (None, TEGCharger()):
+                batched = inor(emf, res, charger=charger, kernel="batched")
+                scalar = inor(emf, res, charger=charger, kernel="scalar")
+                assert batched == scalar
+
+    def test_full_simulation_kernel_parity(self, scenarios):
+        """An end-to-end INOR + DNOR run with the scalar decision kernel
+        must be indistinguishable from the batched default."""
+        scenario = scenarios[("porter-ii", "noisy")]
+        scalar_scenario = dataclasses.replace(scenario, inor_kernel="scalar")
+        for policy in ("INOR", "DNOR"):
+            batched = run_engine(scenario, policy, "batched")
+            scalar = run_engine(scalar_scenario, policy, "batched")
+            for field in SERIES_FIELDS + ("n_groups_series",):
+                assert np.array_equal(
+                    getattr(batched, field), getattr(scalar, field)
+                ), (policy, field)
+            assert batched.switch_times_s == scalar.switch_times_s
+            assert batched.switch_overhead_j == scalar.switch_overhead_j
+
+
+class TestDnorPlanBatchPin:
+    """The stacked epoch decision must equal the decision rebuilt from
+    sequential single-configuration horizon scoring on realistic
+    scenario histories (plan() delegates to plan_batch, so the
+    sequential reference is reconstructed from the scalar kernels)."""
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_plan_batch_equals_sequential_scoring(self, scenarios, name):
+        scenario = scenarios[(name, "noisy")]
+        planner = DNORPlanner(
+            module=scenario.module,
+            charger=scenario.make_charger(with_battery=False),
+            overhead=scenario.overhead,
+            predictor=MLRPredictor(lags=4, train_window=120),
+            tp_seconds=scenario.tp_seconds,
+            sample_dt_s=scenario.trace.dt_s,
+            nominal_compute_s=REGISTRY_NOMINAL_COMPUTE_S,
+        )
+        physics = scenario.make_simulator().physics
+        history = physics.sensed_temps_c[-24:]
+        ambient = float(scenario.trace.ambient_c[-1])
+        for current in (
+            ArrayConfiguration.all_parallel(scenario.n_modules),
+            ArrayConfiguration.uniform(scenario.n_modules, 4),
+        ):
+            decision = planner.plan(history, ambient, current=current)
+            if decision.candidate == current:
+                continue  # keep-path: nothing scored over the horizon
+            horizon_rows, _, _ = planner._forecast_horizon(
+                history, history[-1]
+            )
+            energy_old = planner._horizon_energy(
+                current, horizon_rows, ambient
+            )
+            energy_new = planner._horizon_energy(
+                decision.candidate, horizon_rows, ambient
+            )
+            assert decision.energy_old_j == energy_old  # bitwise
+            assert decision.energy_new_j == energy_new
+            assert decision.switch == (
+                energy_old <= energy_new - decision.energy_overhead_j
+            )
 
 
 def _fuzz_trace(seed: int, n: int = 41) -> RadiatorTrace:

@@ -170,3 +170,24 @@ class TestMppBatch:
         array = TEGArray(TGM_199_1_4_0_8, 4)
         with pytest.raises(ConfigurationError):
             array.mpp_batch([[0]])
+
+    def test_balanced_partitions_window_feeds_mpp_batch(self):
+        """The facade pipeline: vectorised build -> one-pass scoring,
+        cut- and MPP-identical to the scalar components."""
+        from repro.teg.network import greedy_balanced_partition
+
+        array = TEGArray(TGM_199_1_4_0_8, 15)
+        array.set_delta_t(np.linspace(60.0, 5.0, 15))
+        window = array.balanced_partitions(2, 9)
+        currents = array.mpp_currents()
+        for k, n_groups in enumerate(range(2, 10)):
+            assert np.array_equal(
+                window[k], greedy_balanced_partition(currents, n_groups)
+            )
+        power, voltage, current = array.mpp_batch(window)
+        assert power.shape == (8,)
+        for k in range(8):
+            mpp = array.configured_mpp(window[k])
+            assert power[k] == mpp.power_w
+            assert voltage[k] == mpp.voltage_v
+            assert current[k] == mpp.current_a

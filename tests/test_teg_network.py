@@ -290,3 +290,62 @@ class TestArrayMppMulti:
     def test_rejects_invalid_candidates(self, bad):
         with pytest.raises(ConfigurationError):
             network.array_mpp_multi(np.ones(10), np.ones(10), bad)
+
+    def test_partition_set_input_matches_list_input(self):
+        """The flat PartitionSet fast path is the same computation."""
+        rng = np.random.default_rng(11)
+        emf = rng.uniform(0.2, 3.0, 30)
+        res = np.full(30, 0.8)
+        ps = network.partition_multi(emf / (2.0 * res), 1, 30)
+        from_set = network.array_mpp_multi(emf, res, ps)
+        from_list = network.array_mpp_multi(emf, res, list(ps))
+        for a, b in zip(from_set, from_list):
+            assert np.array_equal(a, b)
+
+    def test_partition_set_validation_sweep(self):
+        """validate=True walks the vectorised sweep on the flat layout;
+        a corrupted set is rejected."""
+        ps = network.partition_multi(np.ones(8), 1, 4)
+        ok = network.array_mpp_multi(np.ones(8), np.ones(8), ps, validate=True)
+        assert ok[0].size == 4
+        corrupt = network.PartitionSet(
+            cat=np.array([0, 0, 9], dtype=np.int64),
+            offsets=np.array([0, 1, 3], dtype=np.int64),
+            n_modules=8,
+        )
+        with pytest.raises(ConfigurationError):
+            network.array_mpp_multi(np.ones(8), np.ones(8), corrupt)
+
+    def test_partition_set_wrong_chain_rejected(self):
+        ps = network.partition_multi(np.ones(8), 1, 3)
+        with pytest.raises(ConfigurationError):
+            network.array_mpp_multi(np.ones(9), np.ones(9), ps)
+
+
+class TestArrayMppRowsMulti:
+    """Configuration x time-sample batching for DNOR's epoch planner."""
+
+    def test_bitwise_matches_per_config_rows(self):
+        rng = np.random.default_rng(13)
+        emf_rows = rng.uniform(0.1, 3.0, (6, 20))
+        res = np.full(20, 1.1)
+        configs = [[0], [0, 5, 10, 15], list(range(20)), [0, 7]]
+        power, voltage = network.array_mpp_rows_multi(emf_rows, res, configs)
+        assert power.shape == (4, 6)
+        for k, starts in enumerate(configs):
+            p_ref, v_ref = network.array_mpp_rows(emf_rows, res, starts)
+            assert np.array_equal(power[k], p_ref)  # exact, not approx
+            assert np.array_equal(voltage[k], v_ref)
+
+    def test_empty_config_list(self):
+        power, voltage = network.array_mpp_rows_multi(
+            np.ones((3, 5)), np.ones(5), []
+        )
+        assert power.shape == (0, 3)
+        assert voltage.shape == (0, 3)
+
+    def test_rejects_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            network.array_mpp_rows_multi(
+                np.ones((3, 5)), np.ones(5), [[0], [1, 2]]
+            )
