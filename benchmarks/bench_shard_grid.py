@@ -1,0 +1,140 @@
+"""Shard substrate overhead — durable grids must stay close to serial.
+
+The sharded runner (:mod:`repro.sim.shard`) buys horizontal scale-out
+with filesystem coordination: per-case queue tickets, atomic-rename
+claims, npz/JSON result artifacts and a collation read-back.  None of
+that may cost real compute — a shard drained by a single local worker
+should run the same grid in nearly the same wall time as the serial
+:class:`~repro.sim.engine.ExperimentRunner` (both sides reading the
+same warm physics store, so the comparison isolates the queue + artifact
+machinery).
+
+Acceptance bar: the substrate overhead — (work + collate) minus the
+serial run — must stay under ``0.5 s`` per case.  The measured
+overhead is tens of milliseconds; the generous bar keeps slow CI
+filesystems from flaking while still catching pathological regressions
+(per-case re-solves, non-atomic rewrite storms).
+
+A 2-process-worker drain of the same shard is recorded alongside in
+the JSON artifact for the scaling trajectory (no gate: on a small smoke
+grid the pool start-up dominates, the interesting regime is many hosts
+x many cases).
+
+Environment knobs (used by the CI smoke job):
+
+* ``REPRO_BENCH_SHARD_DURATION_S`` — trace length (default 40).
+* ``REPRO_BENCH_SHARD_MODULES`` — comma list of chain lengths forming
+  the grid's N axis (default ``49,100``; perfect squares, so the
+  Baseline scheme stays valid).
+"""
+
+import json
+import os
+import shutil
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from conftest import emit, write_artifact
+from repro.sim.engine import ExperimentRunner, grid_cases
+from repro.sim.scenario import build_named_scenario
+from repro.sim.shard import collate_shard, init_shard, work_shard
+
+DURATION_S = float(os.environ.get("REPRO_BENCH_SHARD_DURATION_S", "40"))
+MODULE_AXIS = tuple(
+    int(n)
+    for n in os.environ.get("REPRO_BENCH_SHARD_MODULES", "49,100").split(",")
+)
+SCHEMES = ("INOR", "Baseline")
+
+#: Substrate overhead bar, seconds per case.
+GATE_OVERHEAD_PER_CASE_S = 0.5
+
+
+def build_grid():
+    scenario = build_named_scenario("porter-ii", duration_s=DURATION_S)
+    return grid_cases([scenario], list(SCHEMES), n_modules=list(MODULE_AXIS))
+
+
+def test_shard_substrate_overhead(tmp_path):
+    cases = build_grid()
+    shard = tmp_path / "shard"
+
+    t0 = time.perf_counter()
+    init_shard(shard, cases)  # manifest + queue + warm physics store
+    t_init = time.perf_counter() - t0
+
+    # Serial reference over the same warm artifact store.
+    t0 = time.perf_counter()
+    serial = ExperimentRunner(
+        cases, executor="serial", cache_dir=shard / "cache"
+    ).run()
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    completed = work_shard(shard, worker_id="bench-worker")
+    t_work = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    collation = collate_shard(shard)
+    t_collate = time.perf_counter() - t0
+
+    assert len(completed) == len(cases)
+    assert collation.to_json(deterministic_only=True) == serial.to_json(
+        deterministic_only=True
+    )
+
+    overhead_per_case = (t_work + t_collate - t_serial) / len(cases)
+
+    # A second shard drained by two worker processes: the scaling
+    # record (pool start-up dominates at smoke sizes, hence no gate).
+    shard2 = tmp_path / "shard2"
+    shutil.copytree(shard / "cache", shard2 / "cache")
+    init_shard(shard2, cases, cache_dir=shard2 / "cache")
+    t0 = time.perf_counter()
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [
+            pool.submit(work_shard, str(shard2), f"w{i}") for i in range(2)
+        ]
+        for future in futures:
+            future.result()
+    t_two_workers = time.perf_counter() - t0
+    assert collate_shard(shard2).to_json(
+        deterministic_only=True
+    ) == serial.to_json(deterministic_only=True)
+
+    lines = [
+        f"grid: porter-ii x {SCHEMES} x N={MODULE_AXIS} "
+        f"({len(cases)} cases, {DURATION_S:g} s trace)",
+        f"{'serial runner (warm store)':32s} {t_serial * 1e3:9.1f} ms",
+        f"{'shard init (incl. warm)':32s} {t_init * 1e3:9.1f} ms",
+        f"{'shard work (1 worker)':32s} {t_work * 1e3:9.1f} ms",
+        f"{'shard collate':32s} {t_collate * 1e3:9.1f} ms",
+        f"{'shard work (2 processes)':32s} {t_two_workers * 1e3:9.1f} ms",
+        f"{'substrate overhead / case':32s} "
+        f"{overhead_per_case * 1e3:9.1f} ms (gate: < "
+        f"{GATE_OVERHEAD_PER_CASE_S * 1e3:.0f} ms)",
+    ]
+    emit("shard_grid.txt", "\n".join(lines))
+    write_artifact(
+        "shard_grid.json",
+        json.dumps(
+            {
+                "duration_s": DURATION_S,
+                "module_axis": list(MODULE_AXIS),
+                "schemes": list(SCHEMES),
+                "n_cases": len(cases),
+                "serial_s": t_serial,
+                "init_s": t_init,
+                "work_one_worker_s": t_work,
+                "collate_s": t_collate,
+                "work_two_processes_s": t_two_workers,
+                "overhead_per_case_s": overhead_per_case,
+                "gate_overhead_per_case_s": GATE_OVERHEAD_PER_CASE_S,
+            },
+            indent=2,
+        ),
+    )
+
+    assert overhead_per_case < GATE_OVERHEAD_PER_CASE_S, (
+        f"shard substrate overhead {overhead_per_case * 1e3:.1f} ms/case "
+        f"exceeds the {GATE_OVERHEAD_PER_CASE_S * 1e3:.0f} ms bar"
+    )

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the everyday uses of the library:
+Seven commands cover the everyday uses of the library:
 
 * ``info``        — paper identity, module catalog, default scenario.
 * ``reconfigure`` — run INOR once on a synthetic or CSV-described
@@ -11,6 +11,12 @@ Six commands cover the everyday uses of the library:
   workers through the batch experiment engine and print collated
   tables (``--list`` shows the scenario registry; ``--cache-dir``
   shares the physics precompute through an on-disk store).
+* ``shard``       — the same grids across independent *hosts*:
+  ``shard init`` writes a durable work-queue directory, any number of
+  ``shard work`` processes (one per host/core, pointed at the shared
+  directory) drain it crash-safely, ``shard status`` reports progress
+  and ``shard collate`` reassembles the collation bit-identically to
+  a serial run.
 * ``cache``       — inspect, warm or clear an on-disk physics cache
   directory.
 * ``sweep-period``— the prior-work fixed-period trade-off table.
@@ -32,10 +38,17 @@ from repro._about import PAPER_ARXIV, PAPER_TITLE, PAPER_VENUE, __version__
 from repro.core.inor import INOR_KERNELS, inor
 from repro.core.period_tradeoff import sweep_fixed_period
 from repro.power.charger import TEGCharger
+from repro.errors import TegkitError
 from repro.sim.cache import PhysicsCache
-from repro.sim.engine import ExperimentRunner, grid_cases
+from repro.sim.engine import ExperimentCase, ExperimentRunner, grid_cases
 from repro.sim.results import comparison_table
 from repro.sim.scenario import default_registry, default_scenario
+from repro.sim.shard import (
+    collate_shard,
+    init_shard,
+    shard_status,
+    work_shard,
+)
 from repro.teg.array import TEGArray
 from repro.teg.datasheet import MODULE_CATALOG, get_module
 from repro.vehicle.trace_io import save_trace
@@ -122,19 +135,23 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_batch(args: argparse.Namespace) -> int:
-    registry = default_registry()
-    if args.list:
-        print("Registered scenarios:")
-        for name, description in registry.describe().items():
-            print(f"  {name:20s} {description}")
-        return 0
+def _parse_name_list(text: str) -> List[str]:
+    """Split a comma list, de-duplicated but order-preserving.
 
-    # De-duplicate while preserving order: repeating a name would
-    # otherwise produce duplicate case names downstream.
-    wanted = list(
-        dict.fromkeys(s.strip() for s in args.scenarios.split(",") if s.strip())
-    )
+    Repeating a name would otherwise produce duplicate case names
+    downstream.
+    """
+    return list(dict.fromkeys(s.strip() for s in text.split(",") if s.strip()))
+
+
+def _build_grid(args: argparse.Namespace) -> Optional[List[ExperimentCase]]:
+    """Build the scenario × scheme case grid shared by batch and shard.
+
+    Prints the offending names and returns ``None`` on unknown
+    scenarios/schemes (callers exit 2).
+    """
+    registry = default_registry()
+    wanted = _parse_name_list(args.scenarios)
     unknown = [s for s in wanted if s not in registry.names()]
     if unknown:
         print(
@@ -142,10 +159,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"(available: {', '.join(registry.names())})",
             file=sys.stderr,
         )
-        return 2
-    schemes = list(
-        dict.fromkeys(s.strip() for s in args.schemes.split(",") if s.strip())
-    )
+        return None
+    schemes = _parse_name_list(args.schemes)
     known_schemes = ("DNOR", "INOR", "EHTR", "Baseline")
     bad_schemes = [s for s in schemes if s not in known_schemes]
     if bad_schemes:
@@ -154,20 +169,35 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"(available: {', '.join(known_schemes)})",
             file=sys.stderr,
         )
-        return 2
-
+        return None
     scenarios = [
         dataclasses.replace(
-            registry.build(name, duration_s=args.duration, seed=args.seed),
+            registry.build(
+                name,
+                duration_s=args.duration,
+                seed=args.seed,
+                n_modules=args.modules,
+            ),
             inor_kernel=args.kernel,
         )
         for name in wanted
     ]
-    cases = grid_cases(scenarios, schemes)
+    return grid_cases(scenarios, schemes)
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    if args.list:
+        print("Registered scenarios:")
+        for name, description in registry.describe().items():
+            print(f"  {name:20s} {description}")
+        return 0
+
+    cases = _build_grid(args)
+    if cases is None:
+        return 2
     print(
-        f"running {len(cases)} cases "
-        f"({len(scenarios)} scenarios x {len(schemes)} schemes) "
-        f"on the {args.executor} executor ...",
+        f"running {len(cases)} cases on the {args.executor} executor ...",
         file=sys.stderr,
     )
     runner = ExperimentRunner(
@@ -188,7 +218,68 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         )
     if args.json:
         path = Path(args.json)
-        path.write_text(collation.to_json())
+        path.write_text(
+            collation.to_json(deterministic_only=args.json_deterministic)
+        )
+        print(f"summary JSON saved to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_shard_init(args: argparse.Namespace) -> int:
+    cases = _build_grid(args)
+    if cases is None:
+        return 2
+    try:
+        manifest = init_shard(args.dir, cases, warm=not args.no_warm)
+        status = shard_status(args.dir)
+    except TegkitError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(f"shard at {args.dir}: {len(manifest)} cases ({status.describe()})")
+    print(f"physics store: {manifest.cache_dir}")
+    print(f"run 'repro shard work --dir {args.dir}' on each host to drain it")
+    return 0
+
+
+def _cmd_shard_work(args: argparse.Namespace) -> int:
+    try:
+        completed = work_shard(
+            args.dir,
+            worker_id=args.worker_id,
+            lease_ttl_s=args.lease_ttl,
+            max_cases=args.max_cases,
+        )
+        status = shard_status(args.dir)
+    except TegkitError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(
+        f"worker finished {len(completed)} case(s); shard now "
+        f"{status.describe()}"
+    )
+    return 0
+
+
+def _cmd_shard_status(args: argparse.Namespace) -> int:
+    try:
+        status = shard_status(args.dir)
+    except TegkitError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(f"shard at {args.dir}: {status.describe()}")
+    return 0
+
+
+def _cmd_shard_collate(args: argparse.Namespace) -> int:
+    try:
+        collation = collate_shard(args.dir)
+    except TegkitError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(collation.tables())
+    if args.json:
+        path = Path(args.json)
+        path.write_text(collation.to_json(deterministic_only=True))
         print(f"summary JSON saved to {path}", file=sys.stderr)
     return 0
 
@@ -326,13 +417,23 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--duration", type=float, default=None)
     batch.add_argument("--seed", type=int, default=None)
     batch.add_argument(
+        "--modules", type=int, default=None, help="override chain length N"
+    )
+    batch.add_argument(
         "--executor",
-        choices=("serial", "thread", "process"),
+        choices=("serial", "thread", "process", "shard"),
         default="process",
     )
     batch.add_argument("--workers", type=int, default=None)
     batch.add_argument(
         "--json", default=None, help="also write the summary rows here"
+    )
+    batch.add_argument(
+        "--json-deterministic",
+        action="store_true",
+        dest="json_deterministic",
+        help="drop measured-runtime fields from --json so outputs of "
+        "equal grids diff clean across hosts/executors",
     )
     batch.add_argument(
         "--cache-dir",
@@ -347,6 +448,91 @@ def build_parser() -> argparse.ArgumentParser:
         help="INOR candidate kernel (bit-identical results; batched is faster)",
     )
     batch.set_defaults(handler=_cmd_batch)
+
+    shard = sub.add_parser(
+        "shard",
+        help="durable multi-host experiment grids over a shared directory",
+    )
+    shard_sub = shard.add_subparsers(dest="shard_command", required=True)
+
+    shard_init = shard_sub.add_parser(
+        "init", help="write the manifest + work queue and warm the physics store"
+    )
+    shard_init.add_argument(
+        "--dir", required=True, help="shard directory (shared across hosts)"
+    )
+    shard_init.add_argument(
+        "--scenarios",
+        default="porter-ii",
+        help="comma list of registry names (see batch --list)",
+    )
+    shard_init.add_argument(
+        "--schemes",
+        default="DNOR,INOR,Baseline",
+        help="comma list from DNOR,INOR,EHTR,Baseline (EHTR is slow)",
+    )
+    shard_init.add_argument("--duration", type=float, default=None)
+    shard_init.add_argument("--seed", type=int, default=None)
+    shard_init.add_argument(
+        "--modules", type=int, default=None, help="override chain length N"
+    )
+    shard_init.add_argument(
+        "--kernel",
+        choices=INOR_KERNELS,
+        default="batched",
+        help="INOR candidate kernel (bit-identical results; batched is faster)",
+    )
+    shard_init.add_argument(
+        "--no-warm",
+        action="store_true",
+        dest="no_warm",
+        help="skip precomputing the shared physics artifacts",
+    )
+    shard_init.set_defaults(handler=_cmd_shard_init)
+
+    shard_work = shard_sub.add_parser(
+        "work", help="claim and run cases until the queue is drained"
+    )
+    shard_work.add_argument("--dir", required=True)
+    shard_work.add_argument(
+        "--worker-id",
+        default=None,
+        dest="worker_id",
+        help="lease owner label (default: <hostname>-pid<pid>)",
+    )
+    shard_work.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=900.0,
+        dest="lease_ttl",
+        help="seconds before an unfinished claim is re-queued (crash safety)",
+    )
+    shard_work.add_argument(
+        "--max-cases",
+        type=int,
+        default=None,
+        dest="max_cases",
+        help="stop after completing this many cases",
+    )
+    shard_work.set_defaults(handler=_cmd_shard_work)
+
+    shard_state = shard_sub.add_parser(
+        "status", help="done/pending/leased/expired accounting"
+    )
+    shard_state.add_argument("--dir", required=True)
+    shard_state.set_defaults(handler=_cmd_shard_status)
+
+    shard_collate = shard_sub.add_parser(
+        "collate", help="reassemble the collation from a finished shard"
+    )
+    shard_collate.add_argument("--dir", required=True)
+    shard_collate.add_argument(
+        "--json",
+        default=None,
+        help="also write deterministic summary rows here (diffable "
+        "against 'repro batch --json --json-deterministic')",
+    )
+    shard_collate.set_defaults(handler=_cmd_shard_collate)
 
     cache = sub.add_parser(
         "cache", help="inspect, warm or clear an on-disk physics cache"

@@ -16,6 +16,10 @@ overview):
 * :mod:`repro.sim.engine` — :class:`ExperimentRunner`, fanning a grid
   of (trace × policy × chain length × scanner noise) cases across
   workers with seeded determinism and collated result tables.
+* :mod:`repro.sim.shard` — the durable filesystem-backed work queue
+  that fans the same grids across independent *hosts* (atomic-rename
+  claim leases, per-case result artifacts, shared physics store),
+  collating bit-identically to a serial run.
 * :mod:`repro.sim.scenario` — bundles module, array size, radiator,
   trace, charger and overhead settings into reproducible experiment
   setups, with a :class:`ScenarioRegistry` of named scenarios.
@@ -32,10 +36,23 @@ from repro.sim.engine import (
     grid_cases,
     run_case,
 )
-from repro.sim.export import result_series_to_csv, summary_rows_to_csv
+from repro.sim.export import (
+    result_from_npz,
+    result_series_to_csv,
+    result_to_npz,
+    summary_rows_to_csv,
+)
 from repro.sim.ideal import ideal_power_series
 from repro.sim.physics import TracePhysics
 from repro.sim.results import SimulationResult, comparison_table, summary_row
+from repro.sim.shard import (
+    ShardManifest,
+    ShardStatus,
+    collate_shard,
+    init_shard,
+    shard_status,
+    work_shard,
+)
 from repro.sim.scenario import (
     Scenario,
     ScenarioRegistry,
@@ -54,17 +71,25 @@ __all__ = [
     "PhysicsCache",
     "Scenario",
     "ScenarioRegistry",
+    "ShardManifest",
+    "ShardStatus",
     "SimulationResult",
     "TracePhysics",
     "build_named_scenario",
     "physics_fingerprint",
+    "collate_shard",
     "comparison_table",
     "default_registry",
     "default_scenario",
     "grid_cases",
     "ideal_power_series",
+    "init_shard",
+    "result_from_npz",
     "result_series_to_csv",
-    "run_case",
+    "result_to_npz",
+    "shard_status",
     "summary_row",
     "summary_rows_to_csv",
+    "work_shard",
+    "run_case",
 ]

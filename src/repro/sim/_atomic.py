@@ -1,0 +1,31 @@
+"""Crash-safe file publishing shared by the cache/export/shard layers.
+
+One protocol everywhere: assemble the content in a uuid-suffixed
+sibling temp file, then ``os.replace`` it into place.  Readers only
+ever observe complete files — a crashed writer leaves at most a temp
+file behind, and a re-run of the same deterministic producer simply
+replaces the artifact.  The temp name carries a uuid rather than the
+pid because sharded-grid workers on *different hosts* share these
+directories and can collide on pid.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from pathlib import Path
+from typing import Callable
+
+
+def atomic_write(path: Path, writer: Callable[[Path], None]) -> None:
+    """Publish ``path`` by writing a temp sibling and renaming it in.
+
+    ``writer`` receives the temp path and must create/fill it; the
+    rename only happens if it returns without raising.
+    """
+    tmp = path.with_name(f".{path.name}.tmp-{uuid.uuid4().hex}")
+    try:
+        writer(tmp)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)

@@ -41,6 +41,7 @@ import hashlib
 
 import numpy as np
 
+from repro.sim._atomic import atomic_write
 from repro.sim.physics import TracePhysics
 from repro.teg.module import TEGModule
 from repro.thermal.heat_exchanger import HeatExchangerTraceSolution
@@ -364,13 +365,12 @@ class PhysicsCache:
             "module_resistance_ohm": physics.module_resistance_ohm.hex(),
         }
         path = self._artifact_path(key)
-        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
-        try:
+
+        def write(tmp: Path) -> None:
             with open(tmp, "wb") as handle:
                 np.savez(handle, meta_json=np.array(json.dumps(meta)), **arrays)
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
+
+        atomic_write(path, write)
 
     def _load(
         self,

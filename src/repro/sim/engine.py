@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
+from collections import Counter
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from itertools import repeat
@@ -35,7 +37,7 @@ from repro.sim.results import SimulationResult, comparison_table, summary_row
 from repro.sim.scenario import Scenario
 
 #: Valid values of the ``executor`` argument.
-EXECUTORS = ("serial", "thread", "process")
+EXECUTORS = ("serial", "thread", "process", "shard")
 
 
 @dataclass(frozen=True)
@@ -64,6 +66,34 @@ class ExperimentCase:
     scenario: Scenario
     policy: str
     with_battery: bool = True
+
+    # ------------------------------------------------------------------
+    # Loss-free JSON round trip (the shard manifest format)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-safe dictionary reproducing this case exactly.
+
+        Together with :meth:`Scenario.to_json_dict` this is what makes
+        an experiment grid *portable*: a sharded run writes the cases
+        into a manifest and independent hosts rebuild them bit-exactly
+        (pinned in ``tests/test_sim_shard.py``).
+        """
+        return {
+            "name": self.name,
+            "policy": self.policy,
+            "with_battery": bool(self.with_battery),
+            "scenario": self.scenario.to_json_dict(),
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "ExperimentCase":
+        """Rebuild a case from :meth:`to_json_dict` output."""
+        return cls(
+            name=str(data["name"]),
+            scenario=Scenario.from_json_dict(data["scenario"]),
+            policy=str(data["policy"]),
+            with_battery=bool(data["with_battery"]),
+        )
 
 
 #: Per-process :class:`PhysicsCache` instances, keyed by directory.
@@ -108,9 +138,15 @@ def run_case(
         if physics is None and cache_dir is not None
         else None
     )
-    simulator = case.scenario.make_simulator(physics=physics, cache=cache)
-    charger = case.scenario.make_charger(with_battery=case.with_battery)
-    return simulator.run(policies[case.policy], charger)
+    try:
+        simulator = case.scenario.make_simulator(physics=physics, cache=cache)
+        charger = case.scenario.make_charger(with_battery=case.with_battery)
+        return simulator.run(policies[case.policy], charger)
+    except Exception as exc:
+        # Name the failing cell: a pooled or sharded grid surfaces the
+        # worker's traceback far from the submission site, and without
+        # the case name one bad cell in a 100-case grid is anonymous.
+        raise SimulationError(f"case {case.name!r} failed: {exc}") from exc
 
 
 def grid_cases(
@@ -197,18 +233,52 @@ class ExperimentCollation:
             blocks.append(comparison_table(result for _, result in pairs))
         return "\n\n".join(blocks)
 
-    def summary_rows(self) -> List[Dict[str, object]]:
-        """Flat per-case summary dictionaries (JSON-friendly)."""
+    def summary_rows(
+        self, deterministic_only: bool = False
+    ) -> List[Dict[str, object]]:
+        """Flat per-case summary dictionaries (JSON-friendly).
+
+        ``deterministic_only`` drops ``average_runtime_ms`` — the one
+        summary quantity derived from measured ``decide`` wall-clock,
+        which varies between hosts and runs by design — leaving
+        exactly the fields the engine's determinism contract pins.
+        Sharded and serial collations of the same grid then serialise
+        to identical bytes, which is what ``repro shard collate``
+        artifacts and the CI shard-vs-serial diff compare.
+        """
         rows: List[Dict[str, object]] = []
         for case, result in zip(self.cases, self.results):
             row: Dict[str, object] = {"case": case.name, "policy": case.policy}
             row.update(summary_row(result))
+            if deterministic_only:
+                row.pop("average_runtime_ms", None)
             rows.append(row)
         return rows
 
-    def to_json(self, indent: int = 2) -> str:
-        """Serialised :meth:`summary_rows`."""
-        return json.dumps(self.summary_rows(), indent=indent)
+    def to_json(
+        self, indent: int = 2, deterministic_only: bool = False
+    ) -> str:
+        """Serialised :meth:`summary_rows`, always valid JSON.
+
+        Degenerate cases (zero-power periods, faulted sensing) can put
+        NaN/Inf into summary values; ``json.dumps`` would happily emit
+        the non-standard ``NaN``/``Infinity`` tokens that strict
+        parsers — including shard collation diffing — reject.  Such
+        values are sanitised to ``null`` and ``allow_nan=False`` keeps
+        any future leak from producing unparseable artifacts.
+        """
+        rows = [
+            {key: _json_safe(value) for key, value in row.items()}
+            for row in self.summary_rows(deterministic_only=deterministic_only)
+        ]
+        return json.dumps(rows, indent=indent, allow_nan=False)
+
+
+def _json_safe(value: object) -> object:
+    """Map non-finite floats to ``None`` (JSON ``null``)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
 
 
 class ExperimentRunner:
@@ -222,7 +292,10 @@ class ExperimentRunner:
         ``"process"`` (default) uses a :class:`ProcessPoolExecutor` —
         right for CPU-bound policy loops; ``"thread"`` avoids pickling
         and process start-up for small grids; ``"serial"`` runs inline
-        (debugging, exact-equivalence tests).
+        (debugging, exact-equivalence tests); ``"shard"`` drives the
+        grid through a durable :mod:`repro.sim.shard` directory — the
+        same substrate independent hosts use — and collates the
+        per-case artifacts (bit-identical to serial).
     max_workers:
         Worker count for the pooled executors; ``None`` lets
         ``concurrent.futures`` pick.
@@ -241,6 +314,13 @@ class ExperimentRunner:
         out and workers load instead of solving.  A warm directory
         also persists across runs, machines sharing a filesystem, and
         the ``repro cache`` CLI.
+    shard_dir:
+        Directory of the durable shard (``executor="shard"`` only).
+        ``None`` runs the shard in a temporary directory that is
+        removed after collation; pass a path to keep the manifest,
+        queue and result artifacts around — e.g. so more hosts can
+        join via ``repro shard work`` or an interrupted run can be
+        resumed.
     """
 
     def __init__(
@@ -250,20 +330,27 @@ class ExperimentRunner:
         max_workers: Optional[int] = None,
         cache: Optional[PhysicsCache] = None,
         cache_dir=None,
+        shard_dir=None,
     ) -> None:
         self._cases: Tuple[ExperimentCase, ...] = tuple(cases)
         if not self._cases:
             raise SimulationError("an experiment needs at least one case")
-        names = [case.name for case in self._cases]
-        if len(set(names)) != len(names):
-            dupes = sorted({n for n in names if names.count(n) > 1})
+        counts = Counter(case.name for case in self._cases)
+        dupes = sorted(name for name, count in counts.items() if count > 1)
+        if dupes:
             raise SimulationError(f"duplicate case names: {', '.join(dupes)}")
         if executor not in EXECUTORS:
             raise SimulationError(
                 f"executor must be one of {EXECUTORS}, got {executor!r}"
             )
+        if shard_dir is not None and executor != "shard":
+            raise SimulationError(
+                f"shard_dir is only meaningful with executor='shard', "
+                f"got executor={executor!r}"
+            )
         self._executor = executor
         self._max_workers = max_workers
+        self._shard_dir = Path(shard_dir) if shard_dir is not None else None
         if cache is not None and cache_dir is not None and (
             cache.cache_dir is None or Path(cache_dir) != cache.cache_dir
         ):
@@ -320,6 +407,17 @@ class ExperimentRunner:
             physics = self._shared_physics()
             with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
                 results = list(pool.map(run_case, self._cases, physics))
+        elif self._executor == "shard":
+            # Imported here: shard builds on this module (run_case,
+            # ExperimentCase), so a top-level import would be circular.
+            from repro.sim.shard import run_sharded
+
+            results = run_sharded(
+                self._cases,
+                shard_dir=self._shard_dir,
+                n_workers=self._max_workers,
+                cache_dir=self._cache_dir,
+            )
         elif self._cache_dir is not None:
             # Warm the shared artifact store in-process (one solve or
             # disk load per unique scenario), then let the workers read

@@ -1,21 +1,34 @@
-"""CSV export of simulation results.
+"""Flat-file export of simulation results (CSV and lossless npz).
 
 Downstream analysis (plotting, regression dashboards) wants flat
-files, not Python objects.  Two exports cover the needs:
+files, not Python objects.  Three exports cover the needs:
 
 * :func:`result_series_to_csv` — the per-period time series of one
   scheme (power, voltage, ideal, group count), one row per control
   period.
 * :func:`summary_rows_to_csv` — Table-I style one-row-per-scheme
   summaries for a set of results.
+* :func:`result_to_npz` / :func:`result_from_npz` — a *loss-free*
+  binary round trip of one :class:`SimulationResult` (raw float64
+  series plus the overhead-event records), the per-case artifact
+  format of the :mod:`repro.sim.shard` distributed grid runner.
+  Written atomically (temp file + ``os.replace``) so a crashed or
+  concurrent worker can never leave a truncated artifact behind.
 """
 
 from __future__ import annotations
 
-import csv
+import json
 from pathlib import Path
+
+import csv
 from typing import Iterable, Union
 
+import numpy as np
+
+from repro.core.overhead import OverheadEvent
+from repro.errors import SimulationError
+from repro.sim._atomic import atomic_write
 from repro.sim.results import SimulationResult, summary_row
 
 #: Columns of the per-period series export.
@@ -57,6 +70,112 @@ def result_series_to_csv(
                 )
             )
     return path
+
+
+#: Bumped whenever the npz artifact layout changes; readers refuse
+#: artifacts carrying a different version instead of misreading them.
+RESULT_FORMAT_VERSION = 1
+
+#: Per-period series stored as raw float64 columns.
+_RESULT_SERIES = (
+    "time_s",
+    "gross_power_w",
+    "delivered_power_w",
+    "ideal_power_w",
+    "array_voltage_v",
+    "runtime_s",
+)
+
+#: Per-event float columns of the overhead records.
+_EVENT_FLOATS = ("time_s", "downtime_s", "energy_j", "compute_time_s")
+
+
+def result_to_npz(
+    result: SimulationResult, path: Union[str, Path]
+) -> Path:
+    """Write one result as a loss-free npz artifact; returns the path.
+
+    The write is atomic: the artifact is assembled in a sibling temp
+    file and renamed into place, so readers (and shard collation) only
+    ever see complete files — a re-run of the same deterministic case
+    overwrites the artifact with identical bytes-for-meaning content.
+    """
+    path = Path(path)
+    arrays = {name: getattr(result, name) for name in _RESULT_SERIES}
+    arrays["n_groups_series"] = np.asarray(
+        result.n_groups_series, dtype=np.int64
+    )
+    arrays["switch_times_s"] = np.asarray(result.switch_times_s, dtype=float)
+    events = result.overhead_events
+    for name in _EVENT_FLOATS:
+        arrays[f"ev_{name}"] = np.array(
+            [getattr(e, name) for e in events], dtype=float
+        )
+    arrays["ev_toggles"] = np.array(
+        [e.toggles for e in events], dtype=np.int64
+    )
+    meta = {"version": RESULT_FORMAT_VERSION, "scheme": result.scheme}
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    def write(tmp: Path) -> None:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, meta_json=np.array(json.dumps(meta)), **arrays)
+
+    atomic_write(path, write)
+    return path
+
+
+def result_from_npz(path: Union[str, Path]) -> SimulationResult:
+    """Rebuild a :func:`result_to_npz` artifact, bit-identically.
+
+    Raises
+    ------
+    SimulationError
+        If the file is missing, unreadable, or carries a different
+        format version.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as data:
+            meta = json.loads(str(data["meta_json"]))
+            if meta.get("version") != RESULT_FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported result artifact version "
+                    f"{meta.get('version')!r}"
+                )
+            # Hoisted: NpzFile.__getitem__ re-reads the zip member on
+            # every access, so indexing inside the loop would make a
+            # switch-heavy artifact (INOR: one event per period)
+            # quadratic in the event count.
+            ev = {
+                name: data[f"ev_{name}"] for name in _EVENT_FLOATS
+            }
+            toggles = data["ev_toggles"]
+            events = tuple(
+                OverheadEvent(
+                    time_s=float(ev["time_s"][i]),
+                    downtime_s=float(ev["downtime_s"][i]),
+                    energy_j=float(ev["energy_j"][i]),
+                    toggles=int(toggles[i]),
+                    compute_time_s=float(ev["compute_time_s"][i]),
+                )
+                for i in range(toggles.size)
+            )
+            return SimulationResult(
+                scheme=str(meta["scheme"]),
+                overhead_events=events,
+                switch_times_s=tuple(
+                    float(t) for t in data["switch_times_s"]
+                ),
+                n_groups_series=data["n_groups_series"],
+                **{name: data[name] for name in _RESULT_SERIES},
+            )
+    except SimulationError:
+        raise
+    except Exception as exc:
+        raise SimulationError(
+            f"cannot read result artifact {path}: {exc}"
+        ) from exc
 
 
 def summary_rows_to_csv(

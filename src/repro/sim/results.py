@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Tuple
 import numpy as np
 
 from repro.core.overhead import OverheadEvent
+from repro.errors import SimulationError
 
 
 @dataclass(frozen=True)
@@ -67,7 +68,21 @@ class SimulationResult:
     # ------------------------------------------------------------------
     @property
     def dt_s(self) -> float:
-        """Control period."""
+        """Control period.
+
+        Raises
+        ------
+        SimulationError
+            If the series holds fewer than two samples — a single
+            sample carries no step information, so every dt-derived
+            quantity (energies, durations) would be meaningless.
+        """
+        if self.time_s.size < 2:
+            raise SimulationError(
+                f"cannot derive a control period from a "
+                f"{self.time_s.size}-sample series; results need at "
+                f"least two control periods"
+            )
         return float(self.time_s[1] - self.time_s[0])
 
     @property
@@ -117,8 +132,13 @@ class SimulationResult:
         """Delivered power with each event's bill deducted at its step."""
         net = self.delivered_power_w.copy()
         dt = self.dt_s
+        start = float(self.time_s[0])
+        # Events carry absolute simulation times, so the step index must
+        # be taken relative to the series origin — traces that do not
+        # start at t=0 (windowed sub-traces, resumed runs) would
+        # otherwise bill every event a constant offset too late.
         for event in self.overhead_events:
-            idx = int(np.clip(round(event.time_s / dt), 0, net.size - 1))
+            idx = int(np.clip(round((event.time_s - start) / dt), 0, net.size - 1))
             net[idx] -= event.energy_j / dt
         return net
 

@@ -17,7 +17,9 @@ hand-rolling setups.
 
 from __future__ import annotations
 
+import base64
 import dataclasses
+import json
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
@@ -40,18 +42,97 @@ from repro.prediction.mlr import MLRPredictor
 from repro.sim.simulator import HarvestSimulator
 from repro.teg.datasheet import TGM_199_1_4_0_8
 from repro.teg.module import TEGModule
-from repro.thermal.coolant import AIR, WATER
+from repro.thermal.coolant import AIR, WATER, FluidProperties
 from repro.thermal.heat_exchanger import CrossFlowHeatExchanger, UAModel
 from repro.thermal.radiator import Radiator, RadiatorGeometry
 from repro.vehicle.drive_cycle import synthetic_nedc, synthetic_urban
 from repro.vehicle.engine import EngineModel
 from repro.vehicle.sensors import ModuleTemperatureScanner
+from repro.teg.materials import CoupleMaterial
 from repro.vehicle.trace import (
     RadiatorTrace,
     build_trace,
     default_radiator,
     porter_ii_trace,
 )
+
+#: Version tag of the scenario JSON layout; bumped on breaking changes
+#: so a shard manifest written by a newer library is refused instead of
+#: silently misread.
+SCENARIO_FORMAT_VERSION = 1
+
+#: Trace columns serialised into the JSON form (every array field).
+_TRACE_COLUMNS = (
+    "time_s",
+    "coolant_inlet_c",
+    "coolant_flow_kg_s",
+    "air_flow_kg_s",
+    "ambient_c",
+    "speed_mps",
+    "coolant_inlet_sensed_c",
+    "coolant_flow_sensed_kg_s",
+)
+
+_MATERIAL_FIELDS = (
+    "seebeck_v_per_k",
+    "resistance_ohm",
+    "thermal_conductance_w_per_k",
+    "seebeck_temp_coeff_per_k",
+    "resistance_temp_coeff_per_k",
+)
+
+_UA_FIELDS = (
+    "hot_conductance_ref_w_k",
+    "cold_conductance_ref_w_k",
+    "hot_ref_flow_kg_s",
+    "cold_ref_flow_kg_s",
+    "wall_resistance_k_w",
+    "hot_flow_exponent",
+    "cold_flow_exponent",
+)
+
+_FLUID_FIELDS = (
+    "name",
+    "density_kg_m3",
+    "specific_heat_j_kg_k",
+    "thermal_conductivity_w_m_k",
+    "kinematic_viscosity_m2_s",
+)
+
+_OVERHEAD_FIELDS = (
+    "sensing_delay_s",
+    "reconfiguration_delay_s",
+    "mppt_settle_s",
+    "per_toggle_energy_j",
+    "compute_staleness_factor",
+)
+
+
+def _encode_array(arr: np.ndarray) -> str:
+    """Base64 of the raw little-endian float64 bytes — loss-free.
+
+    Scalar JSON floats round-trip exactly too (Python emits the
+    shortest repr that parses back to the same double), but a decimal
+    rendering of a whole trace would be ~3x the size and slower to
+    parse, so arrays travel as raw bytes.
+    """
+    data = np.ascontiguousarray(arr, dtype="<f8")
+    return base64.b64encode(data.tobytes()).decode("ascii")
+
+
+def _decode_array(text: str) -> np.ndarray:
+    """Inverse of :func:`_encode_array` (a fresh writable array)."""
+    raw = base64.b64decode(text.encode("ascii"))
+    return np.frombuffer(raw, dtype="<f8").astype(float)
+
+
+def _fluid_to_dict(fluid) -> Dict[str, object]:
+    return {
+        name: (
+            fluid.name if name == "name" else float(getattr(fluid, name))
+        )
+        for name in _FLUID_FIELDS
+    }
 
 
 @dataclass
@@ -159,6 +240,131 @@ class Scenario:
         return physics_fingerprint(
             self.trace, self.radiator, self.module, self.n_modules
         )
+
+    # ------------------------------------------------------------------
+    # Loss-free JSON round trip (the shard manifest format)
+    # ------------------------------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        """A JSON-safe dictionary reproducing this scenario exactly.
+
+        Everything the scenario carries is serialised by *value* — the
+        module material, the radiator's geometry/conductance/fluid
+        parameters, every trace column (as raw float64 bytes, base64),
+        the overhead model and all control knobs — so
+        :meth:`from_json_dict` on any host rebuilds a scenario whose
+        physics fingerprint, simulation results and policy decisions
+        are bit-identical (pinned in ``tests/test_sim_shard.py`` for
+        every registry scenario).  Scalars travel as plain JSON
+        numbers, which round-trip float64 exactly.
+        """
+        module = self.module
+        radiator = self.radiator
+        ua = radiator.exchanger.ua_model
+        trace = self.trace
+        return {
+            "format_version": SCENARIO_FORMAT_VERSION,
+            "module": {
+                "name": module.name,
+                "n_couples": int(module.n_couples),
+                "material": {
+                    name: float(getattr(module.material, name))
+                    for name in _MATERIAL_FIELDS
+                },
+            },
+            "n_modules": int(self.n_modules),
+            "radiator": {
+                "geometry": {
+                    "path_length_m": float(radiator.geometry.path_length_m),
+                    "n_rows": int(radiator.geometry.n_rows),
+                },
+                "ua_model": {
+                    name: float(getattr(ua, name)) for name in _UA_FIELDS
+                },
+                "both_unmixed": bool(radiator.exchanger.both_unmixed),
+                "coolant": _fluid_to_dict(radiator.coolant),
+                "air": _fluid_to_dict(radiator.air),
+                "sink_preheat_fraction": float(radiator.sink_preheat_fraction),
+            },
+            "trace": {
+                "name": trace.name,
+                "columns": {
+                    column: _encode_array(getattr(trace, column))
+                    for column in _TRACE_COLUMNS
+                },
+            },
+            "overhead": {
+                name: float(getattr(self.overhead, name))
+                for name in _OVERHEAD_FIELDS
+            },
+            "tp_seconds": float(self.tp_seconds),
+            "control_period_s": float(self.control_period_s),
+            "sensor_seed": int(self.sensor_seed),
+            "scanner_noise_std_k": float(self.scanner_noise_std_k),
+            "nominal_compute_s": (
+                None
+                if self.nominal_compute_s is None
+                else float(self.nominal_compute_s)
+            ),
+            "inor_kernel": self.inor_kernel,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_json_dict` output."""
+        version = data.get("format_version")
+        if version != SCENARIO_FORMAT_VERSION:
+            raise ConfigurationError(
+                f"unsupported scenario format version {version!r} "
+                f"(this library reads version {SCENARIO_FORMAT_VERSION})"
+            )
+        module_data = data["module"]
+        module = TEGModule(
+            name=str(module_data["name"]),
+            material=CoupleMaterial(**module_data["material"]),
+            n_couples=int(module_data["n_couples"]),
+        )
+        radiator_data = data["radiator"]
+        radiator = Radiator(
+            geometry=RadiatorGeometry(**radiator_data["geometry"]),
+            exchanger=CrossFlowHeatExchanger(
+                UAModel(**radiator_data["ua_model"]),
+                both_unmixed=bool(radiator_data["both_unmixed"]),
+            ),
+            coolant=FluidProperties(**radiator_data["coolant"]),
+            air=FluidProperties(**radiator_data["air"]),
+            sink_preheat_fraction=float(radiator_data["sink_preheat_fraction"]),
+        )
+        trace_data = data["trace"]
+        trace = RadiatorTrace(
+            name=str(trace_data["name"]),
+            **{
+                column: _decode_array(trace_data["columns"][column])
+                for column in _TRACE_COLUMNS
+            },
+        )
+        nominal = data["nominal_compute_s"]
+        return cls(
+            module=module,
+            n_modules=int(data["n_modules"]),
+            radiator=radiator,
+            trace=trace,
+            overhead=SwitchingOverheadModel(**data["overhead"]),
+            tp_seconds=float(data["tp_seconds"]),
+            control_period_s=float(data["control_period_s"]),
+            sensor_seed=int(data["sensor_seed"]),
+            scanner_noise_std_k=float(data["scanner_noise_std_k"]),
+            nominal_compute_s=None if nominal is None else float(nominal),
+            inor_kernel=str(data["inor_kernel"]),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Serialised :meth:`to_json_dict` (strict JSON, no NaN tokens)."""
+        return json.dumps(self.to_json_dict(), indent=indent, allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_json` output."""
+        return cls.from_json_dict(json.loads(text))
 
     # ------------------------------------------------------------------
     # The four schemes of the paper's evaluation

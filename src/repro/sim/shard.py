@@ -1,0 +1,569 @@
+"""Durable sharded experiment grids: one directory, many hosts.
+
+The batch engine's process pool tops out at one machine.  This module
+turns an experiment grid into a *filesystem-backed work queue* that any
+number of independent hosts (or processes) can drain concurrently —
+the ROADMAP's "shard ``ExperimentRunner`` grids across machines" item.
+A shard directory is the entire coordination state; there is no
+server, no locks beyond atomic renames, and nothing machine-specific
+inside it:
+
+``manifest.json``
+    The grid itself — every :class:`~repro.sim.engine.ExperimentCase`
+    serialised loss-free (see :meth:`Scenario.to_json_dict`), in
+    collation order.  Any host rebuilds bit-identical cases from it.
+``queue/pending/`` and ``queue/leases/``
+    One JSON ticket per unfinished case.  A worker *claims* a case by
+    renaming its ticket from ``pending/`` into ``leases/`` —
+    ``os.rename`` is atomic on POSIX and NFS, so exactly one claimant
+    wins — then stamps the lease with its identity, claim time and
+    TTL.  A lease that outlives its TTL (crashed or wedged worker) is
+    renamed back into ``pending/`` by whichever worker notices first.
+``results/``
+    Per-case artifacts: a loss-free npz series
+    (:func:`~repro.sim.export.result_to_npz`) plus a JSON summary.
+    Both are written atomically, and the summary is written last, so
+    its presence marks the case done.
+``cache/``
+    The warmed on-disk :class:`~repro.sim.cache.PhysicsCache` artifact
+    store (content fingerprints are machine-independent), so workers
+    load the radiator solves instead of recomputing them.
+
+Determinism and crash-safety contract (pinned in
+``tests/test_sim_shard.py``): every case is fully seeded, so execution
+is *idempotent* — if a lease expires mid-run and the case is executed
+twice, both workers produce bit-identical artifacts and the atomic
+writes make the duplicate invisible.  Hence the queue only has to
+guarantee at-least-once execution, and the collated result equals the
+serial :class:`~repro.sim.engine.ExperimentRunner` run bit-for-bit,
+for any worker count, including interrupted-and-resumed runs.
+
+Lease expiry compares the claim timestamp against the local clock, so
+hosts sharing a directory should have loosely synchronised clocks
+(ordinary NTP skew is harmless next to the default 15-minute TTL).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import socket
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.sim._atomic import atomic_write
+from repro.sim.cache import PhysicsCache
+from repro.sim.engine import (
+    ExperimentCase,
+    ExperimentCollation,
+    _json_safe,
+    run_case,
+)
+from repro.sim.export import result_from_npz, result_to_npz
+from repro.sim.results import SimulationResult, summary_row
+
+#: Bumped whenever the shard directory layout changes; workers refuse
+#: manifests carrying a different version.
+SHARD_FORMAT_VERSION = 1
+
+#: Default lease time-to-live.  Generous on purpose: an expired lease
+#: only costs a duplicate (idempotent) execution, while a too-short
+#: TTL makes healthy long cases look dead.
+DEFAULT_LEASE_TTL_S = 900.0
+
+MANIFEST_NAME = "manifest.json"
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    """Write JSON via the shared crash-safe publish protocol."""
+    text = json.dumps(payload, indent=2, allow_nan=False)
+    atomic_write(path, lambda tmp: tmp.write_text(text))
+
+
+def _read_json(path: Path) -> Optional[dict]:
+    """Parse a JSON file; ``None`` for missing/corrupt (racing) files."""
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+class _ShardPaths:
+    """Resolved layout of one shard directory."""
+
+    def __init__(self, shard_dir: Union[str, Path]) -> None:
+        self.root = Path(shard_dir)
+        self.manifest = self.root / MANIFEST_NAME
+        self.pending = self.root / "queue" / "pending"
+        self.leases = self.root / "queue" / "leases"
+        self.results = self.root / "results"
+
+    def create(self) -> None:
+        for directory in (self.pending, self.leases, self.results):
+            directory.mkdir(parents=True, exist_ok=True)
+
+    def ticket(self, case_id: str) -> Path:
+        return self.pending / f"{case_id}.json"
+
+    def lease(self, case_id: str) -> Path:
+        return self.leases / f"{case_id}.json"
+
+    def series_artifact(self, case_id: str) -> Path:
+        return self.results / f"{case_id}.npz"
+
+    def summary_artifact(self, case_id: str) -> Path:
+        return self.results / f"{case_id}.json"
+
+    def case_done(self, case_id: str) -> bool:
+        # The summary is written after the npz, so it is the marker.
+        return (
+            self.summary_artifact(case_id).is_file()
+            and self.series_artifact(case_id).is_file()
+        )
+
+
+@dataclass(frozen=True)
+class ShardManifest:
+    """Parsed ``manifest.json``: the grid in collation order."""
+
+    case_ids: Tuple[str, ...]
+    cases: Tuple[ExperimentCase, ...]
+    cache_dir: Path
+
+    def __len__(self) -> int:
+        return len(self.case_ids)
+
+    def by_id(self) -> Dict[str, ExperimentCase]:
+        return dict(zip(self.case_ids, self.cases))
+
+
+@dataclass(frozen=True)
+class ShardStatus:
+    """Queue accounting of one shard directory.
+
+    ``leased`` counts live (unexpired) leases; ``expired`` leases are
+    re-queueable and will be picked up by the next worker scan.
+    """
+
+    total: int
+    done: int
+    pending: int
+    leased: int
+    expired: int
+
+    @property
+    def complete(self) -> bool:
+        """True when every case has its result artifacts."""
+        return self.done == self.total
+
+    def describe(self) -> str:
+        return (
+            f"{self.done}/{self.total} done, {self.pending} pending, "
+            f"{self.leased} leased, {self.expired} expired"
+        )
+
+
+def _case_id(index: int) -> str:
+    return f"case-{index:05d}"
+
+
+def _default_worker_id() -> str:
+    return f"{socket.gethostname()}-pid{os.getpid()}"
+
+
+# ----------------------------------------------------------------------
+# init
+# ----------------------------------------------------------------------
+def init_shard(
+    shard_dir: Union[str, Path],
+    cases: Sequence[ExperimentCase],
+    cache_dir: Union[str, Path, None] = None,
+    warm: bool = True,
+) -> ShardManifest:
+    """Create (or resume) a shard directory for an experiment grid.
+
+    Writes the case manifest, enqueues a ticket per unfinished case and
+    warms the shared physics-cache artifact store (one radiator solve
+    per unique scenario fingerprint, skipped for already-present
+    artifacts).  Calling ``init`` again on an existing shard with the
+    *same* grid is the resume path: finished cases keep their results,
+    live leases are left alone, and only orphaned cases are re-queued.
+    A different grid under the same directory is refused.
+
+    Parameters
+    ----------
+    shard_dir:
+        The shared directory (typically on a filesystem all
+        participating hosts mount).
+    cases:
+        The grid, in the order collation will use; names must be
+        unique (enforced by :class:`~repro.sim.engine.ExperimentRunner`
+        and re-checked here for direct callers).
+    cache_dir:
+        Physics artifact store location; defaults to ``cache/`` inside
+        the shard so the whole run is one self-contained directory.
+    warm:
+        Precompute/load the physics artifacts now (recommended — every
+        worker then starts with a warm store).
+    """
+    paths = _ShardPaths(shard_dir)
+    names = [case.name for case in cases]
+    if len(set(names)) != len(names):
+        raise SimulationError("shard cases must have unique names")
+    if not cases:
+        raise SimulationError("a shard needs at least one case")
+
+    paths.create()
+    cache_value = None if cache_dir is None else str(cache_dir)
+    payload = {
+        "version": SHARD_FORMAT_VERSION,
+        "cache_dir": cache_value,
+        "cases": [
+            {"id": _case_id(i), "case": case.to_json_dict()}
+            for i, case in enumerate(cases)
+        ],
+    }
+    existing = _read_json(paths.manifest) if paths.manifest.is_file() else None
+    if existing is not None:
+        if (
+            existing.get("version") != payload["version"]
+            or existing.get("cases") != payload["cases"]
+        ):
+            raise SimulationError(
+                f"shard directory {paths.root} already holds a different "
+                f"grid; collating mixed grids would be meaningless — "
+                f"use a fresh directory"
+            )
+        # Same grid: this is a resume.  The recorded physics store is
+        # authoritative (workers read it from the manifest); only an
+        # *explicitly different* store request is an error.
+        if cache_value is not None and existing.get("cache_dir") != cache_value:
+            recorded = existing.get("cache_dir") or "<shard>/cache"
+            raise SimulationError(
+                f"shard {paths.root} already records its physics store "
+                f"({recorded}); omit cache_dir to resume with it"
+            )
+    else:
+        _write_json_atomic(paths.manifest, payload)
+
+    manifest = _load_manifest(paths)
+
+    # Enqueue every case that is not finished and not currently claimed.
+    for case_id in manifest.case_ids:
+        if paths.case_done(case_id):
+            continue
+        if paths.lease(case_id).exists() or paths.ticket(case_id).exists():
+            continue
+        _write_json_atomic(paths.ticket(case_id), {"case_id": case_id})
+
+    if warm:
+        cache = PhysicsCache(cache_dir=manifest.cache_dir)
+        seen = set()
+        unique = []
+        for case in manifest.cases:
+            fingerprint = case.scenario.physics_fingerprint()
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                unique.append(case.scenario)
+        cache.warm(unique)
+    return manifest
+
+
+def _load_manifest(paths: _ShardPaths) -> ShardManifest:
+    data = _read_json(paths.manifest)
+    if data is None:
+        raise SimulationError(
+            f"{paths.root} is not a shard directory (no readable "
+            f"{MANIFEST_NAME}); run 'repro shard init' first"
+        )
+    if data.get("version") != SHARD_FORMAT_VERSION:
+        raise SimulationError(
+            f"shard manifest version {data.get('version')!r} is not "
+            f"supported (this library reads version {SHARD_FORMAT_VERSION})"
+        )
+    case_ids = tuple(entry["id"] for entry in data["cases"])
+    cases = tuple(
+        ExperimentCase.from_json_dict(entry["case"]) for entry in data["cases"]
+    )
+    cache_value = data.get("cache_dir")
+    cache_dir = (
+        paths.root / "cache" if cache_value is None else Path(cache_value)
+    )
+    return ShardManifest(case_ids=case_ids, cases=cases, cache_dir=cache_dir)
+
+
+def load_shard_manifest(shard_dir: Union[str, Path]) -> ShardManifest:
+    """Read and rebuild a shard's case manifest."""
+    return _load_manifest(_ShardPaths(shard_dir))
+
+
+# ----------------------------------------------------------------------
+# the queue protocol
+# ----------------------------------------------------------------------
+def _lease_expired(lease: Path, now: float) -> bool:
+    """Whether a lease file has outlived its TTL.
+
+    The claim timestamp inside the file is authoritative; a lease that
+    cannot be parsed yet (the claimant renamed it but has not stamped
+    it — a millisecond window) falls back to the file mtime, which for
+    a crashed-in-that-window worker is the old ticket time and thus
+    expires promptly, exactly as a crash should.
+    """
+    data = _read_json(lease)
+    if data is not None and "claimed_at" in data:
+        claimed_at = float(data["claimed_at"])
+        ttl = float(data.get("lease_ttl_s", DEFAULT_LEASE_TTL_S))
+    else:
+        try:
+            claimed_at = lease.stat().st_mtime
+        except OSError:
+            return False  # vanished: completed or already re-queued
+        ttl = DEFAULT_LEASE_TTL_S
+    return (now - claimed_at) > ttl
+
+
+def _requeue_expired(paths: _ShardPaths, now: Optional[float] = None) -> int:
+    """Move expired leases back to pending; returns how many moved.
+
+    A lease whose case already has result artifacts (worker crashed
+    after publishing, before releasing) is released instead of
+    re-queued.
+    """
+    now = time.time() if now is None else now
+    moved = 0
+    for lease in sorted(paths.leases.glob("case-*.json")):
+        case_id = lease.stem
+        if paths.case_done(case_id):
+            lease.unlink(missing_ok=True)
+            continue
+        if not _lease_expired(lease, now):
+            continue
+        try:
+            os.rename(lease, paths.ticket(case_id))
+        except OSError:
+            continue  # another worker re-queued or the owner finished
+        moved += 1
+    return moved
+
+
+def claim_case(
+    shard_dir: Union[str, Path],
+    worker_id: Optional[str] = None,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+) -> Optional[str]:
+    """Claim the next available case; returns its id, or ``None``.
+
+    The claim is one atomic rename of the ticket into ``leases/`` —
+    exactly one of any number of racing workers wins it — followed by
+    stamping the lease with the worker identity and claim time.
+    ``None`` means nothing is claimable right now: every remaining
+    case is finished or held by a live lease.
+    """
+    paths = _ShardPaths(shard_dir)
+    worker_id = worker_id or _default_worker_id()
+    scanned_expired = False
+    while True:
+        claimed = None
+        for ticket in sorted(paths.pending.glob("case-*.json")):
+            target = paths.leases / ticket.name
+            try:
+                os.rename(ticket, target)
+            except OSError:
+                continue  # another worker won this ticket
+            claimed = target
+            break
+        if claimed is not None:
+            _write_json_atomic(
+                claimed,
+                {
+                    "case_id": claimed.stem,
+                    "worker": worker_id,
+                    "claimed_at": time.time(),
+                    "lease_ttl_s": float(lease_ttl_s),
+                },
+            )
+            return claimed.stem
+        if scanned_expired:
+            return None
+        scanned_expired = True
+        if _requeue_expired(paths) == 0:
+            return None
+
+
+def release_case(shard_dir: Union[str, Path], case_id: str) -> None:
+    """Drop a lease (after completion, or to hand the case back)."""
+    _ShardPaths(shard_dir).lease(case_id).unlink(missing_ok=True)
+
+
+def publish_result(
+    shard_dir: Union[str, Path],
+    case_id: str,
+    case: ExperimentCase,
+    result: SimulationResult,
+) -> None:
+    """Write one case's artifacts (npz series, then the JSON summary).
+
+    Both writes are atomic and the summary lands last, so a case is
+    observably *done* only once both artifacts are complete.
+    """
+    paths = _ShardPaths(shard_dir)
+    result_to_npz(result, paths.series_artifact(case_id))
+    row = {key: _json_safe(value) for key, value in summary_row(result).items()}
+    _write_json_atomic(
+        paths.summary_artifact(case_id),
+        {"case": case.name, "policy": case.policy, "summary": row},
+    )
+
+
+def work_shard(
+    shard_dir: Union[str, Path],
+    worker_id: Optional[str] = None,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    max_cases: Optional[int] = None,
+) -> List[str]:
+    """Drain the shard queue from this process; returns completed ids.
+
+    Claims cases one at a time, runs each through the engine's single
+    :func:`~repro.sim.engine.run_case` code path (with the shard's
+    warm physics store), publishes the artifacts and releases the
+    lease.  Returns when nothing is claimable — the queue is drained
+    or every remaining case is held by a live lease on another worker
+    — or after ``max_cases`` completions.
+    """
+    paths = _ShardPaths(shard_dir)
+    manifest = _load_manifest(paths)
+    cases_by_id = manifest.by_id()
+    worker_id = worker_id or _default_worker_id()
+    completed: List[str] = []
+    while max_cases is None or len(completed) < max_cases:
+        case_id = claim_case(paths.root, worker_id, lease_ttl_s)
+        if case_id is None:
+            break
+        if case_id not in cases_by_id:
+            raise SimulationError(
+                f"queue ticket {case_id!r} is not in the shard manifest"
+            )
+        try:
+            if not paths.case_done(case_id):
+                case = cases_by_id[case_id]
+                result = run_case(case, cache_dir=str(manifest.cache_dir))
+                publish_result(paths.root, case_id, case, result)
+        except BaseException:
+            # This process is still alive to hand the case back —
+            # waiting out the lease TTL is for *crashed* workers, and
+            # holding the lease here would stall the case (and every
+            # 'shard work' retry) for the full TTL for no reason.
+            try:
+                os.rename(paths.lease(case_id), paths.ticket(case_id))
+            except OSError:
+                pass  # lease already expired/re-queued by someone else
+            raise
+        release_case(paths.root, case_id)
+        completed.append(case_id)
+    return completed
+
+
+# ----------------------------------------------------------------------
+# status + collation
+# ----------------------------------------------------------------------
+def shard_status(shard_dir: Union[str, Path]) -> ShardStatus:
+    """Count done/pending/leased/expired cases of a shard."""
+    paths = _ShardPaths(shard_dir)
+    manifest = _load_manifest(paths)
+    now = time.time()
+    done = pending = leased = expired = 0
+    for case_id in manifest.case_ids:
+        if paths.case_done(case_id):
+            done += 1
+        elif paths.ticket(case_id).exists():
+            pending += 1
+        elif paths.lease(case_id).exists():
+            if _lease_expired(paths.lease(case_id), now):
+                expired += 1
+            else:
+                leased += 1
+        else:
+            # Orphaned (e.g. interrupted init): counts as pending work
+            # that the next init/work pass will re-queue.
+            pending += 1
+    return ShardStatus(
+        total=len(manifest),
+        done=done,
+        pending=pending,
+        leased=leased,
+        expired=expired,
+    )
+
+
+def collate_shard(shard_dir: Union[str, Path]) -> ExperimentCollation:
+    """Reassemble the full collation from a finished shard.
+
+    Results are loaded in manifest order, so the collation is
+    bit-identical to the serial :class:`ExperimentRunner` run over the
+    same grid regardless of which worker produced which artifact.
+    """
+    paths = _ShardPaths(shard_dir)
+    manifest = _load_manifest(paths)
+    missing = [
+        case_id
+        for case_id in manifest.case_ids
+        if not paths.case_done(case_id)
+    ]
+    if missing:
+        status = shard_status(paths.root)
+        raise SimulationError(
+            f"shard is not complete ({status.describe()}); "
+            f"missing: {', '.join(missing[:5])}"
+            + ("..." if len(missing) > 5 else "")
+        )
+    results = tuple(
+        result_from_npz(paths.series_artifact(case_id))
+        for case_id in manifest.case_ids
+    )
+    return ExperimentCollation(cases=manifest.cases, results=results)
+
+
+# ----------------------------------------------------------------------
+# the ExperimentRunner executor="shard" entry point
+# ----------------------------------------------------------------------
+def run_sharded(
+    cases: Sequence[ExperimentCase],
+    shard_dir: Union[str, Path, None] = None,
+    n_workers: Optional[int] = None,
+    cache_dir: Union[str, Path, None] = None,
+) -> Tuple[SimulationResult, ...]:
+    """Init a shard, drain it with worker processes, collate.
+
+    The in-process convenience wrapper behind
+    ``ExperimentRunner(executor="shard")``: the exact protocol
+    independent hosts speak via the CLI, exercised with local worker
+    processes.  With ``shard_dir=None`` the shard lives in a temporary
+    directory that is removed after collation; a named directory is
+    left in place (durable — more hosts can join, crashes resume).
+    """
+    cleanup = shard_dir is None
+    root = Path(
+        tempfile.mkdtemp(prefix="repro-shard-") if cleanup else shard_dir
+    )
+    try:
+        init_shard(root, cases, cache_dir=cache_dir)
+        workers = n_workers or min(4, os.cpu_count() or 2)
+        if workers <= 1:
+            work_shard(root)
+        else:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(work_shard, str(root)) for _ in range(workers)
+                ]
+                for future in futures:
+                    future.result()
+        return collate_shard(root).results
+    finally:
+        if cleanup:
+            shutil.rmtree(root, ignore_errors=True)

@@ -120,6 +120,89 @@ class TestBatch:
         assert "unknown scenarios" in capsys.readouterr().err
 
 
+class TestShard:
+    GRID = [
+        "--scenarios", "porter-ii",
+        "--schemes", "INOR,Baseline",
+        "--duration", "15",
+        "--modules", "16",
+    ]
+
+    def test_init_work_status_collate_round_trip(self, tmp_path, capsys):
+        shard = str(tmp_path / "shard")
+        assert main(["shard", "init", "--dir", shard] + self.GRID) == 0
+        out = capsys.readouterr().out
+        assert "2 cases" in out and "2 pending" in out
+
+        assert main(["shard", "status", "--dir", shard]) == 0
+        assert "0/2 done" in capsys.readouterr().out
+
+        # Collating an unfinished shard fails loudly.
+        assert main(["shard", "collate", "--dir", shard]) == 1
+        assert "not complete" in capsys.readouterr().err
+
+        assert main(["shard", "work", "--dir", shard]) == 0
+        assert "finished 2 case(s)" in capsys.readouterr().out
+
+        summary = tmp_path / "summary.json"
+        code = main(
+            ["shard", "collate", "--dir", shard, "--json", str(summary)]
+        )
+        assert code == 0
+        assert "Energy Output (J)" in capsys.readouterr().out
+        assert "energy_output_j" in summary.read_text()
+
+    def test_collation_json_diffs_clean_against_serial_batch(
+        self, tmp_path, capsys
+    ):
+        """The CI smoke contract: shard collate --json equals
+        batch --json --json-deterministic bytes-for-bytes."""
+        shard = str(tmp_path / "shard")
+        shard_json = tmp_path / "shard.json"
+        serial_json = tmp_path / "serial.json"
+        assert main(["shard", "init", "--dir", shard] + self.GRID) == 0
+        assert main(["shard", "work", "--dir", shard]) == 0
+        assert (
+            main(
+                ["shard", "collate", "--dir", shard, "--json", str(shard_json)]
+            )
+            == 0
+        )
+        assert (
+            main(
+                ["batch", "--executor", "serial", "--json", str(serial_json),
+                 "--json-deterministic"] + self.GRID
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert shard_json.read_text() == serial_json.read_text()
+
+    def test_batch_shard_executor(self, capsys):
+        code = main(
+            ["batch", "--executor", "shard", "--workers", "2"] + self.GRID
+        )
+        assert code == 0
+        assert "Energy Output (J)" in capsys.readouterr().out
+
+    def test_init_unknown_scenario_exits_nonzero(self, tmp_path, capsys):
+        code = main(
+            ["shard", "init", "--dir", str(tmp_path), "--scenarios", "warp"]
+        )
+        assert code == 2
+        assert "unknown scenarios" in capsys.readouterr().err
+
+    def test_work_on_missing_shard_exits_cleanly(self, tmp_path, capsys):
+        code = main(["shard", "work", "--dir", str(tmp_path / "nope")])
+        assert code == 1
+        assert "not a shard directory" in capsys.readouterr().err
+
+    def test_status_on_missing_shard_exits_cleanly(self, tmp_path, capsys):
+        code = main(["shard", "status", "--dir", str(tmp_path / "nope")])
+        assert code == 1
+        assert "not a shard directory" in capsys.readouterr().err
+
+
 class TestSweepPeriod:
     def test_sweep_runs(self, capsys):
         code = main(

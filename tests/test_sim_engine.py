@@ -18,8 +18,15 @@ import pytest
 from repro.errors import ConfigurationError, SimulationError
 from repro.power.charger import TEGCharger
 from repro.power.converter import BuckBoostConverter
-from repro.sim.engine import ExperimentCase, ExperimentRunner, grid_cases, run_case
+from repro.sim.engine import (
+    ExperimentCase,
+    ExperimentCollation,
+    ExperimentRunner,
+    grid_cases,
+    run_case,
+)
 from repro.sim.physics import TracePhysics
+from repro.sim.results import SimulationResult
 from repro.sim.scenario import (
     build_named_scenario,
     default_registry,
@@ -331,6 +338,46 @@ class TestExperimentRunnerEquivalence:
         assert pairs[0][0] is cases[0]
         with pytest.raises(KeyError):
             collation["nope"]
+
+    def test_failed_case_names_itself(self, scenario, physics):
+        """One bad cell in a pooled/sharded grid must say which case it
+        was: the worker's traceback surfaces far from the submission
+        site."""
+        other = default_scenario(duration_s=20.0, seed=6, n_modules=25)
+        case = ExperimentCase(
+            name="porter/bad-cell", scenario=other, policy="Baseline"
+        )
+        with pytest.raises(SimulationError, match="case 'porter/bad-cell' failed"):
+            run_case(case, physics=physics)  # physics of another scenario
+        try:
+            run_case(case, physics=physics)
+        except SimulationError as exc:
+            assert exc.__cause__ is not None  # original error chained
+
+    def test_collation_json_sanitises_non_finite(self, scenario):
+        """NaN/Inf summary values must serialise as null, not as the
+        non-standard NaN/Infinity tokens strict parsers reject."""
+        import json as json_mod
+
+        case = ExperimentCase(name="x/Baseline", scenario=scenario, policy="Baseline")
+        n = 4
+        result = SimulationResult(
+            scheme="Baseline",
+            time_s=np.arange(n) * 0.5,
+            gross_power_w=np.full(n, np.nan),
+            delivered_power_w=np.full(n, np.nan),
+            ideal_power_w=np.full(n, np.inf),
+            array_voltage_v=np.zeros(n),
+            runtime_s=np.zeros(n),
+            overhead_events=(),
+            switch_times_s=(),
+            n_groups_series=np.ones(n, dtype=np.int64),
+        )
+        collation = ExperimentCollation(cases=(case,), results=(result,))
+        text = collation.to_json()
+        rows = json_mod.loads(text)  # strict parse must succeed
+        assert rows[0]["energy_output_j"] is None
+        assert "NaN" not in text and "Infinity" not in text
 
     def test_registry_scenarios_are_deterministic(self):
         """Registry builders pin nominal_compute_s, so repeated DNOR

@@ -1,11 +1,20 @@
 """Tests for repro.sim.export."""
 
 import csv
+import json
 
 import numpy as np
 import pytest
 
-from repro.sim.export import SERIES_COLUMNS, result_series_to_csv, summary_rows_to_csv
+from repro.errors import SimulationError
+from repro.sim.export import (
+    RESULT_FORMAT_VERSION,
+    SERIES_COLUMNS,
+    result_from_npz,
+    result_series_to_csv,
+    result_to_npz,
+    summary_rows_to_csv,
+)
 from repro.sim.scenario import default_scenario
 
 
@@ -58,3 +67,58 @@ class TestSummaryExport:
     def test_empty_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             summary_rows_to_csv([], tmp_path / "summary.csv")
+
+
+class TestNpzRoundTrip:
+    """The shard artifact format: loss-free, versioned, atomic."""
+
+    ARRAY_FIELDS = (
+        "time_s",
+        "gross_power_w",
+        "delivered_power_w",
+        "ideal_power_w",
+        "array_voltage_v",
+        "runtime_s",
+        "n_groups_series",
+    )
+
+    def test_bit_identical(self, result, tmp_path):
+        # The INOR fixture switches every period, so the event records
+        # (the trickiest part of the layout) are genuinely exercised.
+        assert result.overhead_events
+        loaded = result_from_npz(result_to_npz(result, tmp_path / "r.npz"))
+        for field in self.ARRAY_FIELDS:
+            assert np.array_equal(
+                getattr(loaded, field), getattr(result, field)
+            ), field
+        assert loaded.scheme == result.scheme
+        assert loaded.switch_times_s == result.switch_times_s
+        assert loaded.overhead_events == result.overhead_events
+        assert loaded.energy_output_j == result.energy_output_j
+
+    def test_no_temp_files_left(self, result, tmp_path):
+        result_to_npz(result, tmp_path / "r.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["r.npz"]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(SimulationError, match="cannot read"):
+            result_from_npz(tmp_path / "nope.npz")
+
+    def test_truncated_file_raises(self, result, tmp_path):
+        path = result_to_npz(result, tmp_path / "r.npz")
+        path.write_bytes(path.read_bytes()[:50])
+        with pytest.raises(SimulationError):
+            result_from_npz(path)
+
+    def test_version_skew_refused(self, result, tmp_path):
+        path = result_to_npz(result, tmp_path / "r.npz")
+        with np.load(path) as data:
+            arrays = {name: data[name] for name in data.files}
+        meta = json.loads(str(arrays["meta_json"]))
+        assert meta["version"] == RESULT_FORMAT_VERSION
+        meta["version"] = RESULT_FORMAT_VERSION + 1
+        arrays["meta_json"] = np.array(json.dumps(meta))
+        with open(path, "wb") as handle:
+            np.savez(handle, **arrays)
+        with pytest.raises(SimulationError, match="version"):
+            result_from_npz(path)

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.overhead import OverheadEvent
+from repro.errors import SimulationError
 from repro.sim.results import SimulationResult, comparison_table, summary_row
 
 
@@ -13,10 +14,11 @@ def make_result(
     delivered=50.0,
     ideal=60.0,
     events=(),
+    start_s=0.0,
 ) -> SimulationResult:
     return SimulationResult(
         scheme=scheme,
-        time_s=np.arange(n) * 0.5,
+        time_s=start_s + np.arange(n) * 0.5,
         gross_power_w=np.full(n, delivered + 3.0),
         delivered_power_w=np.full(n, delivered),
         ideal_power_w=np.full(n, ideal),
@@ -66,6 +68,17 @@ class TestTotals:
         result = make_result(n=10)
         assert result.duration_s == pytest.approx(5.0)
 
+    def test_single_sample_series_raises_clearly(self):
+        """Regression: a length-1 series used to escape as a bare
+        ``IndexError`` from ``time_s[1]``; it must name the problem."""
+        result = make_result(n=1)
+        with pytest.raises(SimulationError, match="at least two"):
+            result.dt_s
+        with pytest.raises(SimulationError, match="at least two"):
+            result.duration_s
+        with pytest.raises(SimulationError, match="at least two"):
+            result.delivered_energy_j
+
 
 class TestSeries:
     def test_ratio_to_ideal(self):
@@ -85,6 +98,22 @@ class TestSeries:
         net = result.net_power_w()
         idx = int(round(1.0 / 0.5))
         assert net[idx] == pytest.approx(result.delivered_power_w[idx] - 2.0 / 0.5)
+        others = np.delete(net, idx)
+        assert np.allclose(others, result.delivered_power_w[0])
+
+    def test_net_power_indexes_relative_to_series_start(self):
+        """Regression: a shifted-start trace (e.g. a windowed
+        sub-trace) must bill an event at its step *within the series*,
+        not at ``round(t/dt)`` — which lands on the wrong step (or the
+        clamped last one) whenever ``time_s[0] != 0``."""
+        start = 100.0
+        event = make_event(time_s=start + 1.0, energy=2.0)
+        result = make_result(events=[event], start_s=start)
+        net = result.net_power_w()
+        idx = int(round(1.0 / 0.5))  # third period of the series
+        assert net[idx] == pytest.approx(
+            result.delivered_power_w[idx] - 2.0 / 0.5
+        )
         others = np.delete(net, idx)
         assert np.allclose(others, result.delivered_power_w[0])
 
