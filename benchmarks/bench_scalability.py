@@ -1,30 +1,49 @@
-"""Scalability ablation — INOR's O(N) against EHTR's O(N^3) class.
+"""Scalability ablation — INOR at boiler scale against EHTR's O(N^3) class.
 
 The paper's motivating claim (Secs. I and VI-B): INOR scales to
 "larger scale systems such as industrial boilers and heat exchangers"
-where the prior algorithm's runtime explodes.  This bench measures
-both algorithms across array sizes and regenerates the runtime-vs-N
-table, checking the growth-rate gap.
+where the prior algorithm's runtime explodes.  This bench measures the
+algorithms across array sizes up to N=4000, regenerates the
+runtime-vs-N table, writes a machine-readable
+``benchmarks/results/scalability.json`` artifact, and gates INOR's
+growth at sub-quadratic (log–log slope) — the property that makes the
+boiler-scale regime reachable at all.
+
+EHTR is only measured up to ``REPRO_BENCH_EHTR_MAX`` modules (default
+400): its growth class is the *reason* for the cap, and extrapolating
+the measured ratios already shows the gap.
 """
 
+import json
+import math
 import os
 import time
 
 import numpy as np
 import pytest
 
-from conftest import emit
+from conftest import emit, write_artifact
 from repro.core.dnor import thevenin_from_temps
 from repro.core.ehtr import ehtr
 from repro.core.inor import inor
 from repro.power.charger import TEGCharger
 from repro.teg.datasheet import TGM_199_1_4_0_8
 
-#: Override with e.g. ``REPRO_BENCH_SIZES=25,50,100`` for a CI smoke run.
+#: Override with e.g. ``REPRO_BENCH_SIZES=100,400`` for a CI smoke run.
 SIZES = tuple(
     int(s)
-    for s in os.environ.get("REPRO_BENCH_SIZES", "25,50,100,200,400").split(",")
+    for s in os.environ.get(
+        "REPRO_BENCH_SIZES", "100,400,1000,4000"
+    ).split(",")
 )
+
+#: Largest N the O(N^3)-class EHTR search is timed at.
+EHTR_MAX = int(os.environ.get("REPRO_BENCH_EHTR_MAX", "400"))
+
+#: Gate: fitted log–log slope of INOR runtime vs N must stay below
+#: this, i.e. clearly sub-quadratic (the kernels are ~linear; the bound
+#: leaves room for cache effects and allocator noise at N=4000).
+INOR_SLOPE_GATE = 1.8
 
 
 def instance(n: int):
@@ -42,59 +61,90 @@ def measure(fn, repeats: int) -> float:
     return best
 
 
+def loglog_slope(sizes, seconds) -> float:
+    """Least-squares slope of log(runtime) against log(N)."""
+    x = np.log(np.asarray(sizes, dtype=float))
+    y = np.log(np.asarray(seconds, dtype=float))
+    x_c = x - x.mean()
+    return float((x_c * (y - y.mean())).sum() / (x_c * x_c).sum())
+
+
 @pytest.fixture(scope="module")
 def scaling_table():
     charger = TEGCharger()
     rows = []
     for n in SIZES:
         emf, res = instance(n)
-        t_inor = measure(lambda: inor(emf, res, charger=charger), repeats=5)
-        t_ehtr = measure(lambda: ehtr(emf, res), repeats=1 if n >= 200 else 2)
+        t_inor = measure(
+            lambda: inor(emf, res, charger=charger),
+            repeats=3 if n >= 1000 else 5,
+        )
+        t_ehtr = None
+        if n <= EHTR_MAX:
+            t_ehtr = measure(lambda: ehtr(emf, res), repeats=1 if n >= 200 else 2)
         rows.append((n, t_inor, t_ehtr))
     return rows
 
 
-def render_scaling(rows) -> str:
+def render_scaling(rows, slope: float) -> str:
     lines = [
         "Scalability — single-reconfiguration runtime vs array size",
         f"{'N':>6s} {'INOR (ms)':>12s} {'EHTR (ms)':>12s} {'EHTR/INOR':>11s}",
     ]
     for n, t_inor, t_ehtr in rows:
-        lines.append(
-            f"{n:6d} {t_inor * 1e3:12.3f} {t_ehtr * 1e3:12.1f} "
-            f"{t_ehtr / t_inor:11.0f}x"
+        ehtr_ms = f"{t_ehtr * 1e3:12.1f}" if t_ehtr is not None else f"{'—':>12s}"
+        ratio = (
+            f"{t_ehtr / t_inor:11.0f}x" if t_ehtr is not None else f"{'—':>12s}"
         )
-    n0, i0, e0 = rows[0]
-    n1, i1, e1 = rows[-1]
-    scale = n1 / n0
+        lines.append(f"{n:6d} {t_inor * 1e3:12.3f} {ehtr_ms} {ratio}")
+    n0, i0, _ = rows[0]
+    n1, i1, _ = rows[-1]
     lines.append("")
     lines.append(
-        f"Growth {n0} -> {n1} modules ({scale:.0f}x): "
-        f"INOR {i1 / i0:.1f}x, EHTR {e1 / e0:.1f}x"
+        f"Growth {n0} -> {n1} modules ({n1 / n0:.0f}x): INOR {i1 / i0:.1f}x "
+        f"(log-log slope {slope:.2f}, gate < {INOR_SLOPE_GATE})"
     )
     lines.append(
-        "Paper comparison: INOR grows ~linearly; EHTR's superlinear blow-up "
-        "is why the paper restricts it to N=100 and calls reconfiguration "
-        "at boiler scale infeasible for prior work."
+        f"EHTR timed only to N={EHTR_MAX}: its superlinear blow-up is why "
+        "the paper restricts prior work to N=100 and calls boiler-scale "
+        "reconfiguration infeasible without INOR."
     )
     return "\n".join(lines)
 
 
 def test_scalability_growth(benchmark, scaling_table):
     rows = scaling_table
-    n0, i0, e0 = rows[0]
-    n1, i1, e1 = rows[-1]
-    scale = n1 / n0
+    sizes = [n for n, _, _ in rows]
+    inor_s = [t for _, t, _ in rows]
+    slope = loglog_slope(sizes, inor_s)
 
-    # INOR stays within ~2x of linear growth; EHTR grows much faster.
-    assert i1 / i0 < 2.5 * scale
-    assert e1 / e0 > 4.0 * (i1 / i0)
-    # The runtime gap widens with N.
-    assert rows[-1][2] / rows[-1][1] > rows[0][2] / rows[0][1]
+    # The CI gate: INOR must scale sub-quadratically to boiler sizes.
+    assert slope < INOR_SLOPE_GATE, (
+        f"INOR log-log growth slope {slope:.2f} >= {INOR_SLOPE_GATE}; "
+        f"table: {rows}"
+    )
+    measured = [(n, ti, te) for n, ti, te in rows if te is not None]
+    if len(measured) >= 2:
+        # EHTR's growth class is visibly worse and the gap widens.
+        (na, ia, ea), (nb, ib, eb) = measured[0], measured[-1]
+        if nb > na:
+            assert eb / ea > 2.0 * (ib / ia)
+            assert eb / ib > ea / ia
 
-    emit("scalability.txt", render_scaling(rows))
+    emit("scalability.txt", render_scaling(rows, slope))
+    payload = {
+        "sizes": sizes,
+        "inor_seconds": inor_s,
+        "ehtr_seconds": [t for _, _, t in rows],
+        "ehtr_max_n": EHTR_MAX,
+        "inor_loglog_slope": slope,
+        "slope_gate": INOR_SLOPE_GATE,
+        "sub_quadratic": bool(slope < INOR_SLOPE_GATE),
+    }
+    write_artifact("scalability.json", json.dumps(payload, indent=2) + "\n")
+    assert math.isfinite(slope)
 
-    emf, res = instance(400)
+    emf, res = instance(sizes[-1])
     charger = TEGCharger()
     result = benchmark(lambda: inor(emf, res, charger=charger))
     assert result.mpp.power_w > 0.0

@@ -35,12 +35,17 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro._about import PAPER_ARXIV, PAPER_TITLE, PAPER_VENUE, __version__
-from repro.core.inor import INOR_KERNELS, inor
+from repro.core.inor import inor, parse_inor_kernel
 from repro.core.period_tradeoff import sweep_fixed_period
 from repro.power.charger import TEGCharger
 from repro.errors import TegkitError
 from repro.sim.cache import PhysicsCache
-from repro.sim.engine import ExperimentCase, ExperimentRunner, grid_cases
+from repro.sim.engine import (
+    EXECUTORS,
+    ExperimentCase,
+    ExperimentRunner,
+    grid_cases,
+)
 from repro.sim.results import comparison_table
 from repro.sim.scenario import default_registry, default_scenario
 from repro.sim.shard import (
@@ -52,6 +57,15 @@ from repro.sim.shard import (
 from repro.teg.array import TEGArray
 from repro.teg.datasheet import MODULE_CATALOG, get_module
 from repro.vehicle.trace_io import save_trace
+
+
+def _kernel_arg(value: str) -> str:
+    """argparse type for ``--kernel``: any ``parse_inor_kernel`` spelling."""
+    try:
+        parse_inor_kernel(value)
+    except TegkitError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -206,7 +220,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         max_workers=args.workers,
         cache_dir=args.cache_dir,
     )
-    collation = runner.run()
+    try:
+        collation = runner.run()
+    except TegkitError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
     print(collation.tables())
     stats = runner.cache.stats
     if stats.lookups:
@@ -371,9 +389,14 @@ def build_parser() -> argparse.ArgumentParser:
     recon.add_argument("--steepness", type=float, default=2.2)
     recon.add_argument(
         "--kernel",
-        choices=INOR_KERNELS,
+        type=_kernel_arg,
         default="batched",
-        help="INOR candidate kernel (bit-identical results; batched is faster)",
+        metavar="KERNEL",
+        help=(
+            "INOR candidate kernel: 'batched', 'scalar', or "
+            "'batched:<backend>' naming an array backend "
+            "(bit-identical results; batched is faster)"
+        ),
     )
     recon.set_defaults(handler=_cmd_reconfigure)
 
@@ -392,9 +415,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument(
         "--kernel",
-        choices=INOR_KERNELS,
+        type=_kernel_arg,
         default="batched",
-        help="INOR candidate kernel (bit-identical results; batched is faster)",
+        metavar="KERNEL",
+        help=(
+            "INOR candidate kernel: 'batched', 'scalar', or "
+            "'batched:<backend>' naming an array backend "
+            "(bit-identical results; batched is faster)"
+        ),
     )
     simulate.set_defaults(handler=_cmd_simulate)
 
@@ -421,8 +449,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--executor",
-        choices=("serial", "thread", "process", "shard"),
+        choices=EXECUTORS,
         default="process",
+        help=(
+            "case scheduler; 'gridstack' fuses homogeneous INOR cases "
+            "into stacked kernel passes (bit-identical to serial)"
+        ),
     )
     batch.add_argument("--workers", type=int, default=None)
     batch.add_argument(
@@ -443,9 +475,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--kernel",
-        choices=INOR_KERNELS,
+        type=_kernel_arg,
         default="batched",
-        help="INOR candidate kernel (bit-identical results; batched is faster)",
+        metavar="KERNEL",
+        help=(
+            "INOR candidate kernel: 'batched', 'scalar', or "
+            "'batched:<backend>' naming an array backend "
+            "(bit-identical results; batched is faster)"
+        ),
     )
     batch.set_defaults(handler=_cmd_batch)
 
@@ -478,9 +515,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     shard_init.add_argument(
         "--kernel",
-        choices=INOR_KERNELS,
+        type=_kernel_arg,
         default="batched",
-        help="INOR candidate kernel (bit-identical results; batched is faster)",
+        metavar="KERNEL",
+        help=(
+            "INOR candidate kernel: 'batched', 'scalar', or "
+            "'batched:<backend>' naming an array backend "
+            "(bit-identical results; batched is faster)"
+        ),
     )
     shard_init.add_argument(
         "--no-warm",

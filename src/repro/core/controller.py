@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.config import ArrayConfiguration
 from repro.core.dnor import DNORDecision, DNORPlanner, thevenin_from_temps
 from repro.core.ehtr import ehtr
-from repro.core.inor import INOR_KERNELS, inor
+from repro.core.inor import inor, parse_inor_kernel
 from repro.errors import ConfigurationError
 from repro.power.charger import TEGCharger
 from repro.teg.module import TEGModule
@@ -104,7 +104,9 @@ class PeriodicPolicy(ReconfigurationPolicy):
         prior work) ignores it by design.
     kernel:
         INOR candidate-evaluation kernel (``"batched"`` — the default
-        fast path — or the ``"scalar"`` reference loop); bit-identical
+        fast path — the ``"scalar"`` reference loop, or
+        ``"batched:<backend>"`` naming the :mod:`repro.backend`
+        implementation of the segmented reductions); bit-identical
         decisions either way.  EHTR ignores it.
     """
 
@@ -122,10 +124,7 @@ class PeriodicPolicy(ReconfigurationPolicy):
             )
         if period_s <= 0.0:
             raise ConfigurationError(f"period_s must be > 0, got {period_s}")
-        if kernel not in INOR_KERNELS:
-            raise ConfigurationError(
-                f"kernel must be one of {INOR_KERNELS}, got {kernel!r}"
-            )
+        parse_inor_kernel(kernel)  # name validation only; fails loudly here
         self._module = module
         self._algorithm = algorithm
         self._period_s = float(period_s)

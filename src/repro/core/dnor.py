@@ -35,7 +35,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config import ArrayConfiguration
-from repro.core.inor import INOR_KERNELS, inor
+from repro.core.inor import inor, parse_inor_kernel
 from repro.core.overhead import SwitchingOverheadModel
 from repro.errors import ConfigurationError, PredictionError
 from repro.power.charger import TEGCharger
@@ -129,9 +129,10 @@ class DNORPlanner:
         (the default) keeps the measured-runtime behaviour.
     inor_kernel:
         Candidate-evaluation kernel forwarded to :func:`inor` for the
-        per-epoch proposal — ``"batched"`` (default) or ``"scalar"``.
-        Bit-identical results either way; the scalar kernel exists for
-        cross-validation and profiling.
+        per-epoch proposal — ``"batched"`` (default), ``"scalar"``, or
+        ``"batched:<backend>"`` naming a :mod:`repro.backend`
+        implementation.  Bit-identical results either way; the scalar
+        kernel exists for cross-validation and profiling.
     """
 
     def __init__(
@@ -154,10 +155,7 @@ class DNORPlanner:
             raise ConfigurationError(
                 f"fit_module_stride must be >= 1, got {fit_module_stride}"
             )
-        if inor_kernel not in INOR_KERNELS:
-            raise ConfigurationError(
-                f"inor_kernel must be one of {INOR_KERNELS}, got {inor_kernel!r}"
-            )
+        parse_inor_kernel(inor_kernel)  # name validation only
         self._module = module
         self._charger = charger
         self._overhead = overhead

@@ -46,6 +46,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.backend import BACKEND_NAMES
 from repro.core.config import ArrayConfiguration
 from repro.errors import ConfigurationError
 from repro.power.charger import TEGCharger
@@ -53,16 +54,21 @@ from repro.teg.module import MPPPoint
 from repro.teg.network import (
     array_mpp,
     array_mpp_multi,
+    array_mpp_multi_stack,
     greedy_balanced_partition,
     partition_multi,
+    partition_multi_stack,
 )
 
 __all__ = [
     "INOR_KERNELS",
     "InorResult",
     "converter_aware_group_range",
+    "converter_aware_group_range_rows",
     "greedy_balanced_partition",
     "inor",
+    "inor_stack",
+    "parse_inor_kernel",
 ]
 
 #: Valid values of the :func:`inor` ``kernel`` argument.  ``"batched"``
@@ -73,6 +79,36 @@ __all__ = [
 #: the reference implementation the batched kernel is pinned
 #: bit-identical against.
 INOR_KERNELS = ("batched", "scalar")
+
+
+def parse_inor_kernel(kernel: str) -> Tuple[str, Optional[str]]:
+    """Split an INOR kernel spec into ``(mode, backend)``.
+
+    Accepted spellings: ``"batched"``, ``"scalar"``, or
+    ``"batched:<backend>"`` where ``<backend>`` names a
+    :mod:`repro.backend` implementation executing the segmented
+    reductions (e.g. ``"batched:numba"``).  Only the *names* are
+    validated here — cheap enough for policy constructors — while
+    backend availability (wheel installed, device present, parity probe
+    passed) is checked at use time by :func:`repro.backend.get_backend`,
+    which raises :class:`repro.backend.BackendUnavailableError` rather
+    than silently substituting NumPy.
+    """
+    spec = str(kernel)
+    mode, sep, backend = spec.partition(":")
+    if mode not in INOR_KERNELS or (sep and mode != "batched"):
+        raise ConfigurationError(
+            f"kernel must be one of {INOR_KERNELS} or 'batched:<backend>', "
+            f"got {kernel!r}"
+        )
+    if not sep:
+        return mode, None
+    if backend not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown backend {backend!r} in kernel spec {kernel!r} "
+            f"(known: {', '.join(BACKEND_NAMES)})"
+        )
+    return mode, backend
 
 
 @dataclass(frozen=True)
@@ -174,6 +210,7 @@ def _score_candidates_batched(
     resistance: np.ndarray,
     candidates: list,
     charger: Optional[TEGCharger],
+    backend: Optional[str] = None,
 ) -> Tuple[int, MPPPoint, float]:
     """Score the whole candidate window in one vectorised pass.
 
@@ -189,7 +226,7 @@ def _score_candidates_batched(
     construction.
     """
     power, voltage, current = array_mpp_multi(
-        emf, resistance, candidates, validate=False
+        emf, resistance, candidates, validate=False, backend=backend
     )
     if charger is not None:
         scores = charger.delivered_batch(power, voltage)
@@ -237,17 +274,16 @@ def inor(
         ``array_mpp`` per group count).  The two are bit-identical —
         same cut indices, same MPPs, same ranking (pinned in the test
         suite) — so the kernel is a speed choice, never a results
-        choice.
+        choice.  The ``"batched:<backend>"`` spelling additionally
+        names the :mod:`repro.backend` implementation executing the
+        segmented reductions (see :func:`parse_inor_kernel`).
 
     Raises
     ------
     ConfigurationError
         If the explicit range or the kernel name is inconsistent.
     """
-    if kernel not in INOR_KERNELS:
-        raise ConfigurationError(
-            f"kernel must be one of {INOR_KERNELS}, got {kernel!r}"
-        )
+    mode, backend = parse_inor_kernel(kernel)
     emf = np.asarray(emf, dtype=float)
     resistance = np.asarray(resistance, dtype=float)
     if emf.shape != resistance.shape or emf.ndim != 1 or emf.size == 0:
@@ -271,10 +307,10 @@ def inor(
         )
 
     mpp_currents = emf / (2.0 * resistance)
-    if kernel == "batched":
+    if mode == "batched":
         candidates = partition_multi(mpp_currents, lo, hi)
         best_index, best_mpp, best_score = _score_candidates_batched(
-            emf, resistance, candidates, charger
+            emf, resistance, candidates, charger, backend=backend
         )
     else:
         candidates = [
@@ -295,3 +331,145 @@ def inor(
         n_range=(lo, hi),
         candidates_evaluated=len(candidates),
     )
+
+
+def converter_aware_group_range_rows(
+    emf_rows: np.ndarray,
+    n_modules: int,
+    charger: Optional[TEGCharger] = None,
+    efficiency_drop: float = 0.03,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-case group-count windows for a stacked case grid.
+
+    The row-stacked sibling of :func:`converter_aware_group_range`:
+    ``emf_rows`` holds one EMF vector per case and the returned
+    ``(n_mins, n_maxs)`` int64 vectors match the scalar function
+    case-by-case exactly — same mean, same clamps, same degenerate
+    fallbacks — because every step is the same elementwise expression
+    batched over the case axis (the per-row ``mean`` of a contiguous
+    row is bitwise the 1-D ``mean``).
+    """
+    emf_rows = np.asarray(emf_rows, dtype=float)
+    n_cases = emf_rows.shape[0]
+    n = int(n_modules)
+    if charger is None:
+        return (
+            np.ones(n_cases, dtype=np.int64),
+            np.full(n_cases, n, dtype=np.int64),
+        )
+    mean_emf = emf_rows.mean(axis=1)
+    usable = np.isfinite(mean_emf) & (mean_emf > 0.0)
+    safe_mean = np.where(usable, mean_emf, 1.0)
+    v_lo, v_hi = charger.preferred_voltage_window(efficiency_drop)
+    n_mins = np.clip(np.floor(2.0 * v_lo / safe_mean), 1, n).astype(np.int64)
+    n_maxs = np.clip(np.ceil(2.0 * v_hi / safe_mean), 1, n).astype(np.int64)
+    n_mins = np.where(usable, n_mins, 1)
+    n_maxs = np.where(usable, n_maxs, n)
+    n_mins = np.where(n_maxs < n_mins, n_maxs, n_mins)
+    return n_mins, n_maxs
+
+
+def _inor_stack_raw(
+    emf_rows: np.ndarray,
+    resistance: np.ndarray,
+    charger: Optional[TEGCharger],
+    efficiency_drop: float,
+    backend: Optional[str],
+):
+    """The fused INOR grid pass, returning flat kernel-layer arrays.
+
+    Shared engine of :func:`inor_stack` and the grid-stacked simulation
+    fabric (:mod:`repro.sim.gridstack`), which consumes the winner
+    indices and :class:`~repro.teg.network.PartitionStack` directly —
+    skipping per-case result-object packaging in its hot loop.
+    Returns ``(stack, power, voltage, current, scores, winners,
+    n_mins, n_maxs)`` with ``winners[c]`` the stacked index of case
+    ``c``'s first-maximum candidate.
+    """
+    n_cases, n_modules = emf_rows.shape
+    n_mins, n_maxs = converter_aware_group_range_rows(
+        emf_rows, n_modules, charger, efficiency_drop
+    )
+
+    mpp_current_rows = emf_rows / (2.0 * resistance)
+    stack = partition_multi_stack(mpp_current_rows, n_mins, n_maxs)
+    power, voltage, current = array_mpp_multi_stack(
+        emf_rows, resistance, stack, backend=backend
+    )
+    if charger is not None:
+        scores = charger.delivered_batch(power, voltage)
+    else:
+        scores = power
+
+    # Per-case first-maximum winners without a case loop: scatter each
+    # case's scores into a -inf-padded row, argmax along the row.
+    widths = np.diff(stack.case_offsets)
+    w_max = int(widths.max())
+    padded = np.full((n_cases, w_max), -np.inf)
+    ragged = np.arange(w_max, dtype=np.int64)[None, :] < widths[:, None]
+    padded[ragged] = scores
+    winners = stack.case_offsets[:-1] + np.argmax(padded, axis=1)
+    return stack, power, voltage, current, scores, winners, n_mins, n_maxs
+
+
+def inor_stack(
+    emf_rows: np.ndarray,
+    resistance: np.ndarray,
+    charger: Optional[TEGCharger] = None,
+    efficiency_drop: float = 0.03,
+    backend: Optional[str] = None,
+) -> Tuple[InorResult, ...]:
+    """Run Algorithm 1 for a whole homogeneous case grid at once.
+
+    The grid-stacked fused decision pass: ``emf_rows`` holds one
+    module-EMF vector per case (all cases sharing ``resistance`` and
+    ``charger`` — the homogeneous-grid precondition), and the window
+    derivation, greedy partition build, MPP evaluation and converter
+    ranking each run as *one* stacked kernel call
+    (:func:`converter_aware_group_range_rows`,
+    :func:`repro.teg.network.partition_multi_stack`,
+    :func:`repro.teg.network.array_mpp_multi_stack`) instead of one
+    :func:`inor` call per case.  Results are **bit-identical** per case
+    to ``inor(emf_rows[c], resistance, charger=charger)`` — pinned in
+    the parity suite — including the first-maximum tie rule, which the
+    per-case winner extraction preserves by ``argmax`` over a
+    ``-inf``-padded per-case score matrix.
+    """
+    emf_rows = np.asarray(emf_rows, dtype=float)
+    resistance = np.asarray(resistance, dtype=float)
+    if (
+        emf_rows.ndim != 2
+        or emf_rows.size == 0
+        or resistance.shape != (emf_rows.shape[1],)
+    ):
+        raise ConfigurationError(
+            f"emf_rows must be a non-empty (C, N) matrix with matching "
+            f"(N,) resistance, got {emf_rows.shape} and {resistance.shape}"
+        )
+    stack, power, voltage, current, scores, winners, n_mins, n_maxs = (
+        _inor_stack_raw(emf_rows, resistance, charger, efficiency_drop, backend)
+    )
+    n_cases, n_modules = emf_rows.shape
+    widths = np.diff(stack.case_offsets)
+
+    results = []
+    for c in range(n_cases):  # result packaging only — no kernel work
+        best = int(winners[c])
+        lo, hi = stack.offsets[best], stack.offsets[best + 1]
+        results.append(
+            InorResult(
+                config=ArrayConfiguration(
+                    starts=tuple(int(s) for s in stack.cat[lo:hi]),
+                    n_modules=n_modules,
+                ),
+                mpp=MPPPoint(
+                    voltage_v=float(voltage[best]),
+                    current_a=float(current[best]),
+                    power_w=float(power[best]),
+                ),
+                delivered_power_w=float(scores[best]),
+                n_range=(int(n_mins[c]), int(n_maxs[c])),
+                candidates_evaluated=int(widths[c]),
+            )
+        )
+    return tuple(results)

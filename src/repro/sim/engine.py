@@ -37,7 +37,7 @@ from repro.sim.results import SimulationResult, comparison_table, summary_row
 from repro.sim.scenario import Scenario
 
 #: Valid values of the ``executor`` argument.
-EXECUTORS = ("serial", "thread", "process", "shard")
+EXECUTORS = ("serial", "thread", "process", "shard", "gridstack")
 
 
 @dataclass(frozen=True)
@@ -295,7 +295,10 @@ class ExperimentRunner:
         (debugging, exact-equivalence tests); ``"shard"`` drives the
         grid through a durable :mod:`repro.sim.shard` directory — the
         same substrate independent hosts use — and collates the
-        per-case artifacts (bit-identical to serial).
+        per-case artifacts (bit-identical to serial);
+        ``"gridstack"`` fuses homogeneous INOR cases into stacked
+        decision passes (:mod:`repro.sim.gridstack`), bit-identical to
+        serial for everything but the wall-clock ``runtime_s`` series.
     max_workers:
         Worker count for the pooled executors; ``None`` lets
         ``concurrent.futures`` pick.
@@ -403,6 +406,13 @@ class ExperimentRunner:
             results = [
                 run_case(case, p) for case, p in zip(self._cases, physics)
             ]
+        elif self._executor == "gridstack":
+            # Imported here: gridstack builds on this module (run_case),
+            # so a top-level import would be circular.
+            from repro.sim.gridstack import run_grid_stacked
+
+            physics = self._shared_physics()
+            results = run_grid_stacked(self._cases, physics)
         elif self._executor == "thread":
             physics = self._shared_physics()
             with ThreadPoolExecutor(max_workers=self._max_workers) as pool:

@@ -1,0 +1,289 @@
+"""Grid-stacked fused simulation: one decision pass for a whole case grid.
+
+Boiler-scale experiment grids are dominated by INOR decision epochs:
+a 64-case noise-axis grid over one trace re-runs the same
+window-derivation + partition-build + MPP-scoring pipeline 64 times per
+control period, each time over a different scanned temperature vector
+but through *identical* kernels.  The ``executor="gridstack"`` path of
+:class:`~repro.sim.engine.ExperimentRunner` exploits that homogeneity:
+cases sharing one physics precompute, chain length, control period and
+converter are grouped, and every decision epoch runs as **one** stacked
+kernel pass (:func:`repro.core.inor.inor_stack` over a ``(C, N)`` EMF
+matrix) instead of ``C`` per-case :func:`repro.core.inor.inor` calls.
+The electrical series is fused the same way — all ``(case, segment)``
+spans sharing a configuration evaluate through one row-stacked
+:func:`repro.teg.network.array_mpp_rows` call.
+
+Results are **bit-identical** to ``executor="serial"`` (pinned in the
+parity suite) for everything except the wall-clock ``runtime_s`` series,
+which by construction measures the *fused* decision cost split evenly
+across the group.  The parity argument layer by layer:
+
+* the scanner draw, Thevenin map, converter curve and battery replay are
+  elementwise, so batching them over a case axis reuses the same doubles;
+* the decision epochs of :class:`~repro.core.controller.PeriodicPolicy`
+  depend only on the shared time vector and period, so one replicated
+  schedule drives every case;
+* ``inor_stack`` / ``array_mpp_rows`` are pinned bit-identical to their
+  per-case forms by the kernel parity suite.
+
+Cases that do not fit the fused contract — non-INOR policies, scalar
+kernels, measured (non-nominal) compute time, P&O tracking — fall back
+to :func:`repro.sim.engine.run_case` over the same shared physics, i.e.
+exactly the serial path.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.inor import _inor_stack_raw, parse_inor_kernel
+from repro.core.overhead import OverheadEvent
+from repro.errors import SimulationError
+from repro.sim.results import SimulationResult
+from repro.teg.network import array_mpp_rows
+
+__all__ = ["fusable_reason", "run_grid_stacked"]
+
+
+def fusable_reason(case) -> Optional[str]:
+    """Why ``case`` cannot join a fused group, or ``None`` if it can.
+
+    The fused pass covers the grid's hot diagonal — batched-kernel INOR
+    under deterministic (nominal) compute accounting — and leaves every
+    other shape to the bit-identical per-case path rather than growing
+    special cases.
+    """
+    scenario = case.scenario
+    if case.policy != "INOR":
+        return f"policy {case.policy!r} is not INOR"
+    mode, _ = parse_inor_kernel(scenario.inor_kernel)
+    if mode != "batched":
+        return f"kernel {scenario.inor_kernel!r} is the scalar reference"
+    if scenario.nominal_compute_s is None:
+        return "measured compute time is per-case wall-clock"
+    if not scenario.make_charger(with_battery=case.with_battery).exact_tracking:
+        return "P&O tracking is inherently sequential"
+    return None
+
+
+def _group_key(case, physics) -> Tuple:
+    """Hashable fused-group identity: one key, one ``inor_stack`` stream."""
+    scenario = case.scenario
+    _, backend = parse_inor_kernel(scenario.inor_kernel)
+    return (
+        id(physics),
+        int(scenario.n_modules),
+        float(scenario.control_period_s),
+        scenario.module,
+        scenario.make_charger(with_battery=False).converter,
+        backend,
+    )
+
+
+def _decision_schedule(time_s: np.ndarray, period_s: float) -> List[int]:
+    """Sample indices where a :class:`PeriodicPolicy` fires.
+
+    Replicates the policy's gating arithmetic exactly (same float
+    comparisons on the same doubles), so the fused loop visits precisely
+    the samples the per-case loops would decide on.
+    """
+    fire: List[int] = []
+    next_run = 0.0
+    for i in range(time_s.size):
+        t = float(time_s[i])
+        if t + 1.0e-9 < next_run:
+            continue
+        next_run = t + float(period_s)
+        fire.append(i)
+    return fire
+
+
+def _run_inor_group(cases: Sequence, physics) -> List[SimulationResult]:
+    """Run one homogeneous INOR group through the fused stacked pass."""
+    scenario0 = cases[0].scenario
+    trace = physics.trace
+    n = trace.n_samples
+    dt = trace.dt_s
+    n_cases = len(cases)
+    n_modules = physics.n_modules
+    module = scenario0.module
+    _, backend = parse_inor_kernel(scenario0.inor_kernel)
+    rank_charger = scenario0.make_charger(with_battery=False)
+    run_chargers = [
+        case.scenario.make_charger(with_battery=case.with_battery)
+        for case in cases
+    ]
+
+    # Per-case sensing: each case owns its seeded scanner, drawn in one
+    # batch exactly like HarvestSimulator._run_batched.
+    scanned = np.empty((n_cases, n, n_modules))
+    for k, case in enumerate(cases):
+        scanner = case.scenario.make_scanner()
+        scanner.reset()
+        scanned[k] = scanner.scan_batch(physics.sensed_temps_c)
+
+    # Thevenin map constants (thevenin_from_temps, batched over cases).
+    emf_coef = module.material.seebeck_v_per_k * module.n_couples
+    decision_resistance = np.full(
+        n_modules, module.material.resistance_ohm * module.n_couples
+    )
+
+    runtimes = np.zeros((n_cases, n))
+    billed: List[List[Tuple[int, float, int]]] = [[] for _ in range(n_cases)]
+    switch_times: List[List[float]] = [[] for _ in range(n_cases)]
+    segments: List[List[Tuple[int, Tuple[int, ...]]]] = [
+        [] for _ in range(n_cases)
+    ]
+    case_index = np.arange(n_cases)
+    # Configurations live as boolean start-membership rows: the switch
+    # fabric's toggle count is 3x the symmetric difference of the start
+    # sets, i.e. an XOR popcount per row — integer-exact, so the fused
+    # bookkeeping bills exactly what per-case SwitchFabric objects
+    # would.  Every fabric powers up all-series (every module a start).
+    membership = np.ones((n_cases, n_modules), dtype=bool)
+
+    for epoch, i in enumerate(
+        _decision_schedule(trace.time_s, scenario0.control_period_s)
+    ):
+        t = float(trace.time_s[i])
+        ambient = float(trace.ambient_c[i])
+        # One stacked Thevenin + INOR pass decides every case at once.
+        emf_rows = emf_coef * (scanned[:, i, :] - ambient)
+        t0 = time.perf_counter()
+        stack, _, _, _, _, winners, _, _ = _inor_stack_raw(
+            emf_rows,
+            decision_resistance,
+            rank_charger,
+            0.03,
+            backend,
+        )
+        runtimes[:, i] = (time.perf_counter() - t0) / n_cases
+
+        # Winner configurations -> membership rows, no per-case Python.
+        winner_counts = np.diff(stack.offsets)[winners]
+        flat_lo = stack.offsets[winners]
+        lane = np.arange(int(winner_counts.sum()), dtype=np.int64)
+        within = lane - np.repeat(
+            np.cumsum(winner_counts) - winner_counts, winner_counts
+        )
+        starts_vals = stack.cat[np.repeat(flat_lo, winner_counts) + within]
+        decided = np.zeros((n_cases, n_modules), dtype=bool)
+        decided[np.repeat(case_index, winner_counts), starts_vals] = True
+
+        flips = (membership != decided).sum(axis=1)
+        if epoch > 0:
+            # INOR bills every post-commissioning decision (the paper's
+            # "switch at every time point"), toggles included even when
+            # the new partition equals the old one.
+            for k in range(n_cases):
+                billed[k].append((i, t, 3 * int(flips[k])))
+                switch_times[k].append(t)
+        for k in np.flatnonzero((flips > 0) | (epoch == 0)):
+            starts = tuple(int(s) for s in np.flatnonzero(decided[k]))
+            segments[k].append((i, starts))
+        membership = decided
+
+    # Fused electrical pass: all (case, span) runs sharing one
+    # configuration evaluate through a single row-stacked reduction
+    # (array_mpp_rows is row-independent, so stacking is bit-safe).
+    gross = np.empty((n_cases, n))
+    voltage = np.empty((n_cases, n))
+    delivered = np.empty((n_cases, n))
+    resistance = np.full(n_modules, physics.module_resistance_ohm)
+    spans_by_config: Dict[Tuple[int, ...], List[Tuple[int, int, int]]] = {}
+    for k in range(n_cases):
+        bounds = [idx for idx, _ in segments[k]] + [n]
+        for (lo, starts), hi in zip(segments[k], bounds[1:]):
+            spans_by_config.setdefault(starts, []).append((k, lo, hi))
+    for starts, spans in spans_by_config.items():
+        rows = np.concatenate(
+            [physics.emf_true[lo:hi] for _, lo, hi in spans], axis=0
+        )
+        power, volt = array_mpp_rows(rows, resistance, starts)
+        power = np.maximum(power, 0.0)
+        cursor = 0
+        for k, lo, hi in spans:
+            width = hi - lo
+            gross[k, lo:hi] = power[cursor : cursor + width]
+            voltage[k, lo:hi] = volt[cursor : cursor + width]
+            cursor += width
+    for k in range(n_cases):
+        delivered[k] = run_chargers[k].converter.output_power_batch(
+            gross[k], voltage[k]
+        )
+
+    results: List[SimulationResult] = []
+    for k, case in enumerate(cases):
+        nominal = case.scenario.nominal_compute_s
+        overhead = case.scenario.overhead
+        events: List[OverheadEvent] = []
+        for i, t, toggles in billed[k]:
+            previous = float(delivered[k, i - 1]) if i > 0 else 0.0
+            events.append(
+                overhead.event(
+                    time_s=t,
+                    power_w=max(previous, 0.0),
+                    compute_time_s=nominal,
+                    toggles=toggles,
+                )
+            )
+        charger = run_chargers[k]
+        if charger.battery is not None and charger.exact_tracking:
+            for i in range(n):
+                charger.battery.accept(float(delivered[k, i]), dt)
+        groups = np.zeros(n, dtype=np.int64)
+        bounds = [idx for idx, _ in segments[k]] + [n]
+        for (lo, starts), hi in zip(segments[k], bounds[1:]):
+            groups[lo:hi] = len(starts)
+        results.append(
+            SimulationResult(
+                scheme="INOR",
+                time_s=trace.time_s.copy(),
+                gross_power_w=gross[k].copy(),
+                delivered_power_w=delivered[k].copy(),
+                ideal_power_w=physics.ideal_power_w.copy(),
+                array_voltage_v=voltage[k].copy(),
+                runtime_s=runtimes[k].copy(),
+                overhead_events=tuple(events),
+                switch_times_s=tuple(switch_times[k]),
+                n_groups_series=groups,
+            )
+        )
+    return results
+
+
+def run_grid_stacked(
+    cases: Sequence, physics_per_case: Sequence
+) -> List[SimulationResult]:
+    """Execute a case grid with fused groups, in collation order.
+
+    Fusable cases (see :func:`fusable_reason`) sharing a group key run
+    through :func:`_run_inor_group`; every other case takes the serial
+    per-case path over the same shared physics.  Output order matches
+    the input grid regardless of grouping.
+    """
+    from repro.sim.engine import run_case  # circular-import guard
+
+    results: List[Optional[SimulationResult]] = [None] * len(cases)
+    groups: Dict[Tuple, List[int]] = {}
+    for index, (case, physics) in enumerate(zip(cases, physics_per_case)):
+        if fusable_reason(case) is None:
+            groups.setdefault(_group_key(case, physics), []).append(index)
+        else:
+            results[index] = run_case(case, physics)
+    for indices in groups.values():
+        members = [cases[i] for i in indices]
+        try:
+            fused = _run_inor_group(members, physics_per_case[indices[0]])
+        except Exception as exc:
+            names = ", ".join(repr(case.name) for case in members)
+            raise SimulationError(
+                f"grid-stacked group [{names}] failed: {exc}"
+            ) from exc
+        for index, result in zip(indices, fused):
+            results[index] = result
+    return [result for result in results if result is not None]

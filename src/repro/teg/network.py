@@ -26,10 +26,11 @@ from __future__ import annotations
 from bisect import bisect_right
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backend import segmented_pairwise_sum
 from repro.errors import ConfigurationError
 from repro.teg.module import MPPPoint
 
@@ -75,9 +76,11 @@ def _lift_plan(n_max: int) -> Tuple[Tuple[int, np.ndarray], ...]:
 
 __all__ = [
     "PartitionSet",
+    "PartitionStack",
     "SegmentThevenin",
     "array_mpp",
     "array_mpp_multi",
+    "array_mpp_multi_stack",
     "array_mpp_rows",
     "array_mpp_rows_multi",
     "array_thevenin",
@@ -86,6 +89,7 @@ __all__ = [
     "module_operating_points",
     "parallel_reduce",
     "partition_multi",
+    "partition_multi_stack",
     "power_at_current",
     "reduce_configuration",
     "validate_starts",
@@ -253,6 +257,85 @@ def _greedy_accumulation_walk(
         pos = cut
 
 
+def _accumulation_walk_multi(
+    currents: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """All candidates' accumulation walks, advanced in lockstep.
+
+    The candidate-vectorised twin of :func:`_greedy_accumulation_walk`
+    for one current vector; delegates to the row-aware
+    :func:`_accumulation_walk_rows` with every lane reading row 0.
+    """
+    rows = np.ascontiguousarray(currents, dtype=float)[None, :]
+    return _accumulation_walk_rows(
+        rows, np.zeros(counts.size, dtype=np.int64), counts
+    )
+
+
+def _accumulation_walk_rows(
+    currents_rows: np.ndarray, row_of: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Lockstep accumulation walks across many current vectors at once.
+
+    Every lane is one ``(current vector, group count)`` candidate:
+    lane ``k`` walks row ``row_of[k]`` of ``currents_rows`` building a
+    ``counts[k]``-group partition.  Each lane keeps its own
+    ``(position, cut, group sum, best error)`` state, and each
+    iteration either extends the open group by one module or closes it
+    and re-seeds — exactly the scalar walk's per-candidate operation
+    sequence, so each lane's IEEE arithmetic (and therefore every cut
+    index) is bit-identical to running
+    :func:`_greedy_accumulation_walk` on its row.  The Python loop
+    count collapses from O(sum over lanes of walk steps) to O(longest
+    single walk): lanes of *different* rows — e.g. every back-biased
+    case of a stacked grid — advance together.
+
+    Returns the dense ``(n_lanes, max(counts))`` cut matrix (column 0
+    is the mandatory leading zero; columns at or beyond a lane's count
+    are unused).
+    """
+    n_modules = currents_rows.shape[1]
+    n_lanes = counts.size
+    flat = currents_rows.reshape(-1)
+    base = row_of * n_modules
+    cuts = np.zeros((n_lanes, int(counts.max())), dtype=np.int64)
+    # Contiguous-row pairwise sums match each lane's float(row.sum()).
+    ideals = currents_rows.sum(axis=1)[row_of] / counts
+    # Lane state: next start slot to fill, last cut (group origin), the
+    # probing cut, the open group's sum and its best error so far.
+    slot = np.ones(n_lanes, dtype=np.int64)
+    pos = np.zeros(n_lanes, dtype=np.int64)
+    cut = np.ones(n_lanes, dtype=np.int64)
+    group_sum = flat[base]
+    best_err = np.abs(group_sum - ideals)
+    active = slot < counts
+    while active.any():
+        live = np.flatnonzero(active)
+        max_cut = n_modules - (counts[live] - slot[live])
+        extendable = cut[live] < max_cut
+        probing = live[extendable]
+        extended = group_sum[probing] + flat[base[probing] + cut[probing]]
+        err = np.abs(extended - ideals[probing])
+        better = err <= best_err[probing]
+        grow = probing[better]
+        group_sum[grow] = extended[better]
+        best_err[grow] = err[better]
+        cut[grow] += 1
+        # A lane closes its group when the error rose (the walk's
+        # stop-at-first-increase) or the tail clamp binds.
+        close = np.concatenate((live[~extendable], probing[~better]))
+        if close.size:
+            cuts[close, slot[close]] = cut[close]
+            pos[close] = cut[close]
+            slot[close] += 1
+            active[close] = slot[close] < counts[close]
+            reseed = close[active[close]]
+            group_sum[reseed] = flat[base[reseed] + pos[reseed]]
+            cut[reseed] = pos[reseed] + 1
+            best_err[reseed] = np.abs(group_sum[reseed] - ideals[reseed])
+    return cuts
+
+
 @dataclass(frozen=True)
 class PartitionSet:
     """A ragged set of candidate partitions in flat (concatenated) form.
@@ -282,7 +365,18 @@ class PartitionSet:
         return self.offsets.size - 1
 
     def __getitem__(self, index: int) -> np.ndarray:
-        lo, hi = self.offsets[index], self.offsets[index + 1]
+        # Normalise negative indices explicitly: feeding a raw -1 into
+        # the offsets pair would silently yield an empty slice.
+        k = int(index)
+        n_candidates = self.offsets.size - 1
+        if k < 0:
+            k += n_candidates
+        if not 0 <= k < n_candidates:
+            raise IndexError(
+                f"candidate index {index} out of range for "
+                f"{n_candidates} candidates"
+            )
+        lo, hi = self.offsets[k], self.offsets[k + 1]
         return self.cat[lo:hi]
 
     def __iter__(self):
@@ -355,13 +449,12 @@ def partition_multi(
     if not lowest >= 0.0:  # negative or NaN
         # Non-monotone cumulative current (back-biased modules): the
         # walk's stop-at-first-error-increase rule is the reference
-        # behaviour and cannot be expressed as a prefix search.
-        cat = np.zeros(offsets[-1], dtype=np.int64)
-        for k in range(counts.size):
-            cat[offsets[k] : offsets[k + 1]] = greedy_balanced_partition(
-                currents, int(counts[k])
-            )
-        return PartitionSet(cat=cat, offsets=offsets, n_modules=n_modules)
+        # behaviour and cannot be expressed as a prefix search — but
+        # all candidates' walks advance together in lockstep lanes.
+        cuts = _accumulation_walk_multi(currents, counts)
+        return PartitionSet(
+            cat=cuts[ragged_mask], offsets=offsets, n_modules=n_modules
+        )
 
     # prefix[c] = sum(currents[:c]); the walk's group sum for a cut at
     # ``c`` with the group starting at ``pos`` is prefix[c] - prefix[pos].
@@ -416,6 +509,282 @@ def partition_multi(
     )
     cat = cuts[ragged_mask]
     return PartitionSet(cat=cat, offsets=offsets, n_modules=n_modules)
+
+
+def _searchsorted_rows_right(
+    table_rows: np.ndarray, row_of: np.ndarray, targets: np.ndarray
+) -> np.ndarray:
+    """Row-wise ``searchsorted(side="right")`` across many tables.
+
+    ``table_rows`` is ``(C, M)``, every row sorted ascending;
+    ``targets`` is ``(K, T)`` and ``row_of[k]`` names the table row the
+    ``k``-th target row searches.  A vectorised binary search over all
+    targets at once — integer-exact, so results equal
+    ``np.searchsorted(table_rows[row_of[k]], targets[k], "right")`` per
+    row, with no Python loop over rows.
+    """
+    n_cols = table_rows.shape[1]
+    flat = table_rows.reshape(-1)
+    base = (row_of * n_cols)[:, None]
+    lo = np.zeros(targets.shape, dtype=np.int64)
+    hi = np.full(targets.shape, n_cols, dtype=np.int64)
+    open_mask = lo < hi
+    while open_mask.any():
+        # Closed lanes keep lo == hi (possibly n_cols); park their
+        # gather at 0 so the flat read stays in bounds.
+        mid = np.where(open_mask, (lo + hi) >> 1, 0)
+        advance = open_mask & (flat[base + mid] <= targets)
+        lo = np.where(advance, mid + 1, lo)
+        hi = np.where(open_mask & ~advance, mid, hi)
+        open_mask = lo < hi
+    return lo
+
+
+@dataclass(frozen=True)
+class PartitionStack:
+    """Candidate partitions of *many grid cases*, flat-concatenated.
+
+    The grid-stacked sibling of :class:`PartitionSet`: every candidate
+    of every case lives back-to-back in one flat layout, so the
+    stacked kernels (:func:`partition_multi_stack` /
+    :func:`array_mpp_multi_stack`) build and score a whole homogeneous
+    case grid with no per-case Python.
+
+    Attributes
+    ----------
+    cat:
+        Concatenated start indices of all candidates of all cases.
+    offsets:
+        Candidate boundaries into ``cat``, length ``n_candidates + 1``.
+    case_of_candidate:
+        Owning case index of each candidate (non-decreasing).
+    case_offsets:
+        Candidate-index boundaries per case, length ``n_cases + 1``.
+    n_modules:
+        Chain length shared by every case.
+    """
+
+    cat: np.ndarray
+    offsets: np.ndarray
+    case_of_candidate: np.ndarray
+    case_offsets: np.ndarray
+    n_modules: int
+
+    @property
+    def n_cases(self) -> int:
+        """Number of stacked cases."""
+        return self.case_offsets.size - 1
+
+    def __len__(self) -> int:
+        return self.offsets.size - 1
+
+    def case(self, index: int) -> PartitionSet:
+        """One case's candidates as a standalone :class:`PartitionSet`."""
+        k = int(index)
+        if k < 0:
+            k += self.n_cases
+        if not 0 <= k < self.n_cases:
+            raise IndexError(
+                f"case index {index} out of range for {self.n_cases} cases"
+            )
+        lo, hi = self.case_offsets[k], self.case_offsets[k + 1]
+        flat_lo, flat_hi = self.offsets[lo], self.offsets[hi]
+        return PartitionSet(
+            cat=self.cat[flat_lo:flat_hi],
+            offsets=self.offsets[lo : hi + 1] - flat_lo,
+            n_modules=self.n_modules,
+        )
+
+
+def partition_multi_stack(
+    mpp_current_rows: np.ndarray,
+    n_min,
+    n_max,
+) -> PartitionStack:
+    """Greedy balanced partitions for every case of a stacked grid.
+
+    The grid-stacked sibling of :func:`partition_multi`:
+    ``mpp_current_rows`` is a ``(C, N)`` matrix of per-case MPP
+    currents and ``n_min`` / ``n_max`` per-case group-count windows
+    (scalars broadcast), and the prefix-bracket cut map, flat-run
+    extension, binary lifting and tail clamp all run across every
+    candidate of every case at once — one row-wise binary search
+    replaces the per-case ``searchsorted``.  Cut indices are
+    **bit-identical** per case to ``partition_multi(rows[c],
+    n_min[c], n_max[c])`` (pinned in the parity suite): the stacked map
+    evaluates the same expression tree on the same doubles, merely
+    batched over a leading case axis.  Cases containing back-biased
+    modules (negative currents) take the accumulation-walk reference
+    path, like :func:`partition_multi` — but all such cases' lanes
+    advance through one row-aware lockstep walk together.
+    """
+    rows = np.asarray(mpp_current_rows, dtype=float)
+    if rows.ndim != 2 or rows.size == 0:
+        raise ConfigurationError(
+            f"mpp_current_rows must be a non-empty (C, N) matrix, got "
+            f"shape {rows.shape}"
+        )
+    n_cases, n_modules = rows.shape
+    n_mins = np.broadcast_to(
+        np.asarray(n_min, dtype=np.int64), (n_cases,)
+    ).copy()
+    n_maxs = np.broadcast_to(
+        np.asarray(n_max, dtype=np.int64), (n_cases,)
+    ).copy()
+    if np.any(n_mins < 1) or np.any(n_maxs > n_modules) or np.any(
+        n_maxs < n_mins
+    ):
+        raise ConfigurationError(
+            f"invalid group-count windows for {n_modules} modules: "
+            f"n_min={n_mins.tolist()[:8]}, n_max={n_maxs.tolist()[:8]}"
+        )
+
+    widths = n_maxs - n_mins + 1
+    case_offsets = np.concatenate(([0], np.cumsum(widths)))
+    n_candidates = int(case_offsets[-1])
+    case_of_cand = np.repeat(_index_arange(n_cases), widths)
+    counts_all = n_mins.repeat(widths) + (
+        _index_arange(n_candidates) - case_offsets[:-1].repeat(widths)
+    )
+    offsets_all = np.concatenate(([0], np.cumsum(counts_all)))
+    n_lift = int(counts_all.max())
+    cuts = np.zeros((n_candidates, n_lift), dtype=np.int64)
+
+    lowest_rows = rows.min(axis=1)
+    monotone_rows = lowest_rows >= 0.0  # False for negatives and NaN
+    pos_sel = np.flatnonzero(monotone_rows[case_of_cand])
+
+    if pos_sel.size:
+        prefix_rows = np.concatenate(
+            (np.zeros((n_cases, 1)), np.cumsum(rows, axis=1)), axis=1
+        )
+        sums = rows.sum(axis=1)
+        row_of = case_of_cand[pos_sel]
+        ideals = sums[row_of] / counts_all[pos_sel]
+        targets = prefix_rows[row_of] + ideals[:, None]
+        bound = _searchsorted_rows_right(prefix_rows, row_of, targets)
+        padded = np.concatenate(
+            (prefix_rows, np.full((n_cases, 1), np.inf)), axis=1
+        )
+        padded_flat = padded.reshape(-1)
+        prefix_flat = prefix_rows.reshape(-1)
+        pad_base = (row_of * (n_modules + 2))[:, None]
+        pre_base = (row_of * (n_modules + 1))[:, None]
+        nxt = bound - (
+            padded_flat[pad_base + bound]
+            + prefix_flat[pre_base + bound - 1]
+            > 2.0 * targets
+        )
+        np.maximum(nxt, _index_arange(n_modules + 2)[None, 1:], out=nxt)
+        np.minimum(nxt, n_modules, out=nxt)
+        flat_sel = np.flatnonzero((lowest_rows == 0.0)[row_of])
+        if flat_sel.size:
+            sub_rows = row_of[flat_sel]
+            sub_base = (sub_rows * (n_modules + 1))[:, None]
+            nxt[flat_sel] = (
+                _searchsorted_rows_right(
+                    prefix_rows, sub_rows, prefix_flat[sub_base + nxt[flat_sel]]
+                )
+                - 1
+            )
+
+        sub_cuts = np.zeros((pos_sel.size, n_lift), dtype=np.int64)
+        row_base = (_index_arange(pos_sel.size) * (n_modules + 1))[:, None]
+        doubling = nxt
+        flat = doubling.reshape(-1)
+        lift_plan = _lift_plan(n_lift)
+        for step, (bit, columns) in enumerate(lift_plan):
+            sub_cuts[:, columns] = flat[sub_cuts[:, columns] + row_base]
+            if step + 1 < len(lift_plan):
+                doubling = flat[doubling + row_base]
+                flat = doubling.reshape(-1)
+        np.minimum(
+            sub_cuts,
+            (n_modules - counts_all[pos_sel])[:, None]
+            + _index_arange(n_lift)[None, :],
+            out=sub_cuts,
+        )
+        cuts[pos_sel] = sub_cuts
+
+    neg_sel = np.flatnonzero(~monotone_rows[case_of_cand])
+    if neg_sel.size:
+        # Back-biased cases: one lockstep walk advances every affected
+        # candidate of every such case together (the walk lanes are
+        # row-aware, so no per-case Python here either).
+        walk = _accumulation_walk_rows(
+            rows, case_of_cand[neg_sel], counts_all[neg_sel]
+        )
+        cuts[neg_sel, : walk.shape[1]] = walk
+
+    ragged_mask = _index_arange(n_lift)[None, :] < counts_all[:, None]
+    return PartitionStack(
+        cat=cuts[ragged_mask],
+        offsets=offsets_all,
+        case_of_candidate=case_of_cand,
+        case_offsets=case_offsets,
+        n_modules=n_modules,
+    )
+
+
+def array_mpp_multi_stack(
+    emf_rows: np.ndarray,
+    resistance: np.ndarray,
+    stack: PartitionStack,
+    backend: Optional[str] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact MPPs of every candidate of a stacked case grid.
+
+    The grid-stacked sibling of :func:`array_mpp_multi`: ``emf_rows``
+    holds one EMF vector per case and ``resistance`` the chain's shared
+    resistance vector (the homogeneous-grid precondition: all cases
+    share one module model).  Every candidate's parallel-group
+    reduction runs as one ``np.add.reduceat`` over a per-candidate
+    gathered module axis and the series sums through one segmented
+    pairwise tree — **bit-identical** per case to calling
+    :func:`array_mpp_multi` with that case's EMF vector and candidate
+    set (same doubles, same summation order; pinned in the parity
+    suite).  Candidate sets are trusted by construction, like
+    ``validate=False``.
+
+    Returns ``(power_w, voltage_v, current_a)`` with one entry per
+    stacked candidate, in ``stack.offsets`` order.
+    """
+    emf_rows = np.asarray(emf_rows, dtype=float)
+    resistance = np.asarray(resistance, dtype=float)
+    if emf_rows.ndim != 2 or emf_rows.shape[0] != stack.n_cases:
+        raise ConfigurationError(
+            f"emf_rows must be ({stack.n_cases}, {stack.n_modules}), "
+            f"got shape {emf_rows.shape}"
+        )
+    n_modules = emf_rows.shape[1]
+    if n_modules != stack.n_modules or resistance.shape != (n_modules,):
+        raise ConfigurationError(
+            f"partition stack covers {stack.n_modules} modules, "
+            f"parameters {n_modules} / {resistance.shape}"
+        )
+    n_candidates = len(stack)
+    if n_candidates == 0:
+        empty = np.empty(0)
+        return empty, empty.copy(), empty.copy()
+
+    conductance = 1.0 / resistance
+    weighted_rows = emf_rows * conductance
+    big = np.empty((2, n_candidates * n_modules))
+    big[0] = np.tile(conductance, n_candidates)
+    big[1] = weighted_rows[stack.case_of_candidate].reshape(-1)
+    sizes = np.diff(stack.offsets)
+    idx = stack.cat + np.repeat(_index_arange(n_candidates) * n_modules, sizes)
+    groups = np.add.reduceat(big, idx, axis=1)
+    pair = np.empty_like(groups)
+    pair[1] = 1.0 / groups[0]
+    pair[0] = groups[1] * pair[1]
+    totals = segmented_pairwise_sum(pair, stack.offsets, backend=backend)
+    e_total = totals[0]
+    r_total = totals[1]
+    power = e_total * e_total / (4.0 * r_total)
+    voltage = e_total / 2.0
+    current = e_total / (2.0 * r_total)
+    return power, voltage, current
 
 
 def parallel_reduce(
@@ -525,6 +894,7 @@ def array_mpp_rows_multi(
     emf_rows: np.ndarray,
     resistance: np.ndarray,
     starts_list: Sequence[Sequence[int]],
+    backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Exact MPP rows of *many configurations* over stacked EMF rows.
 
@@ -541,9 +911,11 @@ def array_mpp_rows_multi(
     ``(n_configs, S)``, **bit-identical** to calling
     :func:`array_mpp_rows` once per configuration: the tiled reduceat
     preserves each group's in-segment accumulation order and the
-    per-configuration series sums run over contiguous slices with the
-    same pairwise ``ndarray.sum`` kernel the single-configuration path
-    uses.
+    per-configuration series sums run through the segmented pairwise
+    tree of :func:`repro.backend.segmented_pairwise_sum`, which
+    reproduces the single-configuration path's ``ndarray.sum``
+    summation order exactly (``backend`` selects the executing array
+    backend; results are bit-identical across backends).
     """
     emf_rows = np.asarray(emf_rows, dtype=float)
     conductance = 1.0 / np.asarray(resistance, dtype=float)
@@ -560,22 +932,28 @@ def array_mpp_rows_multi(
     cat = np.concatenate(candidates) if n_configs > 1 else candidates[0]
     idx = cat + np.repeat(np.arange(n_configs) * n_modules, sizes)
 
-    group_conductance = np.add.reduceat(np.tile(conductance, n_configs), idx)
-    r_groups = 1.0 / group_conductance
     weighted = emf_rows * conductance
-    group_weighted = np.add.reduceat(
-        np.tile(weighted, (1, n_configs)), idx, axis=1
-    )
+    if n_configs == 1:
+        # Single configuration (DNOR's keep-or-switch score every
+        # epoch): re-tiling the full (S, N) EMF matrix would be a pure
+        # copy — reduceat reads the originals directly.
+        tiled_conductance = conductance
+        tiled_weighted = weighted
+    else:
+        tiled_conductance = np.tile(conductance, n_configs)
+        tiled_weighted = np.tile(weighted, (1, n_configs))
+    group_conductance = np.add.reduceat(tiled_conductance, idx)
+    r_groups = 1.0 / group_conductance
+    group_weighted = np.add.reduceat(tiled_weighted, idx, axis=1)
     contrib = group_weighted * r_groups
 
-    n_rows = emf_rows.shape[0]
-    power = np.empty((n_configs, n_rows))
-    voltage = np.empty((n_configs, n_rows))
-    for k, (lo, hi) in enumerate(zip(offsets, offsets[1:])):
-        e_rows = contrib[:, lo:hi].sum(axis=1)
-        r_total = float(r_groups[lo:hi].sum())
-        power[k] = e_rows * e_rows / (4.0 * r_total)
-        voltage[k] = e_rows / 2.0
+    # Per-configuration series sums: the segmented pairwise tree
+    # reproduces contiguous-slice ndarray.sum bitwise, with no Python
+    # loop over configurations.
+    e_rows = segmented_pairwise_sum(contrib, offsets, backend=backend)
+    r_totals = segmented_pairwise_sum(r_groups, offsets, backend=backend)
+    power = np.ascontiguousarray((e_rows * e_rows / (4.0 * r_totals)).T)
+    voltage = np.ascontiguousarray((e_rows / 2.0).T)
     return power, voltage
 
 
@@ -584,6 +962,7 @@ def array_mpp_multi(
     resistance: np.ndarray,
     starts_list: Sequence[Sequence[int]],
     validate: bool = True,
+    backend: Optional[str] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Exact MPPs of *many configurations* at one temperature state.
 
@@ -599,9 +978,12 @@ def array_mpp_multi(
     candidate: all candidates' parallel-group reductions run as one
     ``np.add.reduceat`` over a tiled module axis (same elements, same
     summation order as the per-candidate reduceat), and the per-
-    candidate series sums use the same ``ndarray.sum`` kernel the
-    scalar path uses.  Algorithms may therefore swap the scalar loop
-    for this kernel without perturbing a single decision.
+    candidate series sums run through
+    :func:`repro.backend.segmented_pairwise_sum`, which reproduces the
+    scalar path's ``ndarray.sum`` pairwise order bitwise (``backend``
+    selects the executing array backend).  Algorithms may therefore
+    swap the scalar loop for this kernel without perturbing a single
+    decision.
 
     ``validate=False`` skips the candidate-set validation sweep for
     callers that construct partitions correct by construction (INOR's
@@ -686,20 +1068,20 @@ def array_mpp_multi(
     # groups rows: [0] = summed conductance 1/R_g, [1] = conductance-
     # weighted EMF per group (reduceat's strictly sequential in-segment
     # accumulation matches the per-candidate scalar reduceat bitwise).
-    groups = np.add.reduceat(np.tile(base, (1, n_candidates)), idx, axis=1)
+    tiled = base if n_candidates == 1 else np.tile(base, (1, n_candidates))
+    groups = np.add.reduceat(tiled, idx, axis=1)
     # pair rows: [0] = E_g, [1] = R_g per group.
     pair = np.empty_like(groups)
     pair[1] = 1.0 / groups[0]
     pair[0] = groups[1] * pair[1]
 
-    # Per-candidate series sums: contiguous-row ndarray.sum matches the
-    # scalar path's e_groups.sum() pairwise summation bitwise
-    # (np.add.reduceat's sequential accumulation would not).
-    totals = np.empty((n_candidates, 2))
-    for k, (lo, hi) in enumerate(zip(offsets, offsets[1:])):
-        pair[:, lo:hi].sum(axis=1, out=totals[k])
-    e_total = totals[:, 0]
-    r_total = totals[:, 1]
+    # Per-candidate series sums: the segmented pairwise tree matches
+    # the scalar path's e_groups.sum() summation order bitwise
+    # (np.add.reduceat's sequential accumulation would not), with no
+    # Python loop over candidates.
+    totals = segmented_pairwise_sum(pair, offsets, backend=backend)
+    e_total = totals[0]
+    r_total = totals[1]
     power = e_total * e_total / (4.0 * r_total)
     voltage = e_total / 2.0
     current = e_total / (2.0 * r_total)

@@ -341,6 +341,103 @@ def _fuzz_trace(seed: int, n: int = 41) -> RadiatorTrace:
     )
 
 
+class TestGridStackedExecutor:
+    """The fused grid executor is serial, bit for bit.
+
+    ``executor="gridstack"`` collapses a homogeneous case grid's INOR
+    decision epochs into stacked kernel passes; its contract is that
+    every pinned output (series, decisions, switch events, overhead
+    bills) is **bitwise** equal to ``executor="serial"`` — only the
+    wall-clock ``runtime_s`` may differ.  Exercised over every registry
+    scenario with mixed fusable/unfusable policies and a noise axis, so
+    each grid contains one multi-case fused group plus fallback cases.
+    """
+
+    BIT_FIELDS = SERIES_FIELDS + ("n_groups_series",)
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_bitwise_equal_to_serial_on_registry_grids(
+        self, scenarios, name
+    ):
+        from repro.sim.engine import ExperimentRunner, grid_cases
+
+        scenario = scenarios[(name, "noisy")]
+        cases = grid_cases(
+            [scenario],
+            ["INOR", "DNOR", "Baseline"],
+            scanner_noise_std_k=[0.02, 0.12],
+        )
+        serial = ExperimentRunner(cases, executor="serial").run()
+        stacked = ExperimentRunner(cases, executor="gridstack").run()
+        assert len(serial) == len(stacked) == len(cases)
+        for (case_s, res_s), (case_g, res_g) in zip(serial, stacked):
+            assert case_s.name == case_g.name
+            for field in self.BIT_FIELDS:
+                assert (
+                    getattr(res_s, field).tobytes()
+                    == getattr(res_g, field).tobytes()
+                ), (case_s.name, field)
+            assert res_s.switch_times_s == res_g.switch_times_s
+            assert res_s.overhead_events == res_g.overhead_events
+            assert res_s.switch_overhead_j == res_g.switch_overhead_j
+
+    def test_numpy_backend_kernel_fuses_identically(self, scenarios):
+        """The ``batched:numpy`` spelling routes through the backend
+        registry yet must change nothing."""
+        from repro.sim.engine import ExperimentRunner, grid_cases
+
+        scenario = scenarios[("porter-ii", "noisy")]
+        named = dataclasses.replace(scenario, inor_kernel="batched:numpy")
+        cases = grid_cases([named], ["INOR"], scanner_noise_std_k=[0.02, 0.1])
+        baseline = ExperimentRunner(
+            grid_cases([scenario], ["INOR"], scanner_noise_std_k=[0.02, 0.1]),
+            executor="serial",
+        ).run()
+        stacked = ExperimentRunner(cases, executor="gridstack").run()
+        for (_, res_s), (_, res_g) in zip(baseline, stacked):
+            for field in self.BIT_FIELDS:
+                assert (
+                    getattr(res_s, field).tobytes()
+                    == getattr(res_g, field).tobytes()
+                ), field
+            assert res_s.overhead_events == res_g.overhead_events
+
+
+class TestStackedKernelParity:
+    """``inor_stack`` over a case-stacked EMF matrix equals per-case
+    ``inor`` exactly — the grid-stacked tentpole's kernel-level pin."""
+
+    @pytest.mark.parametrize("name", SCENARIO_NAMES)
+    def test_inor_stack_on_registry_scenarios(self, scenarios, name):
+        from repro.core.inor import inor_stack
+
+        scenario = scenarios[(name, "noisy")]
+        charger = scenario.make_charger(with_battery=False)
+        rows = []
+        resistance = None
+        for emf, res in _scenario_emf_vectors(scenario, n_rows=6):
+            rows.append(emf)
+            resistance = res
+        emf_rows = np.stack(rows)
+        stacked = inor_stack(emf_rows, resistance, charger=charger)
+        for row, result in zip(emf_rows, stacked):
+            reference = inor(row, resistance, charger=charger)
+            assert result == reference
+
+    def test_inor_stack_handles_negative_current_rows(self):
+        """Rows with back-biased modules exercise the fused
+        accumulation-walk branch of ``partition_multi_stack``."""
+        from repro.core.inor import inor_stack
+
+        rng = np.random.default_rng(77)
+        n = 12
+        emf_rows = rng.uniform(-0.6, 2.5, size=(9, n))
+        resistance = rng.uniform(0.5, 2.0, n)
+        stacked = inor_stack(emf_rows, resistance)
+        for row, result in zip(emf_rows, stacked):
+            assert result == inor(row, resistance)
+
+
 class TestRandomizedTraceFuzz:
     @pytest.mark.parametrize("seed", [11, 12, 13])
     def test_engines_agree_on_random_traces(self, seed):

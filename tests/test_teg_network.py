@@ -349,3 +349,104 @@ class TestArrayMppRowsMulti:
             network.array_mpp_rows_multi(
                 np.ones((3, 5)), np.ones(5), [[0], [1, 2]]
             )
+
+
+class TestPartitionSetIndexing:
+    def test_negative_index_normalised(self):
+        ps = network.partition_multi(np.arange(1.0, 9.0), 1, 4)
+        assert np.array_equal(ps[-1], ps[len(ps) - 1])
+        assert np.array_equal(ps[-len(ps)], ps[0])
+
+    def test_out_of_range_negative_index_rejected(self):
+        ps = network.partition_multi(np.arange(1.0, 9.0), 1, 4)
+        with pytest.raises(IndexError):
+            ps[-(len(ps) + 1)]
+
+
+class TestStackedKernels:
+    """Grid-stacked partition build + MPP scoring: one call over a
+    ``(C, N)`` current/EMF matrix, bit-identical to the per-case loop."""
+
+    def _rows(self, seed, n_cases=5, n=24):
+        rng = np.random.default_rng(seed)
+        rows = rng.uniform(0.05, 3.0, size=(n_cases, n))
+        if seed % 2:
+            # Back-biased modules exercise the accumulation-walk branch.
+            flips = rng.uniform(size=rows.shape) < 0.15
+            rows[flips] *= -1.0
+        return rows
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_partition_multi_stack_equals_per_case(self, seed):
+        rows = self._rows(seed)
+        n = rows.shape[1]
+        stack = network.partition_multi_stack(rows, 1, n)
+        assert stack.n_cases == rows.shape[0]
+        for c in range(rows.shape[0]):
+            per_case = network.partition_multi(rows[c], 1, n)
+            case_set = stack.case(c)
+            assert len(case_set) == len(per_case)
+            assert np.array_equal(case_set.cat, per_case.cat)
+            assert np.array_equal(case_set.offsets, per_case.offsets)
+
+    def test_case_accepts_negative_index(self):
+        rows = self._rows(4)
+        stack = network.partition_multi_stack(rows, 1, rows.shape[1])
+        last = stack.case(-1)
+        assert np.array_equal(last.cat, stack.case(stack.n_cases - 1).cat)
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_array_mpp_multi_stack_equals_per_case(self, seed):
+        rng = np.random.default_rng(seed + 100)
+        rows = self._rows(seed)
+        n = rows.shape[1]
+        res = rng.uniform(0.4, 2.0, n)
+        emf_rows = rows * (2.0 * res)
+        stack = network.partition_multi_stack(rows, 1, n)
+        power, voltage, current = network.array_mpp_multi_stack(
+            emf_rows, res, stack
+        )
+        for c in range(rows.shape[0]):
+            p_ref, v_ref, i_ref = network.array_mpp_multi(
+                emf_rows[c], res, stack.case(c)
+            )
+            lo, hi = stack.case_offsets[c], stack.case_offsets[c + 1]
+            assert power[lo:hi].tobytes() == p_ref.tobytes()
+            assert voltage[lo:hi].tobytes() == v_ref.tobytes()
+            assert current[lo:hi].tobytes() == i_ref.tobytes()
+
+    def test_window_broadcast_and_validation(self):
+        rows = np.abs(self._rows(8)) + 0.01
+        n = rows.shape[1]
+        stack = network.partition_multi_stack(rows, 2, 5)
+        assert np.all(np.diff(stack.case_offsets) == 4)
+        with pytest.raises(ConfigurationError):
+            network.partition_multi_stack(rows, 0, n)
+        with pytest.raises(ConfigurationError):
+            network.partition_multi_stack(rows, 3, 2)
+
+
+class TestSingleCandidateNoTile:
+    """The n_configs == 1 fast paths must stay bitwise on-contract."""
+
+    def test_array_mpp_multi_single_candidate(self):
+        rng = np.random.default_rng(21)
+        emf = rng.uniform(0.1, 3.0, 16)
+        res = rng.uniform(0.5, 2.0, 16)
+        single = network.array_mpp_multi(emf, res, [[0, 4, 8, 12]])
+        many = network.array_mpp_multi(
+            emf, res, [[0, 4, 8, 12], [0, 8]]
+        )
+        for a, b in zip(single, many):
+            assert a[0].tobytes() == b[0].tobytes()
+
+    def test_array_mpp_rows_multi_single_config(self):
+        rng = np.random.default_rng(22)
+        emf_rows = rng.uniform(0.1, 3.0, (7, 12))
+        res = rng.uniform(0.5, 2.0, 12)
+        power, voltage = network.array_mpp_rows_multi(
+            emf_rows, res, [[0, 3, 6, 9]]
+        )
+        p_ref, v_ref = network.array_mpp_rows(emf_rows, res, [0, 3, 6, 9])
+        assert power[0].tobytes() == p_ref.tobytes()
+        assert voltage[0].tobytes() == v_ref.tobytes()
