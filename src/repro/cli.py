@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the everyday uses of the library:
+Eight commands cover the everyday uses of the library:
 
 * ``info``        — paper identity, module catalog, default scenario.
 * ``reconfigure`` — run INOR once on a synthetic or CSV-described
@@ -15,8 +15,14 @@ Seven commands cover the everyday uses of the library:
   ``shard init`` writes a durable work-queue directory, any number of
   ``shard work`` processes (one per host/core, pointed at the shared
   directory) drain it crash-safely, ``shard status`` reports progress
-  and ``shard collate`` reassembles the collation bit-identically to
-  a serial run.
+  (``--watch`` for a live view with per-lease trouble detail) and
+  ``shard collate`` reassembles the collation bit-identically to a
+  serial run.
+* ``serve``       — the layer-6 streaming decision service: a demo
+  that drives concurrent asyncio vehicle sessions over a registry
+  trace through the micro-batching hub (``--offline`` writes the
+  byte-identical batch reference for diffing; ``--listen`` runs the
+  TCP JSON-lines server for external clients).
 * ``cache``       — inspect, warm or clear an on-disk physics cache
   directory.
 * ``sweep-period``— the prior-work fixed-period trade-off table.
@@ -52,6 +58,7 @@ from repro.sim.shard import (
     collate_shard,
     init_shard,
     shard_status,
+    watch_shard,
     work_shard,
 )
 from repro.teg.array import TEGArray
@@ -248,7 +255,10 @@ def _cmd_shard_init(args: argparse.Namespace) -> int:
     if cases is None:
         return 2
     try:
-        manifest = init_shard(args.dir, cases, warm=not args.no_warm)
+        manifest = init_shard(
+            args.dir, cases, warm=not args.no_warm,
+            lease_ttl_s=args.lease_ttl,
+        )
         status = shard_status(args.dir)
     except TegkitError as exc:
         print(str(exc), file=sys.stderr)
@@ -280,11 +290,17 @@ def _cmd_shard_work(args: argparse.Namespace) -> int:
 
 def _cmd_shard_status(args: argparse.Namespace) -> int:
     try:
+        if args.watch:
+            status = watch_shard(args.dir, interval_s=args.interval)
+            print(f"shard at {args.dir}: {status.describe()}")
+            return 0 if status.complete else 1
         status = shard_status(args.dir)
     except TegkitError as exc:
         print(str(exc), file=sys.stderr)
         return 1
     print(f"shard at {args.dir}: {status.describe()}")
+    for line in status.detail_lines():
+        print(f"  {line}")
     return 0
 
 
@@ -299,6 +315,80 @@ def _cmd_shard_collate(args: argparse.Namespace) -> int:
         path = Path(args.json)
         path.write_text(collation.to_json(deterministic_only=True))
         print(f"summary JSON saved to {path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import run_demo, run_offline_reference, serve_forever
+
+    if args.listen:
+        serve_forever(host=args.host, port=args.port)
+        return 0
+    try:
+        if args.offline:
+            counts = run_offline_reference(
+                scenario_name=args.scenario,
+                sessions=args.sessions,
+                duration_s=args.duration,
+                n_modules=args.modules,
+                policy=args.policy,
+                out_dir=args.decisions_dir,
+                sensor_seed_base=args.seed,
+            )
+            total = sum(counts.values())
+            print(
+                f"offline reference: {len(counts)} session log(s), "
+                f"{total} decision(s) -> {args.decisions_dir}"
+            )
+            return 0
+        stats = run_demo(
+            scenario_name=args.scenario,
+            sessions=args.sessions,
+            duration_s=args.duration,
+            n_modules=args.modules,
+            chunk=args.chunk,
+            policy=args.policy,
+            out_dir=args.decisions_dir,
+            sensor_seed_base=args.seed,
+        )
+    except TegkitError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(
+        f"served {stats['sessions']} concurrent session(s): "
+        f"{stats['rows_decided']} decision(s) through "
+        f"{stats['stacked_passes']} stacked kernel pass(es) "
+        f"(max {stats['max_sessions_per_pass']} sessions / "
+        f"{stats['max_rows_per_pass']} rows per pass)"
+    )
+    print(f"decision logs -> {args.decisions_dir}")
+    if args.offline_check:
+        import filecmp
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as reference_dir:
+            run_offline_reference(
+                scenario_name=args.scenario,
+                sessions=args.sessions,
+                duration_s=args.duration,
+                n_modules=args.modules,
+                policy=args.policy,
+                out_dir=reference_dir,
+                sensor_seed_base=args.seed,
+            )
+            names = sorted(
+                p.name for p in Path(reference_dir).glob("*.jsonl")
+            )
+            _, mismatch, errors = filecmp.cmpfiles(
+                args.decisions_dir, reference_dir, names, shallow=False
+            )
+            if mismatch or errors:
+                print(
+                    f"ONLINE/OFFLINE MISMATCH: {mismatch or errors}",
+                    file=sys.stderr,
+                )
+                return 1
+        print(f"offline check: {len(names)} log(s) byte-identical")
     return 0
 
 
@@ -530,6 +620,14 @@ def build_parser() -> argparse.ArgumentParser:
         dest="no_warm",
         help="skip precomputing the shared physics artifacts",
     )
+    shard_init.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        dest="lease_ttl",
+        help="configured lease TTL recorded in the manifest and used by "
+        "every worker (default 900 s)",
+    )
     shard_init.set_defaults(handler=_cmd_shard_init)
 
     shard_work = shard_sub.add_parser(
@@ -545,9 +643,10 @@ def build_parser() -> argparse.ArgumentParser:
     shard_work.add_argument(
         "--lease-ttl",
         type=float,
-        default=900.0,
+        default=None,
         dest="lease_ttl",
-        help="seconds before an unfinished claim is re-queued (crash safety)",
+        help="seconds before an unfinished claim is re-queued (crash "
+        "safety); default: the shard's configured TTL from the manifest",
     )
     shard_work.add_argument(
         "--max-cases",
@@ -562,6 +661,17 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="done/pending/leased/expired accounting"
     )
     shard_state.add_argument("--dir", required=True)
+    shard_state.add_argument(
+        "--watch",
+        action="store_true",
+        help="poll and print progress until the shard completes",
+    )
+    shard_state.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between --watch polls",
+    )
     shard_state.set_defaults(handler=_cmd_shard_status)
 
     shard_collate = shard_sub.add_parser(
@@ -575,6 +685,64 @@ def build_parser() -> argparse.ArgumentParser:
         "against 'repro batch --json --json-deterministic')",
     )
     shard_collate.set_defaults(handler=_cmd_shard_collate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="streaming decision service (concurrent asyncio sessions)",
+    )
+    serve.add_argument(
+        "--listen",
+        action="store_true",
+        help="run the TCP JSON-lines server instead of the demo",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7787)
+    serve.add_argument(
+        "--offline",
+        action="store_true",
+        help="write the offline batch reference logs instead of serving "
+        "(same file names; byte-diffable against the demo output)",
+    )
+    serve.add_argument(
+        "--scenario",
+        default="porter-ii",
+        help="registry scenario streamed by the demo sessions",
+    )
+    serve.add_argument(
+        "--sessions", type=int, default=4, help="concurrent vehicle sessions"
+    )
+    serve.add_argument("--duration", type=float, default=30.0)
+    serve.add_argument(
+        "--modules", type=int, default=16, help="chain length N per session"
+    )
+    serve.add_argument(
+        "--chunk", type=int, default=16, help="telemetry samples per feed"
+    )
+    serve.add_argument(
+        "--policy",
+        default="INOR",
+        choices=("INOR", "DNOR", "EHTR", "Baseline"),
+    )
+    serve.add_argument(
+        "--decisions-dir",
+        default="serve-decisions",
+        dest="decisions_dir",
+        help="directory receiving one decision-log JSONL per session",
+    )
+    serve.add_argument(
+        "--seed",
+        type=int,
+        default=777,
+        help="sensor-seed base; session k streams with seed+k",
+    )
+    serve.add_argument(
+        "--offline-check",
+        action="store_true",
+        dest="offline_check",
+        help="after serving, recompute the offline reference and fail "
+        "unless every session log is byte-identical",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     cache = sub.add_parser(
         "cache", help="inspect, warm or clear an on-disk physics cache"

@@ -185,6 +185,7 @@ class DNORPolicy(ReconfigurationPolicy):
         self._current: Optional[ArrayConfiguration] = None
         self._next_epoch_s = 0.0
         self._timed_decisions: list = []
+        self._rows_since_plan = 0
 
     @property
     def name(self) -> str:
@@ -213,12 +214,17 @@ class DNORPolicy(ReconfigurationPolicy):
     ) -> Optional[ArrayConfiguration]:
         """Record the sample; run an epoch decision when one is due."""
         self._history.append(np.asarray(module_temps_c, dtype=float))
+        self._rows_since_plan += 1
         if time_s + 1.0e-9 < self._next_epoch_s:
             return None
         self._next_epoch_s = time_s + self._planner.epoch_seconds
 
         history = np.vstack(self._history)
-        decision = self._planner.plan(history, ambient_c, self._current, time_s)
+        decision = self._planner.plan(
+            history, ambient_c, self._current, time_s,
+            new_rows=self._rows_since_plan,
+        )
+        self._rows_since_plan = 0
         self._timed_decisions.append((time_s, decision))
         if decision.switch:
             self._current = decision.config
@@ -226,8 +232,10 @@ class DNORPolicy(ReconfigurationPolicy):
         return None
 
     def reset(self) -> None:
-        """Clear history and epoch state."""
+        """Clear history, epoch state and the predictor stream."""
         self._history.clear()
         self._current = None
         self._next_epoch_s = 0.0
         self._timed_decisions = []
+        self._rows_since_plan = 0
+        self._planner.reset_stream()

@@ -133,7 +133,23 @@ class DNORPlanner:
         ``"batched:<backend>"`` naming a :mod:`repro.backend`
         implementation.  Bit-identical results either way; the scalar
         kernel exists for cross-validation and profiling.
+    refit:
+        Predictor refit strategy per epoch.  ``"full"`` (default)
+        refits from scratch on the strided history — the behaviour
+        every existing pinned decision sequence was produced under.
+        ``"incremental"`` streams only the rows that arrived since the
+        previous epoch into
+        :meth:`~repro.prediction.base.LagSeriesPredictor.partial_fit`
+        (windowed normal-equation updates for MLR) — the refit is ~1/3
+        of a DNOR epoch (``benchmarks/results/dnor_plan.json``), so
+        this is the streaming service's hot-path win.  The incremental
+        model is exact vs a full fit on the same streamed tail (pinned
+        in the prediction suite); decision sequences are compared
+        like-for-like (an online incremental run is bit-identical to an
+        offline incremental run).
     """
+
+    REFIT_MODES = ("full", "incremental")
 
     def __init__(
         self,
@@ -146,6 +162,7 @@ class DNORPlanner:
         fit_module_stride: int = 8,
         nominal_compute_s: Optional[float] = None,
         inor_kernel: str = "batched",
+        refit: str = "full",
     ) -> None:
         if tp_seconds <= 0.0:
             raise ConfigurationError(f"tp_seconds must be > 0, got {tp_seconds}")
@@ -156,6 +173,10 @@ class DNORPlanner:
                 f"fit_module_stride must be >= 1, got {fit_module_stride}"
             )
         parse_inor_kernel(inor_kernel)  # name validation only
+        if refit not in self.REFIT_MODES:
+            raise ConfigurationError(
+                f"refit must be one of {self.REFIT_MODES}, got {refit!r}"
+            )
         self._module = module
         self._charger = charger
         self._overhead = overhead
@@ -167,6 +188,8 @@ class DNORPlanner:
             None if nominal_compute_s is None else float(nominal_compute_s)
         )
         self._inor_kernel = inor_kernel
+        self._refit = refit
+        self._stream_ok = False  # incremental refit: stream long enough
 
     @property
     def tp_seconds(self) -> float:
@@ -187,6 +210,43 @@ class DNORPlanner:
     def inor_kernel(self) -> str:
         """Kernel forwarded to :func:`inor` for the epoch proposal."""
         return self._inor_kernel
+
+    @property
+    def refit(self) -> str:
+        """Predictor refit strategy (``"full"`` or ``"incremental"``)."""
+        return self._refit
+
+    def reset_stream(self) -> None:
+        """Drop the predictor's streamed (incremental-refit) state."""
+        self._predictor.reset_partial()
+        self._stream_ok = False
+
+    def _absorb_stream(
+        self, history: np.ndarray, new_rows: Optional[int]
+    ) -> float:
+        """Stream newly arrived strided rows into the predictor.
+
+        Runs on *every* incremental-refit epoch — including ones that
+        keep the configuration for free and never forecast — so the
+        predictor's sliding window always matches the history.  A
+        too-short stream is retained (not fitted yet); forecasting then
+        falls back to persistence until enough rows accumulate.
+        Returns the wall-clock seconds spent.
+        """
+        t0 = time.perf_counter()
+        strided = history[:, :: self._fit_module_stride]
+        try:
+            if new_rows is None:
+                self._predictor.partial_fit(strided)
+            else:
+                fresh = min(int(new_rows), strided.shape[0])
+                self._predictor.partial_fit(
+                    strided[strided.shape[0] - fresh:]
+                )
+            self._stream_ok = True
+        except PredictionError:
+            pass
+        return time.perf_counter() - t0
 
     # ------------------------------------------------------------------
     def _horizon_energy(
@@ -255,6 +315,7 @@ class DNORPlanner:
         ambient_c: float,
         current: Optional[ArrayConfiguration],
         time_s: float = 0.0,
+        new_rows: Optional[int] = None,
     ) -> DNORDecision:
         """Run one Algorithm 2 epoch.
 
@@ -275,9 +336,14 @@ class DNORPlanner:
             unconditionally — there is nothing to keep).
         time_s:
             Simulation time, recorded into diagnostics only.
+        new_rows:
+            Number of history rows that arrived since the previous
+            epoch (used only under ``refit="incremental"``; ``None``
+            streams the whole history, e.g. on the first epoch).
         """
         return self.plan_batch(
-            history_temps_c, ambient_c, current, time_s=time_s
+            history_temps_c, ambient_c, current, time_s=time_s,
+            new_rows=new_rows,
         )
 
     def _forecast_horizon(
@@ -299,7 +365,16 @@ class DNORPlanner:
         t0 = time.perf_counter()
         used_fallback = False
         try:
-            self._predictor.fit(history[:, :: self._fit_module_stride])
+            if self._refit == "incremental":
+                # The stream was already updated by _absorb_stream (it
+                # runs on every epoch, including ones that keep for
+                # free); until enough rows have accumulated this lands
+                # on the same persistence fallback a too-short full
+                # fit would.
+                if not self._stream_ok:
+                    raise PredictionError("stream shorter than lags")
+            else:
+                self._predictor.fit(history[:, :: self._fit_module_stride])
             forecast = self._predictor.forecast(history, horizon_steps)
         except PredictionError:
             forecast = np.tile(temps_now, (horizon_steps, 1))
@@ -316,6 +391,7 @@ class DNORPlanner:
         candidates: Optional[Sequence[ArrayConfiguration]] = None,
         time_s: float = 0.0,
         compute_seconds: float = 0.0,
+        new_rows: Optional[int] = None,
     ) -> DNORDecision:
         """One Algorithm 2 epoch over *several* candidate configurations.
 
@@ -349,12 +425,22 @@ class DNORPlanner:
             candidates when ``nominal_compute_s`` is unset (INOR's
             measured runtime takes this role when ``candidates`` is
             ``None``).
+        new_rows:
+            Number of history rows that arrived since the previous
+            epoch; used only under ``refit="incremental"``, where those
+            rows are streamed into the predictor's sliding window
+            (``None`` streams the whole history).
         """
         history = np.asarray(history_temps_c, dtype=float)
         if history.ndim != 2 or history.shape[0] < 1:
             raise ConfigurationError(
                 f"history must be a non-empty (T, N) matrix, got {history.shape}"
             )
+        absorb_seconds = (
+            self._absorb_stream(history, new_rows)
+            if self._refit == "incremental"
+            else 0.0
+        )
         temps_now = history[-1]
         emf, res = thevenin_from_temps(self._module, temps_now, ambient_c)
 
@@ -414,6 +500,7 @@ class DNORPlanner:
         horizon_rows, predict_seconds, used_fallback = self._forecast_horizon(
             history, temps_now
         )
+        predict_seconds += absorb_seconds
         energies = self._horizon_energy_multi(
             (current, *distinct), horizon_rows, ambient_c
         )

@@ -49,6 +49,10 @@ class LagSeriesPredictor(abc.ABC):
         self._lags = int(lags)
         self._train_window = train_window
         self._fitted = False
+        # Streaming state (partial_fit): the buffered training tail and
+        # the tail the model was last successfully updated on.
+        self._stream: Optional[np.ndarray] = None
+        self._stream_model: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -94,15 +98,105 @@ class LagSeriesPredictor(abc.ABC):
         return arr
 
     def fit(self, history: np.ndarray) -> "LagSeriesPredictor":
-        """Fit the one-step model on (the tail of) a ``(T, N)`` history."""
+        """Fit the one-step model on (the tail of) a ``(T, N)`` history.
+
+        A full fit starts a fresh stream: any state accumulated through
+        :meth:`partial_fit` is discarded first.
+        """
+        self.reset_partial()
         data = self._training_slice(history)
         self._fit_impl(data)
         self._fitted = True
         return self
 
+    def partial_fit(self, new_rows: np.ndarray) -> "LagSeriesPredictor":
+        """Absorb newly arrived history rows into the streamed model.
+
+        Appends ``new_rows`` to an internal buffer, slides the buffer to
+        the most recent ``train_window`` rows, and refits the one-step
+        map on that tail — by default a full :meth:`_fit_impl` refit;
+        subclasses may override :meth:`_partial_fit_impl` with a cheaper
+        incremental update (``MLRPredictor`` maintains windowed normal
+        equations).  The resulting model is **exact**: identical to a
+        full :meth:`fit` on the same streamed tail (pinned bitwise for
+        integer-valued histories, where every normal-equation entry is
+        exact in float64, and to tight tolerance on real data).
+
+        A too-short buffer raises :class:`PredictionError` exactly like
+        :meth:`fit`, but the appended rows are *retained*, so streaming
+        callers can keep feeding until enough history accumulates.
+        """
+        rows = np.asarray(new_rows, dtype=float)
+        if rows.ndim == 1:
+            rows = rows[:, None]
+        if rows.ndim != 2:
+            raise PredictionError(
+                f"new rows must be 1-D or 2-D, got {rows.shape}"
+            )
+        if rows.size and not np.all(np.isfinite(rows)):
+            raise PredictionError("history must be finite")
+        buffered = self._stream
+        if (
+            buffered is not None
+            and rows.shape[0]
+            and rows.shape[1] != buffered.shape[1]
+        ):
+            raise PredictionError(
+                f"streamed rows changed width from {buffered.shape[1]} to "
+                f"{rows.shape[1]}; call reset_partial() to start a new stream"
+            )
+        if buffered is None or buffered.shape[0] == 0:
+            combined = rows
+        elif rows.shape[0] == 0:
+            combined = buffered
+        else:
+            combined = np.vstack([buffered, rows])
+        if (
+            self._train_window is not None
+            and combined.shape[0] > self._train_window
+        ):
+            tail = np.ascontiguousarray(combined[-self._train_window:])
+        else:
+            tail = combined
+        self._stream = tail
+        if tail.shape[0] < self._lags + 1:
+            raise PredictionError(
+                f"streamed history of {tail.shape[0]} rows too short for "
+                f"lags={self._lags}"
+            )
+        self._partial_fit_impl(self._stream_model, tail, int(rows.shape[0]))
+        self._stream_model = tail
+        self._fitted = True
+        return self
+
+    def reset_partial(self) -> "LagSeriesPredictor":
+        """Drop all streamed (:meth:`partial_fit`) state."""
+        self._stream = None
+        self._stream_model = None
+        self._reset_partial_impl()
+        return self
+
     @abc.abstractmethod
     def _fit_impl(self, history: np.ndarray) -> None:
         """Learn the one-step map from a validated ``(T, N)`` block."""
+
+    def _partial_fit_impl(
+        self,
+        prev: Optional[np.ndarray],
+        tail: np.ndarray,
+        n_new: int,
+    ) -> None:
+        """Update the model from training tail ``prev`` to ``tail``.
+
+        ``prev`` is the tail the model was last updated on (``None`` on
+        the first successful update) and ``n_new`` the number of rows
+        just appended.  The default is a full refit on ``tail``;
+        subclasses override this with an incremental update.
+        """
+        self._fit_impl(tail)
+
+    def _reset_partial_impl(self) -> None:
+        """Subclass hook: drop incremental-update state."""
 
     @abc.abstractmethod
     def _predict_one_step(self, window: np.ndarray) -> np.ndarray:

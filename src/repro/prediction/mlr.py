@@ -46,6 +46,11 @@ class MLRPredictor(LagSeriesPredictor):
         self._ridge = float(ridge)
         self._coef: Optional[np.ndarray] = None  # (lags,)
         self._intercept = 0.0
+        # Windowed normal equations for incremental refits: pre-ridge
+        # gram matrix and right-hand side over the pooled lag rows of
+        # the current training tail.
+        self._gram: Optional[np.ndarray] = None  # (lags+1, lags+1)
+        self._rhs: Optional[np.ndarray] = None  # (lags+1,)
 
     @property
     def name(self) -> str:
@@ -66,14 +71,68 @@ class MLRPredictor(LagSeriesPredictor):
             raise PredictionError("MLR predictor used before fit()")
         return self._intercept
 
-    def _fit_impl(self, history: np.ndarray) -> None:
-        x, y = pooled_lag_matrix(history, self._lags)
+    @staticmethod
+    def _normal_blocks(history: np.ndarray, lags: int) -> tuple:
+        """Pre-ridge ``(gram, rhs)`` over a history block's pooled rows."""
+        x, y = pooled_lag_matrix(history, lags)
         design = np.hstack([x, np.ones((x.shape[0], 1))])
-        gram = design.T @ design
+        return design.T @ design, design.T @ y
+
+    def _solve_normal_equations(self) -> None:
+        assert self._gram is not None and self._rhs is not None
+        gram = self._gram.copy()
         gram[np.diag_indices_from(gram)] += self._ridge
-        solution = np.linalg.solve(gram, design.T @ y)
+        solution = np.linalg.solve(gram, self._rhs)
         self._coef = solution[:-1]
         self._intercept = float(solution[-1])
+
+    def _fit_impl(self, history: np.ndarray) -> None:
+        self._gram, self._rhs = self._normal_blocks(history, self._lags)
+        self._solve_normal_equations()
+
+    def _partial_fit_impl(self, prev, tail, n_new) -> None:
+        """Slide the windowed normal equations instead of rebuilding.
+
+        The pooled lag rows of the sliding window change only at its
+        edges: appending ``m`` history rows adds the ``m*N`` design rows
+        whose targets lie in the appended region (their lag windows
+        reach back ``lags`` rows, all inside the new tail), and evicting
+        ``e`` rows off the front removes the ``e*N`` design rows whose
+        targets lie in ``prev[lags : e+lags]``.  Both edge blocks are
+        built by the same :func:`pooled_lag_matrix` and added to /
+        subtracted from the gram/rhs — a rank-``m*N`` / ``e*N`` update
+        costing O(edge) instead of O(window).  When the overlap between
+        the old and new windows has no complete lag row left
+        (``len(tail) < n_new + lags``) the update degenerates and a full
+        rebuild is cheaper and exact by construction.
+        """
+        lags = self._lags
+        if (
+            prev is None
+            or self._gram is None
+            or tail.shape[0] < n_new + lags
+        ):
+            self._fit_impl(tail)
+            return
+        if n_new == 0 and self._coef is not None:
+            return
+        evicted = prev.shape[0] + n_new - tail.shape[0]
+        gram_add, rhs_add = self._normal_blocks(
+            tail[-(n_new + lags):], lags
+        )
+        self._gram += gram_add
+        self._rhs += rhs_add
+        if evicted > 0:
+            gram_del, rhs_del = self._normal_blocks(
+                prev[: evicted + lags], lags
+            )
+            self._gram -= gram_del
+            self._rhs -= rhs_del
+        self._solve_normal_equations()
+
+    def _reset_partial_impl(self) -> None:
+        self._gram = None
+        self._rhs = None
 
     def _predict_one_step(self, window: np.ndarray) -> np.ndarray:
         assert self._coef is not None

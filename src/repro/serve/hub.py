@@ -1,0 +1,184 @@
+"""Cross-session decision micro-batching — layer 6's stacked epochs.
+
+The :class:`SessionHub` holds every live :class:`~repro.serve.session.
+StreamSession` and, once per decision epoch, drains their pending INOR
+rows through :func:`repro.core.inor.inor_stack`: all fired samples from
+all compatible sessions become one ``(rows, N)`` EMF matrix and one
+stacked kernel pass, so K concurrent vehicles cost roughly one INOR
+evaluation per epoch instead of K.  ``inor_stack`` is pinned
+bit-identical per row to the scalar :func:`~repro.core.inor.inor` call
+a standalone :class:`~repro.core.controller.PeriodicPolicy` would make,
+which is what keeps the online decision logs byte-equal to the offline
+batch reference.
+
+Sessions stack only when their decision inputs are interchangeable —
+same module electrical identity, array size, converter curve and
+kernel backend.  Incompatible sessions still work; they just land in
+separate groups (each its own stacked pass).  Inline-policy sessions
+(DNOR, EHTR, Baseline, scalar-kernel INOR) never queue pending rows
+and pass through the hub untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.inor import inor_stack, parse_inor_kernel
+from repro.errors import ConfigurationError
+from repro.serve.session import DecisionRecord, StreamSession
+
+__all__ = ["HubStats", "SessionHub"]
+
+
+@dataclass
+class HubStats:
+    """Running counters for the hub's stacked epochs."""
+
+    epochs: int = 0
+    stacked_passes: int = 0
+    rows_decided: int = 0
+    max_rows_per_pass: int = 0
+    max_sessions_per_pass: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict form for logs and benchmark artifacts."""
+        return {
+            "epochs": self.epochs,
+            "stacked_passes": self.stacked_passes,
+            "rows_decided": self.rows_decided,
+            "max_rows_per_pass": self.max_rows_per_pass,
+            "max_sessions_per_pass": self.max_sessions_per_pass,
+        }
+
+
+def _stack_key(session: StreamSession) -> Tuple:
+    """Hashable stacking identity: one key, one ``inor_stack`` stream."""
+    scenario = session.scenario
+    _, backend = parse_inor_kernel(scenario.inor_kernel)
+    return (
+        int(scenario.n_modules),
+        scenario.module,
+        scenario.make_charger(with_battery=False).converter,
+        backend,
+    )
+
+
+class SessionHub:
+    """Registry of live sessions plus the stacked decision epoch."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[str, StreamSession] = {}
+        self._stats = HubStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> HubStats:
+        """Stacking counters since construction."""
+        return self._stats
+
+    @property
+    def sessions(self) -> Tuple[StreamSession, ...]:
+        """Live sessions in registration order."""
+        return tuple(self._sessions.values())
+
+    def add(self, session: StreamSession) -> StreamSession:
+        """Register a session; ids must be unique among live sessions."""
+        if session.session_id in self._sessions:
+            raise ConfigurationError(
+                f"duplicate session id {session.session_id!r}"
+            )
+        self._sessions[session.session_id] = session
+        return session
+
+    def get(self, session_id: str) -> StreamSession:
+        """Look up a live session by id."""
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown session id {session_id!r}"
+            ) from None
+
+    def remove(self, session_id: str) -> StreamSession:
+        """Deregister (and return) a session."""
+        return self._sessions.pop(self.get(session_id).session_id)
+
+    # ------------------------------------------------------------------
+    def run_epoch(self) -> Dict[str, List[DecisionRecord]]:
+        """Resolve every pending row across all sessions.
+
+        Groups sessions by stacking identity, runs one ``inor_stack``
+        pass per group over the concatenated pending EMF rows, and
+        dispatches each row's winning configuration back to its session
+        in queue order.  Returns the newly emitted records keyed by
+        session id (sessions with nothing pending are omitted).
+        """
+        groups: Dict[Tuple, List[StreamSession]] = {}
+        for session in self._sessions.values():
+            if session.pending:
+                groups.setdefault(_stack_key(session), []).append(session)
+        self._stats.epochs += 1
+        emitted: Dict[str, List[DecisionRecord]] = {}
+        for key, members in groups.items():
+            n_modules, module, _converter, backend = key
+            counts = [len(s.pending) for s in members]
+            emf_rows = np.vstack(
+                [p.emf_row for s in members for p in s.pending]
+            )
+            # Same Thevenin arithmetic as PeriodicPolicy's scalar path:
+            # per-couple resistance scaled by the series couple count.
+            resistance = np.full(
+                int(n_modules),
+                module.material.resistance_ohm * module.n_couples,
+            )
+            charger = members[0].scenario.make_charger(with_battery=False)
+            results = inor_stack(
+                emf_rows, resistance, charger=charger, backend=backend
+            )
+            self._stats.stacked_passes += 1
+            self._stats.rows_decided += emf_rows.shape[0]
+            self._stats.max_rows_per_pass = max(
+                self._stats.max_rows_per_pass, emf_rows.shape[0]
+            )
+            self._stats.max_sessions_per_pass = max(
+                self._stats.max_sessions_per_pass, len(members)
+            )
+            offset = 0
+            for session, count in zip(members, counts):
+                starts = [
+                    tuple(int(v) for v in results[offset + j].config.starts)
+                    for j in range(count)
+                ]
+                offset += count
+                emitted[session.session_id] = session.resolve_pending(starts)
+        return emitted
+
+    def drain(self, session_id: str) -> List[DecisionRecord]:
+        """Resolve one session's pendings (used when a session closes).
+
+        Still goes through the stacked kernel (a single-session pass) so
+        the decision arithmetic is identical to a full epoch.
+        """
+        session = self.get(session_id)
+        if not session.pending:
+            return []
+        key = _stack_key(session)
+        n_modules, module, _converter, backend = key
+        emf_rows = np.vstack([p.emf_row for p in session.pending])
+        resistance = np.full(
+            int(n_modules),
+            module.material.resistance_ohm * module.n_couples,
+        )
+        charger = session.scenario.make_charger(with_battery=False)
+        results = inor_stack(
+            emf_rows, resistance, charger=charger, backend=backend
+        )
+        self._stats.stacked_passes += 1
+        self._stats.rows_decided += emf_rows.shape[0]
+        starts = [
+            tuple(int(v) for v in r.config.starts) for r in results
+        ]
+        return session.resolve_pending(starts)

@@ -1,0 +1,348 @@
+"""Per-vehicle streaming sessions — layer 6's unit of state.
+
+A :class:`StreamSession` owns everything one telemetry stream needs to
+be decided online exactly as the offline batch engine would decide it:
+
+* a :class:`~repro.sim.physics.TracePhysicsStream` consuming boundary-
+  condition chunks (bit-identical per row to the one-shot precompute),
+* the session's seeded temperature scanner — successive chunked
+  :meth:`~repro.vehicle.sensors.ModuleTemperatureScanner.scan_batch`
+  calls on one persisted generator draw exactly the doubles a single
+  whole-trace batch draw would (C-order fill of the bit stream, pinned
+  in the stream parity suite),
+* either an inline policy object (DNOR / EHTR / Baseline — stateful,
+  driven sample by sample) or, for batched-kernel INOR, the replica of
+  :class:`~repro.core.controller.PeriodicPolicy`'s period gating plus a
+  queue of *pending* decision rows that the
+  :class:`~repro.serve.hub.SessionHub` resolves in one stacked kernel
+  pass across every concurrent session.
+
+The emitted decision log — one :class:`DecisionRecord` per applied
+configuration — is byte-identical to :func:`offline_decision_log` run
+over the complete trace (pinned in ``tests/test_serve.py`` and diffed
+byte-clean in CI).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.inor import parse_inor_kernel
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.physics import TracePhysics, TracePhysicsStream
+from repro.sim.scenario import Scenario
+
+__all__ = [
+    "DecisionRecord",
+    "StreamSession",
+    "offline_decision_log",
+    "write_decision_log",
+]
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One applied configuration in a session's decision log.
+
+    Attributes
+    ----------
+    index:
+        Trace sample index the decision fired on.
+    time_s:
+        Trace time of that sample.
+    starts:
+        Group-start modules of the applied configuration.
+    n_groups:
+        Number of series groups (= ``len(starts)``).
+    """
+
+    index: int
+    time_s: float
+    starts: Tuple[int, ...]
+    n_groups: int
+
+    def to_json_line(self) -> str:
+        """Canonical one-line JSON form (byte-stable for diffing).
+
+        Floats serialise as Python's shortest round-trip repr, so equal
+        doubles always yield equal bytes.
+        """
+        return json.dumps(
+            {
+                "i": self.index,
+                "t": self.time_s,
+                "n": self.n_groups,
+                "starts": list(self.starts),
+            },
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+
+
+def write_decision_log(records: Sequence[DecisionRecord], path) -> None:
+    """Write a decision log as canonical JSON lines."""
+    with open(path, "w", encoding="ascii") as handle:
+        for record in records:
+            handle.write(record.to_json_line() + "\n")
+
+
+def _make_policy(scenario: Scenario, policy: str, dnor_refit: str):
+    if policy == "INOR":
+        return scenario.make_inor_policy()
+    if policy == "EHTR":
+        return scenario.make_ehtr_policy()
+    if policy == "DNOR":
+        return scenario.make_dnor_policy(refit=dnor_refit)
+    if policy == "Baseline":
+        return scenario.make_baseline_policy()
+    raise ConfigurationError(
+        f"unknown policy {policy!r} (expected INOR/EHTR/DNOR/Baseline)"
+    )
+
+
+@dataclass(frozen=True)
+class PendingDecision:
+    """A fired INOR sample awaiting the hub's stacked kernel pass."""
+
+    index: int
+    time_s: float
+    emf_row: np.ndarray
+
+
+class StreamSession:
+    """One vehicle's telemetry stream under one reconfiguration policy.
+
+    Parameters
+    ----------
+    scenario:
+        The session's system description (module, chain, radiator,
+        scanner seed, control knobs).  Only the boundary-condition
+        columns arrive at runtime, via :meth:`feed`.
+    policy:
+        Scheme name — ``"INOR"`` (micro-batched through the hub when
+        the scenario's kernel is batched), ``"DNOR"``, ``"EHTR"`` or
+        ``"Baseline"`` (driven inline).
+    session_id:
+        Stable identifier used in logs and server events.
+    dnor_refit:
+        Refit strategy for DNOR sessions (``"full"`` or
+        ``"incremental"``).
+    """
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        policy: str = "INOR",
+        session_id: str = "session",
+        dnor_refit: str = "full",
+    ) -> None:
+        self.session_id = str(session_id)
+        self._scenario = scenario
+        self._policy_name = str(policy)
+        self._stream = TracePhysicsStream(
+            scenario.radiator, scenario.module, scenario.n_modules
+        )
+        self._scanner = scenario.make_scanner()
+        self._scanner.reset()
+        kernel_mode, self._backend = parse_inor_kernel(scenario.inor_kernel)
+        self._micro_batched = policy == "INOR" and kernel_mode == "batched"
+        if self._micro_batched:
+            self._policy = None
+            self._charger = scenario.make_charger(with_battery=False)
+            module = scenario.module
+            self._emf_coef = (
+                module.material.seebeck_v_per_k * module.n_couples
+            )
+            self._resistance = np.full(
+                int(scenario.n_modules),
+                module.material.resistance_ohm * module.n_couples,
+            )
+            self._next_run_s = 0.0
+        else:
+            self._policy = _make_policy(scenario, policy, dnor_refit)
+            self._policy.reset()
+        self._sample_index = 0
+        self._records: List[DecisionRecord] = []
+        self._pending: List[PendingDecision] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def scenario(self) -> Scenario:
+        """The session's system description."""
+        return self._scenario
+
+    @property
+    def policy_name(self) -> str:
+        """Scheme name driving this session."""
+        return self._policy_name
+
+    @property
+    def micro_batched(self) -> bool:
+        """Whether decisions go through the hub's stacked kernel pass."""
+        return self._micro_batched
+
+    @property
+    def n_samples_seen(self) -> int:
+        """Telemetry samples consumed so far."""
+        return self._sample_index
+
+    @property
+    def records(self) -> Tuple[DecisionRecord, ...]:
+        """All decisions emitted so far, in sample order."""
+        return tuple(self._records)
+
+    @property
+    def pending(self) -> Tuple[PendingDecision, ...]:
+        """Fired samples awaiting the next hub epoch."""
+        return tuple(self._pending)
+
+    # ------------------------------------------------------------------
+    def feed(
+        self,
+        time_s: np.ndarray,
+        coolant_inlet_c: np.ndarray,
+        coolant_flow_kg_s: np.ndarray,
+        ambient_c: np.ndarray,
+        air_flow_kg_s: np.ndarray,
+        coolant_inlet_sensed_c: Optional[np.ndarray] = None,
+        coolant_flow_sensed_kg_s: Optional[np.ndarray] = None,
+    ) -> List[DecisionRecord]:
+        """Consume one telemetry chunk (matching 1-D columns).
+
+        Inline-policy sessions return the decisions fired inside the
+        chunk immediately; micro-batched INOR sessions queue pending
+        rows (see :attr:`pending`) and return ``[]`` — their records
+        arrive when the hub runs its next stacked epoch.
+        """
+        times = np.asarray(time_s, dtype=float)
+        ambient = np.asarray(ambient_c, dtype=float)
+        if times.ndim != 1 or times.size < 1:
+            raise SimulationError(
+                f"chunk time_s must be non-empty 1-D, got {times.shape}"
+            )
+        state = self._stream.extend(
+            coolant_inlet_c,
+            coolant_flow_kg_s,
+            ambient,
+            air_flow_kg_s,
+            coolant_inlet_sensed_c,
+            coolant_flow_sensed_kg_s,
+        )
+        if state.n_samples != times.size:
+            raise SimulationError(
+                f"chunk columns of {state.n_samples} samples do not match "
+                f"time_s of {times.size}"
+            )
+        scanned = self._scanner.scan_batch(state.sensed_temps_c)
+        emitted: List[DecisionRecord] = []
+        for j in range(times.size):
+            index = self._sample_index + j
+            t = float(times[j])
+            amb = float(ambient[j])
+            if self._micro_batched:
+                # PeriodicPolicy's gating arithmetic, verbatim.
+                if t + 1.0e-9 < self._next_run_s:
+                    continue
+                self._next_run_s = t + float(
+                    self._scenario.control_period_s
+                )
+                self._pending.append(
+                    PendingDecision(
+                        index=index,
+                        time_s=t,
+                        emf_row=self._emf_coef * (scanned[j] - amb),
+                    )
+                )
+            else:
+                decision = self._policy.decide(t, scanned[j], amb)
+                if decision is not None:
+                    record = DecisionRecord(
+                        index=index,
+                        time_s=t,
+                        starts=tuple(int(s) for s in decision.starts),
+                        n_groups=len(decision.starts),
+                    )
+                    self._records.append(record)
+                    emitted.append(record)
+        self._sample_index += times.size
+        return emitted
+
+    def feed_trace(self, trace, lo: int, hi: int) -> List[DecisionRecord]:
+        """Convenience: :meth:`feed` from trace sample slice ``[lo, hi)``."""
+        return self.feed(
+            trace.time_s[lo:hi],
+            trace.coolant_inlet_c[lo:hi],
+            trace.coolant_flow_kg_s[lo:hi],
+            trace.ambient_c[lo:hi],
+            trace.air_flow_kg_s[lo:hi],
+            trace.coolant_inlet_sensed_c[lo:hi],
+            trace.coolant_flow_sensed_kg_s[lo:hi],
+        )
+
+    def resolve_pending(
+        self, starts_per_row: Sequence[Tuple[int, ...]]
+    ) -> List[DecisionRecord]:
+        """Apply stacked-kernel winners to the queued pending rows.
+
+        Called by the hub with one starts tuple per pending row, in
+        queue order.  Returns (and stores) the new records.
+        """
+        if len(starts_per_row) != len(self._pending):
+            raise SimulationError(
+                f"{len(starts_per_row)} winner rows for "
+                f"{len(self._pending)} pending decisions"
+            )
+        emitted: List[DecisionRecord] = []
+        for pending, starts in zip(self._pending, starts_per_row):
+            record = DecisionRecord(
+                index=pending.index,
+                time_s=pending.time_s,
+                starts=tuple(int(s) for s in starts),
+                n_groups=len(starts),
+            )
+            self._records.append(record)
+            emitted.append(record)
+        self._pending = []
+        return emitted
+
+
+def offline_decision_log(
+    scenario: Scenario,
+    policy: str = "INOR",
+    dnor_refit: str = "full",
+) -> List[DecisionRecord]:
+    """The offline reference: decide a complete trace in one batch pass.
+
+    Runs exactly the batch engine's decision loop — one whole-trace
+    :meth:`TracePhysics.compute`, one whole-trace scanner draw, then the
+    per-sample policy loop — and returns one record per applied
+    configuration.  The online session log must match this byte for
+    byte.
+    """
+    physics = TracePhysics.compute(
+        scenario.trace, scenario.radiator, scenario.module, scenario.n_modules
+    )
+    scanner = scenario.make_scanner()
+    scanner.reset()
+    scanned = scanner.scan_batch(physics.sensed_temps_c)
+    policy_obj = _make_policy(scenario, policy, dnor_refit)
+    policy_obj.reset()
+    trace = scenario.trace
+    records: List[DecisionRecord] = []
+    for i in range(trace.n_samples):
+        t = float(trace.time_s[i])
+        decision = policy_obj.decide(t, scanned[i], float(trace.ambient_c[i]))
+        if decision is not None:
+            records.append(
+                DecisionRecord(
+                    index=i,
+                    time_s=t,
+                    starts=tuple(int(s) for s in decision.starts),
+                    n_groups=len(decision.starts),
+                )
+            )
+    return records

@@ -21,15 +21,25 @@ The step loop (:class:`repro.sim.simulator.HarvestSimulator`) and the
 batch experiment layer (:mod:`repro.sim.engine`) both consume this
 object; computing it once and reusing it across policies amortises the
 physics over a whole experiment grid.
+
+For online consumption — telemetry arriving in chunks rather than as a
+complete trace — :class:`TracePhysicsStream` exposes the same
+precompute incrementally: every solve in the chain is per-sample
+(row-wise elementwise), so chunked evaluation is a restructuring, not
+an approximation, and each chunk's state is bit-identical to the
+corresponding rows of the one-shot ``compute()``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.errors import SimulationError
 from repro.teg.module import TEGModule
+from repro.thermal.heat_exchanger import HeatExchangerTraceSolution
 from repro.thermal.radiator import Radiator, RadiatorTraceSolution
 from repro.vehicle.trace import RadiatorTrace
 
@@ -173,6 +183,229 @@ class TracePhysics:
             ),
             ideal_power_w=ideal_power_from_delta_t(
                 module, true_solution.delta_t_k
+            ),
+            noiseless=noiseless,
+        )
+
+
+def _concat_exchanger_solutions(
+    parts: Sequence[HeatExchangerTraceSolution],
+) -> HeatExchangerTraceSolution:
+    """Row-concatenate per-chunk exchanger solution columns."""
+    return HeatExchangerTraceSolution(
+        **{
+            f.name: np.concatenate([getattr(p, f.name) for p in parts])
+            for f in fields(HeatExchangerTraceSolution)
+        }
+    )
+
+
+def _concat_trace_solutions(
+    parts: Sequence[RadiatorTraceSolution],
+) -> RadiatorTraceSolution:
+    """Row-concatenate per-chunk radiator solutions into one.
+
+    Every column of :class:`RadiatorTraceSolution` is per-sample (row)
+    data, so concatenation along axis 0 reassembles exactly the arrays a
+    whole-trace :meth:`Radiator.solve_trace` call produces — the solve
+    itself is row-wise elementwise (pinned in the stream parity suite).
+    """
+    return RadiatorTraceSolution(
+        exchanger=_concat_exchanger_solutions([p.exchanger for p in parts]),
+        decay_per_m=np.concatenate([p.decay_per_m for p in parts]),
+        surface_temps_c=np.concatenate([p.surface_temps_c for p in parts]),
+        sink_temps_c=np.concatenate([p.sink_temps_c for p in parts]),
+        delta_t_k=np.concatenate([p.delta_t_k for p in parts]),
+        ambient_c=np.concatenate([p.ambient_c for p in parts]),
+        active=np.concatenate([p.active for p in parts]),
+    )
+
+
+@dataclass(frozen=True)
+class TraceChunkState:
+    """Thermal + EMF state of one streamed telemetry chunk.
+
+    Row ``j`` of every array corresponds to global trace sample
+    ``start_index + j`` and is bit-identical to the same row of the
+    whole-trace :meth:`TracePhysics.compute` fields.
+    """
+
+    start_index: int
+    true_solution: RadiatorTraceSolution
+    sensed_solution: RadiatorTraceSolution
+    sensed_temps_c: np.ndarray
+    emf_true: np.ndarray
+    ideal_power_w: np.ndarray
+    noiseless: bool
+
+    @property
+    def n_samples(self) -> int:
+        """Number of samples in this chunk."""
+        return int(self.sensed_temps_c.shape[0])
+
+
+class TracePhysicsStream:
+    """Chunked/incremental counterpart of :meth:`TracePhysics.compute`.
+
+    The effectiveness-NTU solve, the Eq. (1) surface profile, the
+    Thevenin EMF map and the ``P_ideal`` reduction are all per-sample
+    (row-wise elementwise) operations, so a trace can be consumed as it
+    arrives: :meth:`extend` appends a chunk of boundary-condition
+    samples and returns that chunk's state **bit-identical** to the
+    corresponding rows of the one-shot precompute, at any chunk size
+    (pinned in ``tests/test_physics_stream.py`` for chunk sizes
+    {1, 7, full} over every registry scenario).
+
+    The only whole-trace quantity is the ``noiseless`` flag —
+    ``compute()`` decides it from the full sensed columns; here it is
+    the conjunction of the per-chunk checks (equality of a
+    concatenation is exactly the conjunction of per-chunk equality, so
+    :meth:`snapshot` reproduces the flag and the solution-aliasing
+    behaviour bit-for-bit).
+    """
+
+    def __init__(
+        self, radiator: Radiator, module: TEGModule, n_modules: int
+    ) -> None:
+        self._radiator = radiator
+        self._module = module
+        self._n_modules = int(n_modules)
+        self._chunks: List[TraceChunkState] = []
+        self._n_seen = 0
+
+    @property
+    def n_samples_seen(self) -> int:
+        """Total samples appended so far."""
+        return self._n_seen
+
+    @property
+    def chunks(self) -> Sequence[TraceChunkState]:
+        """Per-chunk states in arrival order."""
+        return tuple(self._chunks)
+
+    def extend(
+        self,
+        coolant_inlet_c: np.ndarray,
+        coolant_flow_kg_s: np.ndarray,
+        ambient_c: np.ndarray,
+        air_flow_kg_s: np.ndarray,
+        coolant_inlet_sensed_c: Optional[np.ndarray] = None,
+        coolant_flow_sensed_kg_s: Optional[np.ndarray] = None,
+    ) -> TraceChunkState:
+        """Append a chunk of boundary-condition samples (1-D columns).
+
+        Sensed columns default to the true columns (a noiseless chunk).
+        Chunks may be as short as a single sample — unlike
+        :class:`~repro.vehicle.trace.RadiatorTrace`, no minimum length
+        applies, so a live feed can deliver one sample at a time.
+        """
+        inlet = np.asarray(coolant_inlet_c, dtype=float)
+        flow = np.asarray(coolant_flow_kg_s, dtype=float)
+        ambient = np.asarray(ambient_c, dtype=float)
+        air_flow = np.asarray(air_flow_kg_s, dtype=float)
+        if inlet.ndim != 1 or inlet.size < 1:
+            raise SimulationError(
+                f"chunk columns must be non-empty 1-D, got {inlet.shape}"
+            )
+        sensed_inlet = (
+            inlet
+            if coolant_inlet_sensed_c is None
+            else np.asarray(coolant_inlet_sensed_c, dtype=float)
+        )
+        sensed_flow = (
+            flow
+            if coolant_flow_sensed_kg_s is None
+            else np.asarray(coolant_flow_sensed_kg_s, dtype=float)
+        )
+        true_solution = self._radiator.solve_trace(
+            inlet, flow, ambient, air_flow, self._n_modules
+        )
+        noiseless = bool(
+            np.array_equal(sensed_inlet, inlet)
+            and np.array_equal(sensed_flow, flow)
+        )
+        if noiseless:
+            sensed_solution = true_solution
+        else:
+            sensed_solution = self._radiator.solve_trace(
+                sensed_inlet, sensed_flow, ambient, air_flow, self._n_modules
+            )
+        sensed_temps_c = ambient[:, None] + sensed_solution.delta_t_k
+        # Same expression order as TracePhysics.compute — bit-identical.
+        emf_true = (
+            self._module.material.seebeck_v_per_k
+            * true_solution.delta_t_k
+            * self._module.n_couples
+        )
+        state = TraceChunkState(
+            start_index=self._n_seen,
+            true_solution=true_solution,
+            sensed_solution=sensed_solution,
+            sensed_temps_c=sensed_temps_c,
+            emf_true=emf_true,
+            ideal_power_w=ideal_power_from_delta_t(
+                self._module, true_solution.delta_t_k
+            ),
+            noiseless=noiseless,
+        )
+        self._chunks.append(state)
+        self._n_seen += state.n_samples
+        return state
+
+    def extend_trace(
+        self, trace: RadiatorTrace, lo: int, hi: int
+    ) -> TraceChunkState:
+        """Convenience: :meth:`extend` on trace sample slice ``[lo, hi)``."""
+        return self.extend(
+            trace.coolant_inlet_c[lo:hi],
+            trace.coolant_flow_kg_s[lo:hi],
+            trace.ambient_c[lo:hi],
+            trace.air_flow_kg_s[lo:hi],
+            trace.coolant_inlet_sensed_c[lo:hi],
+            trace.coolant_flow_sensed_kg_s[lo:hi],
+        )
+
+    def snapshot(self, trace: RadiatorTrace) -> TracePhysics:
+        """Assemble the streamed chunks into a whole-trace precompute.
+
+        ``trace`` must be the trace whose samples were streamed (its
+        sample count is validated); the returned object is bit-identical
+        field-for-field to ``TracePhysics.compute(trace, ...)``,
+        including the noiseless solution aliasing.
+        """
+        if trace.n_samples != self._n_seen:
+            raise SimulationError(
+                f"snapshot trace has {trace.n_samples} samples but "
+                f"{self._n_seen} were streamed"
+            )
+        if not self._chunks:
+            raise SimulationError("no chunks streamed yet")
+        true_solution = _concat_trace_solutions(
+            [c.true_solution for c in self._chunks]
+        )
+        noiseless = all(c.noiseless for c in self._chunks)
+        if noiseless:
+            sensed_solution = true_solution
+        else:
+            sensed_solution = _concat_trace_solutions(
+                [c.sensed_solution for c in self._chunks]
+            )
+        return TracePhysics(
+            trace=trace,
+            radiator=self._radiator,
+            module=self._module,
+            n_modules=self._n_modules,
+            true_solution=true_solution,
+            sensed_solution=sensed_solution,
+            sensed_temps_c=np.concatenate(
+                [c.sensed_temps_c for c in self._chunks]
+            ),
+            emf_true=np.concatenate([c.emf_true for c in self._chunks]),
+            module_resistance_ohm=float(
+                self._module.material.resistance_ohm * self._module.n_couples
+            ),
+            ideal_power_w=np.concatenate(
+                [c.ideal_power_w for c in self._chunks]
             ),
             noiseless=noiseless,
         )

@@ -387,7 +387,7 @@ class Scenario:
             period_s=self.control_period_s,
         )
 
-    def make_dnor_policy(self, predictor=None) -> DNORPolicy:
+    def make_dnor_policy(self, predictor=None, refit: str = "full") -> DNORPolicy:
         """DNOR with the paper's MLR predictor (or a supplied one).
 
         Parameters
@@ -396,6 +396,13 @@ class Scenario:
             Any :class:`repro.prediction.base.LagSeriesPredictor`;
             defaults to the paper's choice, MLR.  Supplying BPNN or SVR
             reproduces the predictor-selection ablation.
+        refit:
+            Predictor refit strategy per epoch — ``"full"`` (default,
+            the pinned batch behaviour) or ``"incremental"`` (windowed
+            normal-equation updates, the streaming service's hot
+            path).  Not a serialised scenario field: the offline
+            decision sequence is compared like-for-like against the
+            online one under whichever mode both use.
         """
         planner = DNORPlanner(
             module=self.module,
@@ -406,6 +413,7 @@ class Scenario:
             sample_dt_s=self.trace.dt_s,
             nominal_compute_s=self.nominal_compute_s,
             inor_kernel=self.inor_kernel,
+            refit=refit,
         )
         return DNORPolicy(planner)
 

@@ -41,6 +41,10 @@ for any worker count, including interrupted-and-resumed runs.
 Lease expiry compares the claim timestamp against the local clock, so
 hosts sharing a directory should have loosely synchronised clocks
 (ordinary NTP skew is harmless next to the default 15-minute TTL).
+The configured TTL lives in the manifest — one init-time choice
+governs every worker — and the unstamped-lease mtime fallback adds a
+clock-skew margin because filesystem mtimes cross the NFS clock
+domain (see :func:`_lease_expired`).
 """
 
 from __future__ import annotations
@@ -76,6 +80,13 @@ SHARD_FORMAT_VERSION = 1
 #: only costs a duplicate (idempotent) execution, while a too-short
 #: TTL makes healthy long cases look dead.
 DEFAULT_LEASE_TTL_S = 900.0
+
+#: Grace added to the *mtime fallback* expiry check only.  An unstamped
+#: lease's mtime comes from the claiming host's filesystem clock, which
+#: on NFS can disagree with the observer's wall clock; without a margin
+#: a skewed observer would steal a lease claimed milliseconds ago.
+#: Stamped leases are unaffected — their claim time is authoritative.
+LEASE_CLOCK_SKEW_MARGIN_S = 30.0
 
 MANIFEST_NAME = "manifest.json"
 
@@ -130,11 +141,18 @@ class _ShardPaths:
 
 @dataclass(frozen=True)
 class ShardManifest:
-    """Parsed ``manifest.json``: the grid in collation order."""
+    """Parsed ``manifest.json``: the grid in collation order.
+
+    ``lease_ttl_s`` is the shard's *configured* lease TTL — every
+    worker and every expiry scan reads it from here, so one init-time
+    choice governs the whole fleet (old manifests without the key
+    resolve to :data:`DEFAULT_LEASE_TTL_S`).
+    """
 
     case_ids: Tuple[str, ...]
     cases: Tuple[ExperimentCase, ...]
     cache_dir: Path
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S
 
     def __len__(self) -> int:
         return len(self.case_ids)
@@ -144,11 +162,35 @@ class ShardManifest:
 
 
 @dataclass(frozen=True)
+class LeaseInfo:
+    """Identity and age of one outstanding lease.
+
+    A lease the claimant has not stamped yet carries the worker label
+    ``"<unstamped>"`` and ages from the file mtime.
+    """
+
+    case_id: str
+    worker: str
+    age_s: float
+    ttl_s: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.case_id} held by {self.worker} "
+            f"for {self.age_s:.0f}s (ttl {self.ttl_s:.0f}s)"
+        )
+
+
+@dataclass(frozen=True)
 class ShardStatus:
     """Queue accounting of one shard directory.
 
     ``leased`` counts live (unexpired) leases; ``expired`` leases are
-    re-queueable and will be picked up by the next worker scan.
+    re-queueable and will be picked up by the next worker scan.  The
+    per-lease detail answers the operational questions the aggregates
+    cannot: *which* cases are stuck and *whose* worker went dark.
+    ``stale_leases`` are still live but past half their TTL — the ones
+    to watch.
     """
 
     total: int
@@ -156,6 +198,8 @@ class ShardStatus:
     pending: int
     leased: int
     expired: int
+    expired_leases: Tuple[LeaseInfo, ...] = ()
+    stale_leases: Tuple[LeaseInfo, ...] = ()
 
     @property
     def complete(self) -> bool:
@@ -167,6 +211,16 @@ class ShardStatus:
             f"{self.done}/{self.total} done, {self.pending} pending, "
             f"{self.leased} leased, {self.expired} expired"
         )
+
+    def detail_lines(self) -> List[str]:
+        """Per-lease trouble report (empty when nothing is stuck)."""
+        lines = [
+            f"expired: {info.describe()}" for info in self.expired_leases
+        ]
+        lines.extend(
+            f"stale:   {info.describe()}" for info in self.stale_leases
+        )
+        return lines
 
 
 def _case_id(index: int) -> str:
@@ -185,6 +239,7 @@ def init_shard(
     cases: Sequence[ExperimentCase],
     cache_dir: Union[str, Path, None] = None,
     warm: bool = True,
+    lease_ttl_s: Optional[float] = None,
 ) -> ShardManifest:
     """Create (or resume) a shard directory for an experiment grid.
 
@@ -211,8 +266,16 @@ def init_shard(
     warm:
         Precompute/load the physics artifacts now (recommended — every
         worker then starts with a warm store).
+    lease_ttl_s:
+        Configured lease TTL recorded in the manifest, governing every
+        worker and expiry scan on this shard (default
+        :data:`DEFAULT_LEASE_TTL_S`).  As with ``cache_dir``, the
+        recorded value is authoritative on resume; only an explicitly
+        different request is an error.
     """
     paths = _ShardPaths(shard_dir)
+    if lease_ttl_s is not None and lease_ttl_s <= 0.0:
+        raise SimulationError(f"lease_ttl_s must be > 0, got {lease_ttl_s}")
     names = [case.name for case in cases]
     if len(set(names)) != len(names):
         raise SimulationError("shard cases must have unique names")
@@ -221,9 +284,11 @@ def init_shard(
 
     paths.create()
     cache_value = None if cache_dir is None else str(cache_dir)
+    ttl_value = None if lease_ttl_s is None else float(lease_ttl_s)
     payload = {
         "version": SHARD_FORMAT_VERSION,
         "cache_dir": cache_value,
+        "lease_ttl_s": ttl_value,
         "cases": [
             {"id": _case_id(i), "case": case.to_json_dict()}
             for i, case in enumerate(cases)
@@ -248,6 +313,12 @@ def init_shard(
             raise SimulationError(
                 f"shard {paths.root} already records its physics store "
                 f"({recorded}); omit cache_dir to resume with it"
+            )
+        if ttl_value is not None and existing.get("lease_ttl_s") != ttl_value:
+            recorded_ttl = existing.get("lease_ttl_s") or DEFAULT_LEASE_TTL_S
+            raise SimulationError(
+                f"shard {paths.root} already records its lease TTL "
+                f"({recorded_ttl}s); omit lease_ttl_s to resume with it"
             )
     else:
         _write_json_atomic(paths.manifest, payload)
@@ -295,7 +366,15 @@ def _load_manifest(paths: _ShardPaths) -> ShardManifest:
     cache_dir = (
         paths.root / "cache" if cache_value is None else Path(cache_value)
     )
-    return ShardManifest(case_ids=case_ids, cases=cases, cache_dir=cache_dir)
+    ttl_value = data.get("lease_ttl_s")
+    return ShardManifest(
+        case_ids=case_ids,
+        cases=cases,
+        cache_dir=cache_dir,
+        lease_ttl_s=(
+            DEFAULT_LEASE_TTL_S if ttl_value is None else float(ttl_value)
+        ),
+    )
 
 
 def load_shard_manifest(shard_dir: Union[str, Path]) -> ShardManifest:
@@ -306,29 +385,51 @@ def load_shard_manifest(shard_dir: Union[str, Path]) -> ShardManifest:
 # ----------------------------------------------------------------------
 # the queue protocol
 # ----------------------------------------------------------------------
-def _lease_expired(lease: Path, now: float) -> bool:
+def _manifest_ttl(paths: _ShardPaths) -> float:
+    """The shard's configured lease TTL (light manifest read).
+
+    Reads just the top-level key — no case rebuilding — so claim scans
+    stay cheap.  Missing manifest or key resolves to the default.
+    """
+    data = _read_json(paths.manifest)
+    ttl = None if data is None else data.get("lease_ttl_s")
+    return DEFAULT_LEASE_TTL_S if ttl is None else float(ttl)
+
+
+def _lease_expired(
+    lease: Path, now: float, default_ttl_s: float = DEFAULT_LEASE_TTL_S
+) -> bool:
     """Whether a lease file has outlived its TTL.
 
-    The claim timestamp inside the file is authoritative; a lease that
-    cannot be parsed yet (the claimant renamed it but has not stamped
-    it — a millisecond window) falls back to the file mtime, which for
-    a crashed-in-that-window worker is the old ticket time and thus
-    expires promptly, exactly as a crash should.
+    The claim timestamp and TTL inside the file are authoritative; a
+    lease that cannot be parsed yet (the claimant renamed it but has
+    not stamped it — a millisecond window) falls back to the file
+    mtime and the *shard's configured* ``default_ttl_s`` — previously
+    this path hard-coded the module default, so a shard configured
+    with a long TTL saw its unstamped leases stolen early (and a short
+    TTL waited the full 15 minutes).  The mtime comparison also adds
+    :data:`LEASE_CLOCK_SKEW_MARGIN_S`, because mtimes come from the
+    claiming host's filesystem clock (NFS skew), unlike the stamped
+    claim time which the claimant took from the same ``time.time``
+    domain every observer compares against.
     """
     data = _read_json(lease)
     if data is not None and "claimed_at" in data:
         claimed_at = float(data["claimed_at"])
-        ttl = float(data.get("lease_ttl_s", DEFAULT_LEASE_TTL_S))
-    else:
-        try:
-            claimed_at = lease.stat().st_mtime
-        except OSError:
-            return False  # vanished: completed or already re-queued
-        ttl = DEFAULT_LEASE_TTL_S
-    return (now - claimed_at) > ttl
+        ttl = float(data.get("lease_ttl_s", default_ttl_s))
+        return (now - claimed_at) > ttl
+    try:
+        claimed_at = lease.stat().st_mtime
+    except OSError:
+        return False  # vanished: completed or already re-queued
+    return (now - claimed_at) > default_ttl_s + LEASE_CLOCK_SKEW_MARGIN_S
 
 
-def _requeue_expired(paths: _ShardPaths, now: Optional[float] = None) -> int:
+def _requeue_expired(
+    paths: _ShardPaths,
+    now: Optional[float] = None,
+    default_ttl_s: Optional[float] = None,
+) -> int:
     """Move expired leases back to pending; returns how many moved.
 
     A lease whose case already has result artifacts (worker crashed
@@ -336,13 +437,15 @@ def _requeue_expired(paths: _ShardPaths, now: Optional[float] = None) -> int:
     re-queued.
     """
     now = time.time() if now is None else now
+    if default_ttl_s is None:
+        default_ttl_s = _manifest_ttl(paths)
     moved = 0
     for lease in sorted(paths.leases.glob("case-*.json")):
         case_id = lease.stem
         if paths.case_done(case_id):
             lease.unlink(missing_ok=True)
             continue
-        if not _lease_expired(lease, now):
+        if not _lease_expired(lease, now, default_ttl_s):
             continue
         try:
             os.rename(lease, paths.ticket(case_id))
@@ -355,18 +458,23 @@ def _requeue_expired(paths: _ShardPaths, now: Optional[float] = None) -> int:
 def claim_case(
     shard_dir: Union[str, Path],
     worker_id: Optional[str] = None,
-    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    lease_ttl_s: Optional[float] = None,
 ) -> Optional[str]:
     """Claim the next available case; returns its id, or ``None``.
 
     The claim is one atomic rename of the ticket into ``leases/`` —
     exactly one of any number of racing workers wins it — followed by
-    stamping the lease with the worker identity and claim time.
-    ``None`` means nothing is claimable right now: every remaining
-    case is finished or held by a live lease.
+    stamping the lease with the worker identity, claim time and TTL.
+    ``lease_ttl_s=None`` (the default) stamps the shard's configured
+    TTL from the manifest, so the whole fleet agrees without every
+    worker invocation repeating the number.  ``None`` return means
+    nothing is claimable right now: every remaining case is finished
+    or held by a live lease.
     """
     paths = _ShardPaths(shard_dir)
     worker_id = worker_id or _default_worker_id()
+    if lease_ttl_s is None:
+        lease_ttl_s = _manifest_ttl(paths)
     scanned_expired = False
     while True:
         claimed = None
@@ -424,7 +532,7 @@ def publish_result(
 def work_shard(
     shard_dir: Union[str, Path],
     worker_id: Optional[str] = None,
-    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+    lease_ttl_s: Optional[float] = None,
     max_cases: Optional[int] = None,
 ) -> List[str]:
     """Drain the shard queue from this process; returns completed ids.
@@ -432,9 +540,10 @@ def work_shard(
     Claims cases one at a time, runs each through the engine's single
     :func:`~repro.sim.engine.run_case` code path (with the shard's
     warm physics store), publishes the artifacts and releases the
-    lease.  Returns when nothing is claimable — the queue is drained
-    or every remaining case is held by a live lease on another worker
-    — or after ``max_cases`` completions.
+    lease.  ``lease_ttl_s=None`` uses the shard's configured TTL.
+    Returns when nothing is claimable — the queue is drained or every
+    remaining case is held by a live lease on another worker — or
+    after ``max_cases`` completions.
     """
     paths = _ShardPaths(shard_dir)
     manifest = _load_manifest(paths)
@@ -472,22 +581,61 @@ def work_shard(
 # ----------------------------------------------------------------------
 # status + collation
 # ----------------------------------------------------------------------
+def _lease_info(
+    lease: Path, now: float, default_ttl_s: float
+) -> Optional[LeaseInfo]:
+    """Identity/age snapshot of one lease file (``None`` if vanished)."""
+    data = _read_json(lease)
+    if data is not None and "claimed_at" in data:
+        return LeaseInfo(
+            case_id=lease.stem,
+            worker=str(data.get("worker", "<unknown>")),
+            age_s=now - float(data["claimed_at"]),
+            ttl_s=float(data.get("lease_ttl_s", default_ttl_s)),
+        )
+    try:
+        mtime = lease.stat().st_mtime
+    except OSError:
+        return None
+    return LeaseInfo(
+        case_id=lease.stem,
+        worker="<unstamped>",
+        age_s=now - mtime,
+        ttl_s=default_ttl_s,
+    )
+
+
 def shard_status(shard_dir: Union[str, Path]) -> ShardStatus:
-    """Count done/pending/leased/expired cases of a shard."""
+    """Count done/pending/leased/expired cases of a shard.
+
+    Beyond the aggregates, the returned status names each expired
+    lease (case id + worker identity) and each *stale* one — still
+    live but past half its TTL — so an operator can see which worker
+    went dark without grepping the queue directory.
+    """
     paths = _ShardPaths(shard_dir)
     manifest = _load_manifest(paths)
     now = time.time()
+    default_ttl_s = manifest.lease_ttl_s
     done = pending = leased = expired = 0
+    expired_leases: List[LeaseInfo] = []
+    stale_leases: List[LeaseInfo] = []
     for case_id in manifest.case_ids:
         if paths.case_done(case_id):
             done += 1
         elif paths.ticket(case_id).exists():
             pending += 1
         elif paths.lease(case_id).exists():
-            if _lease_expired(paths.lease(case_id), now):
+            lease = paths.lease(case_id)
+            info = _lease_info(lease, now, default_ttl_s)
+            if _lease_expired(lease, now, default_ttl_s):
                 expired += 1
+                if info is not None:
+                    expired_leases.append(info)
             else:
                 leased += 1
+                if info is not None and info.age_s > 0.5 * info.ttl_s:
+                    stale_leases.append(info)
         else:
             # Orphaned (e.g. interrupted init): counts as pending work
             # that the next init/work pass will re-queue.
@@ -498,7 +646,42 @@ def shard_status(shard_dir: Union[str, Path]) -> ShardStatus:
         pending=pending,
         leased=leased,
         expired=expired,
+        expired_leases=tuple(expired_leases),
+        stale_leases=tuple(stale_leases),
     )
+
+
+def watch_shard(
+    shard_dir: Union[str, Path],
+    interval_s: float = 2.0,
+    max_ticks: Optional[int] = None,
+    stream=None,
+) -> ShardStatus:
+    """Poll and print shard progress until the shard completes.
+
+    The live mode behind ``repro shard status --watch``: one
+    :meth:`ShardStatus.describe` line per tick (plus per-lease trouble
+    detail when anything is expired or stale), stopping when every
+    case is done or after ``max_ticks`` polls.  Returns the final
+    status.
+    """
+    import sys
+
+    out = sys.stdout if stream is None else stream
+    if interval_s <= 0.0:
+        raise SimulationError(f"interval_s must be > 0, got {interval_s}")
+    ticks = 0
+    while True:
+        status = shard_status(shard_dir)
+        ticks += 1
+        print(status.describe(), file=out, flush=True)
+        for line in status.detail_lines():
+            print(f"  {line}", file=out, flush=True)
+        if status.complete:
+            return status
+        if max_ticks is not None and ticks >= max_ticks:
+            return status
+        time.sleep(interval_s)
 
 
 def collate_shard(shard_dir: Union[str, Path]) -> ExperimentCollation:

@@ -270,3 +270,85 @@ class TestCacheCommand:
         )
         assert code == 2
         assert "unknown scenarios" in capsys.readouterr().err
+
+
+class TestShardStatusWatch:
+    GRID = [
+        "--scenarios", "porter-ii",
+        "--schemes", "INOR,Baseline",
+        "--duration", "15",
+        "--modules", "16",
+    ]
+
+    def test_watch_exits_promptly_on_complete_shard(self, tmp_path, capsys):
+        shard = str(tmp_path / "shard")
+        assert main(["shard", "init", "--dir", shard] + self.GRID) == 0
+        assert main(["shard", "work", "--dir", shard]) == 0
+        capsys.readouterr()
+        code = main(
+            ["shard", "status", "--dir", shard, "--watch",
+             "--interval", "0.01"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2/2 done" in out
+
+    def test_init_records_lease_ttl(self, tmp_path, capsys):
+        shard = str(tmp_path / "shard")
+        code = main(
+            ["shard", "init", "--dir", shard, "--lease-ttl", "45"]
+            + self.GRID
+        )
+        assert code == 0
+        import json as json_module
+        from pathlib import Path
+
+        manifest = json_module.loads(
+            (Path(shard) / "manifest.json").read_text()
+        )
+        assert manifest["lease_ttl_s"] == 45.0
+
+
+class TestServe:
+    DEMO = [
+        "--scenario", "porter-ii",
+        "--sessions", "2",
+        "--duration", "10",
+        "--modules", "9",
+    ]
+
+    def test_demo_with_offline_check(self, tmp_path, capsys):
+        code = main(
+            ["serve", "--decisions-dir", str(tmp_path / "logs"),
+             "--chunk", "8", "--offline-check"] + self.DEMO
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 concurrent session(s)" in out
+        assert "byte-identical" in out
+        assert len(list((tmp_path / "logs").glob("*.jsonl"))) == 2
+
+    def test_offline_mode_writes_matching_logs(self, tmp_path, capsys):
+        online = tmp_path / "online"
+        offline = tmp_path / "offline"
+        assert (
+            main(
+                ["serve", "--decisions-dir", str(online), "--chunk", "8"]
+                + self.DEMO
+            )
+            == 0
+        )
+        assert (
+            main(
+                ["serve", "--offline", "--decisions-dir", str(offline)]
+                + self.DEMO
+            )
+            == 0
+        )
+        capsys.readouterr()
+        names = sorted(p.name for p in online.glob("*.jsonl"))
+        assert names == sorted(p.name for p in offline.glob("*.jsonl"))
+        for name in names:
+            assert (online / name).read_bytes() == (
+                offline / name
+            ).read_bytes()

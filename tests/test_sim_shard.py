@@ -437,3 +437,195 @@ class TestAcceptanceAllScenarios:
         status = shard_status(shard)
         assert status.complete
         assert_collations_bit_identical(collate_shard(shard), serial)
+
+
+class TestConfiguredLeaseTTL:
+    """Regression suite for the lease TTL/status bugfix sweep.
+
+    The bug: an unstamped (or unparseable) lease fell back to the
+    module-level ``DEFAULT_LEASE_TTL_S`` instead of the shard's
+    configured TTL — a shard initialised with a short TTL waited the
+    full 15 minutes to recover a crashed-in-the-stamp-window worker,
+    and one with a *longer* TTL saw healthy claims stolen early.  The
+    mtime fallback also compared filesystem mtimes (NFS clock domain)
+    without any skew tolerance.
+    """
+
+    def _unstamped_lease(self, shard, case_id, age_s):
+        """Fabricate a claimed-but-never-stamped lease of a given age."""
+        from repro.sim.shard import _ShardPaths
+
+        paths = _ShardPaths(shard)
+        ticket = paths.ticket(case_id)
+        lease = paths.lease(case_id)
+        os.rename(ticket, lease)
+        lease.write_text("")  # unparseable: the pre-stamp window
+        stamp = time.time() - age_s
+        os.utime(lease, (stamp, stamp))
+        return lease
+
+    def test_manifest_records_configured_ttl(self, small_grid, tmp_path):
+        shard = tmp_path / "shard"
+        init_shard(shard, small_grid, warm=False, lease_ttl_s=5.0)
+        manifest = load_shard_manifest(shard)
+        assert manifest.lease_ttl_s == 5.0
+        # And an un-configured shard resolves to the default.
+        other = tmp_path / "other"
+        init_shard(other, small_grid, warm=False)
+        from repro.sim.shard import DEFAULT_LEASE_TTL_S
+
+        assert load_shard_manifest(other).lease_ttl_s == DEFAULT_LEASE_TTL_S
+
+    def test_unstamped_lease_honors_configured_short_ttl(
+        self, small_grid, tmp_path
+    ):
+        """TTL 5 s + 30 s skew margin: a 40 s old unstamped lease is
+        expired, a 20 s old one is not.  Under the old code neither
+        would expire before the hard-coded 900 s."""
+        shard = tmp_path / "shard"
+        init_shard(shard, small_grid, warm=False, lease_ttl_s=5.0)
+        self._unstamped_lease(shard, "case-00000", age_s=40.0)
+        self._unstamped_lease(shard, "case-00001", age_s=20.0)
+        status = shard_status(shard)
+        assert status.expired == 1
+        assert status.leased == 1
+        assert {info.case_id for info in status.expired_leases} == {
+            "case-00000"
+        }
+        assert status.expired_leases[0].worker == "<unstamped>"
+
+    def test_unstamped_lease_honors_configured_long_ttl(
+        self, small_grid, tmp_path
+    ):
+        """A shard configured *above* the default must not have its
+        unstamped leases stolen at the 900 s default."""
+        shard = tmp_path / "shard"
+        init_shard(shard, small_grid, warm=False, lease_ttl_s=2000.0)
+        self._unstamped_lease(shard, "case-00000", age_s=1000.0)
+        status = shard_status(shard)
+        assert status.expired == 0
+        assert status.leased == 1
+
+    def test_stamped_lease_has_no_skew_margin(self, small_grid, tmp_path):
+        """The stamped claim time is authoritative — same clock domain,
+        no margin; a 0.01 s TTL must expire in well under 30 s."""
+        shard = tmp_path / "shard"
+        init_shard(shard, small_grid, warm=False, lease_ttl_s=300.0)
+        claim_case(shard, worker_id="dead", lease_ttl_s=0.01)
+        time.sleep(0.03)
+        assert shard_status(shard).expired == 1
+
+    def test_claim_stamps_manifest_ttl_by_default(
+        self, small_grid, tmp_path
+    ):
+        shard = tmp_path / "shard"
+        init_shard(shard, small_grid, warm=False, lease_ttl_s=123.0)
+        case_id = claim_case(shard, worker_id="w1")
+        from repro.sim.shard import _ShardPaths
+
+        lease = json.loads(_ShardPaths(shard).lease(case_id).read_text())
+        assert lease["lease_ttl_s"] == 123.0
+        assert lease["worker"] == "w1"
+
+    def test_resume_ttl_semantics(self, small_grid, tmp_path):
+        shard = tmp_path / "shard"
+        init_shard(shard, small_grid, warm=False, lease_ttl_s=60.0)
+        # Same explicit TTL and omitted TTL both resume.
+        init_shard(shard, small_grid, warm=False, lease_ttl_s=60.0)
+        resumed = init_shard(shard, small_grid, warm=False)
+        assert resumed.lease_ttl_s == 60.0
+        # An explicitly different TTL is refused, like cache_dir.
+        with pytest.raises(SimulationError, match="lease TTL"):
+            init_shard(shard, small_grid, warm=False, lease_ttl_s=10.0)
+
+    def test_init_rejects_nonpositive_ttl(self, small_grid, tmp_path):
+        with pytest.raises(SimulationError, match="lease_ttl_s"):
+            init_shard(
+                tmp_path / "shard", small_grid, warm=False, lease_ttl_s=0.0
+            )
+
+
+class TestStatusDetail:
+    def test_expired_and_stale_leases_are_named(self, small_grid, tmp_path):
+        shard = tmp_path / "shard"
+        init_shard(shard, small_grid, warm=False, lease_ttl_s=300.0)
+        from repro.sim.shard import _ShardPaths
+
+        paths = _ShardPaths(shard)
+        # An expired stamped lease names its worker...
+        dead = claim_case(shard, worker_id="dead-host", lease_ttl_s=0.01)
+        time.sleep(0.03)
+        # ...and a live lease past half its TTL is stale.
+        slow = claim_case(shard, worker_id="slow-host", lease_ttl_s=10.0)
+        stamp = json.loads(paths.lease(slow).read_text())
+        stamp["claimed_at"] = time.time() - 6.0
+        paths.lease(slow).write_text(json.dumps(stamp))
+
+        status = shard_status(shard)
+        assert status.expired == 1 and status.leased == 1
+        expired_info = status.expired_leases[0]
+        assert expired_info.case_id == dead
+        assert expired_info.worker == "dead-host"
+        assert expired_info.ttl_s == 0.01
+        stale_info = status.stale_leases[0]
+        assert stale_info.case_id == slow
+        assert stale_info.worker == "slow-host"
+        assert 5.0 < stale_info.age_s < 8.0
+
+        lines = status.detail_lines()
+        assert any("dead-host" in line and "expired" in line for line in lines)
+        assert any("slow-host" in line and "stale" in line for line in lines)
+
+    def test_fresh_lease_is_not_stale(self, small_grid, tmp_path):
+        shard = tmp_path / "shard"
+        init_shard(shard, small_grid, warm=False)
+        claim_case(shard, worker_id="fresh")
+        status = shard_status(shard)
+        assert status.leased == 1
+        assert status.stale_leases == ()
+        assert status.detail_lines() == []
+
+
+class TestWatchShard:
+    def test_watch_returns_when_complete(self, small_grid, tmp_path):
+        import io
+
+        from repro.sim.shard import publish_result, watch_shard
+        from repro.sim.engine import run_case
+
+        shard = tmp_path / "shard"
+        init_shard(shard, small_grid, warm=False)
+        manifest = load_shard_manifest(shard)
+        for case_id, case in manifest.by_id().items():
+            publish_result(
+                shard, case_id, case,
+                run_case(case, cache_dir=str(manifest.cache_dir)),
+            )
+        stream = io.StringIO()
+        status = watch_shard(shard, interval_s=0.01, stream=stream)
+        assert status.complete
+        assert stream.getvalue().count("done") == 1
+
+    def test_watch_max_ticks_on_incomplete_shard(
+        self, small_grid, tmp_path
+    ):
+        import io
+
+        from repro.sim.shard import watch_shard
+
+        shard = tmp_path / "shard"
+        init_shard(shard, small_grid, warm=False)
+        stream = io.StringIO()
+        status = watch_shard(
+            shard, interval_s=0.01, max_ticks=3, stream=stream
+        )
+        assert not status.complete
+        assert stream.getvalue().count("pending") == 3
+
+    def test_watch_rejects_nonpositive_interval(self, small_grid, tmp_path):
+        from repro.sim.shard import watch_shard
+
+        shard = tmp_path / "shard"
+        init_shard(shard, small_grid, warm=False)
+        with pytest.raises(SimulationError, match="interval"):
+            watch_shard(shard, interval_s=0.0)
