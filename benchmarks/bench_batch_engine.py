@@ -47,7 +47,7 @@ DURATION_S = float(os.environ.get("REPRO_BENCH_BATCH_DURATION_S", "40"))
 def _make_simulator(scenario, engine: str) -> HarvestSimulator:
     return HarvestSimulator(
         trace=scenario.trace,
-        radiator=scenario.radiator,
+        boundary=scenario.boundary,
         module=scenario.module,
         n_modules=scenario.n_modules,
         overhead=scenario.overhead,

@@ -1,0 +1,169 @@
+"""Thermal-boundary solve gates: batched `solve_trace` must stay batched.
+
+The boundary protocol's one hot loop is ``solve_trace`` — every
+consumer (physics precompute, cache warm, stream chunks) hands it whole
+column arrays and expects one vectorised pass.  The exhaust-gas
+boundary is the one most tempted to degrade (its duct march is
+sequential in *module position*), so this harness gates it:
+
+1. **Vectorised exhaust ``solve_trace`` beats the per-sample scalar
+   path by >= 3x.**  The march may loop over the N module positions,
+   but each step must stay an elementwise pass over all samples at
+   once; a per-sample fallback would multiply the physics precompute
+   cost of every exhaust scenario by the trace length.
+2. **The finite-coupling wrapper's overhead on top of its inner solve
+   stays bounded** — the divider is a handful of elementwise arrays,
+   not another solve.
+
+Both timings double as parity checks: the looped scalar path must
+reproduce the batched rows bitwise (the protocol's row-wise contract).
+
+Environment knobs (used by the CI smoke job):
+
+* ``REPRO_BENCH_BOUNDARY_SAMPLES`` — trace length (default 1500).
+* ``REPRO_BENCH_BOUNDARY_MODULES`` — module positions N (default 64).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+from conftest import emit
+
+from repro.thermal.coupling import FiniteCouplingBoundary
+from repro.thermal.exhaust import ExhaustGasBoundary
+from repro.vehicle.trace import default_radiator
+
+SAMPLES = int(os.environ.get("REPRO_BENCH_BOUNDARY_SAMPLES", "1500"))
+MODULES = int(os.environ.get("REPRO_BENCH_BOUNDARY_MODULES", "64"))
+
+#: Batched exhaust solve vs the same rows through the per-sample
+#: scalar path.  The real margin is orders of magnitude; 3x is the
+#: floor that still fails a silently de-vectorised march.
+GATE_EXHAUST_SPEEDUP = 3.0
+
+#: Finite-coupling wrap cost: wrapped solve time over inner solve time.
+#: The divider adds a few elementwise arrays, so anything beyond this
+#: multiple means the wrapper started re-solving or copying per sample.
+GATE_WRAPPER_OVERHEAD = 3.0
+
+
+def _exhaust_columns(n):
+    rng = np.random.default_rng(42)
+    inlet = rng.uniform(200.0, 450.0, n)
+    flow = rng.uniform(0.03, 0.12, n)
+    ambient = rng.uniform(20.0, 40.0, n)
+    cold = rng.uniform(0.3, 0.8, n)
+    return inlet, flow, ambient, cold
+
+
+def _radiator_columns(n):
+    rng = np.random.default_rng(43)
+    inlet = rng.uniform(60.0, 110.0, n)
+    flow = rng.uniform(0.05, 0.5, n)
+    ambient = rng.uniform(15.0, 40.0, n)
+    cold = rng.uniform(0.2, 1.5, n)
+    return inlet, flow, ambient, cold
+
+
+def _time(fn, repeats=3):
+    best = np.inf
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def test_exhaust_batched_beats_per_sample_loop():
+    boundary = ExhaustGasBoundary()
+    inlet, flow, ambient, cold = _exhaust_columns(SAMPLES)
+
+    batched_s, batched = _time(
+        lambda: boundary.solve_trace(inlet, flow, ambient, cold, MODULES)
+    )
+
+    def per_sample():
+        rows = [
+            boundary.operating_point(
+                float(inlet[i]),
+                float(flow[i]),
+                float(ambient[i]),
+                float(cold[i]),
+                MODULES,
+            )
+            for i in range(SAMPLES)
+        ]
+        return rows
+
+    loop_s, rows = _time(per_sample, repeats=1)
+
+    # Parity first: the loop must reproduce the batched rows bitwise.
+    for i in (0, SAMPLES // 2, SAMPLES - 1):
+        assert np.array_equal(
+            rows[i].surface_temps_c, batched.surface_temps_c[i]
+        )
+        assert np.array_equal(rows[i].delta_t_k, batched.delta_t_k[i])
+
+    speedup = loop_s / batched_s
+    emit(
+        "bench_boundary_exhaust.json",
+        json.dumps(
+            {
+                "samples": SAMPLES,
+                "modules": MODULES,
+                "batched_s": batched_s,
+                "per_sample_loop_s": loop_s,
+                "speedup": speedup,
+                "gate": GATE_EXHAUST_SPEEDUP,
+            },
+            indent=2,
+        ),
+    )
+    assert speedup >= GATE_EXHAUST_SPEEDUP, (
+        f"batched exhaust solve_trace only {speedup:.1f}x over the "
+        f"per-sample loop (gate {GATE_EXHAUST_SPEEDUP}x) — the march "
+        f"has de-vectorised"
+    )
+
+
+def test_finite_coupling_wrapper_overhead_is_bounded():
+    radiator = default_radiator()
+    wrapped = FiniteCouplingBoundary(inner=radiator)
+    inlet, flow, ambient, cold = _radiator_columns(SAMPLES)
+
+    inner_s, inner_sol = _time(
+        lambda: radiator.solve_trace(inlet, flow, ambient, cold, MODULES)
+    )
+    wrapped_s, wrapped_sol = _time(
+        lambda: wrapped.solve_trace(inlet, flow, ambient, cold, MODULES)
+    )
+
+    # The divider only ever shrinks the reservoir difference.
+    positive = inner_sol.delta_t_k > 0.0
+    assert np.all(
+        wrapped_sol.delta_t_k[positive] < inner_sol.delta_t_k[positive]
+    )
+
+    overhead = wrapped_s / inner_s
+    emit(
+        "bench_boundary_coupling.json",
+        json.dumps(
+            {
+                "samples": SAMPLES,
+                "modules": MODULES,
+                "inner_solve_s": inner_s,
+                "wrapped_solve_s": wrapped_s,
+                "overhead_factor": overhead,
+                "gate": GATE_WRAPPER_OVERHEAD,
+            },
+            indent=2,
+        ),
+    )
+    assert overhead <= GATE_WRAPPER_OVERHEAD, (
+        f"finite-coupling wrapper costs {overhead:.1f}x its inner solve "
+        f"(gate {GATE_WRAPPER_OVERHEAD}x) — the divider should be a few "
+        f"elementwise arrays"
+    )

@@ -82,7 +82,17 @@ from repro.teg import (
     TGM_199_1_4_0_8,
     get_module,
 )
-from repro.thermal import Radiator, RadiatorGeometry
+from repro.thermal import (
+    BoundaryTraceSolution,
+    ExhaustGasBoundary,
+    FiniteCouplingBoundary,
+    Radiator,
+    RadiatorGeometry,
+    ThermalBoundary,
+    boundary_from_json_dict,
+    boundary_to_json_dict,
+    registered_boundary_types,
+)
 from repro.vehicle import (
     DriveCycle,
     EngineModel,
@@ -98,14 +108,17 @@ from repro.vehicle import (
 __all__ = [
     "ArrayConfiguration",
     "BPNNPredictor",
+    "BoundaryTraceSolution",
     "BuckBoostConverter",
     "ConfigurationError",
     "DNORPlanner",
     "DNORPolicy",
     "DriveCycle",
     "EngineModel",
+    "ExhaustGasBoundary",
     "ExperimentCase",
     "ExperimentRunner",
+    "FiniteCouplingBoundary",
     "HarvestSimulator",
     "LeadAcidBattery",
     "MLRPredictor",
@@ -134,8 +147,11 @@ __all__ = [
     "TEGModule",
     "TGM_199_1_4_0_8",
     "TegkitError",
+    "ThermalBoundary",
     "TracePhysics",
     "__version__",
+    "boundary_from_json_dict",
+    "boundary_to_json_dict",
     "build_named_scenario",
     "build_trace",
     "comparison_table",
@@ -152,6 +168,7 @@ __all__ = [
     "inor",
     "mape",
     "porter_ii_trace",
+    "registered_boundary_types",
     "synthetic_highway",
     "synthetic_mixed",
     "synthetic_urban",

@@ -211,7 +211,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.list:
         print("Registered scenarios:")
         for name, description in registry.describe().items():
-            print(f"  {name:20s} {description}")
+            boundary_type = registry.build(
+                name, duration_s=20.0
+            ).boundary.boundary_type
+            print(f"  {name:20s} [{boundary_type}] {description}")
         return 0
 
     cases = _build_grid(args)

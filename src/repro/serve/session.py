@@ -119,7 +119,8 @@ class StreamSession:
     Parameters
     ----------
     scenario:
-        The session's system description (module, chain, radiator,
+        The session's system description (module, chain, thermal
+        boundary,
         scanner seed, control knobs).  Only the boundary-condition
         columns arrive at runtime, via :meth:`feed`.
     policy:
@@ -144,7 +145,7 @@ class StreamSession:
         self._scenario = scenario
         self._policy_name = str(policy)
         self._stream = TracePhysicsStream(
-            scenario.radiator, scenario.module, scenario.n_modules
+            scenario.boundary, scenario.module, scenario.n_modules
         )
         self._scanner = scenario.make_scanner()
         self._scanner.reset()
@@ -324,7 +325,7 @@ def offline_decision_log(
     byte.
     """
     physics = TracePhysics.compute(
-        scenario.trace, scenario.radiator, scenario.module, scenario.n_modules
+        scenario.trace, scenario.boundary, scenario.module, scenario.n_modules
     )
     scanner = scenario.make_scanner()
     scanner.reset()

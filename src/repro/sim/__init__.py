@@ -4,8 +4,10 @@ The stack is layered (see ROADMAP "Open items" for the architecture
 overview):
 
 * :mod:`repro.sim.physics` — :class:`TracePhysics`, the trace-level
-  physics precompute: vectorised radiator solves (true + sensed), EMF
-  matrix and ``P_ideal`` series for a whole trace in one NumPy pass.
+  physics precompute: vectorised thermal-boundary solves (true +
+  sensed), EMF matrix and ``P_ideal`` series for a whole trace in one
+  NumPy pass, generic over any registered
+  :class:`~repro.thermal.boundary.ThermalBoundary`.
 * :mod:`repro.sim.cache` — :class:`PhysicsCache`, content-fingerprint
   memoisation of the precompute (in-process LRU + on-disk artifact
   store) shared across simulators, grid cells and worker processes.
@@ -20,9 +22,10 @@ overview):
   that fans the same grids across independent *hosts* (atomic-rename
   claim leases, per-case result artifacts, shared physics store),
   collating bit-identically to a serial run.
-* :mod:`repro.sim.scenario` — bundles module, array size, radiator,
-  trace, charger and overhead settings into reproducible experiment
-  setups, with a :class:`ScenarioRegistry` of named scenarios.
+* :mod:`repro.sim.scenario` — bundles module, array size, thermal
+  boundary, trace, charger and overhead settings into reproducible
+  experiment setups, with a :class:`ScenarioRegistry` of named
+  scenarios.
 * :mod:`repro.sim.results` — result containers and the Table-I style
   comparison renderer.
 * :mod:`repro.sim.ideal` — the ``P_ideal`` reference of Fig. 7.

@@ -1,10 +1,10 @@
 """Content-addressed caching of :class:`~repro.sim.physics.TracePhysics`.
 
-The physics precompute is a pure function of ``(trace, radiator,
+The physics precompute is a pure function of ``(trace, boundary,
 module, n_modules)``: nothing the controller or charger does can change
 it.  Experiment grids exploit exactly that purity — a scanner-noise or
 policy axis fans tens of cases over the *same* trace — but before this
-layer every grid cell paid the radiator solves again (the batch engine
+layer every grid cell paid the boundary solves again (the batch engine
 shared per ``id(scenario)`` only, so ``dataclasses.replace`` variants
 and process-pool workers each re-solved from scratch).
 
@@ -14,17 +14,22 @@ content fingerprint (:func:`physics_fingerprint`):
 * an in-process LRU, shared by the serial/thread executors and by
   consecutive :class:`~repro.sim.simulator.HarvestSimulator` builds;
 * an optional on-disk artifact store (one ``<fingerprint>.npz`` per
-  entry) that process-pool workers — and, eventually, machines sharing
-  a filesystem in a sharded grid — warm once and then load instead of
-  solving.
+  entry) that process-pool workers — and machines sharing a filesystem
+  in a sharded grid — warm once and then load instead of solving.
 
 Both tiers reproduce the compute path bit-for-bit: the artifact stores
-the solved arrays losslessly (raw float64), and a loaded entry is
-rebound to the caller's live trace/radiator/module objects, so cached
-and uncached experiments are indistinguishable.  Artifacts are written
+the solved arrays losslessly (raw float64, via the solution's own
+``to_arrays``/``solution_from_arrays`` round trip, so boundary types
+with richer solutions keep every column), and a loaded entry is rebound
+to the caller's live trace/boundary/module objects, so cached and
+uncached experiments are indistinguishable.  Artifacts are written
 atomically (temp file + ``os.replace``) and a corrupt or truncated file
 is treated as a miss: the entry is recomputed and the artifact
 rewritten.
+
+The fingerprint leads with the boundary's registered type tag: two
+boundary models with identical parameter floats can never collide in
+the store (pinned by the cross-type cache-miss test).
 """
 
 from __future__ import annotations
@@ -44,13 +49,14 @@ import numpy as np
 from repro.sim._atomic import atomic_write
 from repro.sim.physics import TracePhysics
 from repro.teg.module import TEGModule
-from repro.thermal.heat_exchanger import HeatExchangerTraceSolution
-from repro.thermal.radiator import Radiator, RadiatorTraceSolution
+from repro.thermal.boundary import ThermalBoundary
 from repro.vehicle.trace import RadiatorTrace
 
-#: Bumped whenever the artifact layout changes; artifacts carrying a
-#: different version are treated as misses and rewritten.
-CACHE_FORMAT_VERSION = 1
+#: Bumped whenever the artifact layout or fingerprint recipe changes;
+#: artifacts carrying a different version are treated as misses and
+#: rewritten.  v2: boundary type tag + canonical parameter tokens
+#: replace the hard-wired radiator parameter walk.
+CACHE_FORMAT_VERSION = 2
 
 #: Trace columns entering the fingerprint (everything the solves read).
 _TRACE_COLUMNS = (
@@ -63,28 +69,6 @@ _TRACE_COLUMNS = (
     "coolant_flow_sensed_kg_s",
 )
 
-#: Array attributes of :class:`HeatExchangerTraceSolution`.
-_EXCHANGER_FIELDS = (
-    "duty_w",
-    "effectiveness",
-    "ntu",
-    "ua_w_k",
-    "hot_outlet_c",
-    "cold_outlet_c",
-    "hot_capacity_w_k",
-    "cold_capacity_w_k",
-)
-
-#: Non-exchanger array attributes of :class:`RadiatorTraceSolution`.
-_SOLUTION_FIELDS = (
-    "decay_per_m",
-    "surface_temps_c",
-    "sink_temps_c",
-    "delta_t_k",
-    "ambient_c",
-    "active",
-)
-
 
 def _scalar_token(name: str, value: float) -> bytes:
     """A lossless text token for one scalar parameter."""
@@ -93,20 +77,22 @@ def _scalar_token(name: str, value: float) -> bytes:
 
 def physics_fingerprint(
     trace: RadiatorTrace,
-    radiator: Radiator,
+    boundary: ThermalBoundary,
     module: TEGModule,
     n_modules: int,
 ) -> str:
     """Content fingerprint of one :meth:`TracePhysics.compute` input set.
 
-    Hashes the raw bytes of every trace column the solves read plus
-    every model parameter that enters the thermal/electrical chain —
-    radiator geometry, UA model, fluid properties, sink preheat, module
-    material — and the chain length.  Two inputs with equal
-    fingerprints produce bit-identical :class:`TracePhysics` objects;
-    object identity, trace names and scanner settings are deliberately
-    excluded so grid variants built via ``dataclasses.replace`` (and
-    re-built scenarios in other processes) share one entry.
+    Hashes the raw bytes of every trace column the solves read, the
+    boundary's registered type tag plus its full parameter dict (via
+    :meth:`~repro.thermal.boundary.ThermalBoundary.fingerprint_tokens`
+    — lossless ``float.hex`` tokens, nested params included), every
+    module-material parameter, and the chain length.  Two inputs with
+    equal fingerprints produce bit-identical :class:`TracePhysics`
+    objects; object identity, trace names and scanner settings are
+    deliberately excluded so grid variants built via
+    ``dataclasses.replace`` (and re-built scenarios in other processes)
+    share one entry.
     """
     h = hashlib.sha256()
     h.update(f"tegkit-physics-v{CACHE_FORMAT_VERSION};".encode())
@@ -127,29 +113,7 @@ def physics_fingerprint(
     ):
         h.update(_scalar_token(name, getattr(material, name)))
 
-    geometry = radiator.geometry
-    h.update(_scalar_token("path_length_m", geometry.path_length_m))
-    h.update(_scalar_token("sink_preheat", radiator.sink_preheat_fraction))
-    exchanger = radiator.exchanger
-    h.update(
-        f"exchanger={type(exchanger).__name__};"
-        f"both_unmixed={exchanger.both_unmixed};".encode()
-    )
-    ua = exchanger.ua_model
-    for name in (
-        "hot_conductance_ref_w_k",
-        "cold_conductance_ref_w_k",
-        "hot_ref_flow_kg_s",
-        "cold_ref_flow_kg_s",
-        "wall_resistance_k_w",
-        "hot_flow_exponent",
-        "cold_flow_exponent",
-    ):
-        h.update(_scalar_token(name, getattr(ua, name)))
-    for label, fluid in (("coolant", radiator.coolant), ("air", radiator.air)):
-        h.update(f"{label}={fluid.name};".encode())
-        h.update(_scalar_token("cp", fluid.specific_heat_j_kg_k))
-        h.update(_scalar_token("rho", fluid.density_kg_m3))
+    h.update(boundary.fingerprint_tokens())
     return h.hexdigest()
 
 
@@ -165,7 +129,7 @@ class CacheStats:
         Lookups answered by loading an on-disk artifact.
     misses:
         Lookups that had to run :meth:`TracePhysics.compute` (equals
-        the number of radiator solve passes paid, up to the noiseless
+        the number of boundary solve passes paid, up to the noiseless
         single-solve optimisation).
     corrupt_artifacts:
         On-disk artifacts that failed to load and were recomputed.
@@ -266,33 +230,33 @@ class PhysicsCache:
     def get_or_compute(
         self,
         trace: RadiatorTrace,
-        radiator: Radiator,
+        boundary: ThermalBoundary,
         module: TEGModule,
         n_modules: int,
     ) -> TracePhysics:
         """Return the memoised physics for the inputs, computing on miss.
 
-        The returned object is always bound to *these* trace/radiator/
+        The returned object is always bound to *these* trace/boundary/
         module objects (a hit under a content-equal but distinct trace
         is rebound via ``dataclasses.replace``; the solved arrays are
         shared), so it passes the simulator's identity validation and
         downstream results are bit-identical to an uncached compute.
         """
-        key = physics_fingerprint(trace, radiator, module, n_modules)
+        key = physics_fingerprint(trace, boundary, module, n_modules)
         with self._lock:
             physics = self._lru.get(key)
             if physics is not None:
                 self._lru.move_to_end(key)
                 self._memory_hits += 1
-                return self._rebind(physics, trace, radiator, module)
+                return self._rebind(physics, trace, boundary, module)
 
-            physics = self._load(key, trace, radiator, module, n_modules)
+            physics = self._load(key, trace, boundary, module, n_modules)
             if physics is not None:
                 self._disk_hits += 1
                 self._insert(key, physics)
                 return physics
 
-            physics = TracePhysics.compute(trace, radiator, module, n_modules)
+            physics = TracePhysics.compute(trace, boundary, module, n_modules)
             self._misses += 1
             self._insert(key, physics)
             if self._dir is not None:
@@ -309,7 +273,7 @@ class PhysicsCache:
         before = self._misses
         for scenario in scenarios:
             self.get_or_compute(
-                scenario.trace, scenario.radiator, scenario.module,
+                scenario.trace, scenario.boundary, scenario.module,
                 scenario.n_modules,
             )
         return self._misses - before
@@ -327,17 +291,17 @@ class PhysicsCache:
     def _rebind(
         physics: TracePhysics,
         trace: RadiatorTrace,
-        radiator: Radiator,
+        boundary: ThermalBoundary,
         module: TEGModule,
     ) -> TracePhysics:
         """Point a cached entry at the caller's live model objects."""
         if (
             physics.trace is trace
-            and physics.radiator is radiator
+            and physics.boundary is boundary
             and physics.module is module
         ):
             return physics
-        return replace(physics, trace=trace, radiator=radiator, module=module)
+        return replace(physics, trace=trace, boundary=boundary, module=module)
 
     # ------------------------------------------------------------------
     # Disk tier
@@ -351,7 +315,9 @@ class PhysicsCache:
         assert self._dir is not None
         self._dir.mkdir(parents=True, exist_ok=True)
         arrays = {}
-        self._pack_solution(arrays, "true", physics.true_solution)
+        solution_keys = self._pack_solution(
+            arrays, "true", physics.true_solution
+        )
         if not physics.noiseless:
             self._pack_solution(arrays, "sensed", physics.sensed_solution)
         arrays["sensed_temps_c"] = physics.sensed_temps_c
@@ -360,6 +326,8 @@ class PhysicsCache:
         meta = {
             "version": CACHE_FORMAT_VERSION,
             "fingerprint": key,
+            "boundary_type": physics.boundary.boundary_type,
+            "solution_keys": solution_keys,
             "noiseless": bool(physics.noiseless),
             "n_modules": int(physics.n_modules),
             "module_resistance_ohm": physics.module_resistance_ohm.hex(),
@@ -376,7 +344,7 @@ class PhysicsCache:
         self,
         key: str,
         trace: RadiatorTrace,
-        radiator: Radiator,
+        boundary: ThermalBoundary,
         module: TEGModule,
         n_modules: int,
     ) -> Optional[TracePhysics]:
@@ -392,19 +360,25 @@ class PhysicsCache:
                 if (
                     meta.get("version") != CACHE_FORMAT_VERSION
                     or meta.get("fingerprint") != key
+                    or meta.get("boundary_type") != boundary.boundary_type
                     or meta.get("n_modules") != int(n_modules)
                 ):
                     raise ValueError("artifact metadata mismatch")
                 noiseless = bool(meta["noiseless"])
-                true_solution = self._unpack_solution(data, "true")
+                solution_keys = list(meta["solution_keys"])
+                true_solution = self._unpack_solution(
+                    data, "true", boundary, solution_keys
+                )
                 sensed_solution = (
                     true_solution
                     if noiseless
-                    else self._unpack_solution(data, "sensed")
+                    else self._unpack_solution(
+                        data, "sensed", boundary, solution_keys
+                    )
                 )
                 return TracePhysics(
                     trace=trace,
-                    radiator=radiator,
+                    boundary=boundary,
                     module=module,
                     n_modules=int(n_modules),
                     true_solution=true_solution,
@@ -424,20 +398,22 @@ class PhysicsCache:
             return None
 
     @staticmethod
-    def _pack_solution(
-        arrays: dict, prefix: str, solution: RadiatorTraceSolution
-    ) -> None:
-        for name in _EXCHANGER_FIELDS:
-            arrays[f"{prefix}_x_{name}"] = getattr(solution.exchanger, name)
-        for name in _SOLUTION_FIELDS:
-            arrays[f"{prefix}_{name}"] = getattr(solution, name)
+    def _pack_solution(arrays: dict, prefix: str, solution) -> list:
+        """Flatten one solution into ``{prefix}_{key}`` npz entries.
+
+        Returns the solution's own key list — recorded in the artifact
+        metadata so :meth:`_unpack_solution` never guesses which npz
+        entries belong to the solution (``sensed_temps_c`` is a
+        top-level field, not a ``sensed``-prefixed solution column).
+        """
+        flat = solution.to_arrays()
+        for name, arr in flat.items():
+            arrays[f"{prefix}_{name}"] = arr
+        return sorted(flat)
 
     @staticmethod
-    def _unpack_solution(data, prefix: str) -> RadiatorTraceSolution:
-        exchanger = HeatExchangerTraceSolution(
-            **{name: data[f"{prefix}_x_{name}"] for name in _EXCHANGER_FIELDS}
-        )
-        return RadiatorTraceSolution(
-            exchanger=exchanger,
-            **{name: data[f"{prefix}_{name}"] for name in _SOLUTION_FIELDS},
+    def _unpack_solution(data, prefix: str, boundary: ThermalBoundary, keys):
+        """Rebuild the boundary's solution type from ``{prefix}_*`` entries."""
+        return type(boundary).solution_from_arrays(
+            {name: data[f"{prefix}_{name}"] for name in keys}
         )

@@ -384,7 +384,7 @@ class ExperimentRunner:
         """One TracePhysics slot per case, deduplicated by fingerprint.
 
         Content-keyed through the :class:`PhysicsCache`, so every grid
-        cell sharing a trace/radiator/chain — including scanner-noise
+        cell sharing a trace/boundary/chain — including scanner-noise
         variants and scenarios rebuilt from the registry — reuses one
         solve (and one on-disk artifact when the cache has a
         directory).
@@ -392,7 +392,7 @@ class ExperimentRunner:
         return [
             self._cache.get_or_compute(
                 case.scenario.trace,
-                case.scenario.radiator,
+                case.scenario.boundary,
                 case.scenario.module,
                 case.scenario.n_modules,
             )

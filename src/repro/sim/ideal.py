@@ -4,7 +4,7 @@
 configuration reaches (series groups share a current, parallel modules
 share a voltage), which is what makes it the natural normaliser for
 comparing schemes.  The series needs only the *true* boundary
-conditions, so it is one vectorised radiator solve plus the batched
+conditions, so it is one vectorised boundary solve plus the batched
 per-module MPP sum (:func:`repro.sim.physics.ideal_power_from_delta_t`)
 — the sensed pass a full :class:`~repro.sim.physics.TracePhysics`
 would also run is skipped.
@@ -16,18 +16,18 @@ import numpy as np
 
 from repro.sim.physics import ideal_power_from_delta_t
 from repro.teg.module import TEGModule
-from repro.thermal.radiator import Radiator
+from repro.thermal.boundary import ThermalBoundary
 from repro.vehicle.trace import RadiatorTrace
 
 
 def ideal_power_series(
     trace: RadiatorTrace,
-    radiator: Radiator,
+    boundary: ThermalBoundary,
     module: TEGModule,
     n_modules: int,
 ) -> np.ndarray:
     """``P_ideal`` at every trace sample, from the true boundary conditions."""
-    solution = radiator.solve_trace(
+    solution = boundary.solve_trace(
         trace.coolant_inlet_c,
         trace.coolant_flow_kg_s,
         trace.ambient_c,

@@ -1,14 +1,15 @@
 """Trace-level physics precompute — the engine's first layer.
 
-The closed-loop simulator used to re-solve the radiator twice per
-control period (once at the true boundary conditions, once at the
+The closed-loop simulator used to re-solve the thermal boundary twice
+per control period (once at the true boundary conditions, once at the
 sensed ones) and rebuild the per-module EMF vector from scratch each
 step.  None of that depends on the controller's decisions: the thermal
 world is fully determined by the trace.  :class:`TracePhysics` hoists
 it all out of the control loop:
 
-* one vectorised :meth:`repro.thermal.radiator.Radiator.solve_trace`
-  pass over the *true* boundary conditions,
+* one vectorised
+  :meth:`repro.thermal.boundary.ThermalBoundary.solve_trace` pass over
+  the *true* boundary conditions,
 * a second pass over the *sensed* conditions — skipped entirely when
   the trace is noiseless (sensed columns identical to true), in which
   case the true solution is shared,
@@ -25,22 +26,22 @@ physics over a whole experiment grid.
 For online consumption — telemetry arriving in chunks rather than as a
 complete trace — :class:`TracePhysicsStream` exposes the same
 precompute incrementally: every solve in the chain is per-sample
-(row-wise elementwise), so chunked evaluation is a restructuring, not
-an approximation, and each chunk's state is bit-identical to the
-corresponding rows of the one-shot ``compute()``.
+(row-wise elementwise, the boundary protocol's contract), so chunked
+evaluation is a restructuring, not an approximation, and each chunk's
+state is bit-identical to the corresponding rows of the one-shot
+``compute()``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.teg.module import TEGModule
-from repro.thermal.heat_exchanger import HeatExchangerTraceSolution
-from repro.thermal.radiator import Radiator, RadiatorTraceSolution
+from repro.thermal.boundary import BoundaryTraceSolution, ThermalBoundary
 from repro.vehicle.trace import RadiatorTrace
 
 
@@ -69,17 +70,18 @@ class TracePhysics:
     ----------
     trace:
         The driving boundary conditions.
-    radiator:
-        The radiator model both solutions were solved against.
+    boundary:
+        The thermal-boundary model both solutions were solved against
+        (any :class:`~repro.thermal.boundary.ThermalBoundary`).
     module:
         The shared TEG module model.
     n_modules:
         Chain length.
     true_solution:
-        Vectorised radiator solution at the true boundary conditions —
+        Vectorised boundary solution at the true boundary conditions —
         the temperatures the array physically experiences.
     sensed_solution:
-        Radiator solution at the sensed boundary conditions (what the
+        Boundary solution at the sensed boundary conditions (what the
         controller's model-derived distribution sees).  When the trace
         is noiseless this is the *same object* as ``true_solution``;
         the redundant second solve is skipped.
@@ -97,20 +99,25 @@ class TracePhysics:
         ``P_ideal`` reference series (every module at its own MPP).
     noiseless:
         True when the sensed trace columns equal the true columns and
-        the second radiator solve was skipped.
+        the second boundary solve was skipped.
     """
 
     trace: RadiatorTrace
-    radiator: Radiator
+    boundary: ThermalBoundary
     module: TEGModule
     n_modules: int
-    true_solution: RadiatorTraceSolution
-    sensed_solution: RadiatorTraceSolution
+    true_solution: BoundaryTraceSolution
+    sensed_solution: BoundaryTraceSolution
     sensed_temps_c: np.ndarray
     emf_true: np.ndarray
     module_resistance_ohm: float
     ideal_power_w: np.ndarray
     noiseless: bool
+
+    @property
+    def radiator(self) -> ThermalBoundary:
+        """Backward-compatible alias of :attr:`boundary`."""
+        return self.boundary
 
     @property
     def n_samples(self) -> int:
@@ -126,7 +133,7 @@ class TracePhysics:
     def compute(
         cls,
         trace: RadiatorTrace,
-        radiator: Radiator,
+        boundary: ThermalBoundary,
         module: TEGModule,
         n_modules: int,
     ) -> "TracePhysics":
@@ -136,7 +143,7 @@ class TracePhysics:
         sensing error — ``sensed_solution`` then aliases
         ``true_solution``.
         """
-        true_solution = radiator.solve_trace(
+        true_solution = boundary.solve_trace(
             trace.coolant_inlet_c,
             trace.coolant_flow_kg_s,
             trace.ambient_c,
@@ -152,7 +159,7 @@ class TracePhysics:
         if noiseless:
             sensed_solution = true_solution
         else:
-            sensed_solution = radiator.solve_trace(
+            sensed_solution = boundary.solve_trace(
                 trace.coolant_inlet_sensed_c,
                 trace.coolant_flow_sensed_kg_s,
                 trace.ambient_c,
@@ -171,7 +178,7 @@ class TracePhysics:
         )
         return cls(
             trace=trace,
-            radiator=radiator,
+            boundary=boundary,
             module=module,
             n_modules=int(n_modules),
             true_solution=true_solution,
@@ -188,37 +195,19 @@ class TracePhysics:
         )
 
 
-def _concat_exchanger_solutions(
-    parts: Sequence[HeatExchangerTraceSolution],
-) -> HeatExchangerTraceSolution:
-    """Row-concatenate per-chunk exchanger solution columns."""
-    return HeatExchangerTraceSolution(
-        **{
-            f.name: np.concatenate([getattr(p, f.name) for p in parts])
-            for f in fields(HeatExchangerTraceSolution)
-        }
-    )
-
-
 def _concat_trace_solutions(
-    parts: Sequence[RadiatorTraceSolution],
-) -> RadiatorTraceSolution:
-    """Row-concatenate per-chunk radiator solutions into one.
+    parts: Sequence[BoundaryTraceSolution],
+) -> BoundaryTraceSolution:
+    """Row-concatenate per-chunk boundary solutions into one.
 
-    Every column of :class:`RadiatorTraceSolution` is per-sample (row)
-    data, so concatenation along axis 0 reassembles exactly the arrays a
-    whole-trace :meth:`Radiator.solve_trace` call produces — the solve
+    Every column of a :class:`BoundaryTraceSolution` is per-sample
+    (row) data, so concatenation along axis 0 reassembles exactly the
+    arrays a whole-trace ``solve_trace`` call produces — the solve
     itself is row-wise elementwise (pinned in the stream parity suite).
+    Dispatches on the concrete solution type so richer subclasses (the
+    radiator's exchanger columns) reassemble their own fields too.
     """
-    return RadiatorTraceSolution(
-        exchanger=_concat_exchanger_solutions([p.exchanger for p in parts]),
-        decay_per_m=np.concatenate([p.decay_per_m for p in parts]),
-        surface_temps_c=np.concatenate([p.surface_temps_c for p in parts]),
-        sink_temps_c=np.concatenate([p.sink_temps_c for p in parts]),
-        delta_t_k=np.concatenate([p.delta_t_k for p in parts]),
-        ambient_c=np.concatenate([p.ambient_c for p in parts]),
-        active=np.concatenate([p.active for p in parts]),
-    )
+    return type(parts[0]).concat(parts)
 
 
 @dataclass(frozen=True)
@@ -231,8 +220,8 @@ class TraceChunkState:
     """
 
     start_index: int
-    true_solution: RadiatorTraceSolution
-    sensed_solution: RadiatorTraceSolution
+    true_solution: BoundaryTraceSolution
+    sensed_solution: BoundaryTraceSolution
     sensed_temps_c: np.ndarray
     emf_true: np.ndarray
     ideal_power_w: np.ndarray
@@ -247,14 +236,14 @@ class TraceChunkState:
 class TracePhysicsStream:
     """Chunked/incremental counterpart of :meth:`TracePhysics.compute`.
 
-    The effectiveness-NTU solve, the Eq. (1) surface profile, the
-    Thevenin EMF map and the ``P_ideal`` reduction are all per-sample
-    (row-wise elementwise) operations, so a trace can be consumed as it
-    arrives: :meth:`extend` appends a chunk of boundary-condition
-    samples and returns that chunk's state **bit-identical** to the
-    corresponding rows of the one-shot precompute, at any chunk size
-    (pinned in ``tests/test_physics_stream.py`` for chunk sizes
-    {1, 7, full} over every registry scenario).
+    The boundary solve, the Thevenin EMF map and the ``P_ideal``
+    reduction are all per-sample (row-wise elementwise) operations, so
+    a trace can be consumed as it arrives: :meth:`extend` appends a
+    chunk of boundary-condition samples and returns that chunk's state
+    **bit-identical** to the corresponding rows of the one-shot
+    precompute, at any chunk size (pinned in
+    ``tests/test_physics_stream.py`` for chunk sizes {1, 7, full} over
+    every registry scenario).
 
     The only whole-trace quantity is the ``noiseless`` flag —
     ``compute()`` decides it from the full sensed columns; here it is
@@ -265,9 +254,9 @@ class TracePhysicsStream:
     """
 
     def __init__(
-        self, radiator: Radiator, module: TEGModule, n_modules: int
+        self, boundary: ThermalBoundary, module: TEGModule, n_modules: int
     ) -> None:
-        self._radiator = radiator
+        self._boundary = boundary
         self._module = module
         self._n_modules = int(n_modules)
         self._chunks: List[TraceChunkState] = []
@@ -317,7 +306,7 @@ class TracePhysicsStream:
             if coolant_flow_sensed_kg_s is None
             else np.asarray(coolant_flow_sensed_kg_s, dtype=float)
         )
-        true_solution = self._radiator.solve_trace(
+        true_solution = self._boundary.solve_trace(
             inlet, flow, ambient, air_flow, self._n_modules
         )
         noiseless = bool(
@@ -327,7 +316,7 @@ class TracePhysicsStream:
         if noiseless:
             sensed_solution = true_solution
         else:
-            sensed_solution = self._radiator.solve_trace(
+            sensed_solution = self._boundary.solve_trace(
                 sensed_inlet, sensed_flow, ambient, air_flow, self._n_modules
             )
         sensed_temps_c = ambient[:, None] + sensed_solution.delta_t_k
@@ -392,7 +381,7 @@ class TracePhysicsStream:
             )
         return TracePhysics(
             trace=trace,
-            radiator=self._radiator,
+            boundary=self._boundary,
             module=self._module,
             n_modules=self._n_modules,
             true_solution=true_solution,

@@ -42,7 +42,14 @@ from repro.prediction.mlr import MLRPredictor
 from repro.sim.simulator import HarvestSimulator
 from repro.teg.datasheet import TGM_199_1_4_0_8
 from repro.teg.module import TEGModule
-from repro.thermal.coolant import AIR, WATER, FluidProperties
+from repro.thermal.boundary import (
+    ThermalBoundary,
+    boundary_from_json_dict,
+    boundary_to_json_dict,
+)
+from repro.thermal.coolant import AIR, WATER
+from repro.thermal.coupling import FiniteCouplingBoundary
+from repro.thermal.exhaust import ExhaustGasBoundary
 from repro.thermal.heat_exchanger import CrossFlowHeatExchanger, UAModel
 from repro.thermal.radiator import Radiator, RadiatorGeometry
 from repro.vehicle.drive_cycle import synthetic_nedc, synthetic_urban
@@ -58,8 +65,11 @@ from repro.vehicle.trace import (
 
 #: Version tag of the scenario JSON layout; bumped on breaking changes
 #: so a shard manifest written by a newer library is refused instead of
-#: silently misread.
-SCENARIO_FORMAT_VERSION = 1
+#: silently misread.  v2 wraps the thermal model in a tagged
+#: ``"boundary": {"type": ..., "params": ...}`` envelope; the loader
+#: still accepts v1's top-level ``"radiator"`` key so pre-existing
+#: shard manifests resume unchanged.
+SCENARIO_FORMAT_VERSION = 2
 
 #: Trace columns serialised into the JSON form (every array field).
 _TRACE_COLUMNS = (
@@ -79,24 +89,6 @@ _MATERIAL_FIELDS = (
     "thermal_conductance_w_per_k",
     "seebeck_temp_coeff_per_k",
     "resistance_temp_coeff_per_k",
-)
-
-_UA_FIELDS = (
-    "hot_conductance_ref_w_k",
-    "cold_conductance_ref_w_k",
-    "hot_ref_flow_kg_s",
-    "cold_ref_flow_kg_s",
-    "wall_resistance_k_w",
-    "hot_flow_exponent",
-    "cold_flow_exponent",
-)
-
-_FLUID_FIELDS = (
-    "name",
-    "density_kg_m3",
-    "specific_heat_j_kg_k",
-    "thermal_conductivity_w_m_k",
-    "kinematic_viscosity_m2_s",
 )
 
 _OVERHEAD_FIELDS = (
@@ -126,15 +118,6 @@ def _decode_array(text: str) -> np.ndarray:
     return np.frombuffer(raw, dtype="<f8").astype(float)
 
 
-def _fluid_to_dict(fluid) -> Dict[str, object]:
-    return {
-        name: (
-            fluid.name if name == "name" else float(getattr(fluid, name))
-        )
-        for name in _FLUID_FIELDS
-    }
-
-
 @dataclass
 class Scenario:
     """A complete, reproducible experiment setup.
@@ -145,10 +128,12 @@ class Scenario:
         The shared TEG module model.
     n_modules:
         Chain length (100 in the paper).
-    radiator:
-        The radiator thermal model.
+    boundary:
+        The thermal-boundary model (any registered
+        :class:`~repro.thermal.boundary.ThermalBoundary`; the paper's
+        platform uses the radiator).
     trace:
-        Radiator boundary conditions over the run.
+        Boundary conditions over the run.
     overhead:
         Switching-bill model.
     tp_seconds:
@@ -172,7 +157,7 @@ class Scenario:
 
     module: TEGModule
     n_modules: int
-    radiator: Radiator
+    boundary: ThermalBoundary
     trace: RadiatorTrace
     overhead: SwitchingOverheadModel = field(default_factory=SwitchingOverheadModel)
     tp_seconds: float = 1.0
@@ -181,6 +166,11 @@ class Scenario:
     scanner_noise_std_k: float = 0.08
     nominal_compute_s: Optional[float] = None
     inor_kernel: str = "batched"
+
+    @property
+    def radiator(self) -> ThermalBoundary:
+        """Backward-compatible alias of :attr:`boundary`."""
+        return self.boundary
 
     # ------------------------------------------------------------------
     # Component factories (fresh instances per run, so schemes never
@@ -205,7 +195,7 @@ class Scenario:
         physics:
             Optionally inject a shared
             :class:`~repro.sim.physics.TracePhysics` precompute (it
-            must describe this scenario's trace/radiator/module/chain)
+            must describe this scenario's trace/boundary/module/chain)
             so several simulators over the same scenario skip the
             redundant solve; by default each simulator computes its
             own lazily.
@@ -213,11 +203,11 @@ class Scenario:
             Optional :class:`~repro.sim.cache.PhysicsCache` the
             simulator's lazy precompute consults, so content-equal
             scenarios (grid variants, repeated builds) share one
-            radiator solve.  Ignored when ``physics`` is given.
+            boundary solve.  Ignored when ``physics`` is given.
         """
         return HarvestSimulator(
             trace=self.trace,
-            radiator=self.radiator,
+            boundary=self.boundary,
             module=self.module,
             n_modules=self.n_modules,
             overhead=self.overhead,
@@ -238,7 +228,7 @@ class Scenario:
         from repro.sim.cache import physics_fingerprint
 
         return physics_fingerprint(
-            self.trace, self.radiator, self.module, self.n_modules
+            self.trace, self.boundary, self.module, self.n_modules
         )
 
     # ------------------------------------------------------------------
@@ -248,18 +238,17 @@ class Scenario:
         """A JSON-safe dictionary reproducing this scenario exactly.
 
         Everything the scenario carries is serialised by *value* — the
-        module material, the radiator's geometry/conductance/fluid
-        parameters, every trace column (as raw float64 bytes, base64),
-        the overhead model and all control knobs — so
-        :meth:`from_json_dict` on any host rebuilds a scenario whose
-        physics fingerprint, simulation results and policy decisions
-        are bit-identical (pinned in ``tests/test_sim_shard.py`` for
-        every registry scenario).  Scalars travel as plain JSON
-        numbers, which round-trip float64 exactly.
+        module material, the thermal boundary's full parameter dict
+        behind its registered type tag, every trace column (as raw
+        float64 bytes, base64), the overhead model and all control
+        knobs — so :meth:`from_json_dict` on any host rebuilds a
+        scenario whose physics fingerprint, simulation results and
+        policy decisions are bit-identical (pinned in
+        ``tests/test_sim_shard.py`` for every registry scenario).
+        Scalars travel as plain JSON numbers, which round-trip float64
+        exactly.
         """
         module = self.module
-        radiator = self.radiator
-        ua = radiator.exchanger.ua_model
         trace = self.trace
         return {
             "format_version": SCENARIO_FORMAT_VERSION,
@@ -272,19 +261,7 @@ class Scenario:
                 },
             },
             "n_modules": int(self.n_modules),
-            "radiator": {
-                "geometry": {
-                    "path_length_m": float(radiator.geometry.path_length_m),
-                    "n_rows": int(radiator.geometry.n_rows),
-                },
-                "ua_model": {
-                    name: float(getattr(ua, name)) for name in _UA_FIELDS
-                },
-                "both_unmixed": bool(radiator.exchanger.both_unmixed),
-                "coolant": _fluid_to_dict(radiator.coolant),
-                "air": _fluid_to_dict(radiator.air),
-                "sink_preheat_fraction": float(radiator.sink_preheat_fraction),
-            },
+            "boundary": boundary_to_json_dict(self.boundary),
             "trace": {
                 "name": trace.name,
                 "columns": {
@@ -310,29 +287,31 @@ class Scenario:
 
     @classmethod
     def from_json_dict(cls, data: Dict[str, object]) -> "Scenario":
-        """Rebuild a scenario from :meth:`to_json_dict` output."""
+        """Rebuild a scenario from :meth:`to_json_dict` output.
+
+        Reads the current (v2) layout with its tagged ``"boundary"``
+        envelope, and the legacy v1 layout whose thermal model was a
+        top-level ``"radiator"`` parameter dict — v1's sub-dict is
+        byte-compatible with :meth:`Radiator.params_dict`, so pre-PR-8
+        shard manifests rebuild the identical scenario (pinned against
+        a frozen fixture in ``tests/test_scenario_compat.py``).
+        """
         version = data.get("format_version")
-        if version != SCENARIO_FORMAT_VERSION:
+        if version == SCENARIO_FORMAT_VERSION:
+            boundary = boundary_from_json_dict(data["boundary"])
+        elif version == 1:
+            boundary = Radiator.from_params_dict(data["radiator"])
+        else:
             raise ConfigurationError(
                 f"unsupported scenario format version {version!r} "
-                f"(this library reads version {SCENARIO_FORMAT_VERSION})"
+                f"(this library reads versions 1 and "
+                f"{SCENARIO_FORMAT_VERSION})"
             )
         module_data = data["module"]
         module = TEGModule(
             name=str(module_data["name"]),
             material=CoupleMaterial(**module_data["material"]),
             n_couples=int(module_data["n_couples"]),
-        )
-        radiator_data = data["radiator"]
-        radiator = Radiator(
-            geometry=RadiatorGeometry(**radiator_data["geometry"]),
-            exchanger=CrossFlowHeatExchanger(
-                UAModel(**radiator_data["ua_model"]),
-                both_unmixed=bool(radiator_data["both_unmixed"]),
-            ),
-            coolant=FluidProperties(**radiator_data["coolant"]),
-            air=FluidProperties(**radiator_data["air"]),
-            sink_preheat_fraction=float(radiator_data["sink_preheat_fraction"]),
         )
         trace_data = data["trace"]
         trace = RadiatorTrace(
@@ -346,7 +325,7 @@ class Scenario:
         return cls(
             module=module,
             n_modules=int(data["n_modules"]),
-            radiator=radiator,
+            boundary=boundary,
             trace=trace,
             overhead=SwitchingOverheadModel(**data["overhead"]),
             tp_seconds=float(data["tp_seconds"]),
@@ -444,7 +423,7 @@ def default_scenario(
     return Scenario(
         module=TGM_199_1_4_0_8,
         n_modules=n_modules,
-        radiator=radiator,
+        boundary=radiator,
         trace=trace,
         tp_seconds=tp_seconds,
         sensor_seed=seed + 77,
@@ -542,7 +521,7 @@ def _build_nedc_drive(
     return Scenario(
         module=TGM_199_1_4_0_8,
         n_modules=100 if n_modules is None else n_modules,
-        radiator=radiator,
+        boundary=radiator,
         trace=trace,
         sensor_seed=seed + 77,
         nominal_compute_s=REGISTRY_NOMINAL_COMPUTE_S,
@@ -567,7 +546,7 @@ def _build_cold_start(
     return Scenario(
         module=TGM_199_1_4_0_8,
         n_modules=100 if n_modules is None else n_modules,
-        radiator=radiator,
+        boundary=radiator,
         trace=trace,
         sensor_seed=seed + 2,
         nominal_compute_s=REGISTRY_NOMINAL_COMPUTE_S,
@@ -656,8 +635,106 @@ def _build_industrial_boiler(
     return Scenario(
         module=TGM_199_1_4_0_8,
         n_modules=144 if n_modules is None else n_modules,
-        radiator=boiler_radiator(),
+        boundary=boiler_radiator(),
         trace=industrial_boiler_trace(duration_s=duration, seed=seed),
+        sensor_seed=seed + 77,
+        nominal_compute_s=REGISTRY_NOMINAL_COMPUTE_S,
+    )
+
+
+def exhaust_gas_trace(
+    duration_s: float = 600.0, seed: int = 2018, dt_s: float = 0.5
+) -> RadiatorTrace:
+    """Boundary conditions of an exhaust-duct TEG chain under load.
+
+    The generic trace columns carry the exhaust-gas domain's streams:
+    ``coolant_inlet_c`` is the *gas* temperature entering the duct
+    (250–450 °C following engine-load steps filtered to turbo/manifold
+    time scales), ``coolant_flow_kg_s`` the gas mass flow (rises with
+    load), ``ambient_c`` the cold-loop supply temperature and
+    ``air_flow_kg_s`` the cold-loop mass flow.  Sensed columns carry
+    exhaust-instrumentation noise (thermocouples in hot gas are far
+    noisier than coolant probes).  Deterministic for a given
+    ``(duration_s, seed)``.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(round(duration_s / dt_s)) + 1
+    time_s = np.arange(n) * dt_s
+
+    # Engine-load setpoint: steps every ~45 s, low-pass filtered to the
+    # exhaust-manifold thermal time constant (~20 s).
+    setpoint = np.empty(n)
+    level = 380.0 + float(rng.uniform(-30.0, 30.0))
+    step_every = max(int(round(45.0 / dt_s)), 1)
+    for i in range(n):
+        if i % step_every == 0 and i > 0:
+            level = float(
+                np.clip(level + rng.uniform(-60.0, 60.0), 250.0, 450.0)
+            )
+        setpoint[i] = level
+    inlet = np.empty(n)
+    state = setpoint[0]
+    blend = dt_s / 20.0
+    for i in range(n):
+        state += (setpoint[i] - state) * blend
+        inlet[i] = state
+    inlet = inlet + 4.0 * np.sin(2.0 * np.pi * time_s / 30.0)
+
+    # Gas flow tracks load; cold loop is a pump with a small ripple.
+    gas_flow = 0.05 + 2.5e-4 * (inlet - 250.0) + 0.004 * np.sin(
+        2.0 * np.pi * time_s / 25.0 + 0.7
+    )
+    cold_flow = 0.5 + 0.05 * np.sin(2.0 * np.pi * time_s / 80.0)
+    ambient = np.full(n, 35.0)
+
+    return RadiatorTrace(
+        time_s=time_s,
+        coolant_inlet_c=inlet,
+        coolant_flow_kg_s=gas_flow,
+        air_flow_kg_s=cold_flow,
+        ambient_c=ambient,
+        speed_mps=np.zeros(n),
+        coolant_inlet_sensed_c=inlet + rng.normal(0.0, 2.0, n),
+        coolant_flow_sensed_kg_s=np.maximum(
+            gas_flow + rng.normal(0.0, 0.002, n), 1.0e-4
+        ),
+        name=f"exhaust-gas-{int(duration_s)}s-seed{seed}",
+    )
+
+
+def _build_exhaust_gas(
+    duration_s: Optional[float], seed: Optional[int], n_modules: Optional[int]
+) -> Scenario:
+    duration = 600.0 if duration_s is None else float(duration_s)
+    seed = 2018 if seed is None else int(seed)
+    return Scenario(
+        module=TGM_199_1_4_0_8,
+        n_modules=64 if n_modules is None else n_modules,
+        boundary=ExhaustGasBoundary(),
+        trace=exhaust_gas_trace(duration_s=duration, seed=seed),
+        sensor_seed=seed + 77,
+        scanner_noise_std_k=0.3,
+        nominal_compute_s=REGISTRY_NOMINAL_COMPUTE_S,
+    )
+
+
+def _build_finite_coupling(
+    duration_s: Optional[float], seed: Optional[int], n_modules: Optional[int]
+) -> Scenario:
+    duration = 800.0 if duration_s is None else float(duration_s)
+    seed = 2018 if seed is None else int(seed)
+    radiator = default_radiator()
+    trace = porter_ii_trace(duration_s=duration, seed=seed, radiator=radiator)
+    # Distinct trace name: grid case names are trace-derived, and this
+    # scenario shares porter-ii's boundary conditions by design.
+    trace = dataclasses.replace(
+        trace, name=f"finite-coupling-{int(duration)}s-seed{seed}"
+    )
+    return Scenario(
+        module=TGM_199_1_4_0_8,
+        n_modules=100 if n_modules is None else n_modules,
+        boundary=FiniteCouplingBoundary(inner=radiator),
+        trace=trace,
         sensor_seed=seed + 77,
         nominal_compute_s=REGISTRY_NOMINAL_COMPUTE_S,
     )
@@ -752,4 +829,16 @@ _DEFAULT_REGISTRY.register(
     _build_fault_injection,
     "Porter-II with stuck/noisy sensing faults injected into the "
     "controller's view",
+)
+_DEFAULT_REGISTRY.register(
+    "exhaust-gas",
+    _build_exhaust_gas,
+    "exhaust-duct waste-heat chain (64 modules) with "
+    "temperature-dependent gas properties",
+)
+_DEFAULT_REGISTRY.register(
+    "finite-coupling",
+    _build_finite_coupling,
+    "Porter-II radiator behind finite contact conductances "
+    "(Apertet-style non-ideal coupling)",
 )

@@ -27,7 +27,7 @@ inside it:
 ``cache/``
     The warmed on-disk :class:`~repro.sim.cache.PhysicsCache` artifact
     store (content fingerprints are machine-independent), so workers
-    load the radiator solves instead of recomputing them.
+    load the thermal-boundary solves instead of recomputing them.
 
 Determinism and crash-safety contract (pinned in
 ``tests/test_sim_shard.py``): every case is fully seeded, so execution
@@ -223,6 +223,34 @@ class ShardStatus:
         return lines
 
 
+def _same_grid(existing_entries, new_entries) -> bool:
+    """Whether a recorded manifest holds the same grid, semantically.
+
+    Compares case entries after a loss-free decode/encode round trip,
+    not raw JSON: a manifest written under an older scenario format
+    (v1's top-level ``"radiator"`` key) still *resumes* against the
+    same grid re-submitted today, because both sides normalise to the
+    current :meth:`Scenario.to_json_dict` layout.  Undecodable entries
+    simply compare unequal (a corrupt manifest is a different grid).
+    """
+    if not isinstance(existing_entries, list):
+        return False
+    if len(existing_entries) != len(new_entries):
+        return False
+    for old, new in zip(existing_entries, new_entries):
+        if not isinstance(old, dict) or old.get("id") != new["id"]:
+            return False
+        try:
+            normalised = ExperimentCase.from_json_dict(
+                old["case"]
+            ).to_json_dict()
+        except Exception:
+            return False
+        if normalised != new["case"]:
+            return False
+    return True
+
+
 def _case_id(index: int) -> str:
     return f"case-{index:05d}"
 
@@ -244,7 +272,7 @@ def init_shard(
     """Create (or resume) a shard directory for an experiment grid.
 
     Writes the case manifest, enqueues a ticket per unfinished case and
-    warms the shared physics-cache artifact store (one radiator solve
+    warms the shared physics-cache artifact store (one boundary solve
     per unique scenario fingerprint, skipped for already-present
     artifacts).  Calling ``init`` again on an existing shard with the
     *same* grid is the resume path: finished cases keep their results,
@@ -296,9 +324,8 @@ def init_shard(
     }
     existing = _read_json(paths.manifest) if paths.manifest.is_file() else None
     if existing is not None:
-        if (
-            existing.get("version") != payload["version"]
-            or existing.get("cases") != payload["cases"]
+        if existing.get("version") != payload["version"] or not _same_grid(
+            existing.get("cases"), payload["cases"]
         ):
             raise SimulationError(
                 f"shard directory {paths.root} already holds a different "

@@ -3,8 +3,8 @@
 One simulation step (= one 0.5 s control period) does what the real
 platform does:
 
-1. look up the *true* radiator operating point — the physical module
-   temperatures the array actually experiences;
+1. look up the *true* thermal-boundary operating point — the physical
+   module temperatures the array actually experiences;
 2. look up the operating point at the *sensed* boundary conditions and
    pass the scanned (noise-injected) distribution to the policy;
 3. let the policy decide; apply any new configuration through the
@@ -26,7 +26,7 @@ epoch's horizon energies into one ``array_mpp_rows_multi`` call (both
 bit-identical to their scalar reference loops, selectable via the
 scenario's ``inor_kernel``), so no layer of the engine runs per-sample
 or per-candidate Python.  The pre-refactor sample-by-sample path (two
-radiator solves and a scalar charger step per sample) is retained as
+boundary solves and a scalar charger step per sample) is retained as
 ``engine="reference"`` for cross-validation and benchmarking.
 
 Runtime accounting wraps every ``decide`` call with a wall-clock
@@ -53,7 +53,7 @@ from repro.teg.array import TEGArray
 from repro.teg.network import array_mpp_rows
 from repro.teg.module import TEGModule
 from repro.teg.switches import SwitchFabric
-from repro.thermal.radiator import Radiator
+from repro.thermal.boundary import ThermalBoundary
 from repro.vehicle.sensors import ModuleTemperatureScanner
 from repro.vehicle.trace import RadiatorTrace
 
@@ -65,15 +65,16 @@ ENGINES = ("batched", "reference")
 
 
 class HarvestSimulator:
-    """Run reconfiguration policies against a radiator trace.
+    """Run reconfiguration policies against a boundary-condition trace.
 
     Parameters
     ----------
     trace:
-        The radiator boundary conditions (true + sensed).
-    radiator:
-        Radiator model used for both physics and the controller's
-        model-derived distribution.
+        The boundary conditions (true + sensed).
+    boundary:
+        Thermal-boundary model used for both physics and the
+        controller's model-derived distribution (any
+        :class:`~repro.thermal.boundary.ThermalBoundary`).
     module:
         TEG module model shared by the chain.
     n_modules:
@@ -100,14 +101,14 @@ class HarvestSimulator:
         ``"batched"`` (default) runs the layered engine —
         trace-physics lookup plus segment-batched electrical math.
         ``"reference"`` runs the pre-refactor per-sample loop (two
-        radiator solves per step); it exists for cross-validation and
+        boundary solves per step); it exists for cross-validation and
         benchmarking, not for production use.
     """
 
     def __init__(
         self,
         trace: RadiatorTrace,
-        radiator: Radiator,
+        boundary: ThermalBoundary,
         module: TEGModule,
         n_modules: int,
         overhead: Optional[SwitchingOverheadModel] = None,
@@ -125,16 +126,16 @@ class HarvestSimulator:
             )
         if physics is not None and (
             physics.trace is not trace
-            or physics.radiator is not radiator
+            or physics.boundary is not boundary
             or physics.n_modules != int(n_modules)
             or physics.module is not module
         ):
             raise SimulationError(
                 "injected physics does not describe this simulator's "
-                "trace/radiator/module/chain"
+                "trace/boundary/module/chain"
             )
         self._trace = trace
-        self._radiator = radiator
+        self._boundary = boundary
         self._module = module
         self._n_modules = int(n_modules)
         self._overhead = overhead or SwitchingOverheadModel()
@@ -165,34 +166,36 @@ class HarvestSimulator:
         if self._physics is None:
             if self._cache is not None:
                 self._physics = self._cache.get_or_compute(
-                    self._trace, self._radiator, self._module, self._n_modules
+                    self._trace, self._boundary, self._module, self._n_modules
                 )
             else:
                 self._physics = TracePhysics.compute(
-                    self._trace, self._radiator, self._module, self._n_modules
+                    self._trace, self._boundary, self._module, self._n_modules
                 )
         return self._physics
 
     def _operating_points(self, i: int):
-        """True and sensed radiator solutions at trace sample ``i``.
+        """True and sensed boundary solutions at trace sample ``i``.
 
         Only the reference engine solves per sample; the batched engine
-        reads both from the :class:`TracePhysics` precompute.
+        reads both from the :class:`TracePhysics` precompute.  Calls
+        the protocol's positional scalar ``operating_point`` (hot
+        inlet, hot flow, ambient, cold flow, chain length).
         """
         tr = self._trace
-        true_op = self._radiator.operating_point(
-            coolant_inlet_c=float(tr.coolant_inlet_c[i]),
-            coolant_flow_kg_s=float(tr.coolant_flow_kg_s[i]),
-            ambient_c=float(tr.ambient_c[i]),
-            air_flow_kg_s=float(tr.air_flow_kg_s[i]),
-            n_modules=self._n_modules,
+        true_op = self._boundary.operating_point(
+            float(tr.coolant_inlet_c[i]),
+            float(tr.coolant_flow_kg_s[i]),
+            float(tr.ambient_c[i]),
+            float(tr.air_flow_kg_s[i]),
+            self._n_modules,
         )
-        sensed_op = self._radiator.operating_point(
-            coolant_inlet_c=float(tr.coolant_inlet_sensed_c[i]),
-            coolant_flow_kg_s=float(tr.coolant_flow_sensed_kg_s[i]),
-            ambient_c=float(tr.ambient_c[i]),
-            air_flow_kg_s=float(tr.air_flow_kg_s[i]),
-            n_modules=self._n_modules,
+        sensed_op = self._boundary.operating_point(
+            float(tr.coolant_inlet_sensed_c[i]),
+            float(tr.coolant_flow_sensed_kg_s[i]),
+            float(tr.ambient_c[i]),
+            float(tr.air_flow_kg_s[i]),
+            self._n_modules,
         )
         return true_op, sensed_op
 

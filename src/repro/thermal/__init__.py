@@ -1,7 +1,11 @@
-"""Radiator thermal substrate.
+"""Thermal substrate: pluggable boundaries the TEG chain mounts on.
 
-Implements Section II of the paper:
+Implements Section II of the paper and the boundary domains beyond it:
 
+* :mod:`repro.thermal.boundary` — the :class:`ThermalBoundary`
+  protocol (batched ``solve_trace`` → per-module hot/cold film
+  temperatures, loss-free tagged JSON) and the type-tag registry the
+  scenario/shard serialisers and the physics cache dispatch on.
 * :mod:`repro.thermal.coolant` — fluid property sets and capacity rates
   for the engine coolant and ambient air streams.
 * :mod:`repro.thermal.heat_exchanger` — the finned-tube cross-flow
@@ -9,15 +13,31 @@ Implements Section II of the paper:
   method from Bergman, *Introduction to Heat Transfer* [8].
 * :mod:`repro.thermal.radiator` — the S-shaped 1-D radiator of Fig. 2
   with the paper's Eq. (1) exponential surface-temperature profile and
-  the TEG module placement along it.
+  the TEG module placement along it; the first registered boundary
+  (``"radiator"``).
+* :mod:`repro.thermal.exhaust` — exhaust-gas waste-heat recovery with
+  temperature-dependent gas properties (``"exhaust-gas"``).
+* :mod:`repro.thermal.coupling` — the finite thermal-coupling contact
+  divider wrapping any inner boundary (``"finite-coupling"``).
 """
 
+from repro.thermal.boundary import (
+    BoundaryOperatingPoint,
+    BoundaryTraceSolution,
+    ThermalBoundary,
+    boundary_from_json_dict,
+    boundary_to_json_dict,
+    register_boundary,
+    registered_boundary_types,
+)
 from repro.thermal.coolant import (
     AIR,
     ETHYLENE_GLYCOL_50_50,
     FluidProperties,
     FluidStream,
 )
+from repro.thermal.coupling import FiniteCouplingBoundary
+from repro.thermal.exhaust import ExhaustGasBoundary
 from repro.thermal.heat_exchanger import (
     CrossFlowHeatExchanger,
     HeatExchangerSolution,
@@ -35,8 +55,12 @@ from repro.thermal.radiator import (
 
 __all__ = [
     "AIR",
+    "BoundaryOperatingPoint",
+    "BoundaryTraceSolution",
     "CrossFlowHeatExchanger",
     "ETHYLENE_GLYCOL_50_50",
+    "ExhaustGasBoundary",
+    "FiniteCouplingBoundary",
     "FluidProperties",
     "FluidStream",
     "HeatExchangerSolution",
@@ -45,8 +69,13 @@ __all__ = [
     "Radiator",
     "RadiatorGeometry",
     "RadiatorOperatingPoint",
+    "ThermalBoundary",
     "UAModel",
+    "boundary_from_json_dict",
+    "boundary_to_json_dict",
     "effectiveness_crossflow_both_unmixed",
     "effectiveness_crossflow_cmax_mixed",
+    "register_boundary",
+    "registered_boundary_types",
     "surface_temperature_profile",
 ]

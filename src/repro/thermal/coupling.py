@@ -1,0 +1,151 @@
+"""Finite thermal-coupling wrapper (arXiv 1108.6164 regime).
+
+The radiator (and every other ideal-coupling boundary) hands the TEG
+the full reservoir temperature difference: module faces sit *at* the
+hot-surface and heatsink temperatures.  Real modules are clamped
+through finite contact conductances, and under operation the module
+itself carries heat convectively (the Peltier back-flow term), so the
+working ``delta_t`` across the couples is a — temperature dependent —
+fraction of the reservoir difference.  Apertet et al. show this moves
+the optimal electrical operating point away from the ideal
+``R_load = R_int`` matching, which makes it a genuinely different
+decision regime for INOR/DNOR reconfiguration.
+
+:class:`FiniteCouplingBoundary` is a *wrapper*: it composes any inner
+:class:`~repro.thermal.boundary.ThermalBoundary` (the reservoir model)
+with a hot-contact → module → cold-contact series conductance divider
+applied per module position, per sample.  The module's effective
+thermal conductance grows with its mean absolute temperature
+(``K_eff = K_module * (1 + peltier_zt_per_k * T_mean_K)``), so hotter
+modules lose proportionally more of the reservoir difference across
+the contacts — a non-uniform squeeze an ideal-coupling model cannot
+produce, and the source of the MPP/partition shift the pinned tests
+measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelParameterError
+from repro.thermal.boundary import (
+    BoundaryTraceSolution,
+    ThermalBoundary,
+    boundary_from_json_dict,
+    boundary_to_json_dict,
+    register_boundary,
+)
+from repro.units import require_positive
+
+
+@dataclass(frozen=True)
+class FiniteCouplingBoundary(ThermalBoundary):
+    """Contact-conductance divider around any inner boundary.
+
+    Parameters
+    ----------
+    inner:
+        The reservoir model whose surface/sink fields are being
+        divided (any registered boundary — including another wrapper).
+    hot_contact_w_k:
+        Contact conductance between the hot reservoir surface and the
+        module hot face, per module.
+    cold_contact_w_k:
+        Contact conductance between the module cold face and the
+        heatsink, per module.
+    module_conductance_w_k:
+        Open-circuit through-module conductance.
+    peltier_zt_per_k:
+        Temperature coefficient of the operating module's effective
+        conductance (the convective Peltier share, ~ZT/2 per kelvin of
+        mean absolute temperature).  ``0.0`` gives a fixed divider.
+    """
+
+    inner: ThermalBoundary
+    hot_contact_w_k: float = 5.0
+    cold_contact_w_k: float = 8.0
+    module_conductance_w_k: float = 1.5
+    peltier_zt_per_k: float = 6.0e-4
+
+    boundary_type = "finite-coupling"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.inner, ThermalBoundary):
+            raise ModelParameterError(
+                f"inner must be a ThermalBoundary, got {type(self.inner)!r}"
+            )
+        require_positive(self.hot_contact_w_k, "hot_contact_w_k")
+        require_positive(self.cold_contact_w_k, "cold_contact_w_k")
+        require_positive(self.module_conductance_w_k, "module_conductance_w_k")
+        if self.peltier_zt_per_k < 0.0:
+            raise ModelParameterError(
+                f"peltier_zt_per_k must be >= 0, got {self.peltier_zt_per_k}"
+            )
+
+    # ------------------------------------------------------------------
+    # ThermalBoundary serialisation contract
+    # ------------------------------------------------------------------
+    def params_dict(self):
+        return {
+            "inner": boundary_to_json_dict(self.inner),
+            "hot_contact_w_k": float(self.hot_contact_w_k),
+            "cold_contact_w_k": float(self.cold_contact_w_k),
+            "module_conductance_w_k": float(self.module_conductance_w_k),
+            "peltier_zt_per_k": float(self.peltier_zt_per_k),
+        }
+
+    @classmethod
+    def from_params_dict(cls, params) -> "FiniteCouplingBoundary":
+        return cls(
+            inner=boundary_from_json_dict(params["inner"]),
+            hot_contact_w_k=float(params["hot_contact_w_k"]),
+            cold_contact_w_k=float(params["cold_contact_w_k"]),
+            module_conductance_w_k=float(params["module_conductance_w_k"]),
+            peltier_zt_per_k=float(params["peltier_zt_per_k"]),
+        )
+
+    # ------------------------------------------------------------------
+    # The thermal contract
+    # ------------------------------------------------------------------
+    def solve_trace(
+        self,
+        hot_inlet_c: np.ndarray,
+        hot_flow_kg_s: np.ndarray,
+        ambient_c: np.ndarray,
+        cold_flow_kg_s: np.ndarray,
+        n_modules: int,
+    ) -> BoundaryTraceSolution:
+        """Inner reservoir solve, then the contact-conductance divider.
+
+        Elementwise per (sample, module) on top of the inner solution,
+        so the wrapper preserves the inner boundary's row-wise parity
+        contract.
+        """
+        sol = self.inner.solve_trace(
+            hot_inlet_c, hot_flow_kg_s, ambient_c, cold_flow_kg_s, n_modules
+        )
+        dt_reservoir = sol.delta_t_k
+        t_mean_k = 0.5 * (sol.surface_temps_c + sol.sink_temps_c) + 273.15
+        k_module = self.module_conductance_w_k * (
+            1.0 + self.peltier_zt_per_k * t_mean_k
+        )
+        k_total = 1.0 / (
+            1.0 / self.hot_contact_w_k
+            + 1.0 / k_module
+            + 1.0 / self.cold_contact_w_k
+        )
+        q = k_total * dt_reservoir
+        surface = sol.surface_temps_c - q / self.hot_contact_w_k
+        sink = sol.sink_temps_c + q / self.cold_contact_w_k
+        return BoundaryTraceSolution(
+            surface_temps_c=surface,
+            sink_temps_c=sink,
+            delta_t_k=surface - sink,
+            ambient_c=sol.ambient_c,
+            active=sol.active,
+        )
+
+
+register_boundary(FiniteCouplingBoundary)

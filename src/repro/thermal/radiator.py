@@ -30,18 +30,54 @@ assumption exactly.  See DESIGN.md section 3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Dict, Mapping, Sequence
 
 import numpy as np
 
 from repro.errors import ModelParameterError
+from repro.thermal.boundary import (
+    BoundaryOperatingPoint,
+    BoundaryTraceSolution,
+    ThermalBoundary,
+    register_boundary,
+)
 from repro.thermal.coolant import FluidProperties, FluidStream
 from repro.thermal.heat_exchanger import (
     CrossFlowHeatExchanger,
     HeatExchangerSolution,
     HeatExchangerTraceSolution,
+    UAModel,
 )
 from repro.units import require_fraction, require_positive
+
+#: UAModel parameters serialised by value into the boundary params dict.
+_UA_FIELDS = (
+    "hot_conductance_ref_w_k",
+    "cold_conductance_ref_w_k",
+    "hot_ref_flow_kg_s",
+    "cold_ref_flow_kg_s",
+    "wall_resistance_k_w",
+    "hot_flow_exponent",
+    "cold_flow_exponent",
+)
+
+#: FluidProperties parameters serialised by value.
+_FLUID_FIELDS = (
+    "name",
+    "density_kg_m3",
+    "specific_heat_j_kg_k",
+    "thermal_conductivity_w_m_k",
+    "kinematic_viscosity_m2_s",
+)
+
+
+def fluid_to_dict(fluid: FluidProperties) -> Dict[str, object]:
+    """JSON-safe dictionary of one fluid property set."""
+    return {
+        name: (fluid.name if name == "name" else float(getattr(fluid, name)))
+        for name in _FLUID_FIELDS
+    }
 
 
 def surface_temperature_profile(
@@ -103,8 +139,12 @@ class RadiatorGeometry:
 
 
 @dataclass(frozen=True)
-class RadiatorOperatingPoint:
+class RadiatorOperatingPoint(BoundaryOperatingPoint):
     """Solved thermal state of the radiator at one time instant.
+
+    Extends the protocol-level :class:`BoundaryOperatingPoint` (module
+    surface/sink/delta-T fields plus ambient) with the radiator's own
+    effectiveness-NTU solution and Eq. (1) decay constant.
 
     Attributes
     ----------
@@ -112,22 +152,10 @@ class RadiatorOperatingPoint:
         The effectiveness-NTU solution of the core.
     decay_per_m:
         Eq. (1) decay constant ``K / C_c``.
-    surface_temps_c:
-        Hot-side surface temperature at each module position.
-    sink_temps_c:
-        Cold-side (heatsink) temperature at each module position.
-    delta_t_k:
-        Per-module temperature differences driving the TEGs.
-    ambient_c:
-        Ambient temperature used for the sink model.
     """
 
     solution: HeatExchangerSolution
     decay_per_m: float
-    surface_temps_c: np.ndarray
-    sink_temps_c: np.ndarray
-    delta_t_k: np.ndarray
-    ambient_c: float
 
     @property
     def coolant_outlet_c(self) -> float:
@@ -136,13 +164,16 @@ class RadiatorOperatingPoint:
 
 
 @dataclass(frozen=True)
-class RadiatorTraceSolution:
+class RadiatorTraceSolution(BoundaryTraceSolution):
     """Vectorised radiator state over a whole boundary-condition trace.
 
     Row ``i`` of every array is exactly the operating point a scalar
     :meth:`Radiator.operating_point` call at sample ``i`` would produce
     — including the degenerate zero-duty state for cold-start samples
     whose coolant sits at or below ambient (``active[i] == False``).
+
+    Extends the protocol-level :class:`BoundaryTraceSolution` columns
+    with the radiator's own state:
 
     Attributes
     ----------
@@ -151,32 +182,10 @@ class RadiatorTraceSolution:
         zero-duty solution).
     decay_per_m:
         Eq. (1) decay constant per sample (0 for inactive samples).
-    surface_temps_c, sink_temps_c, delta_t_k:
-        ``(T, N)`` module-position temperature fields.
-    ambient_c:
-        Ambient temperature per sample.
-    active:
-        Boolean mask of samples solved by the exchanger (coolant above
-        ambient).
     """
 
     exchanger: HeatExchangerTraceSolution
     decay_per_m: np.ndarray
-    surface_temps_c: np.ndarray
-    sink_temps_c: np.ndarray
-    delta_t_k: np.ndarray
-    ambient_c: np.ndarray
-    active: np.ndarray
-
-    @property
-    def n_samples(self) -> int:
-        """Number of trace samples."""
-        return int(self.decay_per_m.size)
-
-    @property
-    def n_modules(self) -> int:
-        """Number of module positions along the path."""
-        return int(self.delta_t_k.shape[1])
 
     def operating_point(self, i: int) -> RadiatorOperatingPoint:
         """Scalar :class:`RadiatorOperatingPoint` view of sample ``i``."""
@@ -189,9 +198,66 @@ class RadiatorTraceSolution:
             ambient_c=float(self.ambient_c[i]),
         )
 
+    # ------------------------------------------------------------------
+    # Flat-array round trip: exchanger columns travel as ``x_<name>``
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        arrays = {
+            "surface_temps_c": self.surface_temps_c,
+            "sink_temps_c": self.sink_temps_c,
+            "delta_t_k": self.delta_t_k,
+            "ambient_c": self.ambient_c,
+            "active": self.active,
+            "decay_per_m": self.decay_per_m,
+        }
+        for f in fields(HeatExchangerTraceSolution):
+            arrays[f"x_{f.name}"] = getattr(self.exchanger, f.name)
+        return arrays
 
-class Radiator:
+    @classmethod
+    def from_arrays(cls, arrays: Mapping[str, np.ndarray]):
+        return cls(
+            exchanger=HeatExchangerTraceSolution(
+                **{
+                    f.name: arrays[f"x_{f.name}"]
+                    for f in fields(HeatExchangerTraceSolution)
+                }
+            ),
+            decay_per_m=arrays["decay_per_m"],
+            surface_temps_c=arrays["surface_temps_c"],
+            sink_temps_c=arrays["sink_temps_c"],
+            delta_t_k=arrays["delta_t_k"],
+            ambient_c=arrays["ambient_c"],
+            active=arrays["active"],
+        )
+
+    @classmethod
+    def concat(cls, parts: Sequence["RadiatorTraceSolution"]):
+        return cls(
+            exchanger=HeatExchangerTraceSolution(
+                **{
+                    f.name: np.concatenate(
+                        [getattr(p.exchanger, f.name) for p in parts]
+                    )
+                    for f in fields(HeatExchangerTraceSolution)
+                }
+            ),
+            decay_per_m=np.concatenate([p.decay_per_m for p in parts]),
+            surface_temps_c=np.concatenate([p.surface_temps_c for p in parts]),
+            sink_temps_c=np.concatenate([p.sink_temps_c for p in parts]),
+            delta_t_k=np.concatenate([p.delta_t_k for p in parts]),
+            ambient_c=np.concatenate([p.ambient_c for p in parts]),
+            active=np.concatenate([p.active for p in parts]),
+        )
+
+
+class Radiator(ThermalBoundary):
     """Finned-tube radiator with a TEG array along its coolant path.
+
+    The original — and first registered — thermal boundary
+    (``boundary_type == "radiator"``): the protocol's generic hot
+    stream is the coolant loop and the cold stream is the air through
+    the core.
 
     Parameters
     ----------
@@ -207,6 +273,8 @@ class Radiator:
         linearly.  ``0.0`` reproduces the paper's heatsink-at-ambient
         assumption.
     """
+
+    boundary_type = "radiator"
 
     def __init__(
         self,
@@ -248,6 +316,51 @@ class Radiator:
     def sink_preheat_fraction(self) -> float:
         """Configured sink preheat fraction."""
         return self._sink_preheat_fraction
+
+    # ------------------------------------------------------------------
+    # ThermalBoundary serialisation contract
+    # ------------------------------------------------------------------
+    def params_dict(self) -> Dict[str, object]:
+        """Every radiator parameter by value, JSON-safe.
+
+        The layout is byte-for-byte the legacy top-level ``"radiator"``
+        sub-dict of pre-versioned scenario JSON, so the compat loader
+        is simply ``Radiator.from_params_dict(legacy["radiator"])``.
+        """
+        ua = self._exchanger.ua_model
+        return {
+            "geometry": {
+                "path_length_m": float(self._geometry.path_length_m),
+                "n_rows": int(self._geometry.n_rows),
+            },
+            "ua_model": {
+                name: float(getattr(ua, name)) for name in _UA_FIELDS
+            },
+            "both_unmixed": bool(self._exchanger.both_unmixed),
+            "coolant": fluid_to_dict(self._coolant),
+            "air": fluid_to_dict(self._air),
+            "sink_preheat_fraction": float(self._sink_preheat_fraction),
+        }
+
+    @classmethod
+    def from_params_dict(cls, params: Dict[str, object]) -> "Radiator":
+        """Rebuild a radiator from :meth:`params_dict` output."""
+        return cls(
+            geometry=RadiatorGeometry(**params["geometry"]),
+            exchanger=CrossFlowHeatExchanger(
+                UAModel(**params["ua_model"]),
+                both_unmixed=bool(params["both_unmixed"]),
+            ),
+            coolant=FluidProperties(**params["coolant"]),
+            air=FluidProperties(**params["air"]),
+            sink_preheat_fraction=float(params["sink_preheat_fraction"]),
+        )
+
+    @classmethod
+    def solution_from_arrays(
+        cls, arrays: Mapping[str, np.ndarray]
+    ) -> RadiatorTraceSolution:
+        return RadiatorTraceSolution.from_arrays(arrays)
 
     def operating_point(
         self,
@@ -504,3 +617,6 @@ class Radiator:
             delta_t_k=surface - sink,
             ambient_c=float(ambient_c),
         )
+
+
+register_boundary(Radiator)

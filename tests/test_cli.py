@@ -90,6 +90,10 @@ class TestBatch:
         out = capsys.readouterr().out
         assert "porter-ii" in out
         assert "industrial-boiler" in out
+        # each scenario advertises its thermal-boundary type
+        assert "[radiator]" in out
+        assert "[exhaust-gas]" in out
+        assert "[finite-coupling]" in out
 
     def test_batch_run_serial(self, tmp_path, capsys):
         target = tmp_path / "summary.json"

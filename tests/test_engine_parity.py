@@ -86,7 +86,7 @@ def scenarios():
 def run_engine(scenario: Scenario, policy: str, engine: str, physics=None):
     simulator = HarvestSimulator(
         trace=scenario.trace,
-        radiator=scenario.radiator,
+        boundary=scenario.boundary,
         module=scenario.module,
         n_modules=scenario.n_modules,
         overhead=scenario.overhead,
@@ -444,7 +444,7 @@ class TestRandomizedTraceFuzz:
         scenario = Scenario(
             module=TGM_199_1_4_0_8,
             n_modules=9,
-            radiator=default_radiator(),
+            boundary=default_radiator(),
             trace=_fuzz_trace(seed),
             sensor_seed=seed + 1,
             nominal_compute_s=REGISTRY_NOMINAL_COMPUTE_S,

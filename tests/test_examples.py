@@ -55,6 +55,14 @@ class TestColdStart:
         assert "cold start" in out.lower()
 
 
+class TestFiniteCoupling:
+    def test_runs_and_reports(self):
+        out = run_example("finite_coupling.py", "40")
+        assert "delta_t retained" in out
+        assert "MPP power shift" in out
+        assert "decisions differing" in out
+
+
 @pytest.mark.slow
 class TestSlowExamples:
     def test_industrial_boiler(self):

@@ -1,0 +1,126 @@
+"""Frozen legacy-format regressions (scenario/shard JSON v1).
+
+``tests/data/legacy_scenario_v1.json`` and
+``tests/data/legacy_shard_manifest_v1.json`` were written by the
+pre-boundary-protocol serialiser (scenario ``format_version: 1`` with a
+top-level ``"radiator"`` key).  These fixtures are **frozen** — they
+must keep loading forever, loss-free: same physics fingerprint as a
+fresh build, shard resume without rewriting the on-disk manifest, and
+re-serialisation under the current v2 ``"boundary"`` envelope.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import ExperimentCase
+from repro.sim.scenario import (
+    SCENARIO_FORMAT_VERSION,
+    Scenario,
+    build_named_scenario,
+)
+from repro.sim.shard import (
+    collate_shard,
+    init_shard,
+    load_shard_manifest,
+    work_shard,
+)
+from repro.thermal.radiator import Radiator
+
+DATA = Path(__file__).parent / "data"
+LEGACY_SCENARIO = DATA / "legacy_scenario_v1.json"
+LEGACY_MANIFEST = DATA / "legacy_shard_manifest_v1.json"
+
+
+def _fresh_porter():
+    return build_named_scenario("porter-ii", duration_s=20.0, n_modules=16)
+
+
+class TestLegacyScenarioFixture:
+    def test_v1_loads_with_radiator_boundary(self):
+        data = json.loads(LEGACY_SCENARIO.read_text())
+        assert data["format_version"] == 1
+        assert "radiator" in data and "boundary" not in data
+        scenario = Scenario.from_json_dict(data)
+        assert isinstance(scenario.boundary, Radiator)
+        assert scenario.boundary.boundary_type == "radiator"
+        assert scenario.radiator is scenario.boundary  # compat alias
+
+    def test_v1_is_loss_free_vs_fresh_build(self):
+        scenario = Scenario.from_json_dict(
+            json.loads(LEGACY_SCENARIO.read_text())
+        )
+        fresh = _fresh_porter()
+        assert scenario.physics_fingerprint() == fresh.physics_fingerprint()
+        assert scenario.to_json_dict() == fresh.to_json_dict()
+
+    def test_v1_reserialises_as_v2_envelope(self):
+        scenario = Scenario.from_json_dict(
+            json.loads(LEGACY_SCENARIO.read_text())
+        )
+        data = scenario.to_json_dict()
+        assert data["format_version"] == SCENARIO_FORMAT_VERSION == 2
+        assert "radiator" not in data
+        assert data["boundary"]["type"] == "radiator"
+        again = Scenario.from_json_dict(data)
+        assert again.to_json_dict() == data
+        assert again.physics_fingerprint() == scenario.physics_fingerprint()
+
+    def test_unsupported_version_is_refused(self):
+        data = json.loads(LEGACY_SCENARIO.read_text())
+        data["format_version"] = 99
+        with pytest.raises(ConfigurationError, match="format version"):
+            Scenario.from_json_dict(data)
+
+
+class TestLegacyShardManifest:
+    def _grid(self, n_modules=16):
+        scenario = build_named_scenario(
+            "porter-ii", duration_s=20.0, n_modules=n_modules
+        )
+        return [
+            ExperimentCase(
+                name="porter-legacy/Baseline",
+                scenario=scenario,
+                policy="Baseline",
+                with_battery=False,
+            )
+        ]
+
+    def _legacy_shard(self, tmp_path):
+        shard = tmp_path / "shard"
+        shard.mkdir()
+        (shard / "manifest.json").write_text(LEGACY_MANIFEST.read_text())
+        return shard
+
+    def test_manifest_loads_with_radiator_boundary(self, tmp_path):
+        shard = self._legacy_shard(tmp_path)
+        manifest = load_shard_manifest(shard)
+        assert manifest.case_ids == ("case-00000",)
+        case = manifest.cases[0]
+        assert case.name == "porter-legacy/Baseline"
+        assert isinstance(case.scenario.boundary, Radiator)
+
+    def test_resume_leaves_v1_manifest_bytes_untouched(self, tmp_path):
+        shard = self._legacy_shard(tmp_path)
+        before = (shard / "manifest.json").read_text()
+        manifest = init_shard(shard, self._grid(), warm=False)
+        assert (shard / "manifest.json").read_text() == before
+        assert manifest.case_ids == ("case-00000",)
+
+    def test_resumed_legacy_shard_runs_end_to_end(self, tmp_path):
+        shard = self._legacy_shard(tmp_path)
+        init_shard(shard, self._grid(), warm=True)
+        assert work_shard(shard) == ["case-00000"]
+        collation = collate_shard(shard)
+        assert [case.name for case in collation.cases] == [
+            "porter-legacy/Baseline"
+        ]
+        assert len(collation.results) == 1
+
+    def test_different_grid_is_still_refused(self, tmp_path):
+        shard = self._legacy_shard(tmp_path)
+        with pytest.raises(SimulationError, match="different"):
+            init_shard(shard, self._grid(n_modules=9), warm=False)

@@ -170,7 +170,7 @@ class TestBatchedVsReference:
         def run(engine):
             simulator = HarvestSimulator(
                 trace=scenario.trace,
-                radiator=scenario.radiator,
+                boundary=scenario.boundary,
                 module=scenario.module,
                 n_modules=scenario.n_modules,
                 overhead=scenario.overhead,
@@ -230,7 +230,7 @@ class TestBatchedVsReference:
             )
             simulator = HarvestSimulator(
                 trace=scenario.trace,
-                radiator=scenario.radiator,
+                boundary=scenario.boundary,
                 module=scenario.module,
                 n_modules=scenario.n_modules,
                 scanner=scenario.make_scanner(),
@@ -253,7 +253,7 @@ class TestBatchedVsReference:
         with pytest.raises(SimulationError):
             HarvestSimulator(
                 trace=scenario.trace,
-                radiator=scenario.radiator,
+                boundary=scenario.boundary,
                 module=scenario.module,
                 n_modules=scenario.n_modules,
                 engine="warp",
@@ -264,7 +264,7 @@ class TestBatchedVsReference:
         with pytest.raises(SimulationError):
             HarvestSimulator(
                 trace=other.trace,
-                radiator=other.radiator,
+                boundary=other.boundary,
                 module=other.module,
                 n_modules=other.n_modules,
                 physics=physics,
@@ -439,6 +439,8 @@ class TestScenarioRegistry:
             "cold-start",
             "industrial-boiler",
             "fault-injection",
+            "exhaust-gas",
+            "finite-coupling",
         )
 
     def test_build_overrides(self):

@@ -19,7 +19,7 @@ class TestScannerlessOperation:
     def test_runs_without_scanner(self, scenario):
         simulator = HarvestSimulator(
             trace=scenario.trace,
-            radiator=scenario.radiator,
+            boundary=scenario.boundary,
             module=scenario.module,
             n_modules=scenario.n_modules,
             overhead=scenario.overhead,
@@ -32,7 +32,7 @@ class TestScannerlessOperation:
         def run_once():
             simulator = HarvestSimulator(
                 trace=scenario.trace,
-                radiator=scenario.radiator,
+                boundary=scenario.boundary,
                 module=scenario.module,
                 n_modules=scenario.n_modules,
                 scanner=None,
@@ -72,7 +72,7 @@ class TestValidation:
         with pytest.raises(SimulationError):
             HarvestSimulator(
                 trace=scenario.trace,
-                radiator=scenario.radiator,
+                boundary=scenario.boundary,
                 module=scenario.module,
                 n_modules=0,
             )
