@@ -1,0 +1,116 @@
+"""Module-model gates: segmented EMF must stay vectorised.
+
+The module-model protocol's hot loop is :meth:`SegmentedModule.emf` —
+the physics plane hands it whole ``(T, N)`` trace matrices and expects
+one elementwise pass per *segment* (a handful), never per sample.  A
+silently de-vectorised implementation would multiply every segmented
+scenario's physics precompute by the trace length, so this harness
+gates it:
+
+1. **Vectorised segmented ``emf`` beats the per-sample scalar reference
+   (:func:`segmented_emf_reference`) by >= 3x** on a trace-sized
+   matrix, in both the nominal and the mean-temperature path.
+2. **The timing doubles as a parity check** — the scalar reference must
+   reproduce the vectorised output bitwise, which is the pin that lets
+   segmented modules ride the same cache/fingerprint machinery as the
+   single-material model.
+
+Environment knobs (used by the CI smoke job):
+
+* ``REPRO_BENCH_MODULE_SAMPLES`` — trace length (default 1500).
+* ``REPRO_BENCH_MODULE_MODULES`` — module positions N (default 64).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+from conftest import emit
+
+from repro.teg.materials import (
+    BISMUTH_TELLURIDE,
+    LEAD_TELLURIDE,
+    SKUTTERUDITE,
+)
+from repro.teg.segmented import (
+    ModuleSegment,
+    SegmentedModule,
+    segmented_emf_reference,
+)
+
+SAMPLES = int(os.environ.get("REPRO_BENCH_MODULE_SAMPLES", "1500"))
+MODULES = int(os.environ.get("REPRO_BENCH_MODULE_MODULES", "64"))
+
+#: Vectorised segmented EMF vs the same samples through the scalar
+#: reference walk.  The real margin is orders of magnitude; 3x is the
+#: floor that still fails a silently de-vectorised path.
+GATE_SEGMENTED_SPEEDUP = 3.0
+
+MODULE = SegmentedModule(
+    name="SEG-3-BENCH",
+    segments=(
+        ModuleSegment(material=SKUTTERUDITE, n_couples=100),
+        ModuleSegment(material=LEAD_TELLURIDE, n_couples=80),
+        ModuleSegment(material=BISMUTH_TELLURIDE, n_couples=60),
+    ),
+)
+
+
+def _trace_matrices():
+    rng = np.random.default_rng(42)
+    delta = rng.uniform(5.0, 120.0, (SAMPLES, MODULES))
+    mean = rng.uniform(60.0, 350.0, (SAMPLES, MODULES))
+    return delta, mean
+
+
+def _time(fn, repeats=3):
+    best = np.inf
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def _gate(tag, delta, mean):
+    fast_s, fast = _time(lambda: MODULE.emf(delta, mean))
+    slow_s, slow = _time(
+        lambda: segmented_emf_reference(MODULE, delta, mean), repeats=1
+    )
+
+    # Parity first: the scalar walk must reproduce the batch bitwise.
+    assert np.array_equal(fast, slow)
+
+    speedup = slow_s / fast_s
+    emit(
+        f"bench_module_model_{tag}.json",
+        json.dumps(
+            {
+                "samples": SAMPLES,
+                "modules": MODULES,
+                "segments": len(MODULE.segments),
+                "vectorised_s": fast_s,
+                "per_sample_loop_s": slow_s,
+                "speedup": speedup,
+                "gate": GATE_SEGMENTED_SPEEDUP,
+            },
+            indent=2,
+        ),
+    )
+    assert speedup >= GATE_SEGMENTED_SPEEDUP, (
+        f"vectorised segmented emf ({tag}) only {speedup:.1f}x over the "
+        f"per-sample reference (gate {GATE_SEGMENTED_SPEEDUP}x) — the "
+        f"segment sum has de-vectorised"
+    )
+
+
+def test_segmented_emf_nominal_beats_per_sample_loop():
+    delta, _ = _trace_matrices()
+    _gate("nominal", delta, None)
+
+
+def test_segmented_emf_mean_temp_beats_per_sample_loop():
+    delta, mean = _trace_matrices()
+    _gate("mean_temp", delta, mean)

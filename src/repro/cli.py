@@ -211,10 +211,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if args.list:
         print("Registered scenarios:")
         for name, description in registry.describe().items():
-            boundary_type = registry.build(
-                name, duration_s=20.0
-            ).boundary.boundary_type
-            print(f"  {name:20s} [{boundary_type}] {description}")
+            scenario = registry.build(name, duration_s=20.0)
+            tags = (
+                f"{scenario.boundary.boundary_type}/"
+                f"{scenario.module.model_type}"
+            )
+            print(f"  {name:20s} [{tags}] {description}")
         return 0
 
     cases = _build_grid(args)

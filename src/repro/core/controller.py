@@ -27,7 +27,7 @@ from repro.core.ehtr import ehtr
 from repro.core.inor import inor, parse_inor_kernel
 from repro.errors import ConfigurationError
 from repro.power.charger import TEGCharger
-from repro.teg.module import TEGModule
+from repro.teg.model import ModuleModel
 
 
 class ReconfigurationPolicy(abc.ABC):
@@ -112,7 +112,7 @@ class PeriodicPolicy(ReconfigurationPolicy):
 
     def __init__(
         self,
-        module: TEGModule,
+        module: ModuleModel,
         algorithm: str = "inor",
         period_s: float = 0.5,
         charger: Optional[TEGCharger] = None,

@@ -40,24 +40,22 @@ from repro.core.overhead import SwitchingOverheadModel
 from repro.errors import ConfigurationError, PredictionError
 from repro.power.charger import TEGCharger
 from repro.prediction.base import LagSeriesPredictor
-from repro.teg.module import TEGModule
+from repro.teg.model import ModuleModel
 from repro.teg.network import array_mpp, array_mpp_rows, array_mpp_rows_multi
 
 
 def thevenin_from_temps(
-    module: TEGModule, temps_c: np.ndarray, ambient_c: float
+    module: ModuleModel, temps_c: np.ndarray, ambient_c: float
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-module ``(emf, resistance)`` vectors from hot-side temps.
 
-    Uses the paper's constant-parameter module model (heatsink at
-    ambient): ``E_i = alpha * (T_i - T_amb) * N_cpl``.
+    Uses the module model's nominal Thevenin linearisation (heatsink at
+    ambient): ``E_i = alpha_module * (T_i - T_amb)``.
     """
     temps = np.asarray(temps_c, dtype=float)
     delta = temps - float(ambient_c)
-    emf = module.material.seebeck_v_per_k * module.n_couples * delta
-    resistance = np.full(
-        temps.shape, module.material.resistance_ohm * module.n_couples
-    )
+    emf = module.emf_coefficient() * delta
+    resistance = np.full(temps.shape, module.internal_resistance())
     return emf, resistance
 
 
@@ -153,7 +151,7 @@ class DNORPlanner:
 
     def __init__(
         self,
-        module: TEGModule,
+        module: ModuleModel,
         charger: TEGCharger,
         overhead: SwitchingOverheadModel,
         predictor: LagSeriesPredictor,
@@ -269,12 +267,9 @@ class DNORPlanner:
         the reference it is pinned bit-identical against.
         """
         rows = np.asarray(temp_rows, dtype=float)
-        alpha = self._module.material.seebeck_v_per_k * self._module.n_couples
+        alpha = self._module.emf_coefficient()
         emf_rows = alpha * (rows - float(ambient_c))
-        resistance = np.full(
-            rows.shape[1],
-            self._module.material.resistance_ohm * self._module.n_couples,
-        )
+        resistance = np.full(rows.shape[1], self._module.internal_resistance())
         power, voltage = array_mpp_rows(emf_rows, resistance, config.starts)
         delivered = self._charger.delivered_batch(power, voltage)
         return float(delivered.sum() * self._sample_dt_s)
@@ -297,12 +292,9 @@ class DNORPlanner:
         single-configuration form.
         """
         rows = np.asarray(temp_rows, dtype=float)
-        alpha = self._module.material.seebeck_v_per_k * self._module.n_couples
+        alpha = self._module.emf_coefficient()
         emf_rows = alpha * (rows - float(ambient_c))
-        resistance = np.full(
-            rows.shape[1],
-            self._module.material.resistance_ohm * self._module.n_couples,
-        )
+        resistance = np.full(rows.shape[1], self._module.internal_resistance())
         power, voltage = array_mpp_rows_multi(
             emf_rows, resistance, [config.starts for config in configs]
         )

@@ -129,11 +129,8 @@ class SessionHub:
                 [p.emf_row for s in members for p in s.pending]
             )
             # Same Thevenin arithmetic as PeriodicPolicy's scalar path:
-            # per-couple resistance scaled by the series couple count.
-            resistance = np.full(
-                int(n_modules),
-                module.material.resistance_ohm * module.n_couples,
-            )
+            # the module model's nominal chain resistance.
+            resistance = np.full(int(n_modules), module.internal_resistance())
             charger = members[0].scenario.make_charger(with_battery=False)
             results = inor_stack(
                 emf_rows, resistance, charger=charger, backend=backend
@@ -168,10 +165,7 @@ class SessionHub:
         key = _stack_key(session)
         n_modules, module, _converter, backend = key
         emf_rows = np.vstack([p.emf_row for p in session.pending])
-        resistance = np.full(
-            int(n_modules),
-            module.material.resistance_ohm * module.n_couples,
-        )
+        resistance = np.full(int(n_modules), module.internal_resistance())
         charger = session.scenario.make_charger(with_battery=False)
         results = inor_stack(
             emf_rows, resistance, charger=charger, backend=backend

@@ -155,12 +155,9 @@ class StreamSession:
             self._policy = None
             self._charger = scenario.make_charger(with_battery=False)
             module = scenario.module
-            self._emf_coef = (
-                module.material.seebeck_v_per_k * module.n_couples
-            )
+            self._emf_coef = module.emf_coefficient()
             self._resistance = np.full(
-                int(scenario.n_modules),
-                module.material.resistance_ohm * module.n_couples,
+                int(scenario.n_modules), module.internal_resistance()
             )
             self._next_run_s = 0.0
         else:

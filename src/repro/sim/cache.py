@@ -48,15 +48,18 @@ import numpy as np
 
 from repro.sim._atomic import atomic_write
 from repro.sim.physics import TracePhysics
-from repro.teg.module import TEGModule
+from repro.teg.model import ModuleModel
 from repro.thermal.boundary import ThermalBoundary
 from repro.vehicle.trace import RadiatorTrace
 
 #: Bumped whenever the artifact layout or fingerprint recipe changes;
 #: artifacts carrying a different version are treated as misses and
 #: rewritten.  v2: boundary type tag + canonical parameter tokens
-#: replace the hard-wired radiator parameter walk.
-CACHE_FORMAT_VERSION = 2
+#: replace the hard-wired radiator parameter walk.  v3: module-model
+#: type tag + full parameter tokens replace the hard-wired
+#: single-material field walk, so two module models of different
+#: registered types can never share an artifact.
+CACHE_FORMAT_VERSION = 3
 
 #: Trace columns entering the fingerprint (everything the solves read).
 _TRACE_COLUMNS = (
@@ -78,7 +81,7 @@ def _scalar_token(name: str, value: float) -> bytes:
 def physics_fingerprint(
     trace: RadiatorTrace,
     boundary: ThermalBoundary,
-    module: TEGModule,
+    module: ModuleModel,
     n_modules: int,
 ) -> str:
     """Content fingerprint of one :meth:`TracePhysics.compute` input set.
@@ -86,13 +89,16 @@ def physics_fingerprint(
     Hashes the raw bytes of every trace column the solves read, the
     boundary's registered type tag plus its full parameter dict (via
     :meth:`~repro.thermal.boundary.ThermalBoundary.fingerprint_tokens`
-    — lossless ``float.hex`` tokens, nested params included), every
-    module-material parameter, and the chain length.  Two inputs with
-    equal fingerprints produce bit-identical :class:`TracePhysics`
-    objects; object identity, trace names and scanner settings are
-    deliberately excluded so grid variants built via
-    ``dataclasses.replace`` (and re-built scenarios in other processes)
-    share one entry.
+    — lossless ``float.hex`` tokens, nested params included), the
+    module model's registered type tag plus its full parameter dict
+    (:meth:`~repro.teg.model.ModuleModel.fingerprint_tokens`), and the
+    chain length.  Two inputs with equal fingerprints produce
+    bit-identical :class:`TracePhysics` objects; object identity, trace
+    names and scanner settings are deliberately excluded so grid
+    variants built via ``dataclasses.replace`` (and re-built scenarios
+    in other processes) share one entry.  Module models of different
+    registered types never collide even with identical parameter
+    floats — the type tag leads the module tokens.
     """
     h = hashlib.sha256()
     h.update(f"tegkit-physics-v{CACHE_FORMAT_VERSION};".encode())
@@ -103,16 +109,7 @@ def physics_fingerprint(
         h.update(f"{column}[{arr.size}];".encode())
         h.update(arr.tobytes())
 
-    material = module.material
-    h.update(f"module={module.name};n_couples={int(module.n_couples)};".encode())
-    for name in (
-        "seebeck_v_per_k",
-        "resistance_ohm",
-        "seebeck_temp_coeff_per_k",
-        "resistance_temp_coeff_per_k",
-    ):
-        h.update(_scalar_token(name, getattr(material, name)))
-
+    h.update(module.fingerprint_tokens())
     h.update(boundary.fingerprint_tokens())
     return h.hexdigest()
 
@@ -231,7 +228,7 @@ class PhysicsCache:
         self,
         trace: RadiatorTrace,
         boundary: ThermalBoundary,
-        module: TEGModule,
+        module: ModuleModel,
         n_modules: int,
     ) -> TracePhysics:
         """Return the memoised physics for the inputs, computing on miss.
@@ -292,7 +289,7 @@ class PhysicsCache:
         physics: TracePhysics,
         trace: RadiatorTrace,
         boundary: ThermalBoundary,
-        module: TEGModule,
+        module: ModuleModel,
     ) -> TracePhysics:
         """Point a cached entry at the caller's live model objects."""
         if (
@@ -327,6 +324,7 @@ class PhysicsCache:
             "version": CACHE_FORMAT_VERSION,
             "fingerprint": key,
             "boundary_type": physics.boundary.boundary_type,
+            "module_type": physics.module.model_type,
             "solution_keys": solution_keys,
             "noiseless": bool(physics.noiseless),
             "n_modules": int(physics.n_modules),
@@ -345,7 +343,7 @@ class PhysicsCache:
         key: str,
         trace: RadiatorTrace,
         boundary: ThermalBoundary,
-        module: TEGModule,
+        module: ModuleModel,
         n_modules: int,
     ) -> Optional[TracePhysics]:
         """Load one artifact; a broken file counts as a miss."""
@@ -361,6 +359,7 @@ class PhysicsCache:
                     meta.get("version") != CACHE_FORMAT_VERSION
                     or meta.get("fingerprint") != key
                     or meta.get("boundary_type") != boundary.boundary_type
+                    or meta.get("module_type") != module.model_type
                     or meta.get("n_modules") != int(n_modules)
                 ):
                     raise ValueError("artifact metadata mismatch")

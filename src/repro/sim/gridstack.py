@@ -127,10 +127,8 @@ def _run_inor_group(cases: Sequence, physics) -> List[SimulationResult]:
         scanned[k] = scanner.scan_batch(physics.sensed_temps_c)
 
     # Thevenin map constants (thevenin_from_temps, batched over cases).
-    emf_coef = module.material.seebeck_v_per_k * module.n_couples
-    decision_resistance = np.full(
-        n_modules, module.material.resistance_ohm * module.n_couples
-    )
+    emf_coef = module.emf_coefficient()
+    decision_resistance = np.full(n_modules, module.internal_resistance())
 
     runtimes = np.zeros((n_cases, n))
     billed: List[List[Tuple[int, float, int]]] = [[] for _ in range(n_cases)]

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sim.physics import ideal_power_from_delta_t
-from repro.teg.module import TEGModule
+from repro.teg.model import ModuleModel
 from repro.thermal.boundary import ThermalBoundary
 from repro.vehicle.trace import RadiatorTrace
 
@@ -23,7 +23,7 @@ from repro.vehicle.trace import RadiatorTrace
 def ideal_power_series(
     trace: RadiatorTrace,
     boundary: ThermalBoundary,
-    module: TEGModule,
+    module: ModuleModel,
     n_modules: int,
 ) -> np.ndarray:
     """``P_ideal`` at every trace sample, from the true boundary conditions."""
@@ -34,4 +34,5 @@ def ideal_power_series(
         trace.air_flow_kg_s,
         n_modules,
     )
-    return ideal_power_from_delta_t(module, solution.delta_t_k)
+    mean_true_c = (solution.surface_temps_c + solution.sink_temps_c) / 2.0
+    return ideal_power_from_delta_t(module, solution.delta_t_k, mean_true_c)

@@ -40,24 +40,26 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.teg.module import TEGModule
+from repro.teg.model import ModuleModel
 from repro.thermal.boundary import BoundaryTraceSolution, ThermalBoundary
 from repro.vehicle.trace import RadiatorTrace
 
 
 def ideal_power_from_delta_t(
-    module: TEGModule, delta_t_k: np.ndarray
+    module: ModuleModel,
+    delta_t_k: np.ndarray,
+    mean_temp_c: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """``P_ideal`` rows from a ``(T, N)`` temperature-difference matrix.
 
     Mirrors :meth:`repro.teg.array.TEGArray.ideal_power` operation-for-
     operation (back-biased modules contribute zero), batched over the
-    trace.
+    trace.  ``mean_temp_c``, when given, carries the matching mean
+    junction temperatures so temperature-interpolated module models
+    evaluate at the right point along the gradient.
     """
-    emf = module.material.seebeck_v_per_k * delta_t_k * module.n_couples
-    resistance_row = np.full(
-        delta_t_k.shape[1], module.material.resistance_ohm * module.n_couples
-    )
+    emf = module.emf(delta_t_k, mean_temp_c)
+    resistance_row = np.full(delta_t_k.shape[1], module.internal_resistance())
     per_module = np.where(emf > 0.0, emf * emf / (4.0 * resistance_row), 0.0)
     return per_module.sum(axis=1)
 
@@ -104,7 +106,7 @@ class TracePhysics:
 
     trace: RadiatorTrace
     boundary: ThermalBoundary
-    module: TEGModule
+    module: ModuleModel
     n_modules: int
     true_solution: BoundaryTraceSolution
     sensed_solution: BoundaryTraceSolution
@@ -129,12 +131,25 @@ class TracePhysics:
         """``(T, N)`` true per-module temperature differences."""
         return self.true_solution.delta_t_k
 
+    @property
+    def true_mean_temps_c(self) -> np.ndarray:
+        """``(T, N)`` true mean junction temperatures (hot+cold)/2.
+
+        The temperature each module's material stack actually sits at —
+        the evaluation point for temperature-interpolated module models
+        (segmented chains) on the physics plane.
+        """
+        return (
+            self.true_solution.surface_temps_c
+            + self.true_solution.sink_temps_c
+        ) / 2.0
+
     @classmethod
     def compute(
         cls,
         trace: RadiatorTrace,
         boundary: ThermalBoundary,
-        module: TEGModule,
+        module: ModuleModel,
         n_modules: int,
     ) -> "TracePhysics":
         """Precompute the physics of a whole trace in two NumPy passes.
@@ -170,12 +185,14 @@ class TracePhysics:
 
         # Mirror TEGArray.emf_vector / resistance_vector / ideal_power
         # operation-for-operation so the precomputed series are
-        # bit-identical to what the per-step path would produce.
-        emf_true = (
-            module.material.seebeck_v_per_k
-            * true_solution.delta_t_k
-            * module.n_couples
-        )
+        # bit-identical to what the per-step path would produce.  EMFs
+        # evaluate at the boundary-solved mean junction temperatures —
+        # for nominal single-material modules the drift scale is exactly
+        # 1.0, so this is bitwise the historical nominal expression.
+        mean_true_c = (
+            true_solution.surface_temps_c + true_solution.sink_temps_c
+        ) / 2.0
+        emf_true = module.emf(true_solution.delta_t_k, mean_true_c)
         return cls(
             trace=trace,
             boundary=boundary,
@@ -185,11 +202,9 @@ class TracePhysics:
             sensed_solution=sensed_solution,
             sensed_temps_c=sensed_temps_c,
             emf_true=emf_true,
-            module_resistance_ohm=float(
-                module.material.resistance_ohm * module.n_couples
-            ),
+            module_resistance_ohm=float(module.internal_resistance()),
             ideal_power_w=ideal_power_from_delta_t(
-                module, true_solution.delta_t_k
+                module, true_solution.delta_t_k, mean_true_c
             ),
             noiseless=noiseless,
         )
@@ -254,7 +269,7 @@ class TracePhysicsStream:
     """
 
     def __init__(
-        self, boundary: ThermalBoundary, module: TEGModule, n_modules: int
+        self, boundary: ThermalBoundary, module: ModuleModel, n_modules: int
     ) -> None:
         self._boundary = boundary
         self._module = module
@@ -321,11 +336,10 @@ class TracePhysicsStream:
             )
         sensed_temps_c = ambient[:, None] + sensed_solution.delta_t_k
         # Same expression order as TracePhysics.compute — bit-identical.
-        emf_true = (
-            self._module.material.seebeck_v_per_k
-            * true_solution.delta_t_k
-            * self._module.n_couples
-        )
+        mean_true_c = (
+            true_solution.surface_temps_c + true_solution.sink_temps_c
+        ) / 2.0
+        emf_true = self._module.emf(true_solution.delta_t_k, mean_true_c)
         state = TraceChunkState(
             start_index=self._n_seen,
             true_solution=true_solution,
@@ -333,7 +347,7 @@ class TracePhysicsStream:
             sensed_temps_c=sensed_temps_c,
             emf_true=emf_true,
             ideal_power_w=ideal_power_from_delta_t(
-                self._module, true_solution.delta_t_k
+                self._module, true_solution.delta_t_k, mean_true_c
             ),
             noiseless=noiseless,
         )
@@ -390,9 +404,7 @@ class TracePhysicsStream:
                 [c.sensed_temps_c for c in self._chunks]
             ),
             emf_true=np.concatenate([c.emf_true for c in self._chunks]),
-            module_resistance_ohm=float(
-                self._module.material.resistance_ohm * self._module.n_couples
-            ),
+            module_resistance_ohm=float(self._module.internal_resistance()),
             ideal_power_w=np.concatenate(
                 [c.ideal_power_w for c in self._chunks]
             ),

@@ -41,7 +41,13 @@ from repro.errors import ConfigurationError
 from repro.prediction.mlr import MLRPredictor
 from repro.sim.simulator import HarvestSimulator
 from repro.teg.datasheet import TGM_199_1_4_0_8
+from repro.teg.model import (
+    ModuleModel,
+    module_model_from_json_dict,
+    module_model_to_json_dict,
+)
 from repro.teg.module import TEGModule
+from repro.teg.segmented import ModuleSegment, SegmentedModule, hybrid_module
 from repro.thermal.boundary import (
     ThermalBoundary,
     boundary_from_json_dict,
@@ -55,7 +61,12 @@ from repro.thermal.radiator import Radiator, RadiatorGeometry
 from repro.vehicle.drive_cycle import synthetic_nedc, synthetic_urban
 from repro.vehicle.engine import EngineModel
 from repro.vehicle.sensors import ModuleTemperatureScanner
-from repro.teg.materials import CoupleMaterial
+from repro.teg.materials import (
+    BISMUTH_TELLURIDE,
+    LEAD_TELLURIDE,
+    SKUTTERUDITE,
+    CoupleMaterial,
+)
 from repro.vehicle.trace import (
     RadiatorTrace,
     build_trace,
@@ -65,11 +76,14 @@ from repro.vehicle.trace import (
 
 #: Version tag of the scenario JSON layout; bumped on breaking changes
 #: so a shard manifest written by a newer library is refused instead of
-#: silently misread.  v2 wraps the thermal model in a tagged
-#: ``"boundary": {"type": ..., "params": ...}`` envelope; the loader
-#: still accepts v1's top-level ``"radiator"`` key so pre-existing
-#: shard manifests resume unchanged.
-SCENARIO_FORMAT_VERSION = 2
+#: silently misread.  v2 wrapped the thermal model in a tagged
+#: ``"boundary": {"type": ..., "params": ...}`` envelope; v3 does the
+#: same for the module — ``"module": {"type": ..., "params": ...}``
+#: behind the :mod:`repro.teg.model` registry.  The loader still
+#: accepts v2's flat single-material module dict and v1's top-level
+#: ``"radiator"`` key, so pre-existing shard manifests resume
+#: unchanged.
+SCENARIO_FORMAT_VERSION = 3
 
 #: Trace columns serialised into the JSON form (every array field).
 _TRACE_COLUMNS = (
@@ -81,14 +95,6 @@ _TRACE_COLUMNS = (
     "speed_mps",
     "coolant_inlet_sensed_c",
     "coolant_flow_sensed_kg_s",
-)
-
-_MATERIAL_FIELDS = (
-    "seebeck_v_per_k",
-    "resistance_ohm",
-    "thermal_conductance_w_per_k",
-    "seebeck_temp_coeff_per_k",
-    "resistance_temp_coeff_per_k",
 )
 
 _OVERHEAD_FIELDS = (
@@ -116,6 +122,20 @@ def _decode_array(text: str) -> np.ndarray:
     """Inverse of :func:`_encode_array` (a fresh writable array)."""
     raw = base64.b64decode(text.encode("ascii"))
     return np.frombuffer(raw, dtype="<f8").astype(float)
+
+
+def _legacy_module_from_dict(module_data: Dict[str, object]) -> TEGModule:
+    """Rebuild the v1/v2 flat single-material module dict.
+
+    Pre-PR-9 manifests carried ``{"name", "n_couples", "material"}``
+    directly — byte-compatible with the single-material model's params
+    dict, so the rebuild is loss-free.
+    """
+    return TEGModule(
+        name=str(module_data["name"]),
+        material=CoupleMaterial(**module_data["material"]),
+        n_couples=int(module_data["n_couples"]),
+    )
 
 
 @dataclass
@@ -155,7 +175,7 @@ class Scenario:
         cross-validation and profiling (``repro batch --kernel``).
     """
 
-    module: TEGModule
+    module: ModuleModel
     n_modules: int
     boundary: ThermalBoundary
     trace: RadiatorTrace
@@ -248,18 +268,10 @@ class Scenario:
         Scalars travel as plain JSON numbers, which round-trip float64
         exactly.
         """
-        module = self.module
         trace = self.trace
         return {
             "format_version": SCENARIO_FORMAT_VERSION,
-            "module": {
-                "name": module.name,
-                "n_couples": int(module.n_couples),
-                "material": {
-                    name: float(getattr(module.material, name))
-                    for name in _MATERIAL_FIELDS
-                },
-            },
+            "module": module_model_to_json_dict(self.module),
             "n_modules": int(self.n_modules),
             "boundary": boundary_to_json_dict(self.boundary),
             "trace": {
@@ -289,30 +301,32 @@ class Scenario:
     def from_json_dict(cls, data: Dict[str, object]) -> "Scenario":
         """Rebuild a scenario from :meth:`to_json_dict` output.
 
-        Reads the current (v2) layout with its tagged ``"boundary"``
-        envelope, and the legacy v1 layout whose thermal model was a
-        top-level ``"radiator"`` parameter dict — v1's sub-dict is
-        byte-compatible with :meth:`Radiator.params_dict`, so pre-PR-8
-        shard manifests rebuild the identical scenario (pinned against
-        a frozen fixture in ``tests/test_scenario_compat.py``).
+        Reads the current (v3) layout with its tagged ``"boundary"``
+        and ``"module"`` envelopes, the v2 layout whose module was a
+        flat single-material dict, and the legacy v1 layout whose
+        thermal model was a top-level ``"radiator"`` parameter dict —
+        v1's sub-dict is byte-compatible with
+        :meth:`Radiator.params_dict` and the v1/v2 module dict with the
+        single-material params, so pre-PR-8 and pre-PR-9 shard
+        manifests rebuild the identical scenario (pinned against frozen
+        fixtures in ``tests/test_scenario_compat.py``).
         """
         version = data.get("format_version")
         if version == SCENARIO_FORMAT_VERSION:
             boundary = boundary_from_json_dict(data["boundary"])
+            module = module_model_from_json_dict(data["module"])
+        elif version == 2:
+            boundary = boundary_from_json_dict(data["boundary"])
+            module = _legacy_module_from_dict(data["module"])
         elif version == 1:
             boundary = Radiator.from_params_dict(data["radiator"])
+            module = _legacy_module_from_dict(data["module"])
         else:
             raise ConfigurationError(
                 f"unsupported scenario format version {version!r} "
-                f"(this library reads versions 1 and "
+                f"(this library reads versions 1 through "
                 f"{SCENARIO_FORMAT_VERSION})"
             )
-        module_data = data["module"]
-        module = TEGModule(
-            name=str(module_data["name"]),
-            material=CoupleMaterial(**module_data["material"]),
-            n_couples=int(module_data["n_couples"]),
-        )
         trace_data = data["trace"]
         trace = RadiatorTrace(
             name=str(trace_data["name"]),
@@ -718,6 +732,146 @@ def _build_exhaust_gas(
     )
 
 
+#: Three-stage segmented chain for the exhaust duct: skutterudite at
+#: the hot face, lead telluride mid-stack, bismuth telluride on the
+#: cold plate — 240 couples total, matching the high-gradient regime of
+#: Gaurav & Pandey (arXiv 1708.02920).
+SEGMENTED_EXHAUST_MODULE = SegmentedModule(
+    name="SEG-3-EXHAUST",
+    segments=(
+        ModuleSegment(material=SKUTTERUDITE, n_couples=100),
+        ModuleSegment(material=LEAD_TELLURIDE, n_couples=80),
+        ModuleSegment(material=BISMUTH_TELLURIDE, n_couples=60),
+    ),
+)
+
+#: Two-segment hybrid for the steel-industry flue: a lead-telluride
+#: bank takes 60% of the module temperature drop at the hot face,
+#: bismuth telluride finishes the chain (arXiv 1603.02883's hybrid
+#: arrangement).
+STEEL_HYBRID_MODULE = hybrid_module(
+    name="HYB-2-STEEL",
+    hot_material=LEAD_TELLURIDE,
+    cold_material=BISMUTH_TELLURIDE,
+    n_couples_hot=140,
+    n_couples_cold=100,
+    hot_fraction=0.6,
+)
+
+
+def _build_segmented_exhaust(
+    duration_s: Optional[float], seed: Optional[int], n_modules: Optional[int]
+) -> Scenario:
+    duration = 600.0 if duration_s is None else float(duration_s)
+    seed = 2018 if seed is None else int(seed)
+    trace = exhaust_gas_trace(duration_s=duration, seed=seed)
+    # Distinct trace name: grid case names are trace-derived, and this
+    # scenario shares the exhaust-gas boundary conditions by design.
+    trace = dataclasses.replace(
+        trace, name=f"segmented-exhaust-{int(duration)}s-seed{seed}"
+    )
+    return Scenario(
+        module=SEGMENTED_EXHAUST_MODULE,
+        n_modules=64 if n_modules is None else n_modules,
+        boundary=ExhaustGasBoundary(),
+        trace=trace,
+        sensor_seed=seed + 77,
+        scanner_noise_std_k=0.3,
+        nominal_compute_s=REGISTRY_NOMINAL_COMPUTE_S,
+    )
+
+
+def steel_flue_trace(
+    duration_s: float = 500.0, seed: int = 2018, dt_s: float = 0.5
+) -> RadiatorTrace:
+    """Boundary conditions of a steel-plant flue TEG bank.
+
+    The reheating-furnace regime of arXiv 1603.02883: flue gas entering
+    at 450–600 °C following slow charge/discharge cycles of the
+    furnace, much higher gas mass flow than a vehicle duct, and a
+    water-cooled cold loop.  Columns carry the exhaust-gas domain's
+    streams (gas temperature/flow in the coolant columns, cold loop in
+    the ambient/air columns).  Deterministic for a given
+    ``(duration_s, seed)``.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(round(duration_s / dt_s)) + 1
+    time_s = np.arange(n) * dt_s
+
+    # Furnace charge cycles: load steps every ~90 s, filtered to the
+    # flue-duct thermal time constant (~35 s).
+    setpoint = np.empty(n)
+    level = 520.0 + float(rng.uniform(-25.0, 25.0))
+    step_every = max(int(round(90.0 / dt_s)), 1)
+    for i in range(n):
+        if i % step_every == 0 and i > 0:
+            level = float(
+                np.clip(level + rng.uniform(-50.0, 50.0), 450.0, 600.0)
+            )
+        setpoint[i] = level
+    inlet = np.empty(n)
+    state = setpoint[0]
+    blend = dt_s / 35.0
+    for i in range(n):
+        state += (setpoint[i] - state) * blend
+        inlet[i] = state
+    inlet = inlet + 3.0 * np.sin(2.0 * np.pi * time_s / 70.0)
+
+    # Flue fan runs near-constant; cold loop is a plant water circuit.
+    gas_flow = 0.30 + 2.0e-4 * (inlet - 450.0) + 0.01 * np.sin(
+        2.0 * np.pi * time_s / 40.0 + 0.4
+    )
+    cold_flow = 1.0 + 0.06 * np.sin(2.0 * np.pi * time_s / 110.0)
+    ambient = np.full(n, 30.0)
+
+    return RadiatorTrace(
+        time_s=time_s,
+        coolant_inlet_c=inlet,
+        coolant_flow_kg_s=gas_flow,
+        air_flow_kg_s=cold_flow,
+        ambient_c=ambient,
+        speed_mps=np.zeros(n),
+        coolant_inlet_sensed_c=inlet + rng.normal(0.0, 2.5, n),
+        coolant_flow_sensed_kg_s=np.maximum(
+            gas_flow + rng.normal(0.0, 0.004, n), 1.0e-4
+        ),
+        name=f"steel-flue-{int(duration_s)}s-seed{seed}",
+    )
+
+
+def steel_flue_boundary() -> ExhaustGasBoundary:
+    """An exhaust-gas boundary scaled to a steel-plant flue duct.
+
+    Higher reference gas flow and duct conductance than the vehicle
+    exhaust defaults, a hotter property reference point, and a
+    water-cooled cold side.
+    """
+    return ExhaustGasBoundary(
+        t_ref_c=500.0,
+        ua_gas_ref_w_k=14.0,
+        gas_ref_flow_kg_s=0.30,
+        module_conductance_w_k=3.5,
+        ua_cold_w_k=35.0,
+        cold_ref_flow_kg_s=1.0,
+    )
+
+
+def _build_steel_hybrid(
+    duration_s: Optional[float], seed: Optional[int], n_modules: Optional[int]
+) -> Scenario:
+    duration = 500.0 if duration_s is None else float(duration_s)
+    seed = 2018 if seed is None else int(seed)
+    return Scenario(
+        module=STEEL_HYBRID_MODULE,
+        n_modules=49 if n_modules is None else n_modules,
+        boundary=steel_flue_boundary(),
+        trace=steel_flue_trace(duration_s=duration, seed=seed),
+        sensor_seed=seed + 77,
+        scanner_noise_std_k=0.4,
+        nominal_compute_s=REGISTRY_NOMINAL_COMPUTE_S,
+    )
+
+
 def _build_finite_coupling(
     duration_s: Optional[float], seed: Optional[int], n_modules: Optional[int]
 ) -> Scenario:
@@ -841,4 +995,16 @@ _DEFAULT_REGISTRY.register(
     _build_finite_coupling,
     "Porter-II radiator behind finite contact conductances "
     "(Apertet-style non-ideal coupling)",
+)
+_DEFAULT_REGISTRY.register(
+    "segmented-exhaust",
+    _build_segmented_exhaust,
+    "exhaust duct with a 3-stage segmented module chain "
+    "(skutterudite / PbTe / Bi2Te3 along the gradient)",
+)
+_DEFAULT_REGISTRY.register(
+    "steel-hybrid",
+    _build_steel_hybrid,
+    "steel-plant flue bank (49 modules) with a 2-segment "
+    "PbTe + Bi2Te3 hybrid module",
 )

@@ -51,7 +51,7 @@ from repro.sim.physics import TracePhysics
 from repro.sim.results import SimulationResult
 from repro.teg.array import TEGArray
 from repro.teg.network import array_mpp_rows
-from repro.teg.module import TEGModule
+from repro.teg.model import ModuleModel
 from repro.teg.switches import SwitchFabric
 from repro.thermal.boundary import ThermalBoundary
 from repro.vehicle.sensors import ModuleTemperatureScanner
@@ -109,7 +109,7 @@ class HarvestSimulator:
         self,
         trace: RadiatorTrace,
         boundary: ThermalBoundary,
-        module: TEGModule,
+        module: ModuleModel,
         n_modules: int,
         overhead: Optional[SwitchingOverheadModel] = None,
         scanner: Optional[ModuleTemperatureScanner] = None,
@@ -370,10 +370,13 @@ class HarvestSimulator:
         delivered = np.empty(n)
         voltage = np.empty(n)
         array = TEGArray(self._module, self._n_modules)
+        mean_temps = physics.true_mean_temps_c
         bounds = [idx for idx, _ in segments] + [n]
         for (lo, starts), hi in zip(segments, bounds[1:]):
             for i in range(lo, hi):
-                array.set_delta_t(physics.true_delta_t_k[i])
+                array.set_thermal_state(
+                    physics.true_delta_t_k[i], mean_temps[i]
+                )
                 report = charger.step(array, starts, dt)
                 gross[i] = report.array_power_w
                 delivered[i] = report.delivered_power_w
@@ -437,7 +440,10 @@ class HarvestSimulator:
                     )
                     switch_times.append(t)
 
-            array.set_delta_t(true_op.delta_t_k)
+            array.set_thermal_state(
+                true_op.delta_t_k,
+                (true_op.surface_temps_c + true_op.sink_temps_c) / 2.0,
+            )
             report = charger.step(array, fabric.starts, dt)
             gross[i] = report.array_power_w
             delivered[i] = report.delivered_power_w

@@ -16,7 +16,8 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError, ModelParameterError
-from repro.teg.module import MPPPoint, TEGModule
+from repro.teg.model import ModuleModel
+from repro.teg.module import MPPPoint
 from repro.teg import network
 
 
@@ -51,7 +52,7 @@ class TEGArray:
 
     def __init__(
         self,
-        module: TEGModule,
+        module: ModuleModel,
         n_modules: int,
         use_temperature_drift: bool = False,
     ) -> None:
@@ -64,12 +65,13 @@ class TEGArray:
         self._use_drift = bool(use_temperature_drift)
         self._delta_t: Optional[np.ndarray] = None
         self._mean_temp: Optional[np.ndarray] = None
+        self._boundary_state = False
 
     # ------------------------------------------------------------------
     # Identity
     # ------------------------------------------------------------------
     @property
-    def module(self) -> TEGModule:
+    def module(self) -> ModuleModel:
         """The shared module model."""
         return self._module
 
@@ -101,6 +103,7 @@ class TEGArray:
             raise ModelParameterError("temperatures must be finite")
         self._delta_t = hot - float(ambient_c)
         self._mean_temp = (hot + float(ambient_c)) / 2.0
+        self._boundary_state = False
 
     def set_delta_t(self, delta_t_k: Sequence[float]) -> None:
         """Set per-module temperature differences directly."""
@@ -115,6 +118,34 @@ class TEGArray:
         # Without absolute temperatures, drift evaluation falls back to
         # the material reference point.
         self._mean_temp = None
+        self._boundary_state = False
+
+    def set_thermal_state(
+        self, delta_t_k: Sequence[float], mean_temp_c: Sequence[float]
+    ) -> None:
+        """Set boundary-solved differences plus mean junction temperatures.
+
+        The simulator's reference engine uses this to hand the array the
+        thermal-boundary solution: per-module temperature differences
+        *and* the mean junction temperature each module actually sits
+        at, so temperature-interpolated module models (segmented chains)
+        evaluate their materials at the right point.  EMFs are evaluated
+        at the given means regardless of ``use_temperature_drift``;
+        internal resistance stays on the nominal chain value, matching
+        the trace-physics plane.
+        """
+        delta = np.asarray(delta_t_k, dtype=float)
+        mean = np.asarray(mean_temp_c, dtype=float)
+        if delta.shape != (self._n_modules,) or mean.shape != (self._n_modules,):
+            raise ConfigurationError(
+                f"delta_t_k and mean_temp_c must both have shape "
+                f"({self._n_modules},), got {delta.shape} and {mean.shape}"
+            )
+        if not np.all(np.isfinite(delta)) or not np.all(np.isfinite(mean)):
+            raise ModelParameterError("temperatures must be finite")
+        self._delta_t = delta.copy()
+        self._mean_temp = mean.copy()
+        self._boundary_state = True
 
     @property
     def delta_t(self) -> np.ndarray:
@@ -134,32 +165,37 @@ class TEGArray:
     # Per-module electrical vectors
     # ------------------------------------------------------------------
     def emf_vector(self) -> np.ndarray:
-        """Per-module open-circuit voltages ``E_i``."""
+        """Per-module open-circuit voltages ``E_i``.
+
+        Routed through the :class:`~repro.teg.model.ModuleModel`
+        protocol: mean junction temperatures are passed whenever the
+        drift model is enabled or the thermal state came from
+        :meth:`set_thermal_state` (the boundary-solved physics plane).
+        """
         self._require_thermal_state()
         assert self._delta_t is not None
-        if self._use_drift and self._mean_temp is not None:
-            alpha = np.array(
-                [self._module.material.seebeck_at(t) for t in self._mean_temp]
+        if self._mean_temp is not None and (self._use_drift or self._boundary_state):
+            return np.asarray(
+                self._module.emf(self._delta_t, self._mean_temp), dtype=float
             )
-            return alpha * self._delta_t * self._module.n_couples
-        return (
-            self._module.material.seebeck_v_per_k
-            * self._delta_t
-            * self._module.n_couples
-        )
+        return np.asarray(self._module.emf(self._delta_t), dtype=float)
 
     def resistance_vector(self) -> np.ndarray:
-        """Per-module internal resistances ``R_i``."""
+        """Per-module internal resistances ``R_i``.
+
+        Nominal chain resistance unless the legacy drift model is
+        enabled with absolute temperatures; boundary-solved thermal
+        state keeps the nominal value, matching the trace-physics
+        plane's single shared module resistance.
+        """
         self._require_thermal_state()
         assert self._delta_t is not None
         if self._use_drift and self._mean_temp is not None:
-            res = np.array(
-                [self._module.material.resistance_at(t) for t in self._mean_temp]
+            return np.asarray(
+                self._module.internal_resistance(self._mean_temp), dtype=float
             )
-            return res * self._module.n_couples
         return np.full(
-            self._n_modules,
-            self._module.material.resistance_ohm * self._module.n_couples,
+            self._n_modules, float(self._module.internal_resistance())
         )
 
     def mpp_currents(self) -> np.ndarray:

@@ -22,7 +22,8 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.power.charger import TEGCharger
-from repro.teg.module import MPPPoint, TEGModule
+from repro.teg.model import ModuleModel
+from repro.teg.module import MPPPoint
 from repro.teg.network import array_thevenin
 
 
@@ -80,7 +81,7 @@ def bank_power_at_voltage(chains: Sequence[ChainState], voltage_v: float) -> flo
 
 
 def reconfigure_bank(
-    module: TEGModule,
+    module: ModuleModel,
     delta_t_matrix: np.ndarray,
     charger: Optional[TEGCharger] = None,
 ) -> List[ChainState]:
@@ -110,8 +111,8 @@ def reconfigure_bank(
         raise ConfigurationError(
             f"delta_t_matrix must be 2-D, got shape {matrix.shape}"
         )
-    alpha = module.material.seebeck_v_per_k * module.n_couples
-    r_module = module.material.resistance_ohm * module.n_couples
+    alpha = module.emf_coefficient()
+    r_module = module.internal_resistance()
     chains = []
     for row in matrix:
         emf = alpha * row

@@ -22,6 +22,7 @@ from repro.errors import ModelParameterError
 from repro.teg.materials import (
     BISMUTH_TELLURIDE,
     BISMUTH_TELLURIDE_REALISTIC,
+    NOMINAL_BISMUTH_SEEBECK_V_PER_K,
     CoupleMaterial,
 )
 from repro.teg.module import TEGModule
@@ -41,11 +42,12 @@ TGM_199_1_4_0_8_REALISTIC = TEGModule(
     n_couples=199,
 )
 
-#: Smaller 127-couple module (typical 30 x 30 mm generator).
+#: Smaller 127-couple module (typical 30 x 30 mm generator); same
+#: bismuth-telluride couple chemistry, different leg geometry.
 TGM_127_1_0_0_8 = TEGModule(
     name="TGM-127-1.0-0.8",
     material=CoupleMaterial(
-        seebeck_v_per_k=3.78e-4,
+        seebeck_v_per_k=NOMINAL_BISMUTH_SEEBECK_V_PER_K,
         resistance_ohm=1.26e-2,
         thermal_conductance_w_per_k=3.6e-3,
     ),
@@ -56,7 +58,7 @@ TGM_127_1_0_0_8 = TEGModule(
 TGM_287_1_0_1_5 = TEGModule(
     name="TGM-287-1.0-1.5",
     material=CoupleMaterial(
-        seebeck_v_per_k=3.78e-4,
+        seebeck_v_per_k=NOMINAL_BISMUTH_SEEBECK_V_PER_K,
         resistance_ohm=2.10e-2,
         thermal_conductance_w_per_k=4.2e-3,
     ),

@@ -12,17 +12,40 @@ per-couple Seebeck coefficient and per-couple electrical resistance.
 Thermal conductance is carried for completeness (it sets the heat drawn
 from the radiator) but does not enter the reconfiguration math, exactly
 as in the paper.
+
+Beyond bismuth telluride, the mid- and high-temperature couples
+(lead-telluride- and skutterudite-class) cover the segmented/hybrid
+chains of the exhaust-duct and steel-industry regimes (Gaurav & Pandey,
+arXiv 1708.02920 / 1603.02883), where material properties vary along
+the hot-to-cold gradient and a single couple model cannot describe the
+whole module.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.errors import ModelParameterError
 from repro.units import require_non_negative, require_positive
 
 #: Reference mean junction temperature (degC) at which nominal couple
 #: properties are quoted.
 REFERENCE_TEMPERATURE_C = 25.0
+
+#: Relative floor of the linear drift corrections: the clamp keeps a
+#: pathological mean temperature from flipping the sign of the EMF or
+#: driving the resistance to (or through) zero.
+DRIFT_CLAMP_FLOOR = 0.1
+
+#: Nominal bismuth-telluride per-couple properties (~378 uV/K and
+#: ~14.6 mOhm).  The single source of truth shared by
+#: :data:`BISMUTH_TELLURIDE` and the datasheet catalog — the same
+#: figures must never be re-typed elsewhere.
+NOMINAL_BISMUTH_SEEBECK_V_PER_K = 3.78e-4
+NOMINAL_BISMUTH_RESISTANCE_OHM = 1.46e-2
 
 
 @dataclass(frozen=True)
@@ -62,29 +85,37 @@ class CoupleMaterial:
         require_non_negative(
             self.thermal_conductance_w_per_k, "thermal_conductance_w_per_k"
         )
+        for name in ("seebeck_temp_coeff_per_k", "resistance_temp_coeff_per_k"):
+            value = getattr(self, name)
+            if not math.isfinite(value):
+                raise ModelParameterError(
+                    f"{name} must be a finite number, got {value!r}"
+                )
 
-    def seebeck_at(self, mean_temp_c: float) -> float:
+    def seebeck_at(self, mean_temp_c):
         """Per-couple Seebeck coefficient at a mean junction temperature.
 
         The linear correction is clamped so the coefficient never drops
-        below 10% of its nominal value, keeping pathological inputs from
-        flipping the sign of the EMF.
+        below :data:`DRIFT_CLAMP_FLOOR` (10%) of its nominal value,
+        keeping pathological inputs from flipping the sign of the EMF.
+        Accepts a scalar or an array (vectorised elementwise).
         """
         scale = 1.0 + self.seebeck_temp_coeff_per_k * (
             mean_temp_c - REFERENCE_TEMPERATURE_C
         )
-        return self.seebeck_v_per_k * max(scale, 0.1)
+        return self.seebeck_v_per_k * np.maximum(scale, DRIFT_CLAMP_FLOOR)
 
-    def resistance_at(self, mean_temp_c: float) -> float:
+    def resistance_at(self, mean_temp_c):
         """Per-couple electrical resistance at a mean junction temperature.
 
-        Clamped to 10% of nominal for the same robustness reason as
-        :meth:`seebeck_at`.
+        Clamped to :data:`DRIFT_CLAMP_FLOOR` of nominal for the same
+        robustness reason as :meth:`seebeck_at`.  Accepts a scalar or an
+        array (vectorised elementwise).
         """
         scale = 1.0 + self.resistance_temp_coeff_per_k * (
             mean_temp_c - REFERENCE_TEMPERATURE_C
         )
-        return self.resistance_ohm * max(scale, 0.1)
+        return self.resistance_ohm * np.maximum(scale, DRIFT_CLAMP_FLOOR)
 
 
 #: Nominal bismuth-telluride couple: ~378 uV/K and ~14.6 mOhm per couple.
@@ -92,16 +123,38 @@ class CoupleMaterial:
 #: for the paper's Fig. 1 curves (open-circuit voltage ~12.8 V at
 #: dT = 170 K, module resistance ~2.9 Ohm at radiator temperatures).
 BISMUTH_TELLURIDE = CoupleMaterial(
-    seebeck_v_per_k=3.78e-4,
-    resistance_ohm=1.46e-2,
+    seebeck_v_per_k=NOMINAL_BISMUTH_SEEBECK_V_PER_K,
+    resistance_ohm=NOMINAL_BISMUTH_RESISTANCE_OHM,
     thermal_conductance_w_per_k=5.0e-3,
 )
 
 #: Variant with mild, realistic temperature drift of both parameters.
 BISMUTH_TELLURIDE_REALISTIC = CoupleMaterial(
-    seebeck_v_per_k=3.78e-4,
-    resistance_ohm=1.46e-2,
+    seebeck_v_per_k=NOMINAL_BISMUTH_SEEBECK_V_PER_K,
+    resistance_ohm=NOMINAL_BISMUTH_RESISTANCE_OHM,
     thermal_conductance_w_per_k=5.0e-3,
     seebeck_temp_coeff_per_k=6.0e-4,
     resistance_temp_coeff_per_k=3.5e-3,
+)
+
+#: Mid-temperature lead-telluride-class couple: weaker than Bi2Te3 at
+#: the reference point but *improving* with junction temperature, so it
+#: earns its keep in the middle of a high-gradient chain.
+LEAD_TELLURIDE = CoupleMaterial(
+    seebeck_v_per_k=3.20e-4,
+    resistance_ohm=1.90e-2,
+    thermal_conductance_w_per_k=4.0e-3,
+    seebeck_temp_coeff_per_k=9.0e-4,
+    resistance_temp_coeff_per_k=2.2e-3,
+)
+
+#: High-temperature skutterudite-class couple for the hot face of an
+#: exhaust or flue duct, where bismuth telluride would be outside its
+#: operating window.
+SKUTTERUDITE = CoupleMaterial(
+    seebeck_v_per_k=2.70e-4,
+    resistance_ohm=1.10e-2,
+    thermal_conductance_w_per_k=6.0e-3,
+    seebeck_temp_coeff_per_k=1.2e-3,
+    resistance_temp_coeff_per_k=1.6e-3,
 )

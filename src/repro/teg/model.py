@@ -1,0 +1,250 @@
+"""The pluggable TEG module-model protocol.
+
+The paper's Eq. (2) single-material Thevenin module used to be fused
+into every layer of the engine: physics, grid-stacked execution, the
+streaming service, the multi-path bank and the array facade each
+computed ``material.seebeck_v_per_k * n_couples`` inline, and the cache
+fingerprint and scenario JSON hard-wired the single-material field
+list.  :class:`ModuleModel` is the seam that un-hardwires it, the same
+way :class:`repro.thermal.boundary.ThermalBoundary` un-hardwired the
+radiator:
+
+* :meth:`ModuleModel.emf` maps a temperature-difference array (any
+  shape) plus an optional matching mean-junction-temperature array to
+  per-module open-circuit EMFs, vectorised — this is the *physics
+  plane*, evaluated at the boundary-solved junction temperatures.
+* :meth:`ModuleModel.emf_coefficient` /
+  :meth:`ModuleModel.internal_resistance` give the nominal Thevenin
+  linearisation the *decision plane* uses (policies, grid stacking,
+  the session hub): one volts-per-kelvin coefficient and one series
+  resistance, optionally re-evaluated at a mean junction temperature.
+  Decisions stay on the nominal point so online and offline decision
+  logs agree by construction; chain resistance stays a single shared
+  scalar so the row-stacked Thevenin kernels keep their one-resistance
+  fast path.
+* :meth:`ModuleModel.params_dict` / :meth:`ModuleModel.from_params_dict`
+  give a loss-free JSON form, and the module-level registry
+  (:func:`register_module_model`, :func:`module_model_to_json_dict`,
+  :func:`module_model_from_json_dict`) dispatches on a ``model_type``
+  tag so shard manifests and cache fingerprints name the model, not
+  just its parameter floats.
+
+:class:`repro.teg.module.TEGModule` is simply the first registered
+model (``"single-material"``, pinned bit-identical to the pre-protocol
+arithmetic); :class:`repro.teg.segmented.SegmentedModule` — per-segment
+materials along the hot-to-cold gradient — is the second.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping, Type, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Scalar-or-array temperature argument accepted by the protocol.
+TempLike = Union[float, np.ndarray, None]
+
+
+class ModuleModel(ABC):
+    """Electrical model of one TEG module position in the chain.
+
+    Subclasses set a unique :attr:`model_type` tag, implement the
+    vectorised EMF/resistance contract and the loss-free
+    :meth:`params_dict` / :meth:`from_params_dict` pair, and call
+    :func:`register_module_model` so manifests and cache fingerprints
+    can dispatch on the tag.
+    """
+
+    #: Registered type tag; unique per concrete module model.
+    model_type: str = ""
+
+    # ------------------------------------------------------------------
+    # The electrical contract
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def emf(
+        self, delta_t_k: np.ndarray, mean_temp_c: TempLike = None
+    ) -> np.ndarray:
+        """Open-circuit EMF for temperature differences (physics plane).
+
+        ``delta_t_k`` may be any shape (a scalar, a per-module row or a
+        whole ``(T, N)`` trace matrix); ``mean_temp_c``, when given,
+        must broadcast against it and carries the mean junction
+        temperature of each entry so temperature-interpolated models
+        evaluate their materials at the right point along the gradient.
+        ``None`` evaluates at the material reference temperature.  The
+        implementation must be elementwise (no cross-sample coupling)
+        and vectorised — no per-sample Python.
+        """
+
+    @abstractmethod
+    def emf_coefficient(self, mean_temp_c: TempLike = None):
+        """Nominal EMF per kelvin of module dT (decision plane).
+
+        With ``mean_temp_c=None`` this is a plain float — the Thevenin
+        linearisation every decision path multiplies against its own
+        temperature differences (keeping each call site's historical
+        floating-point expression).  An array argument returns the
+        coefficient re-evaluated per entry, vectorised.
+        """
+
+    @abstractmethod
+    def internal_resistance(self, mean_temp_c: TempLike = None):
+        """Series internal resistance of the module (ohms).
+
+        With ``mean_temp_c=None`` this is the nominal scalar shared by
+        the whole chain — the batched Thevenin kernels rely on one
+        resistance per row.  An array argument returns per-entry
+        drift-evaluated resistances, vectorised.
+        """
+
+    # ------------------------------------------------------------------
+    # Loss-free JSON round trip behind the type tag
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def params_dict(self) -> Dict[str, object]:
+        """JSON-safe parameter dictionary reproducing this model.
+
+        Scalars travel as plain JSON numbers (which round-trip float64
+        exactly); structured models (segment lists) nest plain dicts
+        and lists of the same scalars.
+        """
+
+    @classmethod
+    @abstractmethod
+    def from_params_dict(cls, params: Dict[str, object]) -> "ModuleModel":
+        """Rebuild a model from :meth:`params_dict` output."""
+
+    def to_json_dict(self) -> Dict[str, object]:
+        """The tagged envelope: ``{"type": <tag>, "params": {...}}``."""
+        return module_model_to_json_dict(self)
+
+    def fingerprint_tokens(self) -> bytes:
+        """Lossless byte tokens of the type tag plus every parameter.
+
+        Feeds :func:`repro.sim.cache.physics_fingerprint`; two module
+        models of different registered types never share tokens even
+        with identical parameter floats.
+        """
+        return f"module-model={self.model_type};".encode() + _param_tokens(
+            self.params_dict()
+        )
+
+
+def _param_tokens(value: object, prefix: str = "") -> bytes:
+    """Canonical byte tokens of one (possibly nested) parameter value.
+
+    Dict keys are visited in sorted order so the token stream does not
+    depend on dict construction order; lists are visited positionally;
+    floats render as ``float.hex`` (lossless), other JSON scalars by
+    type-tagged repr.
+    """
+    if isinstance(value, dict):
+        chunks = [f"{prefix}{{;".encode()]
+        for key in sorted(value):
+            chunks.append(_param_tokens(value[key], prefix=f"{prefix}{key}."))
+        chunks.append(f"{prefix}}};".encode())
+        return b"".join(chunks)
+    if isinstance(value, (list, tuple)):
+        chunks = [f"{prefix}[{len(value)};".encode()]
+        for index, item in enumerate(value):
+            chunks.append(_param_tokens(item, prefix=f"{prefix}{index}."))
+        chunks.append(f"{prefix}];".encode())
+        return b"".join(chunks)
+    if isinstance(value, bool):
+        return f"{prefix}=b{int(value)};".encode()
+    if isinstance(value, float):
+        return f"{prefix}={value.hex()};".encode()
+    if isinstance(value, int):
+        return f"{prefix}=i{value};".encode()
+    if value is None:
+        return f"{prefix}=null;".encode()
+    return f"{prefix}=s{value};".encode()
+
+
+# ----------------------------------------------------------------------
+# The type-tag registry
+# ----------------------------------------------------------------------
+_MODULE_MODEL_TYPES: Dict[str, Type[ModuleModel]] = {}
+_BUILTINS_LOADED = False
+
+
+def register_module_model(cls: Type[ModuleModel]) -> Type[ModuleModel]:
+    """Register a module-model class under its ``model_type`` tag.
+
+    Usable as a class decorator.  Re-registering the same class is a
+    no-op; a *different* class under an already-taken tag is refused —
+    silently shadowing a tag would make manifests ambiguous.
+    """
+    tag = cls.model_type
+    if not tag:
+        raise ConfigurationError(
+            f"{cls.__name__} must set a non-empty model_type tag"
+        )
+    existing = _MODULE_MODEL_TYPES.get(tag)
+    if existing is not None and existing is not cls:
+        raise ConfigurationError(
+            f"module model type tag {tag!r} is already registered by "
+            f"{existing.__name__}"
+        )
+    _MODULE_MODEL_TYPES[tag] = cls
+    return cls
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in module models so their tags are registered.
+
+    Lazy because the module implementations import *this* module; the
+    registry only needs the concrete classes at lookup time.
+    """
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    import repro.teg.module  # noqa: F401  (registers on import)
+    import repro.teg.segmented  # noqa: F401
+
+    _BUILTINS_LOADED = True
+
+
+def module_model_class(tag: str) -> Type[ModuleModel]:
+    """The registered module-model class for one type tag."""
+    _ensure_builtins()
+    cls = _MODULE_MODEL_TYPES.get(tag)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown module model type {tag!r} "
+            f"(registered: {', '.join(sorted(_MODULE_MODEL_TYPES)) or 'none'})"
+        )
+    return cls
+
+
+def registered_module_model_types() -> Dict[str, Type[ModuleModel]]:
+    """Snapshot of the tag-to-class registry (built-ins included)."""
+    _ensure_builtins()
+    return dict(_MODULE_MODEL_TYPES)
+
+
+def module_model_to_json_dict(model: ModuleModel) -> Dict[str, object]:
+    """Serialise any module model as its tagged envelope."""
+    _ensure_builtins()
+    tag = model.model_type
+    if _MODULE_MODEL_TYPES.get(tag) is not type(model):
+        raise ConfigurationError(
+            f"{type(model).__name__} (tag {tag!r}) is not the registered "
+            f"class for its tag; call register_module_model first"
+        )
+    return {"type": tag, "params": model.params_dict()}
+
+
+def module_model_from_json_dict(data: Mapping[str, object]) -> ModuleModel:
+    """Rebuild a module model from its tagged envelope."""
+    if not isinstance(data, Mapping) or "type" not in data:
+        raise ConfigurationError(
+            "module model JSON must be a {'type': ..., 'params': ...} "
+            "envelope"
+        )
+    cls = module_model_class(str(data["type"]))
+    return cls.from_params_dict(dict(data.get("params") or {}))

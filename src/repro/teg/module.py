@@ -14,18 +14,36 @@ which is exactly the model the paper adopts from Goupil et al. [9].
 The maximum power point (MPP) of such a source is at half the
 open-circuit voltage: ``V_mpp = E/2``, ``I_mpp = E / (2 R)``,
 ``P_mpp = E^2 / (4 R)`` — the black dots of the paper's Fig. 1.
+
+:class:`TEGModule` is the first registered
+:class:`~repro.teg.model.ModuleModel` (type tag ``"single-material"``)
+— its protocol methods are pinned bit-identical to the pre-protocol
+inline arithmetic: the nominal :meth:`TEGModule.emf_coefficient` is
+exactly ``material.seebeck_v_per_k * n_couples`` and the vectorised
+:meth:`TEGModule.emf` keeps the physics plane's historical
+``(alpha * dT) * N`` expression order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ModelParameterError
 from repro.teg.materials import CoupleMaterial
+from repro.teg.model import ModuleModel, TempLike, register_module_model
 from repro.units import require_positive
+
+#: Material fields serialised into the single-material params dict.
+_MATERIAL_FIELDS = (
+    "seebeck_v_per_k",
+    "resistance_ohm",
+    "thermal_conductance_w_per_k",
+    "seebeck_temp_coeff_per_k",
+    "resistance_temp_coeff_per_k",
+)
 
 
 @dataclass(frozen=True)
@@ -43,8 +61,9 @@ class MPPPoint:
     power_w: float
 
 
+@register_module_model
 @dataclass(frozen=True)
-class TEGModule:
+class TEGModule(ModuleModel):
     """Electrical model of one thermoelectric generator module.
 
     Parameters
@@ -60,6 +79,8 @@ class TEGModule:
     name: str
     material: CoupleMaterial
     n_couples: int
+
+    model_type = "single-material"
 
     def __post_init__(self) -> None:
         if int(self.n_couples) != self.n_couples or self.n_couples <= 0:
@@ -92,31 +113,97 @@ class TEGModule:
         )
         return alpha * delta_t_k * self.n_couples
 
-    def internal_resistance(self, mean_temp_c: Optional[float] = None) -> float:
-        """Module internal resistance ``R_teg`` in ohms."""
-        res = (
-            self.material.resistance_ohm
-            if mean_temp_c is None
-            else self.material.resistance_at(mean_temp_c)
+    def internal_resistance(self, mean_temp_c: TempLike = None):
+        """Module internal resistance ``R_teg`` in ohms.
+
+        ``mean_temp_c`` may be a scalar or an array (vectorised); the
+        nominal call returns a plain float.
+        """
+        if mean_temp_c is None:
+            return self.material.resistance_ohm * self.n_couples
+        return self.material.resistance_at(mean_temp_c) * self.n_couples
+
+    # ------------------------------------------------------------------
+    # ModuleModel protocol
+    # ------------------------------------------------------------------
+    def emf(
+        self, delta_t_k: np.ndarray, mean_temp_c: TempLike = None
+    ) -> np.ndarray:
+        """Vectorised EMF map (the physics plane's expression order).
+
+        With ``mean_temp_c=None`` this is exactly the pre-protocol
+        inline expression ``seebeck * dT * N``; with mean temperatures
+        the per-entry drift coefficient replaces the nominal Seebeck
+        value in the same position, so zero-coefficient materials stay
+        bit-identical (the drift scale is exactly 1.0).
+        """
+        if mean_temp_c is None:
+            return self.material.seebeck_v_per_k * delta_t_k * self.n_couples
+        return self.material.seebeck_at(mean_temp_c) * delta_t_k * self.n_couples
+
+    def emf_coefficient(self, mean_temp_c: TempLike = None):
+        """Nominal (or drift-evaluated) EMF per kelvin of module dT."""
+        if mean_temp_c is None:
+            return self.material.seebeck_v_per_k * self.n_couples
+        return self.material.seebeck_at(mean_temp_c) * self.n_couples
+
+    def params_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "n_couples": int(self.n_couples),
+            "material": {
+                name: float(getattr(self.material, name))
+                for name in _MATERIAL_FIELDS
+            },
+        }
+
+    @classmethod
+    def from_params_dict(cls, params: Dict[str, object]) -> "TEGModule":
+        return cls(
+            name=str(params["name"]),
+            material=CoupleMaterial(**params["material"]),
+            n_couples=int(params["n_couples"]),
         )
-        return res * self.n_couples
 
     # ------------------------------------------------------------------
     # Operating-point relations
     # ------------------------------------------------------------------
-    def current_at_voltage(self, voltage_v: float, delta_t_k: float) -> float:
-        """Terminal current for a terminal voltage (linear I-V line)."""
-        emf = self.open_circuit_voltage(delta_t_k)
-        return (emf - voltage_v) / self.internal_resistance()
+    def current_at_voltage(
+        self,
+        voltage_v: float,
+        delta_t_k: float,
+        mean_temp_c: Optional[float] = None,
+    ) -> float:
+        """Terminal current for a terminal voltage (linear I-V line).
 
-    def voltage_at_current(self, current_a: float, delta_t_k: float) -> float:
+        ``mean_temp_c`` evaluates *both* the EMF and the internal
+        resistance at the same mean junction temperature, so the
+        drift model is applied consistently across the I-V line.
+        """
+        emf = self.open_circuit_voltage(delta_t_k, mean_temp_c)
+        return (emf - voltage_v) / self.internal_resistance(mean_temp_c)
+
+    def voltage_at_current(
+        self,
+        current_a: float,
+        delta_t_k: float,
+        mean_temp_c: Optional[float] = None,
+    ) -> float:
         """Terminal voltage for a terminal current."""
-        emf = self.open_circuit_voltage(delta_t_k)
-        return emf - current_a * self.internal_resistance()
+        emf = self.open_circuit_voltage(delta_t_k, mean_temp_c)
+        return emf - current_a * self.internal_resistance(mean_temp_c)
 
-    def power_at_current(self, current_a: float, delta_t_k: float) -> float:
+    def power_at_current(
+        self,
+        current_a: float,
+        delta_t_k: float,
+        mean_temp_c: Optional[float] = None,
+    ) -> float:
         """Output power delivered at a given terminal current."""
-        return self.voltage_at_current(current_a, delta_t_k) * current_a
+        return (
+            self.voltage_at_current(current_a, delta_t_k, mean_temp_c)
+            * current_a
+        )
 
     def power_at_load(self, load_ohm: float, delta_t_k: float) -> float:
         """Power into a resistive load ``R_load`` (paper Eq. 2 verbatim)."""
@@ -185,3 +272,7 @@ class TEGModule:
         """Sampled P-V characteristic over the same span as :meth:`iv_curve`."""
         voltage, current = self.iv_curve(delta_t_k, n_points)
         return voltage, voltage * current
+
+
+#: Protocol-flavoured alias: the registered ``"single-material"`` model.
+SingleMaterialModule = TEGModule

@@ -1,0 +1,354 @@
+"""Segmented/hybrid TEG module chains along the thermal gradient.
+
+High-gradient recovery regimes — the exhaust duct and the
+steel-industry flue of Gaurav & Pandey (arXiv 1708.02920 /
+1603.02883) — span junction temperatures no single thermoelectric
+material covers well: skutterudite-class couples earn their keep at the
+hot face, lead-telluride-class in the middle, bismuth telluride near
+the cold plate.  :class:`SegmentedModule` models such a module as a
+series chain of material *segments* stacked between the hot and cold
+faces:
+
+* each :class:`ModuleSegment` carries a material, its couple count and
+  its share of the module's thermal resistance (``fraction``; by
+  default proportional to couple count), so segment ``j`` drops
+  ``w_j * dT`` of the module's temperature difference;
+* the segment's own mean junction temperature sits at the cumulative
+  midpoint of its span measured from the hot face:
+  ``T_j = T_mean + (1/2 - c_j) * dT`` where ``c_j`` is the fraction of
+  the thermal path above the segment's centre;
+* the module EMF is the series Seebeck sum
+  ``E = sum_j alpha_j(T_j) * N_j * (w_j * dT)`` and the module
+  resistance the series sum ``R = sum_j r_j(T_j) * N_j``.
+
+Everything is vectorised over whole sample arrays — the segment loop
+runs once per *segment* (a handful), never per sample, which is what
+``benchmarks/bench_module_model.py`` gates at >= 3x over the scalar
+:func:`segmented_emf_reference` loop.
+
+The decision plane linearises at ``dT -> 0``:
+:meth:`SegmentedModule.emf_coefficient` evaluates every segment at the
+module mean temperature (nominal reference when ``None``), and
+:meth:`SegmentedModule.internal_resistance` returns the nominal series
+resistance — one scalar shared by the chain, as the row-stacked
+Thevenin kernels require.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelParameterError
+from repro.teg.materials import CoupleMaterial
+from repro.teg.model import ModuleModel, TempLike, register_module_model
+
+#: Material fields serialised per segment (same list as the
+#: single-material model's params dict).
+_MATERIAL_FIELDS = (
+    "seebeck_v_per_k",
+    "resistance_ohm",
+    "thermal_conductance_w_per_k",
+    "seebeck_temp_coeff_per_k",
+    "resistance_temp_coeff_per_k",
+)
+
+
+@dataclass(frozen=True)
+class ModuleSegment:
+    """One material segment of a segmented module.
+
+    Parameters
+    ----------
+    material:
+        Per-couple electrical properties of this segment.
+    n_couples:
+        Series-connected couples inside the segment.
+    fraction:
+        This segment's share of the module's hot-to-cold thermal
+        resistance (its share of the module dT).  ``None`` (default)
+        weights the segment by its couple count relative to the whole
+        module.
+    """
+
+    material: CoupleMaterial
+    n_couples: int
+    fraction: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if int(self.n_couples) != self.n_couples or self.n_couples <= 0:
+            raise ModelParameterError(
+                f"segment n_couples must be a positive integer, "
+                f"got {self.n_couples!r}"
+            )
+        if self.fraction is not None:
+            value = float(self.fraction)
+            if not math.isfinite(value) or value <= 0.0:
+                raise ModelParameterError(
+                    f"segment fraction must be a positive finite number, "
+                    f"got {self.fraction!r}"
+                )
+
+
+@register_module_model
+@dataclass(frozen=True)
+class SegmentedModule(ModuleModel):
+    """A TEG module built from material segments along the gradient.
+
+    Parameters
+    ----------
+    name:
+        Catalog-style name, e.g. ``"SEG-3-EXHAUST"``.
+    segments:
+        Hot-face-first tuple of :class:`ModuleSegment`; at least one.
+    """
+
+    name: str
+    segments: Tuple[ModuleSegment, ...]
+
+    model_type = "segmented"
+
+    def __post_init__(self) -> None:
+        segments = tuple(self.segments)
+        if not segments:
+            raise ModelParameterError(
+                "a segmented module needs at least one segment"
+            )
+        object.__setattr__(self, "segments", segments)
+
+    # ------------------------------------------------------------------
+    # Geometry of the thermal chain
+    # ------------------------------------------------------------------
+    @property
+    def n_couples(self) -> int:
+        """Total series couple count across all segments."""
+        return sum(int(seg.n_couples) for seg in self.segments)
+
+    def segment_weights(self) -> np.ndarray:
+        """Each segment's share ``w_j`` of the module dT (sums to 1).
+
+        Explicit fractions are normalised by their sum; omitted
+        fractions default to the segment's couple-count share.
+        """
+        if any(seg.fraction is not None for seg in self.segments):
+            raw = np.array(
+                [
+                    (
+                        float(seg.fraction)
+                        if seg.fraction is not None
+                        else float(seg.n_couples) / float(self.n_couples)
+                    )
+                    for seg in self.segments
+                ]
+            )
+        else:
+            raw = np.array(
+                [float(seg.n_couples) for seg in self.segments]
+            )
+        return raw / raw.sum()
+
+    def segment_centers(self) -> np.ndarray:
+        """Cumulative-midpoint position ``c_j`` of each segment.
+
+        Measured as the fraction of the thermal path from the hot face
+        to the segment's centre: the first segment sits at ``w_0 / 2``,
+        the last at ``1 - w_last / 2``.
+        """
+        weights = self.segment_weights()
+        return np.cumsum(weights) - weights / 2.0
+
+    def segment_mean_temps(
+        self, delta_t_k: np.ndarray, mean_temp_c
+    ) -> Tuple[np.ndarray, ...]:
+        """Per-segment mean junction temperatures, vectorised.
+
+        The hot face sits at ``mean + dT/2``; walking down the chain,
+        segment ``j``'s centre sees ``mean + (1/2 - c_j) * dT``.
+        """
+        centers = self.segment_centers()
+        return tuple(
+            mean_temp_c + (0.5 - float(c)) * delta_t_k for c in centers
+        )
+
+    # ------------------------------------------------------------------
+    # ModuleModel protocol
+    # ------------------------------------------------------------------
+    def emf(
+        self, delta_t_k: np.ndarray, mean_temp_c: TempLike = None
+    ) -> np.ndarray:
+        """Series Seebeck sum over the segments, vectorised.
+
+        ``sum_j alpha_j(T_j) * N_j * (w_j * dT)`` with every operation
+        elementwise over the sample array; the Python loop runs per
+        segment only.  ``mean_temp_c=None`` evaluates every segment at
+        its material reference temperature.
+        """
+        delta = np.asarray(delta_t_k, dtype=float)
+        weights = self.segment_weights()
+        centers = self.segment_centers()
+        total = np.zeros_like(delta)
+        for seg, w, c in zip(self.segments, weights, centers):
+            seg_delta = float(w) * delta
+            if mean_temp_c is None:
+                alpha = seg.material.seebeck_v_per_k
+            else:
+                seg_mean = mean_temp_c + (0.5 - float(c)) * delta
+                alpha = seg.material.seebeck_at(seg_mean)
+            total = total + alpha * seg_delta * seg.n_couples
+        return total
+
+    def emf_coefficient(self, mean_temp_c: TempLike = None):
+        """Decision-plane linearisation at ``dT -> 0``.
+
+        Every segment's Seebeck coefficient is evaluated at the module
+        mean temperature (the segments collapse onto it as the gradient
+        vanishes), weighted by its dT share: ``sum_j alpha_j * N_j *
+        w_j``.  The nominal call returns a plain float.
+        """
+        weights = self.segment_weights()
+        total = 0.0
+        for seg, w in zip(self.segments, weights):
+            if mean_temp_c is None:
+                alpha = seg.material.seebeck_v_per_k
+            else:
+                alpha = seg.material.seebeck_at(mean_temp_c)
+            total = total + alpha * seg.n_couples * float(w)
+        return total
+
+    def internal_resistance(self, mean_temp_c: TempLike = None):
+        """Series resistance sum over the segments.
+
+        The nominal call returns the plain-float chain resistance the
+        batched kernels share; with mean temperatures each segment's
+        resistance is drift-evaluated at its own junction temperature
+        (requires the module dT to place the segments — the scalar
+        linearisation evaluates all segments at the given mean).
+        """
+        total = 0.0
+        for seg in self.segments:
+            if mean_temp_c is None:
+                res = seg.material.resistance_ohm
+            else:
+                res = seg.material.resistance_at(mean_temp_c)
+            total = total + res * seg.n_couples
+        return total
+
+    def params_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "segments": [
+                {
+                    "n_couples": int(seg.n_couples),
+                    "fraction": (
+                        None if seg.fraction is None else float(seg.fraction)
+                    ),
+                    "material": {
+                        name: float(getattr(seg.material, name))
+                        for name in _MATERIAL_FIELDS
+                    },
+                }
+                for seg in self.segments
+            ],
+        }
+
+    @classmethod
+    def from_params_dict(cls, params: Dict[str, object]) -> "SegmentedModule":
+        return cls(
+            name=str(params["name"]),
+            segments=tuple(
+                ModuleSegment(
+                    material=CoupleMaterial(**entry["material"]),
+                    n_couples=int(entry["n_couples"]),
+                    fraction=(
+                        None
+                        if entry.get("fraction") is None
+                        else float(entry["fraction"])
+                    ),
+                )
+                for entry in params["segments"]
+            ),
+        )
+
+
+def hybrid_module(
+    name: str,
+    hot_material: CoupleMaterial,
+    cold_material: CoupleMaterial,
+    n_couples_hot: int,
+    n_couples_cold: int,
+    hot_fraction: Optional[float] = None,
+) -> SegmentedModule:
+    """Two-segment hybrid: one hot-side and one cold-side material.
+
+    The Gaurav & Pandey "hybrid" arrangement (arXiv 1603.02883): a
+    high-temperature couple bank facing the duct, bismuth telluride on
+    the cold plate.  ``hot_fraction`` optionally fixes the hot
+    segment's share of the module dT (both segments get explicit
+    fractions); the default weights by couple count.
+    """
+    if hot_fraction is None:
+        fractions: Tuple[Optional[float], Optional[float]] = (None, None)
+    else:
+        value = float(hot_fraction)
+        if not 0.0 < value < 1.0:
+            raise ModelParameterError(
+                f"hot_fraction must be in (0, 1), got {hot_fraction!r}"
+            )
+        fractions = (value, 1.0 - value)
+    return SegmentedModule(
+        name=name,
+        segments=(
+            ModuleSegment(
+                material=hot_material,
+                n_couples=n_couples_hot,
+                fraction=fractions[0],
+            ),
+            ModuleSegment(
+                material=cold_material,
+                n_couples=n_couples_cold,
+                fraction=fractions[1],
+            ),
+        ),
+    )
+
+
+def segmented_emf_reference(
+    module: SegmentedModule,
+    delta_t_k: Sequence[float],
+    mean_temp_c: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Per-sample scalar reference of :meth:`SegmentedModule.emf`.
+
+    Walks the flattened sample array one entry at a time with scalar
+    material evaluations — the loop the vectorised path is pinned
+    bit-identical to (and benchmarked against in
+    ``benchmarks/bench_module_model.py``).
+    """
+    delta = np.asarray(delta_t_k, dtype=float)
+    mean = None if mean_temp_c is None else np.asarray(mean_temp_c, dtype=float)
+    if mean is not None and mean.shape != delta.shape:
+        raise ModelParameterError(
+            f"mean_temp_c shape {mean.shape} does not match "
+            f"delta_t_k shape {delta.shape}"
+        )
+    weights = module.segment_weights()
+    centers = module.segment_centers()
+    flat_delta = delta.reshape(-1)
+    flat_mean = None if mean is None else mean.reshape(-1)
+    out = np.empty_like(flat_delta)
+    for i in range(flat_delta.size):
+        d = float(flat_delta[i])
+        total = 0.0
+        for seg, w, c in zip(module.segments, weights, centers):
+            seg_delta = float(w) * d
+            if flat_mean is None:
+                alpha = seg.material.seebeck_v_per_k
+            else:
+                seg_mean = float(flat_mean[i]) + (0.5 - float(c)) * d
+                alpha = seg.material.seebeck_at(seg_mean)
+            total = total + alpha * seg_delta * seg.n_couples
+        out[i] = total
+    return out.reshape(delta.shape)

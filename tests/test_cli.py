@@ -90,10 +90,11 @@ class TestBatch:
         out = capsys.readouterr().out
         assert "porter-ii" in out
         assert "industrial-boiler" in out
-        # each scenario advertises its thermal-boundary type
-        assert "[radiator]" in out
-        assert "[exhaust-gas]" in out
-        assert "[finite-coupling]" in out
+        # each scenario advertises its boundary-type/module-model pair
+        assert "[radiator/single-material]" in out
+        assert "[exhaust-gas/single-material]" in out
+        assert "[finite-coupling/single-material]" in out
+        assert "[exhaust-gas/segmented]" in out
 
     def test_batch_run_serial(self, tmp_path, capsys):
         target = tmp_path / "summary.json"

@@ -1,0 +1,285 @@
+"""The pluggable module-model protocol: registry, segmented physics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ModelParameterError
+from repro.teg.datasheet import TGM_199_1_4_0_8
+from repro.teg.materials import (
+    BISMUTH_TELLURIDE,
+    BISMUTH_TELLURIDE_REALISTIC,
+    LEAD_TELLURIDE,
+    SKUTTERUDITE,
+)
+from repro.teg.model import (
+    ModuleModel,
+    module_model_class,
+    module_model_from_json_dict,
+    module_model_to_json_dict,
+    register_module_model,
+    registered_module_model_types,
+)
+from repro.teg.module import SingleMaterialModule, TEGModule
+from repro.teg.segmented import (
+    ModuleSegment,
+    SegmentedModule,
+    hybrid_module,
+    segmented_emf_reference,
+)
+
+
+def _three_segment():
+    return SegmentedModule(
+        name="SEG-3-TEST",
+        segments=(
+            ModuleSegment(material=SKUTTERUDITE, n_couples=100),
+            ModuleSegment(material=LEAD_TELLURIDE, n_couples=80),
+            ModuleSegment(material=BISMUTH_TELLURIDE, n_couples=60),
+        ),
+    )
+
+
+def _drifting_hybrid():
+    return hybrid_module(
+        "HYB-DRIFT",
+        hot_material=LEAD_TELLURIDE,
+        cold_material=BISMUTH_TELLURIDE_REALISTIC,
+        n_couples_hot=120,
+        n_couples_cold=90,
+        hot_fraction=0.55,
+    )
+
+
+class TestRegistry:
+    def test_builtin_tags_are_registered(self):
+        registry = registered_module_model_types()
+        assert registry["single-material"] is TEGModule
+        assert registry["segmented"] is SegmentedModule
+
+    def test_single_material_alias(self):
+        assert SingleMaterialModule is TEGModule
+
+    def test_unknown_tag_is_refused(self):
+        with pytest.raises(ConfigurationError, match="unknown module model"):
+            module_model_class("peltier-cascade")
+
+    def test_tag_shadowing_is_refused(self):
+        class Impostor(TEGModule):
+            model_type = "single-material"
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_module_model(Impostor)
+        # registry unharmed
+        assert module_model_class("single-material") is TEGModule
+
+    def test_reregistering_same_class_is_noop(self):
+        assert register_module_model(TEGModule) is TEGModule
+
+    def test_empty_tag_is_refused(self):
+        class Untagged(TEGModule):
+            model_type = ""
+
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            register_module_model(Untagged)
+
+    def test_unregistered_instance_cannot_serialise(self):
+        class Rogue(TEGModule):
+            model_type = "rogue-unregistered"
+
+        rogue = Rogue(
+            name="R", material=BISMUTH_TELLURIDE, n_couples=10
+        )
+        with pytest.raises(ConfigurationError, match="not the registered"):
+            module_model_to_json_dict(rogue)
+
+    def test_envelope_shape_is_validated(self):
+        with pytest.raises(ConfigurationError, match="envelope"):
+            module_model_from_json_dict({"params": {}})
+        with pytest.raises(ConfigurationError, match="envelope"):
+            module_model_from_json_dict("single-material")
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize(
+        "model",
+        [TGM_199_1_4_0_8, _three_segment(), _drifting_hybrid()],
+        ids=["single", "segmented", "hybrid"],
+    )
+    def test_loss_free_round_trip(self, model):
+        envelope = module_model_to_json_dict(model)
+        assert envelope["type"] == model.model_type
+        again = module_model_from_json_dict(envelope)
+        assert again == model
+        assert again.to_json_dict() == envelope
+
+    def test_fingerprints_differ_across_types(self):
+        # Two registered types never share fingerprint tokens, even if
+        # a parameter collision were engineered.
+        single = TGM_199_1_4_0_8
+        seg = _three_segment()
+        assert single.fingerprint_tokens() != seg.fingerprint_tokens()
+        assert single.fingerprint_tokens().startswith(
+            b"module-model=single-material;"
+        )
+        assert seg.fingerprint_tokens().startswith(b"module-model=segmented;")
+
+    def test_fingerprint_tracks_parameters(self):
+        base = _three_segment()
+        reordered = SegmentedModule(
+            name=base.name, segments=tuple(reversed(base.segments))
+        )
+        assert base.fingerprint_tokens() != reordered.fingerprint_tokens()
+        rebuilt = module_model_from_json_dict(base.to_json_dict())
+        assert rebuilt.fingerprint_tokens() == base.fingerprint_tokens()
+
+
+class TestSegmentGeometry:
+    def test_default_weights_follow_couple_counts(self):
+        seg = _three_segment()
+        np.testing.assert_allclose(
+            seg.segment_weights(), [100 / 240, 80 / 240, 60 / 240]
+        )
+        assert seg.n_couples == 240
+
+    def test_explicit_fractions_are_normalised(self):
+        seg = SegmentedModule(
+            name="SEG-NORM",
+            segments=(
+                ModuleSegment(BISMUTH_TELLURIDE, 10, fraction=3.0),
+                ModuleSegment(LEAD_TELLURIDE, 10, fraction=1.0),
+            ),
+        )
+        np.testing.assert_allclose(seg.segment_weights(), [0.75, 0.25])
+
+    def test_partial_fractions_fill_from_couple_share(self):
+        seg = SegmentedModule(
+            name="SEG-PART",
+            segments=(
+                ModuleSegment(BISMUTH_TELLURIDE, 50, fraction=0.5),
+                ModuleSegment(LEAD_TELLURIDE, 50),
+            ),
+        )
+        # missing fraction defaults to couple share (50/100 = 0.5)
+        np.testing.assert_allclose(seg.segment_weights(), [0.5, 0.5])
+
+    def test_centers_are_cumulative_midpoints(self):
+        hyb = hybrid_module(
+            "H", LEAD_TELLURIDE, BISMUTH_TELLURIDE, 10, 10, hot_fraction=0.6
+        )
+        np.testing.assert_allclose(hyb.segment_weights(), [0.6, 0.4])
+        np.testing.assert_allclose(hyb.segment_centers(), [0.3, 0.8])
+
+    def test_segment_mean_temps_walk_the_gradient(self):
+        hyb = hybrid_module(
+            "H", LEAD_TELLURIDE, BISMUTH_TELLURIDE, 10, 10, hot_fraction=0.6
+        )
+        delta = np.array([10.0])
+        mean = np.array([100.0])
+        hot_t, cold_t = hyb.segment_mean_temps(delta, mean)
+        # hot face at 105, cold face at 95; centres at c=0.3 and c=0.8
+        np.testing.assert_allclose(hot_t, [102.0])
+        np.testing.assert_allclose(cold_t, [97.0])
+
+    def test_validation(self):
+        with pytest.raises(ModelParameterError, match="at least one"):
+            SegmentedModule(name="EMPTY", segments=())
+        with pytest.raises(ModelParameterError, match="positive integer"):
+            ModuleSegment(BISMUTH_TELLURIDE, 0)
+        with pytest.raises(ModelParameterError, match="positive finite"):
+            ModuleSegment(BISMUTH_TELLURIDE, 10, fraction=-0.5)
+        with pytest.raises(ModelParameterError, match="hot_fraction"):
+            hybrid_module(
+                "H", LEAD_TELLURIDE, BISMUTH_TELLURIDE, 10, 10,
+                hot_fraction=1.5,
+            )
+
+
+class TestSegmentedElectrical:
+    def test_vectorised_emf_matches_scalar_reference_nominal(self):
+        seg = _three_segment()
+        rng = np.random.default_rng(7)
+        delta = rng.uniform(-5.0, 60.0, size=(40, 16))
+        fast = seg.emf(delta)
+        slow = segmented_emf_reference(seg, delta)
+        assert np.array_equal(fast, slow)  # bit-identical, not allclose
+
+    def test_vectorised_emf_matches_scalar_reference_with_mean(self):
+        seg = _drifting_hybrid()
+        rng = np.random.default_rng(11)
+        delta = rng.uniform(0.0, 80.0, size=(30, 9))
+        mean = rng.uniform(40.0, 300.0, size=(30, 9))
+        fast = seg.emf(delta, mean)
+        slow = segmented_emf_reference(seg, delta, mean)
+        assert np.array_equal(fast, slow)
+
+    def test_reference_rejects_shape_mismatch(self):
+        seg = _three_segment()
+        with pytest.raises(ModelParameterError, match="shape"):
+            segmented_emf_reference(
+                seg, np.zeros((4, 4)), np.zeros((4, 3))
+            )
+
+    def test_emf_coefficient_is_small_signal_limit(self):
+        seg = _drifting_hybrid()
+        mean = 150.0
+        tiny = 1e-7
+        numeric = float(
+            seg.emf(np.array([tiny]), np.array([mean]))[0]
+        ) / tiny
+        assert numeric == pytest.approx(
+            seg.emf_coefficient(mean), rel=1e-6
+        )
+
+    def test_nominal_coefficient_is_weighted_series_sum(self):
+        seg = _three_segment()
+        weights = seg.segment_weights()
+        expected = (
+            SKUTTERUDITE.seebeck_v_per_k * 100 * weights[0]
+            + LEAD_TELLURIDE.seebeck_v_per_k * 80 * weights[1]
+            + BISMUTH_TELLURIDE.seebeck_v_per_k * 60 * weights[2]
+        )
+        assert seg.emf_coefficient() == pytest.approx(expected, rel=0, abs=0)
+        assert isinstance(seg.emf_coefficient(), float)
+
+    def test_nominal_resistance_is_series_sum(self):
+        seg = _three_segment()
+        expected = (
+            SKUTTERUDITE.resistance_ohm * 100
+            + LEAD_TELLURIDE.resistance_ohm * 80
+            + BISMUTH_TELLURIDE.resistance_ohm * 60
+        )
+        assert seg.internal_resistance() == expected
+        assert isinstance(seg.internal_resistance(), float)
+
+    def test_drift_resistance_responds_to_mean_temp(self):
+        seg = _drifting_hybrid()
+        nominal = seg.internal_resistance()
+        hot = seg.internal_resistance(200.0)
+        assert hot > nominal  # positive temp coefficients
+
+    def test_models_are_hashable_for_stack_keys(self):
+        # The serve hub groups sessions by (n, module, ...) dict keys.
+        assert hash(_three_segment()) == hash(_three_segment())
+        assert {TGM_199_1_4_0_8: 1}[TGM_199_1_4_0_8] == 1
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize(
+        "model",
+        [TGM_199_1_4_0_8, _three_segment()],
+        ids=["single", "segmented"],
+    )
+    def test_emf_is_elementwise_and_shape_preserving(self, model):
+        assert isinstance(model, ModuleModel)
+        delta = np.arange(12, dtype=float).reshape(3, 4)
+        out = np.asarray(model.emf(delta))
+        assert out.shape == delta.shape
+        row = np.asarray(model.emf(delta[1]))
+        assert np.array_equal(out[1], row)
+
+    def test_single_material_nominal_matches_legacy_inline(self):
+        module = TGM_199_1_4_0_8
+        legacy = module.material.seebeck_v_per_k * module.n_couples
+        assert module.emf_coefficient() == legacy
+        legacy_r = module.material.resistance_ohm * module.n_couples
+        assert module.internal_resistance() == legacy_r

@@ -1,12 +1,15 @@
-"""Frozen legacy-format regressions (scenario/shard JSON v1).
+"""Frozen legacy-format regressions (scenario/shard JSON v1 and v2).
 
 ``tests/data/legacy_scenario_v1.json`` and
 ``tests/data/legacy_shard_manifest_v1.json`` were written by the
 pre-boundary-protocol serialiser (scenario ``format_version: 1`` with a
-top-level ``"radiator"`` key).  These fixtures are **frozen** — they
-must keep loading forever, loss-free: same physics fingerprint as a
-fresh build, shard resume without rewriting the on-disk manifest, and
-re-serialisation under the current v2 ``"boundary"`` envelope.
+top-level ``"radiator"`` key); ``legacy_scenario_v2.json`` and
+``legacy_shard_manifest_v2.json`` by the pre-module-protocol serialiser
+(``format_version: 2`` — tagged boundary envelope, flat single-material
+module dict).  These fixtures are **frozen** — they must keep loading
+forever, loss-free: same physics fingerprint as a fresh build, shard
+resume without rewriting the on-disk manifest, and re-serialisation
+under the current v3 ``"boundary"`` + ``"module"`` envelopes.
 """
 
 import json
@@ -27,11 +30,14 @@ from repro.sim.shard import (
     load_shard_manifest,
     work_shard,
 )
+from repro.teg.module import TEGModule
 from repro.thermal.radiator import Radiator
 
 DATA = Path(__file__).parent / "data"
 LEGACY_SCENARIO = DATA / "legacy_scenario_v1.json"
 LEGACY_MANIFEST = DATA / "legacy_shard_manifest_v1.json"
+LEGACY_SCENARIO_V2 = DATA / "legacy_scenario_v2.json"
+LEGACY_MANIFEST_V2 = DATA / "legacy_shard_manifest_v2.json"
 
 
 def _fresh_porter():
@@ -56,14 +62,15 @@ class TestLegacyScenarioFixture:
         assert scenario.physics_fingerprint() == fresh.physics_fingerprint()
         assert scenario.to_json_dict() == fresh.to_json_dict()
 
-    def test_v1_reserialises_as_v2_envelope(self):
+    def test_v1_reserialises_as_v3_envelopes(self):
         scenario = Scenario.from_json_dict(
             json.loads(LEGACY_SCENARIO.read_text())
         )
         data = scenario.to_json_dict()
-        assert data["format_version"] == SCENARIO_FORMAT_VERSION == 2
+        assert data["format_version"] == SCENARIO_FORMAT_VERSION == 3
         assert "radiator" not in data
         assert data["boundary"]["type"] == "radiator"
+        assert data["module"]["type"] == "single-material"
         again = Scenario.from_json_dict(data)
         assert again.to_json_dict() == data
         assert again.physics_fingerprint() == scenario.physics_fingerprint()
@@ -75,52 +82,102 @@ class TestLegacyScenarioFixture:
             Scenario.from_json_dict(data)
 
 
-class TestLegacyShardManifest:
-    def _grid(self, n_modules=16):
-        scenario = build_named_scenario(
-            "porter-ii", duration_s=20.0, n_modules=n_modules
+class TestLegacyScenarioV2Fixture:
+    def test_v2_loads_with_flat_module_dict(self):
+        data = json.loads(LEGACY_SCENARIO_V2.read_text())
+        assert data["format_version"] == 2
+        assert data["boundary"]["type"] == "radiator"
+        # v2 modules were flat single-material dicts, not envelopes
+        assert "type" not in data["module"]
+        assert "material" in data["module"]
+        scenario = Scenario.from_json_dict(data)
+        assert isinstance(scenario.module, TEGModule)
+        assert scenario.module.model_type == "single-material"
+
+    def test_v2_is_loss_free_vs_fresh_build(self):
+        scenario = Scenario.from_json_dict(
+            json.loads(LEGACY_SCENARIO_V2.read_text())
         )
-        return [
-            ExperimentCase(
-                name="porter-legacy/Baseline",
-                scenario=scenario,
-                policy="Baseline",
-                with_battery=False,
+        fresh = _fresh_porter()
+        assert scenario.physics_fingerprint() == fresh.physics_fingerprint()
+        assert scenario.to_json_dict() == fresh.to_json_dict()
+
+    def test_v2_reserialises_as_v3_envelopes(self):
+        scenario = Scenario.from_json_dict(
+            json.loads(LEGACY_SCENARIO_V2.read_text())
+        )
+        data = scenario.to_json_dict()
+        assert data["format_version"] == SCENARIO_FORMAT_VERSION == 3
+        assert data["module"]["type"] == "single-material"
+        assert (
+            data["module"]["params"]
+            == json.loads(LEGACY_SCENARIO_V2.read_text())["module"]
+        )
+        again = Scenario.from_json_dict(data)
+        assert again.to_json_dict() == data
+
+
+def _legacy_manifest_tests(fixture_path, case_name):
+    """Shared shard-manifest regression suite for one frozen fixture."""
+
+    class Suite:
+        def _grid(self, n_modules=16):
+            scenario = build_named_scenario(
+                "porter-ii", duration_s=20.0, n_modules=n_modules
             )
-        ]
+            return [
+                ExperimentCase(
+                    name=case_name,
+                    scenario=scenario,
+                    policy="Baseline",
+                    with_battery=False,
+                )
+            ]
 
-    def _legacy_shard(self, tmp_path):
-        shard = tmp_path / "shard"
-        shard.mkdir()
-        (shard / "manifest.json").write_text(LEGACY_MANIFEST.read_text())
-        return shard
+        def _legacy_shard(self, tmp_path):
+            shard = tmp_path / "shard"
+            shard.mkdir()
+            (shard / "manifest.json").write_text(fixture_path.read_text())
+            return shard
 
-    def test_manifest_loads_with_radiator_boundary(self, tmp_path):
-        shard = self._legacy_shard(tmp_path)
-        manifest = load_shard_manifest(shard)
-        assert manifest.case_ids == ("case-00000",)
-        case = manifest.cases[0]
-        assert case.name == "porter-legacy/Baseline"
-        assert isinstance(case.scenario.boundary, Radiator)
+        def test_manifest_loads_with_radiator_boundary(self, tmp_path):
+            shard = self._legacy_shard(tmp_path)
+            manifest = load_shard_manifest(shard)
+            assert manifest.case_ids == ("case-00000",)
+            case = manifest.cases[0]
+            assert case.name == case_name
+            assert isinstance(case.scenario.boundary, Radiator)
 
-    def test_resume_leaves_v1_manifest_bytes_untouched(self, tmp_path):
-        shard = self._legacy_shard(tmp_path)
-        before = (shard / "manifest.json").read_text()
-        manifest = init_shard(shard, self._grid(), warm=False)
-        assert (shard / "manifest.json").read_text() == before
-        assert manifest.case_ids == ("case-00000",)
+        def test_resume_leaves_manifest_bytes_untouched(self, tmp_path):
+            shard = self._legacy_shard(tmp_path)
+            before = (shard / "manifest.json").read_text()
+            manifest = init_shard(shard, self._grid(), warm=False)
+            assert (shard / "manifest.json").read_text() == before
+            assert manifest.case_ids == ("case-00000",)
 
-    def test_resumed_legacy_shard_runs_end_to_end(self, tmp_path):
-        shard = self._legacy_shard(tmp_path)
-        init_shard(shard, self._grid(), warm=True)
-        assert work_shard(shard) == ["case-00000"]
-        collation = collate_shard(shard)
-        assert [case.name for case in collation.cases] == [
-            "porter-legacy/Baseline"
-        ]
-        assert len(collation.results) == 1
+        def test_resumed_legacy_shard_runs_end_to_end(self, tmp_path):
+            shard = self._legacy_shard(tmp_path)
+            init_shard(shard, self._grid(), warm=True)
+            assert work_shard(shard) == ["case-00000"]
+            collation = collate_shard(shard)
+            assert [case.name for case in collation.cases] == [case_name]
+            assert len(collation.results) == 1
 
-    def test_different_grid_is_still_refused(self, tmp_path):
-        shard = self._legacy_shard(tmp_path)
-        with pytest.raises(SimulationError, match="different"):
-            init_shard(shard, self._grid(n_modules=9), warm=False)
+        def test_different_grid_is_still_refused(self, tmp_path):
+            shard = self._legacy_shard(tmp_path)
+            with pytest.raises(SimulationError, match="different"):
+                init_shard(shard, self._grid(n_modules=9), warm=False)
+
+    return Suite
+
+
+class TestLegacyShardManifest(
+    _legacy_manifest_tests(LEGACY_MANIFEST, "porter-legacy/Baseline")
+):
+    pass
+
+
+class TestLegacyShardManifestV2(
+    _legacy_manifest_tests(LEGACY_MANIFEST_V2, "porter-legacy-v2/Baseline")
+):
+    pass

@@ -441,6 +441,8 @@ class TestScenarioRegistry:
             "fault-injection",
             "exhaust-gas",
             "finite-coupling",
+            "segmented-exhaust",
+            "steel-hybrid",
         )
 
     def test_build_overrides(self):

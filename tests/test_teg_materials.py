@@ -2,10 +2,17 @@
 
 import pytest
 
+import math
+
+import numpy as np
+
 from repro.errors import ModelParameterError
 from repro.teg.materials import (
     BISMUTH_TELLURIDE,
     BISMUTH_TELLURIDE_REALISTIC,
+    DRIFT_CLAMP_FLOOR,
+    NOMINAL_BISMUTH_RESISTANCE_OHM,
+    NOMINAL_BISMUTH_SEEBECK_V_PER_K,
     REFERENCE_TEMPERATURE_C,
     CoupleMaterial,
 )
@@ -77,3 +84,90 @@ class TestNamedMaterials:
         resistance = BISMUTH_TELLURIDE.resistance_ohm * 199
         assert emf == pytest.approx(12.8, rel=0.05)
         assert resistance == pytest.approx(2.9, rel=0.05)
+
+
+class TestTempCoefficientValidation:
+    def test_rejects_nan_seebeck_coeff(self):
+        with pytest.raises(ModelParameterError, match="finite"):
+            CoupleMaterial(
+                seebeck_v_per_k=4e-4,
+                resistance_ohm=1e-2,
+                seebeck_temp_coeff_per_k=math.nan,
+            )
+
+    def test_rejects_infinite_resistance_coeff(self):
+        with pytest.raises(ModelParameterError, match="finite"):
+            CoupleMaterial(
+                seebeck_v_per_k=4e-4,
+                resistance_ohm=1e-2,
+                resistance_temp_coeff_per_k=math.inf,
+            )
+
+    def test_negative_finite_coeffs_are_allowed(self):
+        mat = CoupleMaterial(
+            seebeck_v_per_k=4e-4,
+            resistance_ohm=1e-2,
+            seebeck_temp_coeff_per_k=-1e-3,
+            resistance_temp_coeff_per_k=-1e-3,
+        )
+        assert mat.seebeck_at(80.0) < mat.seebeck_v_per_k
+
+
+class TestDriftClampFloor:
+    """The 10% floor: pathological mean temperatures must never flip
+    the EMF sign or drive the resistance to zero."""
+
+    MAT = CoupleMaterial(
+        seebeck_v_per_k=4e-4,
+        resistance_ohm=1e-2,
+        seebeck_temp_coeff_per_k=0.05,
+        resistance_temp_coeff_per_k=0.05,
+    )
+
+    def test_floor_is_ten_percent(self):
+        assert DRIFT_CLAMP_FLOOR == 0.1
+
+    def test_clamp_applies_symmetrically_to_both_properties(self):
+        # At -200 degC the linear scale is far below zero for both.
+        assert self.MAT.seebeck_at(-200.0) == DRIFT_CLAMP_FLOOR * 4e-4
+        assert self.MAT.resistance_at(-200.0) == DRIFT_CLAMP_FLOOR * 1e-2
+
+    def test_sign_never_flips_over_a_huge_range(self):
+        temps = np.linspace(-500.0, 1500.0, 401)
+        assert np.all(self.MAT.seebeck_at(temps) > 0.0)
+        assert np.all(self.MAT.resistance_at(temps) > 0.0)
+
+    def test_clamp_is_elementwise_over_arrays(self):
+        temps = np.array([-300.0, REFERENCE_TEMPERATURE_C, 100.0])
+        seebeck = self.MAT.seebeck_at(temps)
+        assert seebeck.shape == temps.shape
+        assert seebeck[0] == DRIFT_CLAMP_FLOOR * 4e-4
+        assert seebeck[1] == 4e-4
+        assert seebeck[2] > 4e-4
+
+    def test_unclamped_region_is_plain_linear_law(self):
+        temp = 60.0
+        expected = 4e-4 * (1.0 + 0.05 * (temp - REFERENCE_TEMPERATURE_C))
+        assert self.MAT.seebeck_at(temp) == pytest.approx(expected)
+
+
+class TestNominalConstantsSingleSource:
+    def test_named_material_uses_the_shared_constants(self):
+        assert BISMUTH_TELLURIDE.seebeck_v_per_k == (
+            NOMINAL_BISMUTH_SEEBECK_V_PER_K
+        )
+        assert BISMUTH_TELLURIDE.resistance_ohm == (
+            NOMINAL_BISMUTH_RESISTANCE_OHM
+        )
+
+    def test_datasheet_catalog_shares_the_constants(self):
+        from repro.teg.datasheet import (
+            TGM_127_1_0_0_8,
+            TGM_199_1_4_0_8,
+            TGM_287_1_0_1_5,
+        )
+
+        for module in (TGM_127_1_0_0_8, TGM_199_1_4_0_8, TGM_287_1_0_1_5):
+            assert module.material.seebeck_v_per_k == (
+                NOMINAL_BISMUTH_SEEBECK_V_PER_K
+            )

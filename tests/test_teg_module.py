@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import ModelParameterError
 from repro.teg.datasheet import TGM_199_1_4_0_8
-from repro.teg.materials import CoupleMaterial
+from repro.teg.materials import BISMUTH_TELLURIDE_REALISTIC, CoupleMaterial
 from repro.teg.module import TEGModule
 
 MODULE = TGM_199_1_4_0_8
@@ -155,3 +155,61 @@ class TestTemperatureDriftPath:
         cool = module.open_circuit_voltage(40.0, mean_temp_c=25.0)
         hot = module.open_circuit_voltage(40.0, mean_temp_c=75.0)
         assert hot > cool
+
+
+class TestOperatingPointDriftConsistency:
+    """Regression: the I-V operating-point helpers used to drop the
+    drift model — EMF was evaluated at the mean junction temperature
+    but the internal resistance stayed nominal.  Both must move
+    together for a drifting material."""
+
+    MODULE = TEGModule("drift", BISMUTH_TELLURIDE_REALISTIC, 199)
+    DT = 60.0
+    MEAN = 110.0
+
+    def _drifted_thevenin(self):
+        emf = self.MODULE.open_circuit_voltage(self.DT, self.MEAN)
+        resistance = self.MODULE.internal_resistance(self.MEAN)
+        assert resistance != self.MODULE.internal_resistance()
+        return emf, resistance
+
+    def test_current_at_voltage_uses_drifted_resistance(self):
+        emf, resistance = self._drifted_thevenin()
+        terminal = emf / 2.0
+        assert self.MODULE.current_at_voltage(
+            terminal, self.DT, self.MEAN
+        ) == pytest.approx((emf - terminal) / resistance)
+
+    def test_voltage_at_current_uses_drifted_resistance(self):
+        emf, resistance = self._drifted_thevenin()
+        current = emf / (4.0 * resistance)
+        assert self.MODULE.voltage_at_current(
+            current, self.DT, self.MEAN
+        ) == pytest.approx(emf - current * resistance)
+
+    def test_power_at_current_is_consistent_with_voltage(self):
+        current = 0.7
+        assert self.MODULE.power_at_current(
+            current, self.DT, self.MEAN
+        ) == pytest.approx(
+            self.MODULE.voltage_at_current(current, self.DT, self.MEAN)
+            * current
+        )
+
+    def test_iv_line_round_trips_through_both_helpers(self):
+        # voltage_at_current(current_at_voltage(v)) == v only when the
+        # same resistance is used on both legs.
+        terminal = 3.1
+        current = self.MODULE.current_at_voltage(
+            terminal, self.DT, self.MEAN
+        )
+        assert self.MODULE.voltage_at_current(
+            current, self.DT, self.MEAN
+        ) == pytest.approx(terminal)
+
+    def test_nominal_calls_are_unchanged(self):
+        emf = self.MODULE.open_circuit_voltage(self.DT)
+        resistance = self.MODULE.internal_resistance()
+        assert self.MODULE.current_at_voltage(
+            1.0, self.DT
+        ) == pytest.approx((emf - 1.0) / resistance)
