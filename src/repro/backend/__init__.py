@@ -33,6 +33,11 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.backend._pairwise import PAIRWISE_BLOCKSIZE, segmented_pairwise_sum_xp
+from repro.backend._partition import (
+    lift_cuts_np,
+    next_cut_map_np,
+    prefix_table_np,
+)
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -45,6 +50,9 @@ __all__ = [
     "backend_unavailable_reason",
     "default_backend_name",
     "get_backend",
+    "lift_cuts",
+    "next_cut_map",
+    "prefix_table",
     "segmented_pairwise_sum",
 ]
 
@@ -77,6 +85,26 @@ class NumpyBackend:
         return segmented_pairwise_sum_xp(
             np.asarray(values, dtype=np.float64), offsets, np
         )
+
+    # Partition-build entry points (the PartitionStack pipeline of
+    # repro.teg.network): the NumPy forms *are* the bit-identity
+    # reference — see repro.backend._partition.
+    def prefix_table(self, rows: np.ndarray) -> np.ndarray:
+        return prefix_table_np(rows)
+
+    def next_cut_map(
+        self,
+        prefix_rows: np.ndarray,
+        row_of: np.ndarray,
+        ideals: np.ndarray,
+        flat_rows: np.ndarray,
+    ) -> np.ndarray:
+        return next_cut_map_np(prefix_rows, row_of, ideals, flat_rows)
+
+    def lift_cuts(
+        self, next_map: np.ndarray, counts: np.ndarray, n_lift: int
+    ) -> np.ndarray:
+        return lift_cuts_np(next_map, counts, n_lift)
 
 
 def _make_numba():
@@ -126,6 +154,48 @@ def _parity_probe(backend) -> Optional[str]:
         got = np.asarray(got)
         if got.shape != want.shape or got.tobytes() != want.tobytes():
             return "parity probe mismatch against ndarray.sum"
+    return _partition_probe(backend)
+
+
+def _partition_probe(backend) -> Optional[str]:
+    """Bitwise self-test of the partition-build entry points.
+
+    Probes ``prefix_table`` / ``next_cut_map`` / ``lift_cuts`` against
+    the NumPy reference over a fixture covering the map's edge shapes:
+    a generic positive row, a row with an interior zero-current flat
+    run, and a fully flat row (all prefix values tied), each with
+    several group-count lanes.  ``None`` on success.
+    """
+    rng = np.random.default_rng(20180808)
+    n_modules = 37
+    rows = np.abs(rng.normal(size=(3, n_modules))) * np.exp(
+        rng.uniform(-3.0, 3.0, (3, n_modules))
+    )
+    rows[1, 5:14] = 0.0
+    rows[2] = 0.0
+    flat_rows = rows.min(axis=1) == 0.0
+    counts = np.array([1, 2, 3, 5, 8, 13, 2, 4, 6, 1, 7], dtype=np.int64)
+    row_of = np.array([0, 0, 0, 0, 0, 0, 1, 1, 1, 2, 2], dtype=np.int64)
+    n_lift = int(counts.max())
+    prefix_want = prefix_table_np(rows)
+    ideals = rows.sum(axis=1)[row_of] / counts
+    next_want = next_cut_map_np(prefix_want, row_of, ideals, flat_rows)
+    cuts_want = lift_cuts_np(next_want, counts, n_lift)
+    try:
+        prefix_got = np.asarray(backend.prefix_table(rows))
+        next_got = np.asarray(
+            backend.next_cut_map(prefix_want, row_of, ideals, flat_rows)
+        )
+        cuts_got = np.asarray(backend.lift_cuts(next_want, counts, n_lift))
+    except Exception as exc:  # pragma: no cover - defect path
+        return f"partition probe raised {exc!r}"
+    for got, want, label in (
+        (prefix_got, prefix_want, "prefix_table"),
+        (next_got, next_want, "next_cut_map"),
+        (cuts_got, cuts_want, "lift_cuts"),
+    ):
+        if got.shape != want.shape or got.tobytes() != want.tobytes():
+            return f"partition probe mismatch in {label}"
     return None
 
 
@@ -218,3 +288,80 @@ def segmented_pairwise_sum(
             f"{offsets.tolist()[:8]}..."
         )
     return get_backend(backend).segmented_pairwise_sum(values, offsets)
+
+
+def prefix_table(
+    rows: np.ndarray, backend: Optional[str] = None
+) -> np.ndarray:
+    """Zero-led per-row cumulative prefix table of a ``(C, N)`` matrix.
+
+    First stage of the ``PartitionStack`` build: ``prefix[c, j] =
+    sum(rows[c, :j])``, so any contiguous group sum is a prefix
+    difference.  ``backend`` picks the executing implementation — all
+    backends are bit-identical to the NumPy ``np.cumsum`` form, so the
+    choice is speed, never results.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    if rows.ndim != 2:
+        raise ConfigurationError(
+            f"rows must be a (C, N) matrix, got shape {rows.shape}"
+        )
+    return get_backend(backend).prefix_table(rows)
+
+
+def next_cut_map(
+    prefix_rows: np.ndarray,
+    row_of: np.ndarray,
+    ideals: np.ndarray,
+    flat_rows: np.ndarray,
+    backend: Optional[str] = None,
+) -> np.ndarray:
+    """Greedy next-cut map over a prefix table, one row per lane.
+
+    Second stage of the ``PartitionStack`` build: for every lane ``k``
+    (searching case row ``row_of[k]`` with per-group ideal
+    ``ideals[k]``) and every start position, the bracketing
+    ``searchsorted`` bound with the walk's tie rule, floor/saturation
+    clamps and the flat-run extension for rows flagged in
+    ``flat_rows``.  Integer-exact apart from the tie comparison, which
+    every backend evaluates on the identical doubles.
+    """
+    prefix_rows = np.ascontiguousarray(prefix_rows, dtype=np.float64)
+    row_of = np.asarray(row_of, dtype=np.int64)
+    ideals = np.asarray(ideals, dtype=np.float64)
+    flat_rows = np.asarray(flat_rows, dtype=bool)
+    if prefix_rows.ndim != 2 or row_of.shape != ideals.shape:
+        raise ConfigurationError(
+            f"next_cut_map needs a (C, N+1) prefix table and matching "
+            f"(K,) lane vectors, got {prefix_rows.shape} / "
+            f"{row_of.shape} / {ideals.shape}"
+        )
+    return get_backend(backend).next_cut_map(
+        prefix_rows, row_of, ideals, flat_rows
+    )
+
+
+def lift_cuts(
+    next_map: np.ndarray,
+    counts: np.ndarray,
+    n_lift: int,
+    backend: Optional[str] = None,
+) -> np.ndarray:
+    """All ``n_lift`` walk iterates of a per-lane next-cut map.
+
+    Third stage of the ``PartitionStack`` build: ``cuts[k, j] =
+    nxt_k^j(0)`` (binary lifting in the NumPy form, direct iteration in
+    the scalar twins — identical integers either way), tail-clamped so
+    every remaining group keeps at least one module.
+    """
+    next_map = np.ascontiguousarray(next_map, dtype=np.int64)
+    counts = np.asarray(counts, dtype=np.int64)
+    if next_map.ndim != 2 or counts.shape != (next_map.shape[0],):
+        raise ConfigurationError(
+            f"lift_cuts needs a (K, N+1) next-cut map and a (K,) count "
+            f"vector, got {next_map.shape} / {counts.shape}"
+        )
+    n_lift = int(n_lift)
+    if n_lift < 1:
+        raise ConfigurationError(f"n_lift must be >= 1, got {n_lift}")
+    return get_backend(backend).lift_cuts(next_map, counts, n_lift)

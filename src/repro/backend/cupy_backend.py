@@ -20,6 +20,11 @@ except ImportError:  # pragma: no cover
     cupy = None
 
 from repro.backend._pairwise import segmented_pairwise_sum_xp
+from repro.backend._partition import (
+    lift_cuts_np,
+    next_cut_map_np,
+    prefix_table_np,
+)
 
 
 class CupyBackend:
@@ -40,3 +45,27 @@ class CupyBackend:
         device_values = cupy.asarray(np.asarray(values, dtype=np.float64))
         device_out = segmented_pairwise_sum_xp(device_values, offsets, cupy)
         return cupy.asnumpy(device_out)
+
+    # The partition-build entry points are integer-dominated binary
+    # searches and index gathers over small decision-epoch tables; a
+    # device round-trip per epoch would cost more than the work, so the
+    # CUDA backend runs the (bit-identical) NumPy reference forms on
+    # the host.
+    def prefix_table(self, rows: np.ndarray) -> np.ndarray:
+        return prefix_table_np(np.asarray(rows, dtype=np.float64))
+
+    def next_cut_map(
+        self,
+        prefix_rows: np.ndarray,
+        row_of: np.ndarray,
+        ideals: np.ndarray,
+        flat_rows: np.ndarray,
+    ) -> np.ndarray:
+        return next_cut_map_np(prefix_rows, row_of, ideals, flat_rows)
+
+    def lift_cuts(
+        self, next_map: np.ndarray, counts: np.ndarray, n_lift: int
+    ) -> np.ndarray:
+        return lift_cuts_np(
+            np.ascontiguousarray(next_map, dtype=np.int64), counts, n_lift
+        )

@@ -112,6 +112,99 @@ def _build_segmented_kernel():
     return segmented
 
 
+def _build_partition_kernels():
+    """Compile the partition-build twins (prefix / next-cut / lift).
+
+    Scalar restatements of the NumPy forms in
+    :mod:`repro.backend._partition`.  The prefix table is a sequential
+    per-row accumulation — exactly ``np.cumsum``'s order.  The next-cut
+    map's binary search is integer-exact and its one floating-point
+    comparison (the walk tie rule ``P[bound] + P[bound-1] >
+    2*target``) evaluates the identical add/multiply tree on the
+    identical doubles.  The lift twin iterates the map directly
+    instead of binary lifting — same function composition, so the same
+    integers — and applies the identical tail clamp.
+    """
+
+    @numba.njit(cache=False)
+    def prefix_kernel(rows, out):  # pragma: no cover - compiled
+        for c in range(rows.shape[0]):
+            out[c, 0] = 0.0
+            acc = 0.0
+            for j in range(rows.shape[1]):
+                acc = acc + rows[c, j]
+                out[c, j + 1] = acc
+
+    @numba.njit(cache=False)
+    def next_cut_kernel(
+        prefix_rows, row_of, ideals, flat_rows, out
+    ):  # pragma: no cover - compiled
+        n_modules = prefix_rows.shape[1] - 1
+        for k in range(row_of.size):
+            r = row_of[k]
+            ideal = ideals[k]
+            is_flat = flat_rows[r]
+            for pos in range(n_modules + 1):
+                target = prefix_rows[r, pos] + ideal
+                # searchsorted(side="right") over prefix_rows[r].
+                lo = 0
+                hi = n_modules + 1
+                while lo < hi:
+                    mid = (lo + hi) >> 1
+                    if prefix_rows[r, mid] <= target:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                bound = lo
+                # Tie rule: the prefix table is conceptually padded
+                # with +inf at column N+1.  bound >= 1 always (the
+                # zero-led prefix and a non-negative target guarantee
+                # it), so the bound-1 read stays in row.
+                if bound > n_modules:
+                    above = np.inf
+                else:
+                    above = prefix_rows[r, bound]
+                below = prefix_rows[r, bound - 1]
+                nxt = bound
+                if above + below > 2.0 * target:
+                    nxt -= 1
+                if nxt < pos + 1:
+                    nxt = pos + 1
+                if nxt > n_modules:
+                    nxt = n_modules
+                if is_flat:
+                    # Flat-run extension: jump to the end of the run of
+                    # prefix entries equal to prefix[nxt].
+                    value = prefix_rows[r, nxt]
+                    lo = 0
+                    hi = n_modules + 1
+                    while lo < hi:
+                        mid = (lo + hi) >> 1
+                        if prefix_rows[r, mid] <= value:
+                            lo = mid + 1
+                        else:
+                            hi = mid
+                    nxt = lo - 1
+                out[k, pos] = nxt
+
+    @numba.njit(cache=False)
+    def lift_kernel(next_map, counts, out):  # pragma: no cover - compiled
+        n_modules = next_map.shape[1] - 1
+        n_lift = out.shape[1]
+        for k in range(next_map.shape[0]):
+            cur = 0
+            out[k, 0] = 0
+            for j in range(1, n_lift):
+                cur = next_map[k, cur]
+                out[k, j] = cur
+            floor = n_modules - counts[k]
+            for j in range(n_lift):
+                if out[k, j] > floor + j:
+                    out[k, j] = floor + j
+
+    return prefix_kernel, next_cut_kernel, lift_kernel
+
+
 class NumbaBackend:
     """Per-segment jitted pairwise sums (CPU, no array temporaries)."""
 
@@ -121,6 +214,11 @@ class NumbaBackend:
         if numba is None:
             raise ImportError("numba is not installed")
         self._segmented = _build_segmented_kernel()
+        (
+            self._prefix,
+            self._next_cut,
+            self._lift,
+        ) = _build_partition_kernels()
 
     def segmented_pairwise_sum(
         self, values: np.ndarray, offsets: np.ndarray
@@ -132,3 +230,35 @@ class NumbaBackend:
         out = np.empty((rows.shape[0], offsets.size - 1), dtype=np.float64)
         self._segmented(rows, offsets, out)
         return out.reshape(lead + (offsets.size - 1,))
+
+    def prefix_table(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.ascontiguousarray(rows, dtype=np.float64)
+        out = np.empty((rows.shape[0], rows.shape[1] + 1), dtype=np.float64)
+        self._prefix(rows, out)
+        return out
+
+    def next_cut_map(
+        self,
+        prefix_rows: np.ndarray,
+        row_of: np.ndarray,
+        ideals: np.ndarray,
+        flat_rows: np.ndarray,
+    ) -> np.ndarray:
+        prefix_rows = np.ascontiguousarray(prefix_rows, dtype=np.float64)
+        row_of = np.ascontiguousarray(row_of, dtype=np.int64)
+        ideals = np.ascontiguousarray(ideals, dtype=np.float64)
+        flat_rows = np.ascontiguousarray(flat_rows, dtype=np.bool_)
+        out = np.empty(
+            (row_of.size, prefix_rows.shape[1]), dtype=np.int64
+        )
+        self._next_cut(prefix_rows, row_of, ideals, flat_rows, out)
+        return out
+
+    def lift_cuts(
+        self, next_map: np.ndarray, counts: np.ndarray, n_lift: int
+    ) -> np.ndarray:
+        next_map = np.ascontiguousarray(next_map, dtype=np.int64)
+        counts = np.ascontiguousarray(counts, dtype=np.int64)
+        out = np.empty((next_map.shape[0], int(n_lift)), dtype=np.int64)
+        self._lift(next_map, counts, out)
+        return out

@@ -269,6 +269,12 @@ def _cmd_shard_init(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 1
     print(f"shard at {args.dir}: {len(manifest)} cases ({status.describe()})")
+    if manifest.groups:
+        fused = sum(len(members) for _, members in manifest.groups)
+        print(
+            f"fused groups: {len(manifest.groups)} "
+            f"({fused} cases run grid-stacked)"
+        )
     print(f"physics store: {manifest.cache_dir}")
     print(f"run 'repro shard work --dir {args.dir}' on each host to drain it")
     return 0
@@ -304,6 +310,8 @@ def _cmd_shard_status(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 1
     print(f"shard at {args.dir}: {status.describe()}")
+    for line in status.group_lines():
+        print(f"  {line}")
     for line in status.detail_lines():
         print(f"  {line}")
     return 0
@@ -547,8 +555,9 @@ def build_parser() -> argparse.ArgumentParser:
         choices=EXECUTORS,
         default="process",
         help=(
-            "case scheduler; 'gridstack' fuses homogeneous INOR cases "
-            "into stacked kernel passes (bit-identical to serial)"
+            "case scheduler; 'gridstack' fuses homogeneous INOR/DNOR/"
+            "Baseline groups into stacked kernel passes (bit-identical "
+            "to serial)"
         ),
     )
     batch.add_argument("--workers", type=int, default=None)

@@ -209,27 +209,65 @@ class DNORPolicy(ReconfigurationPolicy):
             t for t, decision in self._timed_decisions if decision.switch
         )
 
-    def decide(
-        self, time_s: float, module_temps_c: np.ndarray, ambient_c: float
-    ) -> Optional[ArrayConfiguration]:
-        """Record the sample; run an epoch decision when one is due."""
+    @property
+    def current_config(self) -> Optional[ArrayConfiguration]:
+        """The durable configuration of the running epoch (``None``
+        before the first adoption) — the ``current`` argument an
+        external epoch runner passes to the planner."""
+        return self._current
+
+    def observe(
+        self, time_s: float, module_temps_c: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, int]]:
+        """Record one sensed sample; report when an epoch is due.
+
+        The sensing half of :meth:`decide`, split out so external
+        epoch runners (the grid-stacked simulation fabric, the
+        streaming hub's micro-batcher) can collect due epochs from many
+        policies and plan them through one stacked
+        :func:`~repro.core.dnor.dnor_stack` call.  Returns ``None``
+        between epochs; at an epoch boundary, advances the epoch clock
+        and returns ``(history, new_rows)`` — exactly the arguments
+        :meth:`decide` would hand the planner.
+        """
         self._history.append(np.asarray(module_temps_c, dtype=float))
         self._rows_since_plan += 1
         if time_s + 1.0e-9 < self._next_epoch_s:
             return None
         self._next_epoch_s = time_s + self._planner.epoch_seconds
-
         history = np.vstack(self._history)
-        decision = self._planner.plan(
-            history, ambient_c, self._current, time_s,
-            new_rows=self._rows_since_plan,
-        )
+        new_rows = self._rows_since_plan
         self._rows_since_plan = 0
+        return history, new_rows
+
+    def commit(
+        self, time_s: float, decision: DNORDecision
+    ) -> Optional[ArrayConfiguration]:
+        """Record an epoch decision; return the configuration on switch.
+
+        The bookkeeping half of :meth:`decide`: external epoch runners
+        feed back the (stacked or per-lane) planner decision and get
+        the policy's contract answer — the new configuration to apply,
+        or ``None`` to keep.
+        """
         self._timed_decisions.append((time_s, decision))
         if decision.switch:
             self._current = decision.config
             return decision.config
         return None
+
+    def decide(
+        self, time_s: float, module_temps_c: np.ndarray, ambient_c: float
+    ) -> Optional[ArrayConfiguration]:
+        """Record the sample; run an epoch decision when one is due."""
+        due = self.observe(time_s, module_temps_c)
+        if due is None:
+            return None
+        history, new_rows = due
+        decision = self._planner.plan(
+            history, ambient_c, self._current, time_s, new_rows=new_rows,
+        )
+        return self.commit(time_s, decision)
 
     def reset(self) -> None:
         """Clear history, epoch state and the predictor stream."""

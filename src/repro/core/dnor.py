@@ -35,13 +35,18 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.config import ArrayConfiguration
-from repro.core.inor import inor, parse_inor_kernel
+from repro.core.inor import _inor_stack_raw, inor, parse_inor_kernel
 from repro.core.overhead import SwitchingOverheadModel
 from repro.errors import ConfigurationError, PredictionError
 from repro.power.charger import TEGCharger
 from repro.prediction.base import LagSeriesPredictor
 from repro.teg.model import ModuleModel
-from repro.teg.network import array_mpp, array_mpp_rows, array_mpp_rows_multi
+from repro.teg.network import (
+    array_mpp,
+    array_mpp_rows,
+    array_mpp_rows_multi,
+    array_mpp_rows_multi_stack,
+)
 
 
 def thevenin_from_temps(
@@ -549,3 +554,227 @@ class DNORPlanner:
             for config in proposals
         ]
         return proposals[int(np.argmax(scores))]
+
+
+def dnor_stack(
+    planners: Sequence[DNORPlanner],
+    histories: Sequence[np.ndarray],
+    ambient_c,
+    currents: Sequence[Optional[ArrayConfiguration]],
+    time_s: float = 0.0,
+    new_rows: Optional[Sequence[Optional[int]]] = None,
+) -> Tuple[DNORDecision, ...]:
+    """Run one Algorithm 2 epoch for a whole homogeneous case grid.
+
+    The grid-stacked sibling of :meth:`DNORPlanner.plan`: lane ``k``
+    carries its own planner (with its own predictor stream), its own
+    temperature history and its own previous configuration, but all
+    lanes share the module parameters, the charger's converter, the
+    horizon geometry (``tp_seconds``, ``sample_dt_s``) and the batched
+    INOR kernel — the homogeneous-grid precondition the caller
+    (:mod:`repro.sim.gridstack` or the streaming hub) groups by.  The
+    epoch then runs in two fused passes instead of ``K`` per-lane
+    kernel invocations:
+
+    * every lane's INOR proposal comes from **one**
+      :func:`repro.core.inor.inor_stack`-style pass over the stacked
+      ``(K, N)`` EMF matrix;
+    * every scoring lane's ``(current, candidate)`` horizon energies
+      come from **one** :func:`repro.teg.network.array_mpp_rows_multi_stack`
+      pass over the stacked forecast horizons plus one batched charger
+      call.
+
+    Predictor fits and forecasts stay per-lane (each lane owns its
+    regression state, and :class:`~repro.prediction.mlr.MLRPredictor`'s
+    normal-equation solve must see exactly the per-lane matrices to
+    stay bit-identical), as do the scalar switching-bill expressions.
+
+    Decisions are **bit-identical** per lane to
+    ``planners[k].plan(histories[k], ambient, currents[k], ...)`` —
+    pinned in the DNOR suite — except the wall-clock diagnostic fields
+    (``inor_seconds``, ``predict_seconds``), which report the *fused*
+    cost split evenly across lanes.  Determinism of the decision
+    sequence therefore requires ``nominal_compute_s`` to be set on
+    every planner, which this kernel enforces.
+
+    ``ambient_c`` may be a scalar (one trace driving every lane) or a
+    per-lane vector (independent streaming sessions); ``new_rows``
+    forwards per-lane incremental-refit row counts, exactly as
+    :meth:`DNORPlanner.plan` accepts.
+    """
+    n_lanes = len(planners)
+    if n_lanes == 0:
+        return ()
+    if len(histories) != n_lanes or len(currents) != n_lanes:
+        raise ConfigurationError(
+            f"dnor_stack needs one history and one current configuration "
+            f"per planner, got {len(histories)} / {len(currents)} for "
+            f"{n_lanes} planners"
+        )
+    ref = planners[0]
+    mode, backend = parse_inor_kernel(ref.inor_kernel)
+    if mode != "batched":
+        raise ConfigurationError(
+            "dnor_stack requires the batched INOR kernel; the scalar "
+            "reference loop has no stacked form"
+        )
+    alpha = ref._module.emf_coefficient()
+    internal_r = ref._module.internal_resistance()
+    for planner in planners:
+        if planner._nominal_compute_s is None:
+            raise ConfigurationError(
+                "dnor_stack requires nominal_compute_s on every planner: "
+                "per-lane measured wall-clock has no deterministic fused "
+                "equivalent"
+            )
+        if (
+            planner._inor_kernel != ref._inor_kernel
+            or planner._tp_seconds != ref._tp_seconds
+            or planner._sample_dt_s != ref._sample_dt_s
+            or planner._module.emf_coefficient() != alpha
+            or planner._module.internal_resistance() != internal_r
+        ):
+            raise ConfigurationError(
+                "dnor_stack lanes must share the module parameters, the "
+                "horizon geometry (tp_seconds, sample_dt_s) and the INOR "
+                "kernel spec"
+            )
+    if new_rows is None:
+        new_rows = [None] * n_lanes
+    ambients = np.broadcast_to(
+        np.asarray(ambient_c, dtype=float), (n_lanes,)
+    )
+
+    # Per-lane stream absorption first (incremental refit only) — it
+    # runs on every epoch in the serial path, including free keeps.
+    absorb_seconds = np.zeros(n_lanes)
+    lane_histories: list = []
+    for k, planner in enumerate(planners):
+        history = np.asarray(histories[k], dtype=float)
+        if history.ndim != 2 or history.shape[0] < 1:
+            raise ConfigurationError(
+                f"history must be a non-empty (T, N) matrix, got "
+                f"{history.shape} in lane {k}"
+            )
+        lane_histories.append(history)
+        if planner._refit == "incremental":
+            absorb_seconds[k] = planner._absorb_stream(history, new_rows[k])
+
+    n_modules = lane_histories[0].shape[1]
+    temps_now = np.stack([history[-1] for history in lane_histories])
+    emf_rows = alpha * (temps_now - ambients[:, None])
+    resistance = np.full(n_modules, internal_r)
+
+    # Fused pass 1: every lane's INOR proposal from one stacked call
+    # (bit-identical per lane to inor(), via the inor_stack parity pin).
+    t0 = time.perf_counter()
+    stack, _, _, _, _, winners, _, _ = _inor_stack_raw(
+        emf_rows, resistance, ref._charger, 0.03, backend
+    )
+    generation_seconds = (time.perf_counter() - t0) / n_lanes
+    proposals: list = []
+    for k in range(n_lanes):
+        best = int(winners[k])
+        lo, hi = stack.offsets[best], stack.offsets[best + 1]
+        proposals.append(
+            ArrayConfiguration(
+                starts=tuple(int(s) for s in stack.cat[lo:hi]),
+                n_modules=n_modules,
+            )
+        )
+
+    decisions: list = [None] * n_lanes
+    score_lanes: list = []
+    for k in range(n_lanes):
+        if currents[k] is None:
+            # Nothing to keep: adopt the proposal unconditionally.
+            decisions[k] = DNORDecision(
+                switch=True,
+                config=proposals[k],
+                candidate=proposals[k],
+                energy_old_j=0.0,
+                energy_new_j=0.0,
+                energy_overhead_j=0.0,
+                inor_seconds=generation_seconds,
+                predict_seconds=0.0,
+                used_fallback_forecast=False,
+            )
+        elif np.array_equal(proposals[k].starts, currents[k].starts):
+            # The proposal is the current configuration: keeping it is
+            # free and optimal — no forecast.
+            decisions[k] = DNORDecision(
+                switch=False,
+                config=currents[k],
+                candidate=currents[k],
+                energy_old_j=0.0,
+                energy_new_j=0.0,
+                energy_overhead_j=0.0,
+                inor_seconds=generation_seconds,
+                predict_seconds=0.0,
+                used_fallback_forecast=False,
+            )
+        else:
+            score_lanes.append(k)
+
+    if score_lanes:
+        # Per-lane forecasts (sequential by design — regression state),
+        # then one stacked horizon scoring pass over every lane's
+        # (current, candidate) pair.  All lanes share tp/dt, so every
+        # horizon has the same row count and stacks rectangularly.
+        horizon_temps: list = []
+        predict_secs: list = []
+        fallbacks: list = []
+        for k in score_lanes:
+            rows, psec, used_fallback = planners[k]._forecast_horizon(
+                lane_histories[k], temps_now[k]
+            )
+            horizon_temps.append(rows)
+            predict_secs.append(psec + absorb_seconds[k])
+            fallbacks.append(used_fallback)
+        horizon_emf = alpha * (
+            np.stack(horizon_temps)
+            - ambients[score_lanes][:, None, None]
+        )
+        starts_list = []
+        for k in score_lanes:
+            starts_list.append(currents[k].starts)
+            starts_list.append(proposals[k].starts)
+        case_of_config = np.repeat(
+            np.arange(len(score_lanes), dtype=np.int64), 2
+        )
+        power, voltage = array_mpp_rows_multi_stack(
+            horizon_emf, resistance, starts_list, case_of_config
+        )
+        delivered = ref._charger.delivered_batch(power, voltage)
+        energies = delivered.sum(axis=1) * ref._sample_dt_s
+
+        for j, k in enumerate(score_lanes):
+            planner = planners[k]
+            current = currents[k]
+            candidate = proposals[k]
+            energy_old = float(energies[2 * j])
+            energy_new = float(energies[2 * j + 1])
+            # The scalar switching bill (kept per-lane verbatim): the
+            # pre-switch power at the decision instant and the paper's
+            # overhead inequality.
+            power_now = planner._charger.delivered_at_mpp(
+                array_mpp(emf_rows[k], resistance, current.starts)
+            )
+            energy_overhead = planner._overhead.event_energy_j(
+                power_w=max(power_now, 0.0),
+                compute_time_s=planner._nominal_compute_s,
+                toggles=current.switch_toggles_to(candidate),
+            )
+            switch = energy_old <= energy_new - energy_overhead
+            decisions[k] = DNORDecision(
+                switch=switch,
+                config=candidate if switch else current,
+                candidate=candidate,
+                energy_old_j=energy_old,
+                energy_new_j=energy_new,
+                energy_overhead_j=energy_overhead,
+                inor_seconds=generation_seconds,
+                predict_seconds=predict_secs[j],
+                used_fallback_forecast=fallbacks[j],
+            )
+    return tuple(decisions)

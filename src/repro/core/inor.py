@@ -46,7 +46,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.backend import BACKEND_NAMES
+from repro.backend import BACKEND_NAMES, available_backends
 from repro.core.config import ArrayConfiguration
 from repro.errors import ConfigurationError
 from repro.power.charger import TEGCharger
@@ -104,9 +104,11 @@ def parse_inor_kernel(kernel: str) -> Tuple[str, Optional[str]]:
     if not sep:
         return mode, None
     if backend not in BACKEND_NAMES:
+        usable = available_backends()
         raise ConfigurationError(
             f"unknown backend {backend!r} in kernel spec {kernel!r} "
-            f"(known: {', '.join(BACKEND_NAMES)})"
+            f"(known: {', '.join(BACKEND_NAMES)}; available on this "
+            f"host: {', '.join(usable) if usable else 'none'})"
         )
     return mode, backend
 
@@ -392,7 +394,9 @@ def _inor_stack_raw(
     )
 
     mpp_current_rows = emf_rows / (2.0 * resistance)
-    stack = partition_multi_stack(mpp_current_rows, n_mins, n_maxs)
+    stack = partition_multi_stack(
+        mpp_current_rows, n_mins, n_maxs, backend=backend
+    )
     power, voltage, current = array_mpp_multi_stack(
         emf_rows, resistance, stack, backend=backend
     )

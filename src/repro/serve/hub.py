@@ -11,11 +11,23 @@ a standalone :class:`~repro.core.controller.PeriodicPolicy` would make,
 which is what keeps the online decision logs byte-equal to the offline
 batch reference.
 
+Batched-kernel DNOR sessions under nominal compute accounting
+micro-batch the same way, one level up: their due *epochs* queue on the
+session (:attr:`StreamSession.pending_epochs`) and the hub plans them
+in rounds through :func:`repro.core.dnor.dnor_stack` — the r-th pending
+epoch of every compatible session becomes one stacked Algorithm 2 pass.
+Rounds, not one flat batch, because epoch r+1 of a session depends on
+epoch r's committed configuration and predictor-stream refit;
+``dnor_stack`` is pinned bit-identical per lane to
+:meth:`~repro.core.dnor.DNORPlanner.plan`, which keeps the stacked
+online log byte-equal to the inline one.
+
 Sessions stack only when their decision inputs are interchangeable —
 same module electrical identity, array size, converter curve and
-kernel backend.  Incompatible sessions still work; they just land in
-separate groups (each its own stacked pass).  Inline-policy sessions
-(DNOR, EHTR, Baseline, scalar-kernel INOR) never queue pending rows
+kernel backend (plus, for DNOR, the same horizon geometry).
+Incompatible sessions still work; they just land in separate groups
+(each its own stacked pass).  Inline-policy sessions (EHTR, Baseline,
+scalar-kernel INOR, measured-compute DNOR) never queue pending work
 and pass through the hub untouched.
 """
 
@@ -26,6 +38,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.core.dnor import dnor_stack
 from repro.core.inor import inor_stack, parse_inor_kernel
 from repro.errors import ConfigurationError
 from repro.serve.session import DecisionRecord, StreamSession
@@ -63,6 +76,21 @@ def _stack_key(session: StreamSession) -> Tuple:
         scenario.module,
         scenario.make_charger(with_battery=False).converter,
         backend,
+    )
+
+
+def _dnor_stack_key(session: StreamSession) -> Tuple:
+    """Stacking identity for DNOR epoch rounds: the ``dnor_stack``
+    homogeneity contract — shared module electricals, converter, kernel
+    spec and horizon geometry."""
+    scenario = session.scenario
+    return (
+        int(scenario.n_modules),
+        scenario.module,
+        scenario.make_charger(with_battery=False).converter,
+        scenario.inor_kernel,
+        float(scenario.tp_seconds),
+        float(scenario.trace.dt_s),
     )
 
 
@@ -108,20 +136,31 @@ class SessionHub:
 
     # ------------------------------------------------------------------
     def run_epoch(self) -> Dict[str, List[DecisionRecord]]:
-        """Resolve every pending row across all sessions.
+        """Resolve every pending row and epoch across all sessions.
 
         Groups sessions by stacking identity, runs one ``inor_stack``
-        pass per group over the concatenated pending EMF rows, and
+        pass per INOR group over the concatenated pending EMF rows, and
         dispatches each row's winning configuration back to its session
-        in queue order.  Returns the newly emitted records keyed by
-        session id (sessions with nothing pending are omitted).
+        in queue order.  Pending DNOR epochs resolve in *rounds* per
+        group — see :meth:`_run_dnor_rounds`.  Returns the newly
+        emitted records keyed by session id (sessions with nothing
+        pending, or whose epochs all kept the current configuration,
+        are omitted).
         """
         groups: Dict[Tuple, List[StreamSession]] = {}
+        dnor_groups: Dict[Tuple, List[StreamSession]] = {}
         for session in self._sessions.values():
             if session.pending:
                 groups.setdefault(_stack_key(session), []).append(session)
+            elif session.pending_epochs:
+                dnor_groups.setdefault(
+                    _dnor_stack_key(session), []
+                ).append(session)
         self._stats.epochs += 1
         emitted: Dict[str, List[DecisionRecord]] = {}
+        for members in dnor_groups.values():
+            for sid, new_records in self._run_dnor_rounds(members).items():
+                emitted.setdefault(sid, []).extend(new_records)
         for key, members in groups.items():
             n_modules, module, _converter, backend = key
             counts = [len(s.pending) for s in members]
@@ -153,6 +192,47 @@ class SessionHub:
                 emitted[session.session_id] = session.resolve_pending(starts)
         return emitted
 
+    def _run_dnor_rounds(
+        self, members: List[StreamSession]
+    ) -> Dict[str, List[DecisionRecord]]:
+        """Drain the members' pending DNOR epochs in stacked rounds.
+
+        Round ``r`` plans the r-th pending epoch of every member that
+        still has one through a single :func:`dnor_stack` call and
+        commits each lane's decision back to its session.  Sequencing
+        by rounds is mandatory: epoch ``r+1`` depends on epoch ``r``'s
+        committed configuration and on the predictor-stream mutations
+        its plan performs.  ``dnor_stack`` ignores ``time_s`` in the
+        decision math, so lanes whose epochs fired at different stream
+        times stack safely.
+        """
+        emitted: Dict[str, List[DecisionRecord]] = {}
+        while True:
+            live = [s for s in members if s.pending_epochs]
+            if not live:
+                return emitted
+            heads = [s.pending_epochs[0] for s in live]
+            decisions = dnor_stack(
+                [s.dnor_planner for s in live],
+                [p.history for p in heads],
+                np.array([p.ambient_c for p in heads]),
+                [s.dnor_current for s in live],
+                time_s=heads[0].time_s,
+                new_rows=[p.new_rows for p in heads],
+            )
+            self._stats.stacked_passes += 1
+            self._stats.rows_decided += len(live)
+            self._stats.max_rows_per_pass = max(
+                self._stats.max_rows_per_pass, len(live)
+            )
+            self._stats.max_sessions_per_pass = max(
+                self._stats.max_sessions_per_pass, len(live)
+            )
+            for session, decision in zip(live, decisions):
+                record = session.resolve_next_epoch(decision)
+                if record is not None:
+                    emitted.setdefault(session.session_id, []).append(record)
+
     def drain(self, session_id: str) -> List[DecisionRecord]:
         """Resolve one session's pendings (used when a session closes).
 
@@ -160,6 +240,9 @@ class SessionHub:
         the decision arithmetic is identical to a full epoch.
         """
         session = self.get(session_id)
+        if session.pending_epochs:
+            rounds = self._run_dnor_rounds([session])
+            return rounds.get(session.session_id, [])
         if not session.pending:
             return []
         key = _stack_key(session)

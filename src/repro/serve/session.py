@@ -10,12 +10,17 @@ be decided online exactly as the offline batch engine would decide it:
   calls on one persisted generator draw exactly the doubles a single
   whole-trace batch draw would (C-order fill of the bit stream, pinned
   in the stream parity suite),
-* either an inline policy object (DNOR / EHTR / Baseline — stateful,
-  driven sample by sample) or, for batched-kernel INOR, the replica of
-  :class:`~repro.core.controller.PeriodicPolicy`'s period gating plus a
-  queue of *pending* decision rows that the
-  :class:`~repro.serve.hub.SessionHub` resolves in one stacked kernel
-  pass across every concurrent session.
+* either an inline policy object (EHTR / Baseline / scalar-kernel
+  INOR — stateful, driven sample by sample) or a queue of *pending*
+  decision work that the :class:`~repro.serve.hub.SessionHub` resolves
+  in stacked kernel passes across every concurrent session: for
+  batched-kernel INOR, the replica of
+  :class:`~repro.core.controller.PeriodicPolicy`'s period gating plus
+  pending EMF rows; for batched-kernel DNOR under nominal compute
+  accounting, the :meth:`~repro.core.controller.DNORPolicy.observe` /
+  :meth:`~repro.core.controller.DNORPolicy.commit` split plus pending
+  *epochs* that the hub plans through
+  :func:`~repro.core.dnor.dnor_stack`.
 
 The emitted decision log — one :class:`DecisionRecord` per applied
 configuration — is byte-identical to :func:`offline_decision_log` run
@@ -113,6 +118,23 @@ class PendingDecision:
     emf_row: np.ndarray
 
 
+@dataclass(frozen=True)
+class PendingEpoch:
+    """A due DNOR epoch awaiting the hub's stacked planning pass.
+
+    Exactly the arguments :meth:`DNORPolicy.decide` would hand its
+    planner, captured at the epoch boundary — the history snapshot and
+    incremental-refit row count are frozen here, so planning later (in
+    the hub's round) sees the same matrices the inline path would.
+    """
+
+    index: int
+    time_s: float
+    ambient_c: float
+    history: np.ndarray
+    new_rows: int
+
+
 class StreamSession:
     """One vehicle's telemetry stream under one reconfiguration policy.
 
@@ -151,6 +173,14 @@ class StreamSession:
         self._scanner.reset()
         kernel_mode, self._backend = parse_inor_kernel(scenario.inor_kernel)
         self._micro_batched = policy == "INOR" and kernel_mode == "batched"
+        # DNOR micro-batching needs the stacked epoch kernel's fused
+        # contract: the batched kernel and deterministic (nominal)
+        # compute accounting.  Measured-compute sessions stay inline.
+        self._dnor_batched = (
+            policy == "DNOR"
+            and kernel_mode == "batched"
+            and scenario.nominal_compute_s is not None
+        )
         if self._micro_batched:
             self._policy = None
             self._charger = scenario.make_charger(with_battery=False)
@@ -166,6 +196,7 @@ class StreamSession:
         self._sample_index = 0
         self._records: List[DecisionRecord] = []
         self._pending: List[PendingDecision] = []
+        self._pending_epochs: List[PendingEpoch] = []
 
     # ------------------------------------------------------------------
     @property
@@ -181,7 +212,7 @@ class StreamSession:
     @property
     def micro_batched(self) -> bool:
         """Whether decisions go through the hub's stacked kernel pass."""
-        return self._micro_batched
+        return self._micro_batched or self._dnor_batched
 
     @property
     def n_samples_seen(self) -> int:
@@ -195,8 +226,25 @@ class StreamSession:
 
     @property
     def pending(self) -> Tuple[PendingDecision, ...]:
-        """Fired samples awaiting the next hub epoch."""
+        """Fired INOR samples awaiting the next hub epoch."""
         return tuple(self._pending)
+
+    @property
+    def pending_epochs(self) -> Tuple[PendingEpoch, ...]:
+        """Due DNOR epochs awaiting the hub's stacked planning rounds."""
+        return tuple(self._pending_epochs)
+
+    @property
+    def dnor_planner(self):
+        """The session's :class:`~repro.core.dnor.DNORPlanner` (the
+        per-lane state the hub hands to ``dnor_stack``)."""
+        return self._policy.planner
+
+    @property
+    def dnor_current(self):
+        """The DNOR policy's durable configuration (``None`` before
+        the first adoption)."""
+        return self._policy.current_config
 
     # ------------------------------------------------------------------
     def feed(
@@ -212,8 +260,9 @@ class StreamSession:
         """Consume one telemetry chunk (matching 1-D columns).
 
         Inline-policy sessions return the decisions fired inside the
-        chunk immediately; micro-batched INOR sessions queue pending
-        rows (see :attr:`pending`) and return ``[]`` — their records
+        chunk immediately; micro-batched sessions queue pending work —
+        INOR decision rows (:attr:`pending`) or DNOR epochs
+        (:attr:`pending_epochs`) — and return ``[]``; their records
         arrive when the hub runs its next stacked epoch.
         """
         times = np.asarray(time_s, dtype=float)
@@ -255,6 +304,23 @@ class StreamSession:
                         emf_row=self._emf_coef * (scanned[j] - amb),
                     )
                 )
+            elif self._dnor_batched:
+                # DNORPolicy's own epoch gating; the history snapshot
+                # and refit row count are frozen at the boundary, so
+                # the hub's later stacked plan sees exactly what the
+                # inline decide() would have seen.
+                due = self._policy.observe(t, scanned[j])
+                if due is not None:
+                    history, n_new = due
+                    self._pending_epochs.append(
+                        PendingEpoch(
+                            index=index,
+                            time_s=t,
+                            ambient_c=amb,
+                            history=history,
+                            new_rows=n_new,
+                        )
+                    )
             else:
                 decision = self._policy.decide(t, scanned[j], amb)
                 if decision is not None:
@@ -306,6 +372,32 @@ class StreamSession:
             emitted.append(record)
         self._pending = []
         return emitted
+
+    def resolve_next_epoch(self, decision) -> Optional[DecisionRecord]:
+        """Commit the stacked planner's decision for the head epoch.
+
+        Called by the hub once per planning *round* with this session's
+        lane decision from :func:`~repro.core.dnor.dnor_stack`.  Pops
+        the oldest pending epoch, feeds the decision through
+        :meth:`~repro.core.controller.DNORPolicy.commit`, and returns
+        the new record on a switch (``None`` on keep).
+        """
+        if not self._pending_epochs:
+            raise SimulationError(
+                f"session {self.session_id!r} has no pending epoch to resolve"
+            )
+        pending = self._pending_epochs.pop(0)
+        config = self._policy.commit(pending.time_s, decision)
+        if config is None:
+            return None
+        record = DecisionRecord(
+            index=pending.index,
+            time_s=pending.time_s,
+            starts=tuple(int(s) for s in config.starts),
+            n_groups=len(config.starts),
+        )
+        self._records.append(record)
+        return record
 
 
 def offline_decision_log(

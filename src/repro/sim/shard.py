@@ -13,12 +13,22 @@ inside it:
     serialised loss-free (see :meth:`Scenario.to_json_dict`), in
     collation order.  Any host rebuilds bit-identical cases from it.
 ``queue/pending/`` and ``queue/leases/``
-    One JSON ticket per unfinished case.  A worker *claims* a case by
-    renaming its ticket from ``pending/`` into ``leases/`` —
+    One JSON ticket per unfinished *work item*.  A worker *claims* an
+    item by renaming its ticket from ``pending/`` into ``leases/`` —
     ``os.rename`` is atomic on POSIX and NFS, so exactly one claimant
     wins — then stamps the lease with its identity, claim time and
     TTL.  A lease that outlives its TTL (crashed or wedged worker) is
     renamed back into ``pending/`` by whichever worker notices first.
+    Work items come in two sizes: ``case-*`` tickets carry one case
+    through :func:`~repro.sim.engine.run_case`, and ``group-*``
+    tickets carry a whole *fused group* — cases the manifest grouped
+    at init time because they share a physics fingerprint, policy and
+    kernel shape (see :func:`~repro.sim.gridstack.fusable_reason`) —
+    through one grid-stacked pass
+    (:func:`~repro.sim.gridstack.run_grid_stacked`), publishing each
+    member case's artifacts.  A fused group is *done* when every
+    member case has its artifacts, so a mid-group crash resumes by
+    re-running the (idempotent, bit-identical) group.
 ``results/``
     Per-case artifacts: a loss-free npz series
     (:func:`~repro.sim.export.result_to_npz`) plus a JSON summary.
@@ -60,6 +70,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.core.inor import parse_inor_kernel
 from repro.errors import SimulationError
 from repro.sim._atomic import atomic_write
 from repro.sim.cache import PhysicsCache
@@ -67,14 +78,24 @@ from repro.sim.engine import (
     ExperimentCase,
     ExperimentCollation,
     _json_safe,
+    _worker_cache,
     run_case,
 )
 from repro.sim.export import result_from_npz, result_to_npz
+from repro.sim.gridstack import fusable_reason, run_grid_stacked
 from repro.sim.results import SimulationResult, summary_row
 
-#: Bumped whenever the shard directory layout changes; workers refuse
-#: manifests carrying a different version.
-SHARD_FORMAT_VERSION = 1
+#: Bumped whenever the shard directory layout changes.  v2 adds the
+#: manifest ``"groups"`` list — fused-group work items drained through
+#: one grid-stacked pass each.
+SHARD_FORMAT_VERSION = 2
+
+#: Manifest versions this library still reads.  A v1 shard (no
+#: recorded groups) resumes under v1 semantics: the recorded manifest
+#: is authoritative, every unfinished case stays an individual ticket
+#: and nothing is rewritten — mirroring the scenario format's
+#: read-old/write-new compatibility contract.
+SUPPORTED_SHARD_VERSIONS = (1, 2)
 
 #: Default lease time-to-live.  Generous on purpose: an expired lease
 #: only costs a duplicate (idempotent) execution, while a too-short
@@ -147,18 +168,32 @@ class ShardManifest:
     worker and every expiry scan reads it from here, so one init-time
     choice governs the whole fleet (old manifests without the key
     resolve to :data:`DEFAULT_LEASE_TTL_S`).
+
+    ``groups`` records the fused-group work items as
+    ``(group_id, member_case_ids)`` pairs, in ticket order.  A v1
+    manifest loads with no groups — every case its own ticket.
     """
 
     case_ids: Tuple[str, ...]
     cases: Tuple[ExperimentCase, ...]
     cache_dir: Path
     lease_ttl_s: float = DEFAULT_LEASE_TTL_S
+    groups: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
 
     def __len__(self) -> int:
         return len(self.case_ids)
 
     def by_id(self) -> Dict[str, ExperimentCase]:
         return dict(zip(self.case_ids, self.cases))
+
+    def groups_by_id(self) -> Dict[str, Tuple[str, ...]]:
+        return dict(self.groups)
+
+    def grouped_case_ids(self) -> frozenset:
+        """Every case id owned by some fused-group ticket."""
+        return frozenset(
+            case_id for _, member_ids in self.groups for case_id in member_ids
+        )
 
 
 @dataclass(frozen=True)
@@ -182,6 +217,30 @@ class LeaseInfo:
 
 
 @dataclass(frozen=True)
+class GroupInfo:
+    """One fused-group work item: identity, size and claim state.
+
+    ``state`` is ``"done"`` (every member case published),
+    ``"pending"`` (ticket waiting), ``"leased"`` (live claim) or
+    ``"expired"`` (claim outlived its TTL, re-queueable); ``worker``
+    names the claimant while a lease exists.
+    """
+
+    group_id: str
+    case_ids: Tuple[str, ...]
+    state: str
+    worker: str = ""
+
+    @property
+    def n_cases(self) -> int:
+        return len(self.case_ids)
+
+    def describe(self) -> str:
+        held = f" by {self.worker}" if self.worker else ""
+        return f"{self.group_id} [{self.n_cases} cases] {self.state}{held}"
+
+
+@dataclass(frozen=True)
 class ShardStatus:
     """Queue accounting of one shard directory.
 
@@ -190,7 +249,10 @@ class ShardStatus:
     per-lease detail answers the operational questions the aggregates
     cannot: *which* cases are stuck and *whose* worker went dark.
     ``stale_leases`` are still live but past half their TTL — the ones
-    to watch.
+    to watch.  The aggregates stay *case* counts — a leased fused
+    group counts each unfinished member case as leased — while
+    ``fused_groups`` reports the group work items themselves (id,
+    member count, claim state).
     """
 
     total: int
@@ -200,6 +262,7 @@ class ShardStatus:
     expired: int
     expired_leases: Tuple[LeaseInfo, ...] = ()
     stale_leases: Tuple[LeaseInfo, ...] = ()
+    fused_groups: Tuple[GroupInfo, ...] = ()
 
     @property
     def complete(self) -> bool:
@@ -221,6 +284,10 @@ class ShardStatus:
             f"stale:   {info.describe()}" for info in self.stale_leases
         )
         return lines
+
+    def group_lines(self) -> List[str]:
+        """One line per fused-group work item (empty without groups)."""
+        return [f"fused: {info.describe()}" for info in self.fused_groups]
 
 
 def _same_grid(existing_entries, new_entries) -> bool:
@@ -253,6 +320,67 @@ def _same_grid(existing_entries, new_entries) -> bool:
 
 def _case_id(index: int) -> str:
     return f"case-{index:05d}"
+
+
+def _group_id(index: int) -> str:
+    return f"group-{index:05d}"
+
+
+def _fused_group_key(case: ExperimentCase) -> Tuple:
+    """Machine-independent fused-group identity of one case.
+
+    The shard-time twin of :func:`repro.sim.gridstack._group_key`: the
+    content fingerprint replaces ``id(physics)`` (workers rebuild
+    cases from JSON, so object identity cannot travel through the
+    manifest).  Cases sharing this key load one physics artifact and
+    run through one stacked pass; the runtime grouping inside
+    :func:`~repro.sim.gridstack.run_grid_stacked` re-derives the same
+    partition over the shared physics object.
+    """
+    scenario = case.scenario
+    _, backend = parse_inor_kernel(scenario.inor_kernel)
+    key: Tuple = (
+        case.policy,
+        scenario.physics_fingerprint(),
+        int(scenario.n_modules),
+        float(scenario.control_period_s),
+        scenario.module,
+        scenario.make_charger(with_battery=False).converter,
+        backend,
+    )
+    if case.policy == "DNOR":
+        key += (float(scenario.tp_seconds),)
+    return key
+
+
+def _compute_groups(
+    case_ids: Sequence[str], cases: Sequence[ExperimentCase]
+) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+    """Partition a grid into fused-group work items.
+
+    Only groups of two or more fusable cases become ``group-*``
+    tickets — a singleton gains nothing from the stacked pass and
+    stays an ordinary case ticket.  Group ids are assigned in
+    first-member order, so the same grid always yields the same
+    manifest bytes.
+    """
+    members: Dict[Tuple, List[str]] = {}
+    order: List[Tuple] = []
+    for case_id, case in zip(case_ids, cases):
+        if fusable_reason(case) is not None:
+            continue
+        key = _fused_group_key(case)
+        if key not in members:
+            members[key] = []
+            order.append(key)
+        members[key].append(case_id)
+    groups: List[Tuple[str, Tuple[str, ...]]] = []
+    for key in order:
+        ids = members[key]
+        if len(ids) < 2:
+            continue
+        groups.append((_group_id(len(groups)), tuple(ids)))
+    return tuple(groups)
 
 
 def _default_worker_id() -> str:
@@ -313,18 +441,28 @@ def init_shard(
     paths.create()
     cache_value = None if cache_dir is None else str(cache_dir)
     ttl_value = None if lease_ttl_s is None else float(lease_ttl_s)
+    ids = [_case_id(i) for i in range(len(cases))]
     payload = {
         "version": SHARD_FORMAT_VERSION,
         "cache_dir": cache_value,
         "lease_ttl_s": ttl_value,
         "cases": [
-            {"id": _case_id(i), "case": case.to_json_dict()}
-            for i, case in enumerate(cases)
+            {"id": case_id, "case": case.to_json_dict()}
+            for case_id, case in zip(ids, cases)
+        ],
+        "groups": [
+            {"id": group_id, "case_ids": list(member_ids)}
+            for group_id, member_ids in _compute_groups(ids, cases)
         ],
     }
     existing = _read_json(paths.manifest) if paths.manifest.is_file() else None
     if existing is not None:
-        if existing.get("version") != payload["version"] or not _same_grid(
+        # An older (v1) manifest with the same grid is a valid resume:
+        # its recorded layout — no fused groups — stays authoritative,
+        # exactly like an old scenario format decoding losslessly.
+        if existing.get(
+            "version"
+        ) not in SUPPORTED_SHARD_VERSIONS or not _same_grid(
             existing.get("cases"), payload["cases"]
         ):
             raise SimulationError(
@@ -352,9 +490,18 @@ def init_shard(
 
     manifest = _load_manifest(paths)
 
-    # Enqueue every case that is not finished and not currently claimed.
+    # Enqueue every work item that is not finished and not currently
+    # claimed: one group ticket per unfinished fused group, one case
+    # ticket per remaining (ungrouped) case.
+    grouped = manifest.grouped_case_ids()
+    for group_id, member_ids in manifest.groups:
+        if all(paths.case_done(case_id) for case_id in member_ids):
+            continue
+        if paths.lease(group_id).exists() or paths.ticket(group_id).exists():
+            continue
+        _write_json_atomic(paths.ticket(group_id), {"group_id": group_id})
     for case_id in manifest.case_ids:
-        if paths.case_done(case_id):
+        if case_id in grouped or paths.case_done(case_id):
             continue
         if paths.lease(case_id).exists() or paths.ticket(case_id).exists():
             continue
@@ -380,10 +527,12 @@ def _load_manifest(paths: _ShardPaths) -> ShardManifest:
             f"{paths.root} is not a shard directory (no readable "
             f"{MANIFEST_NAME}); run 'repro shard init' first"
         )
-    if data.get("version") != SHARD_FORMAT_VERSION:
+    version = data.get("version")
+    if version not in SUPPORTED_SHARD_VERSIONS:
+        supported = ", ".join(str(v) for v in SUPPORTED_SHARD_VERSIONS)
         raise SimulationError(
-            f"shard manifest version {data.get('version')!r} is not "
-            f"supported (this library reads version {SHARD_FORMAT_VERSION})"
+            f"shard manifest version {version!r} is not supported "
+            f"(this library reads versions {supported})"
         )
     case_ids = tuple(entry["id"] for entry in data["cases"])
     cases = tuple(
@@ -394,6 +543,12 @@ def _load_manifest(paths: _ShardPaths) -> ShardManifest:
         paths.root / "cache" if cache_value is None else Path(cache_value)
     )
     ttl_value = data.get("lease_ttl_s")
+    # v1 manifests predate fused groups; their recorded layout (every
+    # case an individual ticket) stays in force on resume.
+    groups = tuple(
+        (str(entry["id"]), tuple(str(c) for c in entry["case_ids"]))
+        for entry in data.get("groups", [])
+    )
     return ShardManifest(
         case_ids=case_ids,
         cases=cases,
@@ -401,6 +556,7 @@ def _load_manifest(paths: _ShardPaths) -> ShardManifest:
         lease_ttl_s=(
             DEFAULT_LEASE_TTL_S if ttl_value is None else float(ttl_value)
         ),
+        groups=groups,
     )
 
 
@@ -421,6 +577,27 @@ def _manifest_ttl(paths: _ShardPaths) -> float:
     data = _read_json(paths.manifest)
     ttl = None if data is None else data.get("lease_ttl_s")
     return DEFAULT_LEASE_TTL_S if ttl is None else float(ttl)
+
+
+def _manifest_groups(paths: _ShardPaths) -> Dict[str, Tuple[str, ...]]:
+    """Fused-group membership (light manifest read, no case rebuild)."""
+    data = _read_json(paths.manifest)
+    if data is None:
+        return {}
+    return {
+        str(entry["id"]): tuple(str(c) for c in entry["case_ids"])
+        for entry in data.get("groups", [])
+    }
+
+
+def _item_done(
+    paths: _ShardPaths, item_id: str, groups: Dict[str, Tuple[str, ...]]
+) -> bool:
+    """Whether a work item — case or fused group — has its artifacts."""
+    member_ids = groups.get(item_id)
+    if member_ids is not None:
+        return all(paths.case_done(case_id) for case_id in member_ids)
+    return paths.case_done(item_id)
 
 
 def _lease_expired(
@@ -466,16 +643,17 @@ def _requeue_expired(
     now = time.time() if now is None else now
     if default_ttl_s is None:
         default_ttl_s = _manifest_ttl(paths)
+    groups = _manifest_groups(paths)
     moved = 0
-    for lease in sorted(paths.leases.glob("case-*.json")):
-        case_id = lease.stem
-        if paths.case_done(case_id):
+    for lease in sorted(paths.leases.glob("*.json")):
+        item_id = lease.stem
+        if _item_done(paths, item_id, groups):
             lease.unlink(missing_ok=True)
             continue
         if not _lease_expired(lease, now, default_ttl_s):
             continue
         try:
-            os.rename(lease, paths.ticket(case_id))
+            os.rename(lease, paths.ticket(item_id))
         except OSError:
             continue  # another worker re-queued or the owner finished
         moved += 1
@@ -487,16 +665,18 @@ def claim_case(
     worker_id: Optional[str] = None,
     lease_ttl_s: Optional[float] = None,
 ) -> Optional[str]:
-    """Claim the next available case; returns its id, or ``None``.
+    """Claim the next available work item; returns its id, or ``None``.
 
     The claim is one atomic rename of the ticket into ``leases/`` —
     exactly one of any number of racing workers wins it — followed by
     stamping the lease with the worker identity, claim time and TTL.
-    ``lease_ttl_s=None`` (the default) stamps the shard's configured
-    TTL from the manifest, so the whole fleet agrees without every
-    worker invocation repeating the number.  ``None`` return means
-    nothing is claimable right now: every remaining case is finished
-    or held by a live lease.
+    Fused-group tickets (``group-*``) are offered before case tickets:
+    they carry the most work, so starting them first keeps the fleet's
+    tail short.  ``lease_ttl_s=None`` (the default) stamps the shard's
+    configured TTL from the manifest, so the whole fleet agrees
+    without every worker invocation repeating the number.  ``None``
+    return means nothing is claimable right now: every remaining item
+    is finished or held by a live lease.
     """
     paths = _ShardPaths(shard_dir)
     worker_id = worker_id or _default_worker_id()
@@ -505,7 +685,10 @@ def claim_case(
     scanned_expired = False
     while True:
         claimed = None
-        for ticket in sorted(paths.pending.glob("case-*.json")):
+        tickets = sorted(paths.pending.glob("group-*.json")) + sorted(
+            paths.pending.glob("case-*.json")
+        )
+        for ticket in tickets:
             target = paths.leases / ticket.name
             try:
                 os.rename(ticket, target)
@@ -556,52 +739,92 @@ def publish_result(
     )
 
 
+def _run_fused_group(
+    members: Sequence[ExperimentCase], manifest: ShardManifest
+) -> List[SimulationResult]:
+    """Run one fused group through a single grid-stacked pass.
+
+    Every member shares one physics fingerprint (that is what grouped
+    them), so one artifact load from the shard's warm store serves the
+    whole group; handing the *same* physics object to every slot is
+    what lets :func:`~repro.sim.gridstack.run_grid_stacked` re-derive
+    the fused grouping on the worker side.
+    """
+    scenario = members[0].scenario
+    cache = _worker_cache(str(manifest.cache_dir))
+    physics = cache.get_or_compute(
+        scenario.trace, scenario.boundary, scenario.module, scenario.n_modules
+    )
+    return run_grid_stacked(members, [physics] * len(members))
+
+
 def work_shard(
     shard_dir: Union[str, Path],
     worker_id: Optional[str] = None,
     lease_ttl_s: Optional[float] = None,
     max_cases: Optional[int] = None,
 ) -> List[str]:
-    """Drain the shard queue from this process; returns completed ids.
+    """Drain the shard queue from this process; returns completed case ids.
 
-    Claims cases one at a time, runs each through the engine's single
-    :func:`~repro.sim.engine.run_case` code path (with the shard's
-    warm physics store), publishes the artifacts and releases the
-    lease.  ``lease_ttl_s=None`` uses the shard's configured TTL.
-    Returns when nothing is claimable — the queue is drained or every
-    remaining case is held by a live lease on another worker — or
-    after ``max_cases`` completions.
+    Claims work items one at a time: a case ticket runs through the
+    engine's single :func:`~repro.sim.engine.run_case` code path (with
+    the shard's warm physics store); a fused-group ticket runs every
+    member case through **one** grid-stacked pass
+    (:func:`~repro.sim.gridstack.run_grid_stacked`) and publishes each
+    member's artifacts — bit-identical to the per-case path, so the
+    collation cannot tell which route produced an artifact.
+    ``lease_ttl_s=None`` uses the shard's configured TTL.  Returns
+    when nothing is claimable — the queue is drained or every
+    remaining item is held by a live lease on another worker — or
+    once at least ``max_cases`` cases completed (a fused group counts
+    every member it publishes, so the bound may be overshot by group
+    members).
     """
     paths = _ShardPaths(shard_dir)
     manifest = _load_manifest(paths)
     cases_by_id = manifest.by_id()
+    groups_by_id = manifest.groups_by_id()
     worker_id = worker_id or _default_worker_id()
     completed: List[str] = []
     while max_cases is None or len(completed) < max_cases:
-        case_id = claim_case(paths.root, worker_id, lease_ttl_s)
-        if case_id is None:
+        item_id = claim_case(paths.root, worker_id, lease_ttl_s)
+        if item_id is None:
             break
-        if case_id not in cases_by_id:
+        if item_id not in cases_by_id and item_id not in groups_by_id:
             raise SimulationError(
-                f"queue ticket {case_id!r} is not in the shard manifest"
+                f"queue ticket {item_id!r} is not in the shard manifest"
             )
+        finished: List[str] = []
         try:
-            if not paths.case_done(case_id):
-                case = cases_by_id[case_id]
+            if item_id in groups_by_id:
+                member_ids = groups_by_id[item_id]
+                if not all(paths.case_done(c) for c in member_ids):
+                    members = [cases_by_id[c] for c in member_ids]
+                    results = _run_fused_group(members, manifest)
+                    for case_id, case, result in zip(
+                        member_ids, members, results
+                    ):
+                        publish_result(paths.root, case_id, case, result)
+                finished.extend(member_ids)
+            elif not paths.case_done(item_id):
+                case = cases_by_id[item_id]
                 result = run_case(case, cache_dir=str(manifest.cache_dir))
-                publish_result(paths.root, case_id, case, result)
+                publish_result(paths.root, item_id, case, result)
+                finished.append(item_id)
+            else:
+                finished.append(item_id)
         except BaseException:
-            # This process is still alive to hand the case back —
+            # This process is still alive to hand the item back —
             # waiting out the lease TTL is for *crashed* workers, and
-            # holding the lease here would stall the case (and every
+            # holding the lease here would stall the work (and every
             # 'shard work' retry) for the full TTL for no reason.
             try:
-                os.rename(paths.lease(case_id), paths.ticket(case_id))
+                os.rename(paths.lease(item_id), paths.ticket(item_id))
             except OSError:
                 pass  # lease already expired/re-queued by someone else
             raise
-        release_case(paths.root, case_id)
-        completed.append(case_id)
+        release_case(paths.root, item_id)
+        completed.extend(finished)
     return completed
 
 
@@ -636,9 +859,12 @@ def shard_status(shard_dir: Union[str, Path]) -> ShardStatus:
     """Count done/pending/leased/expired cases of a shard.
 
     Beyond the aggregates, the returned status names each expired
-    lease (case id + worker identity) and each *stale* one — still
-    live but past half its TTL — so an operator can see which worker
-    went dark without grepping the queue directory.
+    lease (work-item id + worker identity) and each *stale* one —
+    still live but past half its TTL — so an operator can see which
+    worker went dark without grepping the queue directory.  Fused
+    groups are reported distinctly (:attr:`ShardStatus.fused_groups`):
+    group id, member-case count and claim state, with the unfinished
+    members folded into the case aggregates under the group's state.
     """
     paths = _ShardPaths(shard_dir)
     manifest = _load_manifest(paths)
@@ -647,9 +873,57 @@ def shard_status(shard_dir: Union[str, Path]) -> ShardStatus:
     done = pending = leased = expired = 0
     expired_leases: List[LeaseInfo] = []
     stale_leases: List[LeaseInfo] = []
+    fused_groups: List[GroupInfo] = []
+    group_of: Dict[str, str] = {}
+    group_state: Dict[str, str] = {}
+    # Fused groups first: each group's single ticket/lease decides the
+    # state its unfinished member cases count under.
+    for group_id, member_ids in manifest.groups:
+        for case_id in member_ids:
+            group_of[case_id] = group_id
+        worker = ""
+        if all(paths.case_done(case_id) for case_id in member_ids):
+            state = "done"
+        elif paths.ticket(group_id).exists():
+            state = "pending"
+        elif paths.lease(group_id).exists():
+            lease = paths.lease(group_id)
+            info = _lease_info(lease, now, default_ttl_s)
+            if _lease_expired(lease, now, default_ttl_s):
+                state = "expired"
+                if info is not None:
+                    expired_leases.append(info)
+            else:
+                state = "leased"
+                if info is not None and info.age_s > 0.5 * info.ttl_s:
+                    stale_leases.append(info)
+            if info is not None:
+                worker = info.worker
+        else:
+            # Orphaned (e.g. interrupted init): re-queued next pass.
+            state = "pending"
+        group_state[group_id] = state
+        fused_groups.append(
+            GroupInfo(
+                group_id=group_id,
+                case_ids=member_ids,
+                state=state,
+                worker=worker,
+            )
+        )
     for case_id in manifest.case_ids:
         if paths.case_done(case_id):
             done += 1
+            continue
+        group_id = group_of.get(case_id)
+        if group_id is not None:
+            state = group_state[group_id]
+            if state == "leased":
+                leased += 1
+            elif state == "expired":
+                expired += 1
+            else:
+                pending += 1
         elif paths.ticket(case_id).exists():
             pending += 1
         elif paths.lease(case_id).exists():
@@ -675,6 +949,7 @@ def shard_status(shard_dir: Union[str, Path]) -> ShardStatus:
         expired=expired,
         expired_leases=tuple(expired_leases),
         stale_leases=tuple(stale_leases),
+        fused_groups=tuple(fused_groups),
     )
 
 
@@ -687,10 +962,10 @@ def watch_shard(
     """Poll and print shard progress until the shard completes.
 
     The live mode behind ``repro shard status --watch``: one
-    :meth:`ShardStatus.describe` line per tick (plus per-lease trouble
-    detail when anything is expired or stale), stopping when every
-    case is done or after ``max_ticks`` polls.  Returns the final
-    status.
+    :meth:`ShardStatus.describe` line per tick — plus one line per
+    fused-group work item and per-lease trouble detail when anything
+    is expired or stale — stopping when every case is done or after
+    ``max_ticks`` polls.  Returns the final status.
     """
     import sys
 
@@ -702,6 +977,8 @@ def watch_shard(
         status = shard_status(shard_dir)
         ticks += 1
         print(status.describe(), file=out, flush=True)
+        for line in status.group_lines():
+            print(f"  {line}", file=out, flush=True)
         for line in status.detail_lines():
             print(f"  {line}", file=out, flush=True)
         if status.complete:

@@ -30,7 +30,12 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.backend import segmented_pairwise_sum
+from repro.backend import (
+    lift_cuts,
+    next_cut_map,
+    prefix_table,
+    segmented_pairwise_sum,
+)
 from repro.errors import ConfigurationError
 from repro.teg.module import MPPPoint
 
@@ -83,6 +88,7 @@ __all__ = [
     "array_mpp_multi_stack",
     "array_mpp_rows",
     "array_mpp_rows_multi",
+    "array_mpp_rows_multi_stack",
     "array_thevenin",
     "array_thevenin_rows",
     "greedy_balanced_partition",
@@ -511,35 +517,6 @@ def partition_multi(
     return PartitionSet(cat=cat, offsets=offsets, n_modules=n_modules)
 
 
-def _searchsorted_rows_right(
-    table_rows: np.ndarray, row_of: np.ndarray, targets: np.ndarray
-) -> np.ndarray:
-    """Row-wise ``searchsorted(side="right")`` across many tables.
-
-    ``table_rows`` is ``(C, M)``, every row sorted ascending;
-    ``targets`` is ``(K, T)`` and ``row_of[k]`` names the table row the
-    ``k``-th target row searches.  A vectorised binary search over all
-    targets at once — integer-exact, so results equal
-    ``np.searchsorted(table_rows[row_of[k]], targets[k], "right")`` per
-    row, with no Python loop over rows.
-    """
-    n_cols = table_rows.shape[1]
-    flat = table_rows.reshape(-1)
-    base = (row_of * n_cols)[:, None]
-    lo = np.zeros(targets.shape, dtype=np.int64)
-    hi = np.full(targets.shape, n_cols, dtype=np.int64)
-    open_mask = lo < hi
-    while open_mask.any():
-        # Closed lanes keep lo == hi (possibly n_cols); park their
-        # gather at 0 so the flat read stays in bounds.
-        mid = np.where(open_mask, (lo + hi) >> 1, 0)
-        advance = open_mask & (flat[base + mid] <= targets)
-        lo = np.where(advance, mid + 1, lo)
-        hi = np.where(open_mask & ~advance, mid, hi)
-        open_mask = lo < hi
-    return lo
-
-
 @dataclass(frozen=True)
 class PartitionStack:
     """Candidate partitions of *many grid cases*, flat-concatenated.
@@ -600,6 +577,7 @@ def partition_multi_stack(
     mpp_current_rows: np.ndarray,
     n_min,
     n_max,
+    backend: Optional[str] = None,
 ) -> PartitionStack:
     """Greedy balanced partitions for every case of a stacked grid.
 
@@ -617,6 +595,14 @@ def partition_multi_stack(
     modules (negative currents) take the accumulation-walk reference
     path, like :func:`partition_multi` — but all such cases' lanes
     advance through one row-aware lockstep walk together.
+
+    The three array stages of the build — prefix construction, the
+    next-cut map and the lifting iteration — execute through the
+    :mod:`repro.backend` entry points (:func:`repro.backend.prefix_table`
+    / :func:`~repro.backend.next_cut_map` /
+    :func:`~repro.backend.lift_cuts`); ``backend`` selects the
+    implementation and cannot change the cuts (every backend is
+    parity-probed bitwise against the NumPy reference before use).
     """
     rows = np.asarray(mpp_current_rows, dtype=float)
     if rows.ndim != 2 or rows.size == 0:
@@ -655,56 +641,21 @@ def partition_multi_stack(
     pos_sel = np.flatnonzero(monotone_rows[case_of_cand])
 
     if pos_sel.size:
-        prefix_rows = np.concatenate(
-            (np.zeros((n_cases, 1)), np.cumsum(rows, axis=1)), axis=1
-        )
+        # The three backend stages: prefix construction, the next-cut
+        # map (bracketing search + tie rule + flat-run extension) and
+        # the lifting iteration.  ndarray.sum feeds the ideals — the
+        # prefix tail would not match the scalar walk (cumsum
+        # accumulates sequentially, sum pairwise).
+        prefix_rows = prefix_table(rows, backend=backend)
         sums = rows.sum(axis=1)
         row_of = case_of_cand[pos_sel]
         ideals = sums[row_of] / counts_all[pos_sel]
-        targets = prefix_rows[row_of] + ideals[:, None]
-        bound = _searchsorted_rows_right(prefix_rows, row_of, targets)
-        padded = np.concatenate(
-            (prefix_rows, np.full((n_cases, 1), np.inf)), axis=1
+        nxt = next_cut_map(
+            prefix_rows, row_of, ideals, lowest_rows == 0.0, backend=backend
         )
-        padded_flat = padded.reshape(-1)
-        prefix_flat = prefix_rows.reshape(-1)
-        pad_base = (row_of * (n_modules + 2))[:, None]
-        pre_base = (row_of * (n_modules + 1))[:, None]
-        nxt = bound - (
-            padded_flat[pad_base + bound]
-            + prefix_flat[pre_base + bound - 1]
-            > 2.0 * targets
+        cuts[pos_sel] = lift_cuts(
+            nxt, counts_all[pos_sel], n_lift, backend=backend
         )
-        np.maximum(nxt, _index_arange(n_modules + 2)[None, 1:], out=nxt)
-        np.minimum(nxt, n_modules, out=nxt)
-        flat_sel = np.flatnonzero((lowest_rows == 0.0)[row_of])
-        if flat_sel.size:
-            sub_rows = row_of[flat_sel]
-            sub_base = (sub_rows * (n_modules + 1))[:, None]
-            nxt[flat_sel] = (
-                _searchsorted_rows_right(
-                    prefix_rows, sub_rows, prefix_flat[sub_base + nxt[flat_sel]]
-                )
-                - 1
-            )
-
-        sub_cuts = np.zeros((pos_sel.size, n_lift), dtype=np.int64)
-        row_base = (_index_arange(pos_sel.size) * (n_modules + 1))[:, None]
-        doubling = nxt
-        flat = doubling.reshape(-1)
-        lift_plan = _lift_plan(n_lift)
-        for step, (bit, columns) in enumerate(lift_plan):
-            sub_cuts[:, columns] = flat[sub_cuts[:, columns] + row_base]
-            if step + 1 < len(lift_plan):
-                doubling = flat[doubling + row_base]
-                flat = doubling.reshape(-1)
-        np.minimum(
-            sub_cuts,
-            (n_modules - counts_all[pos_sel])[:, None]
-            + _index_arange(n_lift)[None, :],
-            out=sub_cuts,
-        )
-        cuts[pos_sel] = sub_cuts
 
     neg_sel = np.flatnonzero(~monotone_rows[case_of_cand])
     if neg_sel.size:
@@ -950,6 +901,89 @@ def array_mpp_rows_multi(
     # Per-configuration series sums: the segmented pairwise tree
     # reproduces contiguous-slice ndarray.sum bitwise, with no Python
     # loop over configurations.
+    e_rows = segmented_pairwise_sum(contrib, offsets, backend=backend)
+    r_totals = segmented_pairwise_sum(r_groups, offsets, backend=backend)
+    power = np.ascontiguousarray((e_rows * e_rows / (4.0 * r_totals)).T)
+    voltage = np.ascontiguousarray((e_rows / 2.0).T)
+    return power, voltage
+
+
+def array_mpp_rows_multi_stack(
+    emf_stack: np.ndarray,
+    resistance: np.ndarray,
+    starts_list: Sequence[Sequence[int]],
+    case_of_config: Sequence[int],
+    backend: Optional[str] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact MPP rows of many ``(case, configuration)`` pairs at once.
+
+    The case-stacked sibling of :func:`array_mpp_rows_multi` for fused
+    decision passes over a whole case grid: ``emf_stack`` is a
+    ``(K, S, N)`` stack of per-case EMF matrices (all cases sharing the
+    same ``(N,)`` ``resistance`` and horizon length ``S``),
+    ``starts_list`` holds one configuration per evaluation lane and
+    ``case_of_config[p]`` names the case whose EMF rows lane ``p``
+    scores.  This is the engine of DNOR's grid-stacked epoch kernel,
+    which scores every case's (current, candidate) pair over its own
+    forecast horizon in one pass.
+
+    Returns ``(power_w, voltage_v)`` of shape ``(P, S)``,
+    **bit-identical** per lane to
+    ``array_mpp_rows(emf_stack[case_of_config[p]], resistance,
+    starts_list[p])`` — and therefore to grouping the lanes by case and
+    calling :func:`array_mpp_rows_multi` per case: the stacked reduceat
+    preserves each group's in-segment accumulation order (lane ``p``'s
+    last group ends exactly where lane ``p + 1``'s block begins, the
+    same boundary as the per-case array end) and the per-lane series
+    sums run through the same segmented pairwise tree.
+    """
+    emf_stack = np.asarray(emf_stack, dtype=float)
+    conductance = 1.0 / np.asarray(resistance, dtype=float)
+    n_modules = conductance.size
+    if emf_stack.ndim != 3 or emf_stack.shape[2] != n_modules:
+        raise ConfigurationError(
+            f"emf_stack must be a (K, S, {n_modules}) stack, got shape "
+            f"{emf_stack.shape}"
+        )
+    case_of_config = np.asarray(case_of_config, dtype=np.int64)
+    candidates = [
+        validate_starts(starts, n_modules) for starts in starts_list
+    ]
+    n_configs = len(candidates)
+    if case_of_config.shape != (n_configs,):
+        raise ConfigurationError(
+            f"case_of_config must map every configuration to a case, got "
+            f"{case_of_config.shape} for {n_configs} configurations"
+        )
+    if n_configs == 0:
+        empty = np.empty((0, emf_stack.shape[1]))
+        return empty, empty.copy()
+    if case_of_config.min() < 0 or case_of_config.max() >= emf_stack.shape[0]:
+        raise ConfigurationError(
+            f"case_of_config must index the {emf_stack.shape[0]}-case "
+            f"stack, got range [{case_of_config.min()}, "
+            f"{case_of_config.max()}]"
+        )
+    sizes = np.array([starts.size for starts in candidates])
+    offsets = np.concatenate(([0], np.cumsum(sizes)))
+    cat = np.concatenate(candidates) if n_configs > 1 else candidates[0]
+    idx = cat + np.repeat(np.arange(n_configs) * n_modules, sizes)
+
+    # Lane p's N-column block holds its case's weighted EMF rows — the
+    # same doubles the per-case kernel multiplies, gathered instead of
+    # tiled.  reshape(-1, P*N) copies the (S, P, N) transpose into the
+    # contiguous layout reduceat wants.
+    weighted = emf_stack * conductance
+    n_samples = emf_stack.shape[1]
+    tiled_weighted = weighted[case_of_config].transpose(1, 0, 2).reshape(
+        n_samples, n_configs * n_modules
+    )
+    tiled_conductance = np.tile(conductance, n_configs)
+    group_conductance = np.add.reduceat(tiled_conductance, idx)
+    r_groups = 1.0 / group_conductance
+    group_weighted = np.add.reduceat(tiled_weighted, idx, axis=1)
+    contrib = group_weighted * r_groups
+
     e_rows = segmented_pairwise_sum(contrib, offsets, backend=backend)
     r_totals = segmented_pairwise_sum(r_groups, offsets, backend=backend)
     power = np.ascontiguousarray((e_rows * e_rows / (4.0 * r_totals)).T)

@@ -7,7 +7,9 @@ never silently substituted.  This suite pins both halves — the NumPy
 tree against ``ndarray.sum`` over adversarial segment layouts (empty,
 length-1, lane-boundary, power-of-two, deep-recursion, ``-0.0``-laced),
 and the registry's selection/failure behaviour (env default, unknown
-names, unavailable optional wheels).
+names, unavailable optional wheels).  The partition-build entry points
+(``prefix_table`` / ``next_cut_map`` / ``lift_cuts``) carry the same
+contract and are pinned NumPy == optional backend on the same bytes.
 """
 
 import numpy as np
@@ -22,6 +24,9 @@ from repro.backend import (
     backend_unavailable_reason,
     default_backend_name,
     get_backend,
+    lift_cuts,
+    next_cut_map,
+    prefix_table,
     segmented_pairwise_sum,
 )
 from repro.errors import ConfigurationError
@@ -182,3 +187,41 @@ class TestOptionalBackendParity:
         got = segmented_pairwise_sum(values, offsets, backend=name)
         want = segmented_pairwise_sum(values, offsets, backend="numpy")
         assert np.asarray(got).tobytes() == want.tobytes()
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_partition_build_matches_numpy(self, name, seed):
+        """The three partition-build stages yield identical bytes on
+        every backend, including zero-current flat runs and lane counts
+        spanning [1, N]."""
+        if backend_unavailable_reason(name) is not None:
+            pytest.skip(f"backend {name!r} not available on this host")
+        rng = np.random.default_rng(seed)
+        n_cases, n_modules, n_lanes = 5, 24, 12
+        rows = np.abs(rng.normal(size=(n_cases, n_modules))) * np.exp(
+            rng.uniform(-4.0, 4.0, (n_cases, n_modules))
+        )
+        rows[0, 5:13] = 0.0  # a zero-current flat run mid-row
+        rows[3, :4] = 0.0  # and one at the start
+        flat_rows = (rows == 0.0).any(axis=1)
+        row_of = rng.integers(0, n_cases, size=n_lanes)
+        counts = rng.integers(1, n_modules + 1, size=n_lanes)
+
+        prefix_want = prefix_table(rows, backend="numpy")
+        prefix_got = np.asarray(prefix_table(rows, backend=name))
+        assert prefix_got.tobytes() == prefix_want.tobytes()
+
+        ideals = prefix_want[row_of, -1] / counts
+        next_want = next_cut_map(
+            prefix_want, row_of, ideals, flat_rows, backend="numpy"
+        )
+        next_got = np.asarray(
+            next_cut_map(prefix_want, row_of, ideals, flat_rows, backend=name)
+        )
+        assert next_got.tobytes() == next_want.tobytes()
+
+        n_lift = int(counts.max())
+        cuts_want = lift_cuts(next_want, counts, n_lift, backend="numpy")
+        cuts_got = np.asarray(
+            lift_cuts(next_want, counts, n_lift, backend=name)
+        )
+        assert cuts_got.tobytes() == cuts_want.tobytes()

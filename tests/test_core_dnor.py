@@ -407,3 +407,100 @@ class TestFitModuleStride:
             rtol=1e-9,
             atol=1e-9,
         )
+
+
+class TestDnorStack:
+    """dnor_stack is planner.plan(), lane for lane, bit for bit —
+    the contract that lets gridstack and the streaming hub fuse whole
+    DNOR grids into two stacked kernel passes per epoch."""
+
+    N_LANES = 4
+    N_MODULES = 20
+
+    def _planners(self):
+        return [
+            make_planner(nominal_compute_s=2.0e-3)
+            for _ in range(self.N_LANES)
+        ]
+
+    def _lane_histories(self):
+        rng = np.random.default_rng(2018)
+        return [
+            steady_history(70, self.N_MODULES, level=40.0 + 4.0 * k)
+            + rng.normal(0.0, 0.6, (70, self.N_MODULES))
+            for k in range(self.N_LANES)
+        ]
+
+    def test_stack_matches_per_lane_plan_over_epochs(self):
+        from repro.core.dnor import dnor_stack
+
+        serial = self._planners()
+        stacked = self._planners()
+        histories = self._lane_histories()
+        ambients = np.array([24.0, 25.0, 26.0, 25.5])
+        serial_currents = [None] * self.N_LANES
+        stacked_currents = [None] * self.N_LANES
+        for epoch in range(3):
+            rows = 40 + 10 * epoch
+            hists = [h[:rows] for h in histories]
+            decisions = dnor_stack(
+                stacked, hists, ambients, stacked_currents,
+                time_s=float(epoch),
+            )
+            for k in range(self.N_LANES):
+                want = serial[k].plan(
+                    hists[k],
+                    float(ambients[k]),
+                    serial_currents[k],
+                    time_s=float(epoch),
+                )
+                got = decisions[k]
+                label = f"epoch {epoch} lane {k}"
+                assert got.switch == want.switch, label
+                assert got.config == want.config, label
+                assert got.candidate == want.candidate, label
+                # Exact float equality: the fused passes must produce
+                # the identical doubles, not merely close ones.
+                assert got.energy_old_j == want.energy_old_j, label
+                assert got.energy_new_j == want.energy_new_j, label
+                assert got.energy_overhead_j == want.energy_overhead_j, label
+                assert (
+                    got.used_fallback_forecast == want.used_fallback_forecast
+                ), label
+                serial_currents[k] = want.config
+                stacked_currents[k] = got.config
+
+    def test_requires_nominal_compute(self):
+        from repro.core.dnor import dnor_stack
+
+        with pytest.raises(ConfigurationError, match="nominal_compute_s"):
+            dnor_stack([make_planner()], [steady_history()], 25.0, [None])
+
+    def test_rejects_heterogeneous_lanes(self):
+        from repro.core.dnor import dnor_stack
+
+        planners = [
+            make_planner(nominal_compute_s=1.0e-3),
+            make_planner(tp_seconds=2.0, nominal_compute_s=1.0e-3),
+        ]
+        with pytest.raises(ConfigurationError, match="share"):
+            dnor_stack(
+                planners,
+                [steady_history(), steady_history()],
+                25.0,
+                [None, None],
+            )
+
+    def test_rejects_scalar_kernel(self):
+        from repro.core.dnor import dnor_stack
+
+        planner = DNORPlanner(
+            module=TGM_199_1_4_0_8,
+            charger=TEGCharger(),
+            overhead=SwitchingOverheadModel(),
+            predictor=MLRPredictor(lags=4, train_window=120),
+            nominal_compute_s=1.0e-3,
+            inor_kernel="scalar",
+        )
+        with pytest.raises(ConfigurationError, match="batched"):
+            dnor_stack([planner], [steady_history()], 25.0, [None])

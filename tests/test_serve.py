@@ -4,9 +4,10 @@ The acceptance criterion of the service layer: decisions made *online*
 — chunked telemetry, micro-batched epochs across concurrent sessions —
 are **bit-identical** to the offline batch engine run over the complete
 trace.  Pinned per registry scenario and chunk size for INOR (the
-stacked-kernel path) and for DNOR under both refit modes (the inline
-path), plus the 64-session single-stacked-pass scaling pin and the
-asyncio TCP front-end end to end.
+stacked-kernel path) and for DNOR under both refit modes (epoch
+micro-batching through ``dnor_stack`` rounds), plus the 64-session
+single-stacked-pass scaling pin, the multi-session DNOR round pin and
+the asyncio TCP front-end end to end.
 """
 
 import asyncio
@@ -70,6 +71,31 @@ class TestOnlineOfflineParity:
         )
         _assert_logs_equal(online, offline, f"DNOR {refit} chunk={chunk}")
 
+    def test_dnor_session_is_micro_batched(self):
+        """Registry DNOR (batched kernel + nominal compute) queues
+        epochs for the hub instead of planning inline."""
+        scenario = build_named_scenario(
+            "porter-ii", duration_s=6.0, n_modules=9
+        )
+        session = StreamSession(scenario, "DNOR", "mb")
+        assert session.micro_batched
+        session.feed_trace(scenario.trace, 0, scenario.trace.n_samples)
+        assert session.pending_epochs
+        assert not session.records
+
+    def test_measured_compute_dnor_runs_inline(self):
+        """Without nominal compute accounting there is no deterministic
+        fused equivalent, so the session stays on the inline path."""
+        scenario = dataclasses.replace(
+            build_named_scenario("porter-ii", duration_s=6.0, n_modules=9),
+            nominal_compute_s=None,
+        )
+        session = StreamSession(scenario, "DNOR", "inline-dnor")
+        assert not session.micro_batched
+        session.feed_trace(scenario.trace, 0, scenario.trace.n_samples)
+        assert not session.pending_epochs
+        assert session.records
+
     def test_scalar_kernel_inor_runs_inline(self):
         scenario = build_named_scenario(
             "porter-ii", duration_s=10.0, n_modules=9
@@ -128,6 +154,60 @@ class TestHubStacking:
             _assert_logs_equal(
                 sessions[k].records, offline, f"session {k}"
             )
+
+    def test_dnor_sessions_stack_in_rounds(self):
+        """Concurrent DNOR sessions resolve each epoch round through
+        ONE dnor_stack pass, and every session's log still matches its
+        own offline reference bit for bit."""
+        scenario = build_named_scenario(
+            "porter-ii", duration_s=20.0, n_modules=9
+        )
+        seeds = [700 + k for k in range(5)]
+        hub = SessionHub()
+        sessions = [
+            hub.add(
+                StreamSession(
+                    dataclasses.replace(scenario, sensor_seed=seed),
+                    "DNOR",
+                    f"d{seed}",
+                )
+            )
+            for seed in seeds
+        ]
+        trace = scenario.trace
+        chunk = 16
+        lo = 0
+        while lo < trace.n_samples:
+            hi = min(lo + chunk, trace.n_samples)
+            for session in sessions:
+                session.feed_trace(trace, lo, hi)
+            hub.run_epoch()
+            lo = hi
+        stats = hub.stats
+        assert stats.max_sessions_per_pass == len(seeds)
+        # One lane decided per session per epoch round.
+        assert stats.rows_decided == stats.stacked_passes * len(seeds)
+        for session, seed in zip(sessions, seeds):
+            offline = offline_decision_log(
+                dataclasses.replace(scenario, sensor_seed=seed), "DNOR"
+            )
+            _assert_logs_equal(session.records, offline, f"seed {seed}")
+
+    def test_dnor_drain_resolves_tail_epochs(self):
+        scenario = build_named_scenario(
+            "porter-ii", duration_s=12.0, n_modules=9
+        )
+        hub = SessionHub()
+        session = hub.add(StreamSession(scenario, "DNOR", "dtail"))
+        session.feed_trace(scenario.trace, 0, scenario.trace.n_samples)
+        assert session.pending_epochs
+        hub.drain("dtail")
+        assert not session.pending_epochs
+        _assert_logs_equal(
+            session.records,
+            offline_decision_log(scenario, "DNOR"),
+            "dnor drain",
+        )
 
     def test_incompatible_sessions_split_groups(self):
         scenario = build_named_scenario(

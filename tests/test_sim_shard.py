@@ -586,6 +586,194 @@ class TestStatusDetail:
         assert status.detail_lines() == []
 
 
+class TestFusedGroups:
+    """Shard format v2: fused-group work items (ISSUE 10 tentpole).
+
+    Cases sharing a physics fingerprint, policy and kernel shape are
+    recorded as ``group-*`` tickets at init and drained through one
+    grid-stacked pass per claim; singletons and unfusable cases stay
+    ordinary case tickets.  The collation contract is unchanged —
+    bit-identical to serial no matter which route ran a case — and a
+    v1 manifest still resumes, under v1 (ungrouped) semantics.
+    """
+
+    @pytest.fixture(scope="class")
+    def fused_grid(self):
+        scenario = default_scenario(
+            duration_s=20.0, seed=5, n_modules=16, nominal_compute_s=1.0e-3
+        )
+        return grid_cases(
+            [scenario], ["DNOR", "Baseline"], scanner_noise_std_k=[0.02, 0.1]
+        )
+
+    @pytest.fixture(scope="class")
+    def fused_serial(self, fused_grid):
+        return ExperimentRunner(fused_grid, executor="serial").run()
+
+    def test_init_records_groups_and_group_tickets(
+        self, fused_grid, tmp_path
+    ):
+        shard = tmp_path / "shard"
+        manifest = init_shard(shard, fused_grid, warm=False)
+        # Two fused groups (DNOR x noise, Baseline x noise), two cases
+        # each; every case belongs to a group, so the queue holds only
+        # group tickets.
+        assert len(manifest.groups) == 2
+        assert sorted(gid for gid, _ in manifest.groups) == [
+            "group-00000",
+            "group-00001",
+        ]
+        assert {len(ids) for _, ids in manifest.groups} == {2}
+        assert manifest.grouped_case_ids() == set(manifest.case_ids)
+        pending = sorted(p.name for p in (shard / "queue" / "pending").iterdir())
+        assert pending == ["group-00000.json", "group-00001.json"]
+
+    def test_unfusable_cases_stay_case_tickets(self, tmp_path):
+        # EHTR has no stacked epoch kernel; a lone Baseline is a
+        # singleton — neither becomes a group ticket.
+        scenario = default_scenario(
+            duration_s=20.0, seed=5, n_modules=16, nominal_compute_s=1.0e-3
+        )
+        cases = grid_cases([scenario], ["EHTR", "Baseline"])
+        shard = tmp_path / "shard"
+        manifest = init_shard(shard, cases, warm=False)
+        assert manifest.groups == ()
+        pending = sorted(p.name for p in (shard / "queue" / "pending").iterdir())
+        assert pending == ["case-00000.json", "case-00001.json"]
+
+    def test_single_worker_matches_serial(
+        self, fused_grid, fused_serial, tmp_path
+    ):
+        shard = tmp_path / "shard"
+        init_shard(shard, fused_grid)
+        done = work_shard(shard, worker_id="only")
+        assert sorted(done) == sorted(load_shard_manifest(shard).case_ids)
+        assert_collations_bit_identical(collate_shard(shard), fused_serial)
+
+    def test_two_concurrent_workers_match_serial(
+        self, fused_grid, fused_serial, tmp_path
+    ):
+        shard = tmp_path / "shard"
+        init_shard(shard, fused_grid)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(work_shard, str(shard), f"host-{i}")
+                for i in range(2)
+            ]
+            counts = [len(future.result()) for future in futures]
+        assert sum(counts) == len(fused_grid)
+        assert shard_status(shard).complete
+        assert_collations_bit_identical(collate_shard(shard), fused_serial)
+
+    def test_mid_group_crash_reruns_idempotently(
+        self, fused_grid, fused_serial, tmp_path
+    ):
+        """A group whose worker died after publishing one member is
+        re-claimed whole; determinism makes the republish a no-op."""
+        from repro.sim.engine import run_case
+        from repro.sim.shard import publish_result
+
+        shard = tmp_path / "shard"
+        init_shard(shard, fused_grid)
+        manifest = load_shard_manifest(shard)
+        group_id, member_ids = manifest.groups[0]
+        first = member_ids[0]
+        case = manifest.by_id()[first]
+        publish_result(
+            shard, first, case,
+            run_case(case, cache_dir=str(manifest.cache_dir)),
+        )
+        status = shard_status(shard)
+        assert status.done == 1 and not status.complete
+        done = work_shard(shard, worker_id="rescuer")
+        # The partially-done group reports every member, including the
+        # already-published one (the rerun overwrote it bit-identically).
+        assert first in done
+        assert_collations_bit_identical(collate_shard(shard), fused_serial)
+
+    def test_expired_group_lease_requeued(self, fused_grid, tmp_path):
+        shard = tmp_path / "shard"
+        init_shard(shard, fused_grid, warm=False)
+        dead = claim_case(shard, worker_id="dead", lease_ttl_s=0.01)
+        assert dead == "group-00000"
+        time.sleep(0.03)
+        status = shard_status(shard)
+        assert status.expired == 2  # both member cases count expired
+        assert status.pending == 2
+        # Fresh pending group first, then the expired one is recovered.
+        assert claim_case(shard, worker_id="w2") == "group-00001"
+        assert claim_case(shard, worker_id="w2") == dead
+
+    def test_status_reports_groups_distinctly(self, fused_grid, tmp_path):
+        shard = tmp_path / "shard"
+        init_shard(shard, fused_grid, warm=False)
+        status = shard_status(shard)
+        assert [info.state for info in status.fused_groups] == [
+            "pending",
+            "pending",
+        ]
+        assert {info.n_cases for info in status.fused_groups} == {2}
+        claimed = claim_case(shard, worker_id="busy-host")
+        status = shard_status(shard)
+        by_id = {info.group_id: info for info in status.fused_groups}
+        assert by_id[claimed].state == "leased"
+        assert by_id[claimed].worker == "busy-host"
+        assert status.leased == 2 and status.pending == 2
+        lines = status.group_lines()
+        assert any(
+            claimed in line and "leased" in line and "busy-host" in line
+            for line in lines
+        )
+
+    def test_watch_prints_group_lines(self, fused_grid, tmp_path):
+        import io
+
+        from repro.sim.shard import watch_shard
+
+        shard = tmp_path / "shard"
+        init_shard(shard, fused_grid, warm=False)
+        stream = io.StringIO()
+        watch_shard(shard, interval_s=0.01, max_ticks=1, stream=stream)
+        out = stream.getvalue()
+        assert "group-00000" in out and "group-00001" in out
+
+    def test_v1_manifest_resumes_ungrouped(
+        self, fused_grid, fused_serial, tmp_path
+    ):
+        """A v1 shard (no recorded groups) keeps v1 semantics on
+        resume: per-case tickets, no group items, same collation."""
+        shard = tmp_path / "shard"
+        init_shard(shard, fused_grid)
+        # Rewrite the manifest as the v1 layout and clear the queue, as
+        # if an old release had initialised this shard.
+        manifest_path = shard / "manifest.json"
+        data = json.loads(manifest_path.read_text())
+        data["version"] = 1
+        del data["groups"]
+        manifest_path.write_text(json.dumps(data))
+        for ticket in (shard / "queue" / "pending").iterdir():
+            ticket.unlink()
+        manifest = init_shard(shard, fused_grid)  # resume, not refused
+        assert manifest.groups == ()
+        pending = sorted(p.name for p in (shard / "queue" / "pending").iterdir())
+        assert pending == [f"{cid}.json" for cid in manifest.case_ids]
+        assert shard_status(shard).fused_groups == ()
+        work_shard(shard, worker_id="v1-worker")
+        assert_collations_bit_identical(collate_shard(shard), fused_serial)
+
+    def test_unsupported_version_names_supported_range(
+        self, fused_grid, tmp_path
+    ):
+        shard = tmp_path / "shard"
+        init_shard(shard, fused_grid, warm=False)
+        manifest_path = shard / "manifest.json"
+        data = json.loads(manifest_path.read_text())
+        data["version"] = 999
+        manifest_path.write_text(json.dumps(data))
+        with pytest.raises(SimulationError, match="versions 1, 2"):
+            load_shard_manifest(shard)
+
+
 class TestWatchShard:
     def test_watch_returns_when_complete(self, small_grid, tmp_path):
         import io
